@@ -1,0 +1,66 @@
+//! End-to-end algorithm benchmarks on fixed small datasets — the per-cell
+//! microscope behind the Table 3 harness. Also covers the ablations:
+//! MUDS with/without known-FD pruning (A2) and with/without the exactness
+//! sweep (paper-faithful mode).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use muds_core::{baseline, holistic_fun, muds, MudsConfig};
+use muds_datagen::{ionosphere_like, ncvoter_like, uci_dataset, uniprot_like};
+use muds_pli::PliCache;
+use muds_table::Table;
+
+fn bench_all_algorithms(c: &mut Criterion, label: &str, table: &Table) {
+    let mut group = c.benchmark_group(label);
+    group.sample_size(10);
+
+    group.bench_function("baseline", |b| b.iter(|| baseline(black_box(table), 42)));
+    group.bench_function("holistic_fun", |b| b.iter(|| holistic_fun(black_box(table))));
+    group.bench_function("muds", |b| {
+        b.iter(|| muds(black_box(table), &MudsConfig::default()))
+    });
+    group.bench_function("tane", |b| {
+        b.iter(|| {
+            let mut cache = PliCache::new(table);
+            muds_fd::tane(&mut cache)
+        })
+    });
+    group.finish();
+}
+
+fn datasets(c: &mut Criterion) {
+    bench_all_algorithms(c, "iris_150x5", &uci_dataset("iris"));
+    bench_all_algorithms(c, "uniprot_like_1000x8", &uniprot_like(1_000, 8));
+    bench_all_algorithms(c, "ncvoter_like_600x10", &ncvoter_like(600, 10));
+    bench_all_algorithms(c, "ionosphere_like_12", &ionosphere_like(12));
+}
+
+fn muds_ablations(c: &mut Criterion) {
+    let table = ncvoter_like(800, 10);
+    let mut group = c.benchmark_group("muds_ablations_ncvoter_800x10");
+    group.sample_size(10);
+
+    group.bench_function("default", |b| {
+        b.iter(|| muds(black_box(&table), &MudsConfig::default()))
+    });
+    group.bench_function("no_known_fd_pruning", |b| {
+        let cfg = MudsConfig { use_known_fd_pruning: false, ..MudsConfig::default() };
+        b.iter(|| muds(black_box(&table), &cfg))
+    });
+    group.bench_function("paper_faithful_no_sweep", |b| {
+        let cfg = MudsConfig { completion_sweep: false, ..MudsConfig::default() };
+        b.iter(|| muds(black_box(&table), &cfg))
+    });
+    group.bench_function("generous_shadow_lookup", |b| {
+        let cfg = MudsConfig {
+            shadow_lookup: muds_core::ShadowLookup::Generous,
+            ..MudsConfig::default()
+        };
+        b.iter(|| muds(black_box(&table), &cfg))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, datasets, muds_ablations);
+criterion_main!(benches);

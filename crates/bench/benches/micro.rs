@@ -1,0 +1,121 @@
+//! Criterion micro-benchmarks for the substrate data structures:
+//! PLI construction and intersection (the dominant cost of partition-based
+//! profiling, §6.4), the §5.4 prefix tree vs a linear scan (ablation A1),
+//! MMCS hitting sets (DUCC hole filling and Algorithm 3), and apriori-gen.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use muds_datagen::{ncvoter_like, uniprot_like};
+use muds_lattice::{apriori_gen, first_level, minimal_hitting_sets, ColumnSet, SetTrie};
+use muds_pli::{Pli, PliCache};
+use rand::prelude::*;
+
+fn bench_pli(c: &mut Criterion) {
+    let table = uniprot_like(20_000, 10);
+    let mut group = c.benchmark_group("pli");
+    group.sample_size(20);
+
+    group.bench_function("build_single_column_20k_rows", |b| {
+        b.iter(|| Pli::from_column(black_box(table.column(3))))
+    });
+
+    let p3 = Pli::from_column(table.column(3));
+    let p5 = Pli::from_column(table.column(5));
+    group.bench_function("intersect_20k_rows", |b| b.iter(|| p3.intersect(black_box(&p5))));
+
+    group.bench_function("refinement_check_20k_rows", |b| {
+        b.iter(|| p3.refines(black_box(table.column(4).codes())))
+    });
+
+    group.bench_function("cache_composed_lookup", |b| {
+        b.iter_batched(
+            || PliCache::new(&table),
+            |mut cache| {
+                let set = ColumnSet::from_indices([3, 5, 7]);
+                black_box(cache.get(&set));
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    group.finish();
+}
+
+fn bench_set_trie(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let sets: Vec<ColumnSet> = (0..2_000)
+        .map(|_| {
+            let k = rng.gen_range(2..=5);
+            ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..40)))
+        })
+        .collect();
+    let trie = SetTrie::from_sets(sets.iter().copied());
+    let queries: Vec<ColumnSet> = (0..256)
+        .map(|_| {
+            let k = rng.gen_range(4..=10);
+            ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..40)))
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("set_trie_vs_scan_2000_sets");
+    group.bench_function("prefix_tree_subsets", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += trie.subsets_of(black_box(q)).len();
+            }
+            hits
+        })
+    });
+    group.bench_function("linear_scan_subsets", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                hits += sets.iter().filter(|s| s.is_subset_of(black_box(q))).count();
+            }
+            hits
+        })
+    });
+    group.bench_function("prefix_tree_supersets_connector", |b| {
+        b.iter(|| {
+            let mut hits = 0usize;
+            for q in &queries {
+                let connector = ColumnSet::from_indices(q.iter().take(2));
+                hits += trie.supersets_of(black_box(&connector)).len();
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+fn bench_hitting_sets(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(11);
+    let universe = ColumnSet::full(20);
+    let edges: Vec<ColumnSet> = (0..18)
+        .map(|_| {
+            let k = rng.gen_range(2..=5);
+            ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..20)))
+        })
+        .collect();
+    c.bench_function("mmcs_minimal_hitting_sets_18_edges", |b| {
+        b.iter(|| minimal_hitting_sets(black_box(&edges), black_box(&universe)))
+    });
+}
+
+fn bench_apriori(c: &mut Criterion) {
+    let level2 = apriori_gen(&first_level(&ColumnSet::full(18)));
+    c.bench_function("apriori_gen_level3_of_18_columns", |b| {
+        b.iter(|| apriori_gen(black_box(&level2)))
+    });
+}
+
+fn bench_spider(c: &mut Criterion) {
+    let table = ncvoter_like(10_000, 12);
+    c.bench_function("spider_10k_rows_12_cols", |b| {
+        b.iter(|| muds_ind::spider(black_box(&table)))
+    });
+}
+
+criterion_group!(benches, bench_pli, bench_set_trie, bench_hitting_sets, bench_apriori, bench_spider);
+criterion_main!(benches);

@@ -1,0 +1,144 @@
+//! Ablation studies for the design choices DESIGN.md calls out (A1–A3):
+//!
+//! * **A1 — prefix tree vs linear scan** for minimal-UCC subset look-ups
+//!   (§5.4 of the paper motivates the tree by the cost of the naïve scan);
+//! * **A2 — known-FD pruning** in the R\Z sub-lattice walks (§5.2's
+//!   inter-task pruning rule);
+//! * **A3 — shared scan & PLIs vs per-task rebuild** (the holistic-vs-
+//!   sequential cost gap isolated from algorithmic differences);
+//! * plus the cost of our exactness sweep (the paper-deviation knob).
+//!
+//! Usage: `cargo run -p muds-bench --release --bin ablation`
+
+use std::time::Instant;
+
+use muds_bench::{print_table, secs};
+use muds_core::{baseline, holistic_fun, muds, MudsConfig};
+use muds_datagen::{ncvoter_like, uci_dataset, uniprot_like};
+use muds_lattice::{ColumnSet, SetTrie};
+use rand::prelude::*;
+
+fn main() {
+    a1_prefix_tree();
+    a2_known_fd_pruning();
+    a3_shared_structures();
+    sweep_cost();
+}
+
+/// A1: subset look-ups against a set of "minimal UCCs" — trie vs scan.
+fn a1_prefix_tree() {
+    println!("A1 — §5.4 prefix tree vs linear scan (subset look-ups)\n");
+    let mut rng = StdRng::seed_from_u64(41);
+    let mut rows = Vec::new();
+    for &(n_sets, n_cols) in &[(100usize, 30usize), (1_000, 40), (10_000, 60)] {
+        let mut sets: Vec<ColumnSet> = (0..n_sets)
+            .map(|_| {
+                let k = rng.gen_range(2..=5);
+                ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..n_cols)))
+            })
+            .collect();
+        // The trie stores each set once; deduplicate so both sides count
+        // the same matches.
+        sets.sort();
+        sets.dedup();
+        let trie = SetTrie::from_sets(sets.iter().copied());
+        let queries: Vec<ColumnSet> = (0..10_000)
+            .map(|_| {
+                let k = rng.gen_range(3..=10);
+                ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..n_cols)))
+            })
+            .collect();
+
+        let t0 = Instant::now();
+        let mut hits_trie = 0usize;
+        for q in &queries {
+            hits_trie += trie.subsets_of(q).len();
+        }
+        let trie_time = t0.elapsed();
+
+        let t0 = Instant::now();
+        let mut hits_scan = 0usize;
+        for q in &queries {
+            hits_scan += sets.iter().filter(|s| s.is_subset_of(q)).count();
+        }
+        let scan_time = t0.elapsed();
+        assert_eq!(hits_trie, hits_scan);
+
+        rows.push(vec![
+            n_sets.to_string(),
+            secs(trie_time),
+            secs(scan_time),
+            format!("{:.1}x", scan_time.as_secs_f64() / trie_time.as_secs_f64().max(1e-9)),
+        ]);
+    }
+    print_table(&["stored sets", "prefix tree", "linear scan", "speedup"], &rows);
+    println!();
+}
+
+/// A2: MUDS with and without the known-FD reduction in the R\Z walks.
+fn a2_known_fd_pruning() {
+    println!("A2 — §5.2 known-FD pruning in the R\\Z sub-lattice walks\n");
+    // uniprot-like data keeps most annotation columns outside Z, so the
+    // R\Z walks actually run (ncvoter-like has Z = all columns).
+    let t = uniprot_like(20_000, 10);
+    let mut rows = Vec::new();
+    for (label, pruning) in [("with pruning", true), ("without pruning", false)] {
+        let config = MudsConfig { use_known_fd_pruning: pruning, ..MudsConfig::default() };
+        let t0 = Instant::now();
+        let report = muds(&t, &config);
+        let elapsed = t0.elapsed();
+        rows.push(vec![
+            label.to_string(),
+            secs(elapsed),
+            secs(report.timings.calculate_rz),
+            report.stats.rz.walk.oracle_calls.to_string(),
+            report.stats.rz.reductions.to_string(),
+        ]);
+    }
+    print_table(&["config", "total", "R\\Z phase", "oracle calls", "reductions"], &rows);
+    println!();
+}
+
+/// A3: shared scan + shared PLIs (holistic) vs per-task rebuild
+/// (sequential), with the FD/UCC algorithms held identical (FUN).
+fn a3_shared_structures() {
+    println!("A3 — §3 shared scan & data structures vs per-task rebuild\n");
+    let t = uci_dataset("adult");
+    let mut rows = Vec::new();
+
+    let t0 = Instant::now();
+    let _ = holistic_fun(&t);
+    let shared = t0.elapsed();
+    rows.push(vec!["holistic (shared)".into(), secs(shared)]);
+
+    let t0 = Instant::now();
+    let _ = baseline(&t, 42);
+    let sequential = t0.elapsed();
+    rows.push(vec!["sequential (rebuilds)".into(), secs(sequential)]);
+    rows.push(vec![
+        "sequential / holistic".into(),
+        format!("{:.2}x", sequential.as_secs_f64() / shared.as_secs_f64().max(1e-9)),
+    ]);
+    print_table(&["config", "time"], &rows);
+    println!();
+}
+
+/// Cost of the exactness sweep (our deviation from the paper).
+fn sweep_cost() {
+    println!("Exactness sweep cost (paper-faithful vs exact MUDS)\n");
+    let t = ncvoter_like(5_000, 16);
+    let mut rows = Vec::new();
+    for (label, sweep) in [("paper-faithful", false), ("with sweep (default)", true)] {
+        let config = MudsConfig { completion_sweep: sweep, ..MudsConfig::default() };
+        let t0 = Instant::now();
+        let report = muds(&t, &config);
+        let elapsed = t0.elapsed();
+        rows.push(vec![
+            label.to_string(),
+            secs(elapsed),
+            secs(report.timings.completion_sweep),
+            report.fds.len().to_string(),
+        ]);
+    }
+    print_table(&["config", "total", "sweep time", "FDs"], &rows);
+}

@@ -1,0 +1,50 @@
+//! Figure 6: scalability with regard to the number of rows (uniprot, 10
+//! columns, 50k–250k rows).
+//!
+//! Paper shape to reproduce: all three algorithms scale ≈linearly with the
+//! row count; **Holistic FUN is fastest** (≈1/3 faster than the baseline,
+//! thanks to the shared input scan and joint UCC discovery); **MUDS is
+//! slowest** on this dataset because the shadowed-FD phase is expensive and
+//! also scales with rows.
+//!
+//! Usage: `cargo run -p muds-bench --release --bin fig6 [--max-rows N]
+//! [--cols N] [--paper-faithful]`
+
+use muds_bench::{arg_flag, arg_usize, assert_consistent, measure, print_table, secs};
+use muds_core::{Algorithm, ProfilerConfig};
+use muds_datagen::uniprot_like;
+
+fn main() {
+    let cols = arg_usize("--cols", 10);
+    let max_rows = arg_usize("--max-rows", 250_000);
+    let mut config = ProfilerConfig::default();
+    if arg_flag("--paper-faithful") {
+        config.muds.completion_sweep = false;
+    }
+    let algorithms = [Algorithm::Baseline, Algorithm::HolisticFun, Algorithm::Muds];
+
+    println!("Figure 6 — row scalability on uniprot-like data ({cols} columns)");
+    println!("paper: all linear in rows; HFUN fastest (~2/3 of baseline); MUDS slowest\n");
+
+    let full = uniprot_like(max_rows, cols);
+    let steps = 5;
+    let mut rows_out = Vec::new();
+    for step in 1..=steps {
+        let n = max_rows * step / steps;
+        let t = full.take_rows(n);
+        let ms = measure(&t, &algorithms, &config);
+        assert_consistent(&ms);
+        let (inds, uccs, fds) = ms[0].result.counts();
+        rows_out.push(vec![
+            n.to_string(),
+            secs(ms[0].elapsed),
+            secs(ms[1].elapsed),
+            secs(ms[2].elapsed),
+            inds.to_string(),
+            uccs.to_string(),
+            fds.to_string(),
+        ]);
+        eprintln!("  ..done {n} rows");
+    }
+    print_table(&["rows", "baseline", "HFUN", "MUDS", "#INDs", "#UCCs", "#FDs"], &rows_out);
+}

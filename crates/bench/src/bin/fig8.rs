@@ -1,0 +1,82 @@
+//! Figure 8: runtime of MUDS' phases on ncvoter-like data (10,000 rows,
+//! 20 columns).
+//!
+//! Paper shape to reproduce: SPIDER and DUCC almost negligible; the two
+//! shadowed-FD phases dominate (≈22× the earlier phases combined), with
+//! PLI-based FD checks consuming most of that time.
+//!
+//! Three MUDS configurations are reported, because the comparison exposes
+//! a reproduction finding (DESIGN.md §6): the paper's single-pass
+//! exact-lhs shadow look-up is cheap but misses a large share of the
+//! minimal FDs on this dataset family; the wider *generous* look-up
+//! reproduces the paper's shadow-dominated profile; the default *exact*
+//! configuration adds the completion sweep, whose cost then takes the
+//! place of the missing shadow work.
+//!
+//! Usage: `cargo run -p muds-bench --release --bin fig8 [--rows N] [--cols N]`
+
+use muds_bench::{arg_usize, print_table, secs};
+use muds_core::{muds, MudsConfig, ShadowLookup};
+use muds_datagen::ncvoter_like;
+
+fn main() {
+    let rows = arg_usize("--rows", 10_000);
+    let cols = arg_usize("--cols", 20);
+
+    println!("Figure 8 — MUDS phase breakdown on ncvoter-like data ({rows} rows, {cols} columns)");
+    println!("paper: SPIDER/DUCC negligible; shadowed-FD phases dominate\n");
+
+    let t = ncvoter_like(rows, cols);
+    let configs = [
+        (
+            "paper-faithful (exact-lhs look-up, single pass, no sweep)",
+            MudsConfig {
+                shadow_lookup: ShadowLookup::Faithful,
+                completion_sweep: false,
+                ..MudsConfig::default()
+            },
+        ),
+        (
+            "generous shadow look-up (closure + fixpoint, no sweep)",
+            MudsConfig {
+                shadow_lookup: ShadowLookup::Generous,
+                completion_sweep: false,
+                ..MudsConfig::default()
+            },
+        ),
+        ("exact (default: faithful look-up + completion sweep)", MudsConfig::default()),
+    ];
+
+    for (label, config) in configs {
+        println!("=== {label} ===");
+        let report = muds(&t, &config);
+        let total = report.timings.total();
+        let rows_out: Vec<Vec<String>> = report
+            .timings
+            .as_rows()
+            .into_iter()
+            .map(|(name, d)| {
+                vec![
+                    name.to_string(),
+                    secs(d),
+                    format!("{:.1}%", 100.0 * d.as_secs_f64() / total.as_secs_f64().max(1e-9)),
+                ]
+            })
+            .collect();
+        print_table(&["phase", "time", "share"], &rows_out);
+        println!(
+            "totals: {} INDs, {} minimal UCCs, {} minimal FDs in {}",
+            report.inds.len(),
+            report.minimal_uccs.len(),
+            report.fds.len(),
+            secs(total)
+        );
+        println!(
+            "work:   {} PLI intersects, {} refinement checks, {} shadow tasks ({} rounds)\n",
+            report.stats.pli.intersects,
+            report.stats.pli.refinement_checks,
+            report.stats.shadowed.tasks_generated,
+            report.stats.shadowed.rounds
+        );
+    }
+}

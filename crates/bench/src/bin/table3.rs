@@ -1,0 +1,55 @@
+//! Table 3: runtime comparison on eleven real-world (UCI) datasets with
+//! baseline, Holistic FUN, MUDS, and TANE.
+//!
+//! Paper shape to reproduce:
+//! * Holistic FUN always beats the sequential baseline (shared scan);
+//! * MUDS wins once datasets have ≥ ~14 columns / FDs with large left-hand
+//!   sides (adult: 12×, letter: 48× over HFUN in the paper);
+//! * TANE can beat MUDS where shadowed FDs explode (hepatitis);
+//! * the discovered FD counts per dataset are reported alongside.
+//!
+//! Usage: `cargo run -p muds-bench --release --bin table3 [--paper-faithful]
+//! [--dataset NAME]`
+
+use muds_bench::{arg_flag, assert_consistent, measure, print_table, secs};
+use muds_core::{Algorithm, ProfilerConfig};
+use muds_datagen::{uci_dataset, TABLE3_DATASETS};
+
+fn main() {
+    let mut config = ProfilerConfig::default();
+    if arg_flag("--paper-faithful") {
+        config.muds.completion_sweep = false;
+    }
+    let only: Option<String> = {
+        let args: Vec<String> = std::env::args().collect();
+        args.iter().position(|a| a == "--dataset").and_then(|i| args.get(i + 1).cloned())
+    };
+
+    println!("Table 3 — runtime comparison on 11 UCI-like datasets");
+    println!("paper: HFUN ≥ baseline always; MUDS wins on wide datasets; TANE wins on hepatitis\n");
+
+    let mut rows_out = Vec::new();
+    for name in TABLE3_DATASETS {
+        if let Some(ref o) = only {
+            if o != name {
+                continue;
+            }
+        }
+        let t = uci_dataset(name);
+        let ms = measure(&t, &Algorithm::ALL, &config);
+        assert_consistent(&ms);
+        let fds = ms[0].result.fds.len();
+        rows_out.push(vec![
+            name.to_string(),
+            t.num_columns().to_string(),
+            t.num_rows().to_string(),
+            fds.to_string(),
+            secs(ms[0].elapsed), // baseline
+            secs(ms[1].elapsed), // HFUN
+            secs(ms[2].elapsed), // MUDS
+            secs(ms[3].elapsed), // TANE
+        ]);
+        eprintln!("  ..done {name}");
+    }
+    print_table(&["dataset", "cols", "rows", "FDs", "baseline", "HFUN", "MUDS", "TANE"], &rows_out);
+}

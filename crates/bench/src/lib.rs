@@ -1,0 +1,132 @@
+//! Experiment harness utilities shared by the per-figure/table binaries.
+//!
+//! Each binary in `src/bin/` regenerates one artifact of the paper's
+//! evaluation section (DESIGN.md §5 maps them): `fig6` (row scalability),
+//! `fig7` (column scalability), `table3` (eleven UCI datasets × four
+//! algorithms), `fig8` (MUDS phase breakdown), and `ablation` (design-choice
+//! studies). Absolute numbers differ from the paper (different hardware,
+//! Rust instead of Java/Metanome, synthetic stand-in data); the *shapes* —
+//! who wins, by what factor, where crossovers fall — are the reproduction
+//! target recorded in EXPERIMENTS.md.
+
+use std::time::{Duration, Instant};
+
+use muds_core::{profile_csv, Algorithm, ProfileResult, ProfilerConfig};
+use muds_table::{table_to_csv, CsvOptions, Table};
+
+/// Formats a duration as fractional seconds with sensible precision.
+pub fn secs(d: Duration) -> String {
+    let s = d.as_secs_f64();
+    if s < 0.01 {
+        format!("{:.1}ms", s * 1000.0)
+    } else if s < 10.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{s:.1}s")
+    }
+}
+
+/// One measured cell of an experiment: algorithm → total runtime + result.
+pub struct Measurement {
+    pub algorithm: Algorithm,
+    pub result: ProfileResult,
+    /// End-to-end wall clock (including input parsing, per the paper's
+    /// shared-I/O cost model).
+    pub elapsed: Duration,
+}
+
+/// Runs `algorithms` on the CSV serialization of `table`, so the sequential
+/// baseline honestly pays one parse per task while the holistic algorithms
+/// parse once — the paper's I/O-sharing comparison.
+pub fn measure(table: &Table, algorithms: &[Algorithm], config: &ProfilerConfig) -> Vec<Measurement> {
+    let csv = table_to_csv(table, &CsvOptions::default());
+    algorithms
+        .iter()
+        .map(|&algorithm| {
+            let t0 = Instant::now();
+            let result = profile_csv(table.name(), &csv, &CsvOptions::default(), algorithm, config)
+                .expect("generated CSV is valid");
+            let elapsed = t0.elapsed();
+            Measurement { algorithm, result, elapsed }
+        })
+        .collect()
+}
+
+/// Asserts that all measurements produced identical FD and UCC sets — every
+/// experiment doubles as a correctness check.
+pub fn assert_consistent(measurements: &[Measurement]) {
+    for pair in measurements.windows(2) {
+        assert_eq!(
+            pair[0].result.fds.to_sorted_vec(),
+            pair[1].result.fds.to_sorted_vec(),
+            "{} and {} disagree on FDs",
+            pair[0].algorithm.name(),
+            pair[1].algorithm.name()
+        );
+        assert_eq!(
+            pair[0].result.minimal_uccs, pair[1].result.minimal_uccs,
+            "{} and {} disagree on UCCs",
+            pair[0].algorithm.name(),
+            pair[1].algorithm.name()
+        );
+    }
+}
+
+/// Prints an aligned text table: header row then data rows.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let padded: Vec<String> =
+            cells.iter().enumerate().map(|(i, c)| format!("{:>width$}", c, width = widths[i])).collect();
+        println!("  {}", padded.join("  "));
+    };
+    line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    line(&widths.iter().map(|w| "-".repeat(*w)).collect::<Vec<_>>());
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Parses `--flag value`-style integer arguments from the binary's argv,
+/// with a default.
+pub fn arg_usize(name: &str, default: usize) -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// True when `--flag` is present in argv.
+pub fn arg_flag(name: &str) -> bool {
+    std::env::args().any(|a| a == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_datagen::uniprot_like;
+
+    #[test]
+    fn measure_runs_all_algorithms_consistently() {
+        let t = uniprot_like(300, 6);
+        let ms = measure(&t, &Algorithm::ALL, &ProfilerConfig::default());
+        assert_eq!(ms.len(), 4);
+        assert_consistent(&ms);
+    }
+
+    #[test]
+    fn secs_formatting() {
+        assert_eq!(secs(Duration::from_millis(5)), "5.0ms");
+        assert_eq!(secs(Duration::from_millis(1500)), "1.50s");
+        assert_eq!(secs(Duration::from_secs(75)), "75.0s");
+    }
+}

@@ -1,0 +1,212 @@
+//! Hand-rolled argument parsing for `mudsprof` (no CLI dependency).
+
+use muds_core::Algorithm;
+
+/// Parsed command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// Profile a CSV file with one algorithm.
+    Profile {
+        path: String,
+        algorithm: Algorithm,
+        delimiter: char,
+        has_header: bool,
+        paper_faithful: bool,
+    },
+    /// Run all four algorithms on a CSV file and compare runtimes.
+    Compare { path: String, delimiter: char, has_header: bool },
+    /// Generate one of the paper's stand-in datasets as CSV on stdout or to
+    /// a file.
+    Generate { dataset: String, rows: usize, cols: usize, output: Option<String> },
+    /// Print usage.
+    Help,
+}
+
+/// Parse error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+fn algorithm_by_name(name: &str) -> Result<Algorithm, ArgError> {
+    match name.to_ascii_lowercase().as_str() {
+        "muds" => Ok(Algorithm::Muds),
+        "hfun" | "holistic-fun" => Ok(Algorithm::HolisticFun),
+        "baseline" | "sequential" => Ok(Algorithm::Baseline),
+        "tane" => Ok(Algorithm::Tane),
+        other => Err(ArgError(format!(
+            "unknown algorithm {other:?}; expected muds, hfun, baseline, or tane"
+        ))),
+    }
+}
+
+fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a str, ArgError> {
+    *i += 1;
+    args.get(*i).map(|s| s.as_str()).ok_or_else(|| ArgError(format!("{flag} needs a value")))
+}
+
+/// Parses `argv[1..]`.
+pub fn parse(args: &[String]) -> Result<Command, ArgError> {
+    let Some(cmd) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "profile" | "compare" => {
+            let mut path: Option<String> = None;
+            let mut algorithm = Algorithm::Muds;
+            let mut delimiter = ',';
+            let mut has_header = true;
+            let mut paper_faithful = false;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--algorithm" | "-a" => algorithm = algorithm_by_name(take_value(args, &mut i, "--algorithm")?)?,
+                    "--delimiter" | "-d" => {
+                        let v = take_value(args, &mut i, "--delimiter")?;
+                        let mut chars = v.chars();
+                        delimiter = chars
+                            .next()
+                            .filter(|_| chars.next().is_none())
+                            .ok_or_else(|| ArgError("--delimiter must be one character".into()))?;
+                    }
+                    "--no-header" => has_header = false,
+                    "--paper-faithful" => paper_faithful = true,
+                    flag if flag.starts_with('-') => {
+                        return Err(ArgError(format!("unknown flag {flag:?}")));
+                    }
+                    p if path.is_none() => path = Some(p.to_string()),
+                    extra => return Err(ArgError(format!("unexpected argument {extra:?}"))),
+                }
+                i += 1;
+            }
+            let path = path.ok_or_else(|| ArgError(format!("{cmd} needs a CSV file path")))?;
+            if cmd == "compare" {
+                Ok(Command::Compare { path, delimiter, has_header })
+            } else {
+                Ok(Command::Profile { path, algorithm, delimiter, has_header, paper_faithful })
+            }
+        }
+        "generate" => {
+            let mut dataset: Option<String> = None;
+            let mut rows = 1000usize;
+            let mut cols = 10usize;
+            let mut output = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--rows" => {
+                        rows = take_value(args, &mut i, "--rows")?
+                            .parse()
+                            .map_err(|_| ArgError("--rows must be an integer".into()))?;
+                    }
+                    "--cols" => {
+                        cols = take_value(args, &mut i, "--cols")?
+                            .parse()
+                            .map_err(|_| ArgError("--cols must be an integer".into()))?;
+                    }
+                    "--output" | "-o" => output = Some(take_value(args, &mut i, "--output")?.to_string()),
+                    flag if flag.starts_with('-') => {
+                        return Err(ArgError(format!("unknown flag {flag:?}")));
+                    }
+                    d if dataset.is_none() => dataset = Some(d.to_string()),
+                    extra => return Err(ArgError(format!("unexpected argument {extra:?}"))),
+                }
+                i += 1;
+            }
+            let dataset = dataset.ok_or_else(|| {
+                ArgError("generate needs a dataset name (uniprot, ionosphere, ncvoter, or a Table 3 name)".into())
+            })?;
+            Ok(Command::Generate { dataset, rows, cols, output })
+        }
+        other => Err(ArgError(format!("unknown command {other:?}; try `mudsprof help`"))),
+    }
+}
+
+/// Usage text.
+pub const USAGE: &str = "\
+mudsprof — holistic data profiling (MUDS, EDBT 2016 reproduction)
+
+USAGE:
+  mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
+                   [--no-header] [--paper-faithful]
+  mudsprof compare <file.csv> [-d <delim>] [--no-header]
+  mudsprof generate <dataset> [--rows N] [--cols N] [-o out.csv]
+  mudsprof help
+
+Datasets for generate: uniprot, ionosphere, ncvoter, iris, balance, chess,
+abalone, nursery, b-cancer, bridges, echocard, adult, letter, hepatitis.
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|x| x.to_string()).collect()
+    }
+
+    #[test]
+    fn profile_defaults() {
+        let cmd = parse(&argv("profile data.csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Profile {
+                path: "data.csv".into(),
+                algorithm: Algorithm::Muds,
+                delimiter: ',',
+                has_header: true,
+                paper_faithful: false,
+            }
+        );
+    }
+
+    #[test]
+    fn profile_with_flags() {
+        let cmd = parse(&argv("profile -a tane -d ; --no-header --paper-faithful x.csv")).unwrap();
+        match cmd {
+            Command::Profile { path, algorithm, delimiter, has_header, paper_faithful } => {
+                assert_eq!(path, "x.csv");
+                assert_eq!(algorithm, Algorithm::Tane);
+                assert_eq!(delimiter, ';');
+                assert!(!has_header);
+                assert!(paper_faithful);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compare_and_generate() {
+        assert!(matches!(parse(&argv("compare x.csv")).unwrap(), Command::Compare { .. }));
+        let cmd = parse(&argv("generate ncvoter --rows 500 --cols 12 -o out.csv")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                dataset: "ncvoter".into(),
+                rows: 500,
+                cols: 12,
+                output: Some("out.csv".into())
+            }
+        );
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        assert!(parse(&argv("profile")).is_err());
+        assert!(parse(&argv("profile x.csv -a nope")).unwrap_err().0.contains("unknown algorithm"));
+        assert!(parse(&argv("frobnicate")).is_err());
+        assert!(parse(&argv("profile x.csv --delimiter ,, ")).is_err());
+        assert!(parse(&argv("generate --rows abc uniprot")).is_err());
+    }
+
+    #[test]
+    fn no_args_is_help() {
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert_eq!(parse(&argv("--help")).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,131 @@
+//! `mudsprof`: command-line holistic profiler.
+//!
+//! Profiles CSV files with MUDS / Holistic FUN / the sequential baseline /
+//! TANE, compares them, and generates the paper's stand-in datasets. See
+//! `mudsprof help`.
+
+mod args;
+
+use std::process::ExitCode;
+use std::time::Instant;
+
+use args::{parse, Command, USAGE};
+use muds_core::{profile_csv, Algorithm, ProfilerConfig};
+use muds_datagen as datagen;
+use muds_table::{table_from_csv_file, table_to_csv, CsvOptions};
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse(&argv) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(command) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(command: Command) -> Result<(), String> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Profile { path, algorithm, delimiter, has_header, paper_faithful } => {
+            let options = CsvOptions { delimiter, has_header };
+            let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
+            let table = if table.has_duplicate_rows() {
+                eprintln!("note: input contains duplicate rows; removing them (paper §3 precondition)");
+                table.dedup_rows()
+            } else {
+                table
+            };
+            let mut config = ProfilerConfig::default();
+            config.muds.completion_sweep = !paper_faithful;
+            let csv = table_to_csv(&table, &options);
+            let result = profile_csv(table.name(), &csv, &options, algorithm, &config)
+                .map_err(|e| e.to_string())?;
+
+            let names = table.column_names();
+            println!(
+                "{}: {} rows x {} columns, algorithm {}",
+                table.name(),
+                table.num_rows(),
+                table.num_columns(),
+                algorithm.name()
+            );
+            println!("\ninclusion dependencies ({}):", result.inds.len());
+            for ind in &result.inds {
+                println!("  {} ⊆ {}", names[ind.dependent], names[ind.referenced]);
+            }
+            println!("\nminimal unique column combinations ({}):", result.minimal_uccs.len());
+            for ucc in &result.minimal_uccs {
+                let cols: Vec<&str> = ucc.iter().map(|c| names[c]).collect();
+                println!("  {{{}}}", cols.join(", "));
+            }
+            println!("\nminimal functional dependencies ({}):", result.fds.len());
+            for fd in result.fds.to_sorted_vec() {
+                let lhs: Vec<&str> = fd.lhs.iter().map(|c| names[c]).collect();
+                println!("  {{{}}} → {}", lhs.join(", "), names[fd.rhs]);
+            }
+            println!("\nphases:");
+            for phase in &result.phases {
+                println!("  {:<28} {:?}", phase.name, phase.duration);
+            }
+            Ok(())
+        }
+        Command::Compare { path, delimiter, has_header } => {
+            let options = CsvOptions { delimiter, has_header };
+            let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
+            let table = table.dedup_rows();
+            let csv = table_to_csv(&table, &options);
+            let config = ProfilerConfig::default();
+            println!(
+                "{}: {} rows x {} columns\n",
+                table.name(),
+                table.num_rows(),
+                table.num_columns()
+            );
+            println!("{:<10} {:>12} {:>8} {:>8} {:>8}", "algorithm", "time", "INDs", "UCCs", "FDs");
+            for &alg in &Algorithm::ALL {
+                let t0 = Instant::now();
+                let result = profile_csv(table.name(), &csv, &options, alg, &config)
+                    .map_err(|e| e.to_string())?;
+                let elapsed = t0.elapsed();
+                let (inds, uccs, fds) = result.counts();
+                println!("{:<10} {:>12?} {:>8} {:>8} {:>8}", alg.name(), elapsed, inds, uccs, fds);
+            }
+            Ok(())
+        }
+        Command::Generate { dataset, rows, cols, output } => {
+            let table = match dataset.as_str() {
+                "uniprot" => datagen::uniprot_like(rows, cols),
+                "ionosphere" => datagen::ionosphere_like(cols),
+                "ncvoter" => datagen::ncvoter_like(rows, cols),
+                name if datagen::TABLE3_DATASETS.contains(&name) => datagen::uci_dataset(name),
+                other => return Err(format!("unknown dataset {other:?}; see `mudsprof help`")),
+            };
+            let csv = table_to_csv(&table, &CsvOptions::default());
+            match output {
+                Some(path) => {
+                    std::fs::write(&path, csv).map_err(|e| e.to_string())?;
+                    eprintln!(
+                        "wrote {} ({} rows x {} columns)",
+                        path,
+                        table.num_rows(),
+                        table.num_columns()
+                    );
+                }
+                None => print!("{csv}"),
+            }
+            Ok(())
+        }
+    }
+}

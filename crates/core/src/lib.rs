@@ -1,0 +1,49 @@
+//! Holistic data profiling: the MUDS algorithm and its competitors.
+//!
+//! This crate is the reproduction of the core contribution of *"Holistic
+//! Data Profiling: Simultaneous Discovery of Various Metadata"* (Ehrlich et
+//! al., EDBT 2016): algorithms that discover unary inclusion dependencies,
+//! minimal unique column combinations, and minimal functional dependencies
+//! **in one execution**, sharing I/O, data structures, and pruning
+//! information across the three tasks.
+//!
+//! # Quick start
+//!
+//! ```
+//! use muds_core::{profile, Algorithm, ProfilerConfig};
+//! use muds_table::Table;
+//!
+//! let table = Table::from_rows(
+//!     "people",
+//!     &["id", "dept", "dept_head"],
+//!     &[
+//!         vec!["1", "cs", "dijkstra"],
+//!         vec!["2", "cs", "dijkstra"],
+//!         vec!["3", "ee", "shannon"],
+//!     ],
+//! ).unwrap();
+//! let result = profile(&table, Algorithm::Muds, &ProfilerConfig::default());
+//! // dept → dept_head is a minimal FD; id is the key.
+//! assert!(result.fds.len() >= 2);
+//! assert_eq!(result.minimal_uccs.len(), 1);
+//! ```
+//!
+//! # Entry points
+//!
+//! * [`profile`] / [`profile_csv`] — Metanome-style uniform runner over any
+//!   [`Algorithm`].
+//! * [`muds`] — the full MUDS report with Figure-8-granularity phase
+//!   timings and per-phase work counters.
+//! * [`holistic_fun`] — the §3.2 holistic baseline.
+//! * [`baseline`] / [`baseline_csv`] — the sequential SPIDER → DUCC → FUN
+//!   execution.
+
+mod baseline;
+mod holistic_fun;
+pub mod muds;
+mod profiler;
+
+pub use baseline::{baseline, baseline_csv, BaselineReport, BaselineTimings};
+pub use holistic_fun::{holistic_fun, HolisticFunReport, HolisticFunTimings};
+pub use muds::{muds, MudsConfig, MudsPhaseTimings, MudsReport, MudsStats, ShadowLookup};
+pub use profiler::{profile, profile_csv, Algorithm, Phase, ProfileResult, ProfilerConfig};

@@ -1,0 +1,265 @@
+//! Metanome-style uniform execution environment (§6).
+//!
+//! The paper evaluates all algorithms inside the Metanome framework so that
+//! file I/O, result handling and timing are identical across algorithms.
+//! [`profile`] plays that role here: one entry point, one [`Algorithm`]
+//! selector, one [`ProfileResult`] shape with phase-level timings, so the
+//! experiment harnesses compare algorithms fairly.
+
+use std::time::Duration;
+
+use muds_fd::FdSet;
+use muds_ind::Ind;
+use muds_lattice::ColumnSet;
+use muds_table::{table_from_csv, CsvOptions, Table, TableError};
+
+use crate::baseline::{baseline, baseline_csv};
+use crate::holistic_fun::holistic_fun;
+use crate::muds::{muds, MudsConfig};
+
+/// The profiling algorithm to execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Algorithm {
+    /// MUDS (§5): the paper's holistic contribution.
+    Muds,
+    /// Holistic FUN (§3.2): FUN + UCC capture + shared scan.
+    HolisticFun,
+    /// Sequential SPIDER → DUCC → FUN, nothing shared (§6's baseline).
+    Baseline,
+    /// TANE (FD-only reference point of Table 3). IND/UCC outputs come from
+    /// its own key pruning; IND list is computed with SPIDER on a separate
+    /// scan, like the baseline.
+    Tane,
+}
+
+impl Algorithm {
+    /// All algorithms, in the order Table 3 reports them.
+    pub const ALL: [Algorithm; 4] =
+        [Algorithm::Baseline, Algorithm::HolisticFun, Algorithm::Muds, Algorithm::Tane];
+
+    /// Short name used in experiment output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Algorithm::Muds => "MUDS",
+            Algorithm::HolisticFun => "HFUN",
+            Algorithm::Baseline => "baseline",
+            Algorithm::Tane => "TANE",
+        }
+    }
+}
+
+/// Profiler configuration.
+#[derive(Debug, Clone)]
+pub struct ProfilerConfig {
+    /// RNG seed shared by the randomized traversals.
+    pub seed: u64,
+    /// MUDS-specific knobs.
+    pub muds: MudsConfig,
+}
+
+impl Default for ProfilerConfig {
+    fn default() -> Self {
+        ProfilerConfig { seed: 42, muds: MudsConfig::default() }
+    }
+}
+
+/// One timed phase of an algorithm run.
+#[derive(Debug, Clone)]
+pub struct Phase {
+    pub name: String,
+    pub duration: Duration,
+}
+
+/// Uniform result of any [`Algorithm`].
+#[derive(Debug, Clone)]
+pub struct ProfileResult {
+    /// Which algorithm produced this.
+    pub algorithm: Algorithm,
+    /// All unary INDs.
+    pub inds: Vec<Ind>,
+    /// All minimal UCCs, sorted.
+    pub minimal_uccs: Vec<ColumnSet>,
+    /// All minimal FDs.
+    pub fds: FdSet,
+    /// Phase-level wall-clock breakdown (phase names are
+    /// algorithm-specific).
+    pub phases: Vec<Phase>,
+}
+
+impl ProfileResult {
+    /// Total runtime across phases.
+    pub fn total_time(&self) -> Duration {
+        self.phases.iter().map(|p| p.duration).sum()
+    }
+
+    /// `(|INDs|, |UCCs|, |FDs|)` — the counts Figure 7 plots.
+    pub fn counts(&self) -> (usize, usize, usize) {
+        (self.inds.len(), self.minimal_uccs.len(), self.fds.len())
+    }
+}
+
+fn phase(name: &str, duration: Duration) -> Phase {
+    Phase { name: name.to_string(), duration }
+}
+
+/// Runs `algorithm` on a parsed table. Input is assumed duplicate-free
+/// (§3); see [`Table::dedup_rows`].
+pub fn profile(table: &Table, algorithm: Algorithm, config: &ProfilerConfig) -> ProfileResult {
+    match algorithm {
+        Algorithm::Muds => {
+            let mut muds_cfg = config.muds.clone();
+            muds_cfg.seed = config.seed;
+            let r = muds(table, &muds_cfg);
+            ProfileResult {
+                algorithm,
+                inds: r.inds,
+                minimal_uccs: r.minimal_uccs,
+                fds: r.fds,
+                phases: r
+                    .timings
+                    .as_rows()
+                    .into_iter()
+                    .map(|(n, d)| phase(n, d))
+                    .collect(),
+            }
+        }
+        Algorithm::HolisticFun => {
+            let r = holistic_fun(table);
+            ProfileResult {
+                algorithm,
+                inds: r.inds,
+                minimal_uccs: r.minimal_uccs,
+                fds: r.fds,
+                phases: vec![phase("SPIDER", r.timings.spider), phase("FUN", r.timings.fun)],
+            }
+        }
+        Algorithm::Baseline => {
+            let r = baseline(table, config.seed);
+            ProfileResult {
+                algorithm,
+                inds: r.inds,
+                minimal_uccs: r.minimal_uccs,
+                fds: r.fds,
+                phases: vec![
+                    phase("SPIDER", r.timings.spider),
+                    phase("DUCC", r.timings.ducc),
+                    phase("FUN", r.timings.fun),
+                ],
+            }
+        }
+        Algorithm::Tane => {
+            let t0 = std::time::Instant::now();
+            let mut cache = muds_pli::PliCache::new(table);
+            let r = muds_fd::tane(&mut cache);
+            let tane_time = t0.elapsed();
+            ProfileResult {
+                algorithm,
+                inds: Vec::new(),
+                minimal_uccs: r.minimal_uccs,
+                fds: r.fds,
+                phases: vec![phase("TANE", tane_time)],
+            }
+        }
+    }
+}
+
+/// Runs `algorithm` on CSV text. Holistic algorithms parse once (shared
+/// I/O); the baseline re-parses per task, reproducing the paper's cost
+/// model.
+pub fn profile_csv(
+    name: &str,
+    csv: &str,
+    options: &CsvOptions,
+    algorithm: Algorithm,
+    config: &ProfilerConfig,
+) -> Result<ProfileResult, TableError> {
+    match algorithm {
+        Algorithm::Baseline => {
+            let r = baseline_csv(name, csv, options, config.seed);
+            Ok(ProfileResult {
+                algorithm,
+                inds: r.inds,
+                minimal_uccs: r.minimal_uccs,
+                fds: r.fds,
+                phases: vec![
+                    phase("SPIDER", r.timings.spider),
+                    phase("DUCC", r.timings.ducc),
+                    phase("FUN", r.timings.fun),
+                ],
+            })
+        }
+        _ => {
+            // Holistic algorithms and TANE: one parse, timed as a phase.
+            let t0 = std::time::Instant::now();
+            let table = table_from_csv(name, csv, options)?;
+            let parse_time = t0.elapsed();
+            let mut result = profile(&table, algorithm, config);
+            result.phases.insert(0, phase("read input", parse_time));
+            Ok(result)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "sample",
+            &["id", "grp", "val", "cpy"],
+            &[
+                vec!["1", "a", "x", "1"],
+                vec!["2", "a", "x", "2"],
+                vec!["3", "b", "y", "3"],
+                vec!["4", "b", "y", "4"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_fds_and_uccs() {
+        let t = sample();
+        let cfg = ProfilerConfig::default();
+        let results: Vec<ProfileResult> =
+            Algorithm::ALL.iter().map(|&a| profile(&t, a, &cfg)).collect();
+        for pair in results.windows(2) {
+            assert_eq!(
+                pair[0].fds.to_sorted_vec(),
+                pair[1].fds.to_sorted_vec(),
+                "{} vs {}",
+                pair[0].algorithm.name(),
+                pair[1].algorithm.name()
+            );
+            assert_eq!(pair[0].minimal_uccs, pair[1].minimal_uccs);
+        }
+        // IND-producing algorithms agree too.
+        assert_eq!(results[0].inds, results[1].inds);
+        assert_eq!(results[1].inds, results[2].inds);
+    }
+
+    #[test]
+    fn csv_entry_point_matches_table_entry_point() {
+        let t = sample();
+        let csv = muds_table::table_to_csv(&t, &CsvOptions::default());
+        let cfg = ProfilerConfig::default();
+        for &alg in &Algorithm::ALL {
+            let r1 = profile(&t, alg, &cfg);
+            let r2 = profile_csv("sample", &csv, &CsvOptions::default(), alg, &cfg).unwrap();
+            assert_eq!(r1.fds.to_sorted_vec(), r2.fds.to_sorted_vec(), "{}", alg.name());
+            assert_eq!(r1.minimal_uccs, r2.minimal_uccs);
+        }
+    }
+
+    #[test]
+    fn counts_reflect_result_sizes() {
+        let t = sample();
+        let r = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        let (inds, uccs, fds) = r.counts();
+        assert_eq!(inds, r.inds.len());
+        assert_eq!(uccs, r.minimal_uccs.len());
+        assert_eq!(fds, r.fds.len());
+        assert!(r.total_time() > Duration::ZERO);
+    }
+}

@@ -1,0 +1,17 @@
+//! Deterministic synthetic dataset generators.
+//!
+//! Stand-ins for the paper's evaluation data (DESIGN.md §3): the
+//! [`DatasetSpec`] recipe language plus presets for
+//! [`uniprot_like`]/[`ionosphere_like`]/[`ncvoter_like`] (Figures 6–8) and
+//! the eleven [`uci_dataset`]s of Table 3.
+
+mod paper;
+mod spec;
+mod uci;
+
+pub use paper::{ionosphere_like, ncvoter_like, uniprot_like};
+pub use spec::{ColumnKind, ColumnSpec, DatasetSpec};
+pub use uci::{
+    abalone, adult, balance, breast_cancer, bridges, chess, echocardiogram, hepatitis, iris,
+    letter, nursery, uci_dataset, TABLE3_DATASETS,
+};

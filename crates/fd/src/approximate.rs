@@ -1,0 +1,202 @@
+//! Approximate functional dependencies (TANE's g₃-error extension).
+//!
+//! The TANE paper the reproduction builds on defines *approximate* FDs:
+//! `X → A` holds with error `g₃(X → A)` = the minimum fraction of rows that
+//! must be removed for the FD to hold exactly. Profiling real (dirty) data
+//! often needs `g₃ ≤ ε` rather than exact dependencies — the same
+//! motivation behind CORDS' "soft FDs" the paper's related work discusses
+//! (§7).
+//!
+//! `g₃` is computable directly from the stripped partition of X: within
+//! each cluster, keep the most frequent A-value and count the rest as
+//! violations. Discovery is level-wise over the lattice with the standard
+//! monotonicity pruning: `g₃` never increases when the left-hand side
+//! grows, so supersets of satisfying left-hand sides are pruned
+//! (approximate FDs generalize exact ones, which are the ε = 0 case).
+
+use std::collections::HashMap;
+
+use muds_lattice::{apriori_gen, first_level, ColumnSet, SetTrie};
+use muds_pli::PliCache;
+
+use crate::types::FdSet;
+
+/// Computes `g₃(lhs → rhs)`: the fraction of rows violating the FD.
+///
+/// Zero iff the FD holds exactly; at most `1 - 1/rows` otherwise.
+pub fn g3_error(cache: &mut PliCache<'_>, lhs: &ColumnSet, rhs: usize) -> f64 {
+    let table = cache.table();
+    let rows = table.num_rows();
+    if rows == 0 || lhs.contains(rhs) {
+        return 0.0;
+    }
+    let rhs_codes: Vec<u32> = table.column(rhs).codes().to_vec();
+    let pli = cache.get(lhs);
+    let mut violations = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for cluster in pli.clusters() {
+        counts.clear();
+        for &row in cluster {
+            *counts.entry(rhs_codes[row as usize]).or_insert(0) += 1;
+        }
+        let keep = counts.values().copied().max().unwrap_or(0);
+        violations += cluster.len() - keep;
+    }
+    violations as f64 / rows as f64
+}
+
+/// Discovers all minimal approximate FDs with `g₃ ≤ epsilon`.
+///
+/// `epsilon = 0.0` reproduces exact minimal-FD discovery. Minimality is
+/// with respect to the approximate relation: no proper subset of the
+/// left-hand side satisfies the threshold.
+pub fn approximate_fds(cache: &mut PliCache<'_>, epsilon: f64) -> FdSet {
+    assert!((0.0..1.0).contains(&epsilon), "epsilon must be in [0, 1), got {epsilon}");
+    let n = cache.table().num_columns();
+    let r = ColumnSet::full(n);
+    let mut fds = FdSet::new();
+    // Per-rhs tries of discovered minimal lhs, for superset pruning.
+    let mut found: HashMap<usize, SetTrie> = HashMap::new();
+
+    // Level 0: the empty lhs (near-constant columns).
+    for a in 0..n {
+        if g3_error(cache, &ColumnSet::empty(), a) <= epsilon {
+            fds.insert(ColumnSet::empty(), a);
+            found.entry(a).or_default().insert(ColumnSet::empty());
+        }
+    }
+
+    let mut level = first_level(&r);
+    while !level.is_empty() {
+        let mut survivors: Vec<ColumnSet> = Vec::with_capacity(level.len());
+        for x in level {
+            let mut useful = false;
+            for a in r.difference(&x).iter() {
+                // Superset of a known satisfying lhs: not minimal for a.
+                if found.get(&a).is_some_and(|t| t.contains_subset_of(&x)) {
+                    continue;
+                }
+                useful = true;
+                if g3_error(cache, &x, a) <= epsilon {
+                    fds.insert(x, a);
+                    found.entry(a).or_default().insert(x);
+                }
+            }
+            // A lhs already covered for every rhs cannot yield anything new
+            // at higher levels either.
+            if useful {
+                survivors.push(x);
+            }
+        }
+        level = apriori_gen(&survivors);
+    }
+    fds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_minimal_fds;
+    use muds_table::Table;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    #[test]
+    fn g3_error_values() {
+        // a: g g g h h ; b: 1 1 2 3 3 → within g-cluster keep 2 of 3.
+        let t = Table::from_rows(
+            "t",
+            &["a", "b"],
+            &[
+                vec!["g", "1"],
+                vec!["g", "1"],
+                vec!["g", "2"],
+                vec!["h", "3"],
+                vec!["h", "3"],
+            ],
+        )
+        .unwrap();
+        let mut cache = PliCache::new(&t);
+        let err = g3_error(&mut cache, &cs(&[0]), 1);
+        assert!((err - 0.2).abs() < 1e-9, "expected 1/5 violation, got {err}");
+        // b → a holds exactly.
+        assert_eq!(g3_error(&mut cache, &cs(&[1]), 0), 0.0);
+        // Trivial FDs have zero error.
+        assert_eq!(g3_error(&mut cache, &cs(&[1]), 1), 0.0);
+    }
+
+    #[test]
+    fn epsilon_zero_matches_exact_discovery() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(21);
+        for case in 0..60 {
+            let cols = rng.gen_range(1..=5);
+            let rows = rng.gen_range(1..=20);
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let data: Vec<Vec<String>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
+                .collect();
+            let t = Table::from_rows("t", &name_refs, &data).unwrap().dedup_rows();
+            let mut cache = PliCache::new(&t);
+            assert_eq!(
+                approximate_fds(&mut cache, 0.0).to_sorted_vec(),
+                naive_minimal_fds(&t).to_sorted_vec(),
+                "case {case}"
+            );
+        }
+    }
+
+    #[test]
+    fn dirty_fd_surfaces_at_matching_epsilon() {
+        // a → b holds except for one dirty row out of ten.
+        let mut rows: Vec<Vec<String>> = (0..10)
+            .map(|i| vec![format!("g{}", i / 2), format!("v{}", i / 2), i.to_string()])
+            .collect();
+        rows[9][1] = "dirty".into();
+        let t = Table::from_rows("t", &["a", "b", "id"], &rows).unwrap();
+        let mut cache = PliCache::new(&t);
+        let exact = approximate_fds(&mut cache, 0.0);
+        assert!(!exact.contains(&cs(&[0]), 1), "dirty row breaks the exact FD");
+        let approx = approximate_fds(&mut cache, 0.1);
+        assert!(approx.contains(&cs(&[0]), 1), "ε = 0.1 tolerates one violation in ten");
+    }
+
+    #[test]
+    fn larger_epsilon_gives_smaller_or_equal_lhs() {
+        // Monotonicity: any lhs minimal at ε₁ is a superset of (or equal
+        // to) some lhs minimal at ε₂ ≥ ε₁, per rhs.
+        let t = Table::from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                vec!["1", "x", "p"],
+                vec!["1", "x", "q"],
+                vec!["2", "y", "p"],
+                vec!["2", "z", "q"],
+                vec!["3", "z", "p"],
+            ],
+        )
+        .unwrap();
+        let mut cache = PliCache::new(&t);
+        let tight = approximate_fds(&mut cache, 0.0);
+        let loose = approximate_fds(&mut cache, 0.4);
+        for fd in tight.to_sorted_vec() {
+            let covered = loose
+                .to_sorted_vec()
+                .iter()
+                .any(|l| l.rhs == fd.rhs && l.lhs.is_subset_of(&fd.lhs));
+            assert!(covered, "{fd} not dominated at larger epsilon");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epsilon")]
+    fn invalid_epsilon_rejected() {
+        let t = Table::from_rows("t", &["a"], &[vec!["1"]]).unwrap();
+        let mut cache = PliCache::new(&t);
+        let _ = approximate_fds(&mut cache, 1.5);
+    }
+}

@@ -1,0 +1,143 @@
+//! Dep-Miner-style FD discovery from difference sets (Lopes et al.;
+//! FastFDs by Wyss et al. is the same family).
+//!
+//! The row-based dual of the lattice algorithms: a candidate `X → a` is
+//! violated exactly by a row pair that agrees on X and disagrees on `a`.
+//! So the minimal left-hand sides for `a` are the **minimal hitting sets**
+//! of the family `{ (R \ ag) \ {a} : ag agree set with a ∉ ag }` — every
+//! valid lhs must "hit" (disagree somewhere with) every pair that
+//! disagrees on `a`. Reuses the MMCS dualizer that also powers DUCC's hole
+//! detection, which makes this a ~hundred-line algorithm.
+//!
+//! Not part of the paper's evaluation; included as the row-based
+//! cross-validation family its related-work section discusses (§7), and as
+//! an independent oracle in the test suite.
+
+use muds_lattice::{minimal_hitting_sets, ColumnSet};
+use muds_pli::agree_sets;
+use muds_table::Table;
+
+use crate::types::FdSet;
+
+/// Discovers all minimal FDs via difference sets.
+pub fn depminer_fds(table: &Table) -> FdSet {
+    let n = table.num_columns();
+    let r = ColumnSet::full(n);
+    let agree = agree_sets(table);
+    let mut fds = FdSet::new();
+
+    for a in 0..n {
+        let universe = r.without(a);
+        if table.column(a).distinct_count() <= 1 {
+            // Constant column: determined by the empty set, minimally.
+            fds.insert(ColumnSet::empty(), a);
+            continue;
+        }
+        // Difference sets for rhs a: complements (within R \ {a}) of the
+        // agree sets of pairs that disagree on a. Pairs that disagree on
+        // `a` while agreeing *nowhere* are not materialized as agree sets;
+        // their constraint is the full universe, which also encodes that
+        // `∅ → a` fails for any non-constant column — so it is always
+        // added (it is implied by every other edge and therefore harmless
+        // when redundant).
+        let mut difference_sets: Vec<ColumnSet> = agree
+            .iter()
+            .filter(|ag| !ag.contains(a))
+            .map(|ag| universe.difference(ag))
+            .collect();
+        difference_sets.push(universe);
+        // Pairs agreeing on everything but `a` make the rhs underivable —
+        // their difference set is empty and no lhs exists (the hitting-set
+        // computation returns nothing).
+        for lhs in minimal_hitting_sets(&difference_sets, &universe) {
+            fds.insert(lhs, a);
+        }
+    }
+    fds
+}
+
+/// Discovers all minimal UCCs from maximal agree sets — the row-based dual
+/// used by Gordian-style algorithms: a column combination is unique iff no
+/// row pair agrees on all of it, i.e. iff it hits the complement of every
+/// (maximal) agree set.
+pub fn agree_set_uccs(table: &Table) -> Vec<ColumnSet> {
+    let n = table.num_columns();
+    let r = ColumnSet::full(n);
+    let maximal = muds_pli::maximal_sets(&agree_sets(table));
+    // Duplicate rows agree on everything: complement is empty → no UCC.
+    let mut edges: Vec<ColumnSet> = maximal.iter().map(|ag| r.difference(ag)).collect();
+    if table.num_rows() >= 2 {
+        // With two or more rows the empty set is never unique; the full-set
+        // edge encodes that (and covers pairs whose agree set is empty,
+        // which are not materialized). Redundant otherwise, hence harmless.
+        edges.push(r);
+    }
+    let mut uccs = minimal_hitting_sets(&edges, &r);
+    // A table with < 2 rows has no agree sets at all: hitting sets of the
+    // empty family = {∅}, which is correct (the empty set is unique).
+    uccs.sort();
+    uccs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_minimal_fds;
+    use muds_ucc::naive_minimal_uccs;
+
+    #[test]
+    fn matches_naive_on_known_table() {
+        let t = Table::from_rows(
+            "t",
+            &["id", "grp", "val"],
+            &[
+                vec!["1", "a", "x"],
+                vec!["2", "a", "x"],
+                vec!["3", "b", "y"],
+                vec!["4", "b", "y"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(depminer_fds(&t).to_sorted_vec(), naive_minimal_fds(&t).to_sorted_vec());
+        assert_eq!(agree_set_uccs(&t), naive_minimal_uccs(&t));
+    }
+
+    #[test]
+    fn constants_and_duplicate_free_degenerates() {
+        let t = Table::from_rows("t", &["k", "v"], &[vec!["c", "1"], vec!["c", "2"]]).unwrap();
+        let fds = depminer_fds(&t);
+        assert!(fds.contains(&ColumnSet::empty(), 0), "constant k ← ∅");
+        // Single-row table: every column constant, ∅ the only UCC.
+        let t1 = Table::from_rows("t", &["a", "b"], &[vec!["1", "2"]]).unwrap();
+        assert_eq!(depminer_fds(&t1).to_sorted_vec(), naive_minimal_fds(&t1).to_sorted_vec());
+        assert_eq!(agree_set_uccs(&t1), vec![ColumnSet::empty()]);
+    }
+
+    #[test]
+    fn duplicate_rows_leave_no_uccs() {
+        let t = Table::from_rows("t", &["a"], &[vec!["1"], vec!["1"]]).unwrap();
+        assert!(agree_set_uccs(&t).is_empty());
+    }
+
+    #[test]
+    fn randomized_cross_check() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(303);
+        for case in 0..120 {
+            let cols = rng.gen_range(1..=6);
+            let rows = rng.gen_range(1..=22);
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let data: Vec<Vec<String>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
+                .collect();
+            let t = Table::from_rows("t", &name_refs, &data).unwrap().dedup_rows();
+            assert_eq!(
+                depminer_fds(&t).to_sorted_vec(),
+                naive_minimal_fds(&t).to_sorted_vec(),
+                "FDs case {case}"
+            );
+            assert_eq!(agree_set_uccs(&t), naive_minimal_uccs(&t), "UCCs case {case}");
+        }
+    }
+}

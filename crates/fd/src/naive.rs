@@ -1,0 +1,143 @@
+//! Exponential ground-truth FD oracle for testing.
+
+use std::collections::HashMap;
+
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+
+use crate::types::FdSet;
+
+/// Discovers all minimal FDs by enumerating every left-hand side (including
+/// the empty set, which determines constant columns). Exponential; only for
+/// narrow tables in tests and walkthrough examples.
+pub fn naive_minimal_fds(table: &Table) -> FdSet {
+    let n = table.num_columns();
+    assert!(n <= 16, "naive FD discovery is exponential; {n} columns is too many");
+    let mut out = FdSet::new();
+    for rhs in 0..n {
+        // Enumerate lhs candidates over the other columns by ascending
+        // cardinality, keeping only minimal valid ones.
+        let others: Vec<usize> = (0..n).filter(|&c| c != rhs).collect();
+        let m = others.len();
+        let mut masks: Vec<u32> = (0..(1u32 << m)).collect();
+        masks.sort_by_key(|mask| mask.count_ones());
+        let mut minimal: Vec<ColumnSet> = Vec::new();
+        'mask: for mask in masks {
+            let lhs = ColumnSet::from_indices(
+                others.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &c)| c),
+            );
+            for m in &minimal {
+                if m.is_subset_of(&lhs) {
+                    continue 'mask; // not minimal
+                }
+            }
+            if holds(table, &lhs, rhs) {
+                minimal.push(lhs);
+                out.insert(lhs, rhs);
+            }
+        }
+    }
+    out
+}
+
+/// Direct FD check by grouping rows on the lhs projection.
+pub fn holds(table: &Table, lhs: &ColumnSet, rhs: usize) -> bool {
+    let cols: Vec<usize> = lhs.to_vec();
+    let rhs_codes = table.column(rhs).codes();
+    let mut groups: HashMap<Vec<u32>, u32> = HashMap::new();
+    for r in 0..table.num_rows() {
+        let key: Vec<u32> = cols.iter().map(|&c| table.column(c).codes()[r]).collect();
+        match groups.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => {
+                if *e.get() != rhs_codes[r] {
+                    return false;
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(rhs_codes[r]);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    #[test]
+    fn copy_column_fd() {
+        let t = Table::from_rows(
+            "t",
+            &["a", "b"],
+            &[vec!["1", "1"], vec!["2", "2"], vec!["3", "3"]],
+        )
+        .unwrap();
+        let fds = naive_minimal_fds(&t);
+        assert!(fds.contains(&cs(&[0]), 1));
+        assert!(fds.contains(&cs(&[1]), 0));
+        assert_eq!(fds.len(), 2);
+    }
+
+    #[test]
+    fn constant_column_determined_by_empty_set() {
+        let t = Table::from_rows("t", &["a", "k"], &[vec!["1", "c"], vec!["2", "c"]]).unwrap();
+        let fds = naive_minimal_fds(&t);
+        assert!(fds.contains(&ColumnSet::empty(), 1));
+        // And nothing else determines k minimally.
+        assert!(!fds.contains(&cs(&[0]), 1));
+    }
+
+    #[test]
+    fn composite_lhs() {
+        // c = a XOR b over binary values: c determined by {a,b} only.
+        let t = Table::from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                vec!["0", "0", "0"],
+                vec!["0", "1", "1"],
+                vec!["1", "0", "1"],
+                vec!["1", "1", "0"],
+            ],
+        )
+        .unwrap();
+        let fds = naive_minimal_fds(&t);
+        assert!(fds.contains(&cs(&[0, 1]), 2));
+        assert!(!fds.contains(&cs(&[0]), 2));
+        assert!(!fds.contains(&cs(&[1]), 2));
+        // Symmetry: any two of {a,b,c} determine the third.
+        assert!(fds.contains(&cs(&[0, 2]), 1));
+        assert!(fds.contains(&cs(&[1, 2]), 0));
+    }
+
+    #[test]
+    fn empty_table_everything_constant() {
+        let rows: Vec<Vec<&str>> = vec![];
+        let t = Table::from_rows("t", &["a", "b"], &rows).unwrap();
+        let fds = naive_minimal_fds(&t);
+        assert!(fds.contains(&ColumnSet::empty(), 0));
+        assert!(fds.contains(&ColumnSet::empty(), 1));
+        assert_eq!(fds.len(), 2);
+    }
+
+    #[test]
+    fn nulls_equal_for_fd_semantics() {
+        // NULLs agree with each other: a → b holds.
+        let t = Table::from_rows("t", &["a", "b"], &[vec!["", "x"], vec!["", "x"], vec!["1", "y"]])
+            .unwrap();
+        assert!(holds(&t, &cs(&[0]), 1));
+    }
+
+    #[test]
+    fn holds_with_empty_lhs_checks_constancy() {
+        let t = Table::from_rows("t", &["a"], &[vec!["1"], vec!["1"]]).unwrap();
+        assert!(holds(&t, &ColumnSet::empty(), 0));
+        let t2 = Table::from_rows("t", &["a"], &[vec!["1"], vec!["2"]]).unwrap();
+        assert!(!holds(&t2, &ColumnSet::empty(), 0));
+    }
+}

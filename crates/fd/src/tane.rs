@@ -1,0 +1,276 @@
+//! TANE: level-wise FD discovery with candidate-set pruning (Huhtala et
+//! al.; §2.3 and §6.3 of the paper).
+//!
+//! TANE traverses the attribute lattice bottom-up. For every node X of
+//! level ℓ it maintains the candidate right-hand-side set C⁺(X); FDs
+//! `X \ {A} → A` are validated with partition refinement (Lemma 1), and
+//! three pruning rules shrink the search space: minimality pruning through
+//! C⁺, deletion of nodes with empty C⁺, and *key pruning* — superkeys are
+//! not extended, since no superset of a key can be a minimal left-hand
+//! side. This is the non-holistic FD baseline the paper compares MUDS
+//! against in Table 3.
+
+use std::collections::HashMap;
+
+use muds_lattice::{apriori_gen, first_level, ColumnSet, SetTrie};
+use muds_pli::PliCache;
+
+use crate::types::FdSet;
+
+/// Discovered minimal left-hand sides per right-hand column, for the subset
+/// look-ups of the key-pruning rule.
+#[derive(Default)]
+struct RhsTries(HashMap<usize, SetTrie>);
+
+impl RhsTries {
+    fn record(&mut self, lhs: ColumnSet, rhs: usize) {
+        self.0.entry(rhs).or_default().insert(lhs);
+    }
+
+    /// True iff some recorded lhs for `rhs` is a subset of `x`.
+    fn dominated(&self, x: &ColumnSet, rhs: usize) -> bool {
+        self.0.get(&rhs).is_some_and(|t| t.contains_subset_of(x))
+    }
+}
+
+/// Work counters for a TANE run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TaneStats {
+    /// FD validity checks (partition refinement tests).
+    pub fd_checks: u64,
+    /// Lattice nodes processed across all levels.
+    pub nodes_processed: u64,
+    /// Deepest level reached.
+    pub max_level: usize,
+}
+
+/// Result of a TANE run.
+#[derive(Debug, Clone)]
+pub struct TaneResult {
+    /// All minimal functional dependencies.
+    pub fds: FdSet,
+    /// Minimal UCCs encountered through key pruning (TANE visits every
+    /// minimal key as a lattice node; recording them is free — the same
+    /// observation Holistic FUN exploits).
+    pub minimal_uccs: Vec<ColumnSet>,
+    /// Work counters.
+    pub stats: TaneStats,
+}
+
+/// Runs TANE over the table behind `cache`, discovering all minimal FDs.
+pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
+    let n = cache.table().num_columns();
+    let r = ColumnSet::full(n);
+    let mut fds = FdSet::new();
+    let mut tries = RhsTries::default();
+    let mut minimal_uccs: Vec<ColumnSet> = Vec::new();
+    let mut stats = TaneStats::default();
+
+    // C⁺(∅) = R.
+    let mut cplus_prev: HashMap<ColumnSet, ColumnSet> = HashMap::new();
+    cplus_prev.insert(ColumnSet::empty(), r);
+
+    // The empty set is itself a key for degenerate (≤1 row) tables.
+    if cache.is_unique(&ColumnSet::empty()) {
+        minimal_uccs.push(ColumnSet::empty());
+        // Every column is (vacuously) constant: ∅ → A for all A.
+        for a in 0..n {
+            stats.fd_checks += 1;
+            if cache.determines(&ColumnSet::empty(), a) {
+                fds.insert(ColumnSet::empty(), a);
+            }
+        }
+        return TaneResult { fds, minimal_uccs, stats };
+    }
+
+    let mut level = first_level(&r);
+    let mut depth = 1usize;
+    while !level.is_empty() {
+        stats.max_level = depth;
+        let mut cplus: HashMap<ColumnSet, ColumnSet> = HashMap::with_capacity(level.len());
+
+        // COMPUTE_DEPENDENCIES
+        for &x in &level {
+            stats.nodes_processed += 1;
+            // C⁺(X) = ∩_{A ∈ X} C⁺(X \ {A}); missing entries denote pruned
+            // nodes and behave as the empty set.
+            let mut cp = r;
+            for a in x.iter() {
+                match cplus_prev.get(&x.without(a)) {
+                    Some(c) => cp = cp.intersection(c),
+                    None => {
+                        cp = ColumnSet::empty();
+                        break;
+                    }
+                }
+            }
+            for a in x.intersection(&cp).iter() {
+                let lhs = x.without(a);
+                stats.fd_checks += 1;
+                if cache.determines(&lhs, a) {
+                    fds.insert(lhs, a);
+                    tries.record(lhs, a);
+                    cp.remove(a);
+                    cp = cp.difference(&r.difference(&x));
+                }
+            }
+            cplus.insert(x, cp);
+        }
+
+        // PRUNE
+        let mut survivors: Vec<ColumnSet> = Vec::with_capacity(level.len());
+        for &x in &level {
+            let cp = cplus[&x];
+            if cp.is_empty() {
+                continue;
+            }
+            if cache.is_unique(&x) {
+                // X is a key, so X → A is valid for every A ∉ X; it is
+                // emitted when no smaller lhs for A exists. TANE phrases
+                // this through C⁺ look-ups of sibling nodes
+                // (`A ∈ ∩_{B∈X} C⁺(X∪{A}\{B})`), but those nodes may have
+                // been pruned away together with their C⁺ entries; the
+                // level-wise invariant — every minimal FD with a smaller
+                // lhs is already discovered — lets us test minimality
+                // exactly with a subset look-up instead.
+                for a in cp.difference(&x).iter() {
+                    if !tries.dominated(&x, a) {
+                        fds.insert(x, a);
+                        tries.record(x, a);
+                    }
+                }
+                // Record the key; minimality is checked against previously
+                // found keys (keys are discovered level by level, so any
+                // subset key was found earlier).
+                if !minimal_uccs.iter().any(|u| u.is_subset_of(&x)) {
+                    minimal_uccs.push(x);
+                }
+                continue; // key pruning: do not extend
+            }
+            survivors.push(x);
+        }
+
+        level = apriori_gen(&survivors);
+        cplus_prev = cplus;
+        depth += 1;
+    }
+
+    minimal_uccs.sort();
+    TaneResult { fds, minimal_uccs, stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::naive::naive_minimal_fds;
+    use muds_table::Table;
+    use muds_ucc::naive_minimal_uccs;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    fn check_table(t: &Table) {
+        let mut cache = PliCache::new(t);
+        let r = tane(&mut cache);
+        assert_eq!(
+            r.fds.to_sorted_vec(),
+            naive_minimal_fds(t).to_sorted_vec(),
+            "FDs differ on {}",
+            t.name()
+        );
+        assert_eq!(r.minimal_uccs, naive_minimal_uccs(t), "UCCs differ on {}", t.name());
+    }
+
+    #[test]
+    fn copy_and_constant_columns() {
+        let t = Table::from_rows(
+            "t",
+            &["id", "copy", "k"],
+            &[vec!["1", "1", "c"], vec!["2", "2", "c"], vec!["3", "3", "c"]],
+        )
+        .unwrap();
+        let mut cache = PliCache::new(&t);
+        let r = tane(&mut cache);
+        assert!(r.fds.contains(&ColumnSet::empty(), 2));
+        assert!(r.fds.contains(&cs(&[0]), 1));
+        assert!(r.fds.contains(&cs(&[1]), 0));
+        assert_eq!(r.minimal_uccs, vec![cs(&[0]), cs(&[1])]);
+        check_table(&t);
+    }
+
+    #[test]
+    fn xor_table_needs_composite_lhs() {
+        let t = Table::from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                vec!["0", "0", "0"],
+                vec!["0", "1", "1"],
+                vec!["1", "0", "1"],
+                vec!["1", "1", "0"],
+            ],
+        )
+        .unwrap();
+        check_table(&t);
+    }
+
+    #[test]
+    fn single_row_table() {
+        let t = Table::from_rows("t", &["a", "b"], &[vec!["1", "2"]]).unwrap();
+        let mut cache = PliCache::new(&t);
+        let r = tane(&mut cache);
+        assert!(r.fds.contains(&ColumnSet::empty(), 0));
+        assert!(r.fds.contains(&ColumnSet::empty(), 1));
+        assert_eq!(r.minimal_uccs, vec![ColumnSet::empty()]);
+    }
+
+    #[test]
+    fn no_fds_on_independent_columns() {
+        // Full cross product: no non-trivial FDs.
+        let t = Table::from_rows(
+            "t",
+            &["a", "b"],
+            &[vec!["0", "0"], vec!["0", "1"], vec!["1", "0"], vec!["1", "1"]],
+        )
+        .unwrap();
+        let mut cache = PliCache::new(&t);
+        let r = tane(&mut cache);
+        assert!(r.fds.is_empty());
+        assert_eq!(r.minimal_uccs, vec![cs(&[0, 1])]);
+    }
+
+    #[test]
+    fn randomized_cross_check_with_naive() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(404);
+        for case in 0..150 {
+            let cols = rng.gen_range(1..=6);
+            let rows = rng.gen_range(1..=25);
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let data: Vec<Vec<String>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
+                .collect();
+            let t = Table::from_rows("t", &name_refs, &data).unwrap().dedup_rows();
+            let _ = case;
+            check_table(&t);
+        }
+    }
+
+    #[test]
+    fn key_fds_are_emitted() {
+        // id is a key; id → every other column, minimally.
+        let t = Table::from_rows(
+            "t",
+            &["id", "x", "y"],
+            &[vec!["1", "a", "p"], vec!["2", "a", "q"], vec!["3", "b", "p"]],
+        )
+        .unwrap();
+        let mut cache = PliCache::new(&t);
+        let r = tane(&mut cache);
+        assert!(r.fds.contains(&cs(&[0]), 1));
+        assert!(r.fds.contains(&cs(&[0]), 2));
+        check_table(&t);
+    }
+}

@@ -1,0 +1,48 @@
+//! Quadratic ground-truth IND oracle for testing.
+
+use std::collections::HashSet;
+
+use muds_table::Table;
+
+use crate::types::Ind;
+
+/// Checks every ordered column pair with hash-set containment. O(n² · rows);
+/// used as the reference implementation in tests and experiments.
+pub fn naive_inds(table: &Table) -> Vec<Ind> {
+    let n = table.num_columns();
+    let value_sets: Vec<HashSet<&str>> = table
+        .columns()
+        .iter()
+        .map(|c| c.sorted_distinct_values().iter().map(|s| s.as_str()).collect())
+        .collect();
+    let mut inds = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j && value_sets[i].is_subset(&value_sets[j]) {
+                inds.push(Ind::new(i, j));
+            }
+        }
+    }
+    inds.sort();
+    inds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_table::Table;
+
+    #[test]
+    fn simple_inclusion() {
+        let t = Table::from_rows("t", &["A", "B"], &[vec!["1", "1"], vec!["2", "1"]]).unwrap();
+        // B = {1} ⊆ A = {1,2}.
+        assert_eq!(naive_inds(&t), vec![Ind::new(1, 0)]);
+    }
+
+    #[test]
+    fn empty_table_all_vacuous() {
+        let rows: Vec<Vec<&str>> = vec![];
+        let t = Table::from_rows("t", &["A", "B"], &rows).unwrap();
+        assert_eq!(naive_inds(&t).len(), 2);
+    }
+}

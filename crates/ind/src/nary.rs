@@ -1,0 +1,253 @@
+//! n-ary inclusion dependency discovery (De Marchi et al.'s MIND scheme).
+//!
+//! The paper restricts itself to unary INDs because only those feed the
+//! holistic UCC/FD pruning, noting that "without any loss of generality,
+//! we could discover n-ary INDs as well" (§2.1). This module supplies that
+//! generalization: an n-ary IND `(X₁..Xₙ) ⊆ (Y₁..Yₙ)` holds when every
+//! row's tuple of dependent values appears as some row's tuple of
+//! referenced values.
+//!
+//! Discovery is level-wise: valid unary INDs are the base level; level
+//! n+1 candidates combine a level-n IND with a unary IND such that every
+//! *projection* (dropping one position) is a known valid n-ary IND — the
+//! apriori property of INDs — and survivors are validated by hashing the
+//! projected tuples.
+//!
+//! Conventions: positions use pairwise-distinct columns on each side, the
+//! dependent and referenced lists are disjoint as mappings (`Xᵢ ≠ Yᵢ`),
+//! and sides are kept in *sorted-by-dependent* canonical order so each
+//! semantic IND is reported once. NULL handling follows the unary
+//! convention: a dependent tuple containing a NULL is skipped.
+
+use std::collections::HashSet;
+
+use muds_table::Table;
+
+use crate::spider::spider;
+use crate::types::Ind;
+
+/// An n-ary inclusion dependency between two equal-length column lists.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NaryInd {
+    /// Dependent columns, sorted ascending (canonical form).
+    pub dependent: Vec<usize>,
+    /// Referenced columns, positionally aligned with `dependent`.
+    pub referenced: Vec<usize>,
+}
+
+impl NaryInd {
+    /// Arity of the IND.
+    pub fn arity(&self) -> usize {
+        self.dependent.len()
+    }
+}
+
+impl std::fmt::Display for NaryInd {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let dep: Vec<String> = self.dependent.iter().map(|c| c.to_string()).collect();
+        let rf: Vec<String> = self.referenced.iter().map(|c| c.to_string()).collect();
+        write!(f, "({}) ⊆ ({})", dep.join(","), rf.join(","))
+    }
+}
+
+/// Validates one n-ary IND by hashing projected tuples.
+pub fn nary_ind_holds(table: &Table, dependent: &[usize], referenced: &[usize]) -> bool {
+    assert_eq!(dependent.len(), referenced.len());
+    let referenced_tuples: HashSet<Vec<&str>> = (0..table.num_rows())
+        .filter_map(|r| {
+            referenced.iter().map(|&c| table.column(c).value(r)).collect::<Option<Vec<&str>>>()
+        })
+        .collect();
+    (0..table.num_rows()).all(|r| {
+        match dependent.iter().map(|&c| table.column(c).value(r)).collect::<Option<Vec<&str>>>() {
+            None => true, // tuple contains NULL: skipped on the dependent side
+            Some(tuple) => referenced_tuples.contains(&tuple),
+        }
+    })
+}
+
+/// Discovers all n-ary INDs up to `max_arity` (inclusive). Arity-1 results
+/// come from SPIDER; higher arities are built level-wise.
+pub fn nary_inds(table: &Table, max_arity: usize) -> Vec<NaryInd> {
+    let unary: Vec<Ind> = spider(table);
+    let mut results: Vec<NaryInd> = unary
+        .iter()
+        .map(|i| NaryInd { dependent: vec![i.dependent], referenced: vec![i.referenced] })
+        .collect();
+    if max_arity < 2 {
+        return results;
+    }
+
+    let mut level: HashSet<NaryInd> = results.iter().cloned().collect();
+    let mut current: Vec<NaryInd> = results.clone();
+    for _arity in 2..=max_arity {
+        let mut next: Vec<NaryInd> = Vec::new();
+        let mut seen: HashSet<NaryInd> = HashSet::new();
+        for base in &current {
+            for u in &unary {
+                // Canonical order: append only larger dependent columns.
+                let last_dep = *base.dependent.last().expect("non-empty");
+                if u.dependent <= last_dep {
+                    continue;
+                }
+                // Distinct columns within each side.
+                if base.dependent.contains(&u.dependent) || base.referenced.contains(&u.referenced)
+                {
+                    continue;
+                }
+                let mut dep = base.dependent.clone();
+                dep.push(u.dependent);
+                let mut rf = base.referenced.clone();
+                rf.push(u.referenced);
+                let candidate = NaryInd { dependent: dep, referenced: rf };
+                if !seen.insert(candidate.clone()) {
+                    continue;
+                }
+                // Apriori prune: every projection must be valid.
+                let prunable = (0..candidate.arity()).any(|drop| {
+                    let d: Vec<usize> = candidate
+                        .dependent
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, &c)| c)
+                        .collect();
+                    let r: Vec<usize> = candidate
+                        .referenced
+                        .iter()
+                        .enumerate()
+                        .filter(|(i, _)| *i != drop)
+                        .map(|(_, &c)| c)
+                        .collect();
+                    !level.contains(&NaryInd { dependent: d, referenced: r })
+                });
+                if prunable {
+                    continue;
+                }
+                if nary_ind_holds(table, &candidate.dependent, &candidate.referenced) {
+                    next.push(candidate);
+                }
+            }
+        }
+        if next.is_empty() {
+            break;
+        }
+        level = next.iter().cloned().collect();
+        results.extend(next.iter().cloned());
+        current = next;
+    }
+    results.sort();
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn nary(dep: &[usize], rf: &[usize]) -> NaryInd {
+        NaryInd { dependent: dep.to_vec(), referenced: rf.to_vec() }
+    }
+
+    /// A table where (A,B) ⊆ (C,D) holds as a binary IND.
+    fn binary_table() -> Table {
+        Table::from_rows(
+            "t",
+            &["A", "B", "C", "D"],
+            &[
+                vec!["1", "x", "1", "x"],
+                vec!["2", "y", "2", "y"],
+                vec!["1", "x", "3", "z"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn binary_ind_found() {
+        let t = binary_table();
+        let inds = nary_inds(&t, 2);
+        assert!(inds.contains(&nary(&[0, 1], &[2, 3])), "expected (A,B) ⊆ (C,D), got {inds:?}");
+    }
+
+    #[test]
+    fn tuple_semantics_not_columnwise() {
+        // A ⊆ C and B ⊆ D hold columnwise, but the pair (2, x) never occurs
+        // as a (C, D) tuple → (A,B) ⊄ (C,D).
+        let t = Table::from_rows(
+            "t",
+            &["A", "B", "C", "D"],
+            &[
+                vec!["1", "x", "1", "y"],
+                vec!["2", "y", "2", "x"],
+            ],
+        )
+        .unwrap();
+        assert!(nary_ind_holds(&t, &[0], &[2]));
+        assert!(nary_ind_holds(&t, &[1], &[3]));
+        assert!(!nary_ind_holds(&t, &[0, 1], &[2, 3]));
+        let inds = nary_inds(&t, 2);
+        assert!(!inds.contains(&nary(&[0, 1], &[2, 3])));
+    }
+
+    #[test]
+    fn arity_one_matches_spider() {
+        let t = binary_table();
+        let unary: Vec<NaryInd> = nary_inds(&t, 1);
+        let expected: Vec<NaryInd> = spider(&t)
+            .iter()
+            .map(|i| nary(&[i.dependent], &[i.referenced]))
+            .collect();
+        assert_eq!(unary, expected);
+    }
+
+    #[test]
+    fn null_tuples_skipped_on_dependent_side() {
+        let t = Table::from_rows(
+            "t",
+            &["A", "B", "C", "D"],
+            &[
+                vec!["1", "", "1", "x"],
+                vec!["1", "x", "1", "x"],
+            ],
+        )
+        .unwrap();
+        // The (1, NULL) tuple is skipped, so (A,B) ⊆ (C,D) holds.
+        assert!(nary_ind_holds(&t, &[0, 1], &[2, 3]));
+    }
+
+    #[test]
+    fn randomized_cross_check_against_bruteforce() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2025);
+        for case in 0..40 {
+            let cols = rng.gen_range(2..=4);
+            let rows = rng.gen_range(2..=12);
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let data: Vec<Vec<String>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
+                .collect();
+            let t = Table::from_rows("t", &name_refs, &data).unwrap();
+            let got: HashSet<NaryInd> = nary_inds(&t, 2).into_iter().filter(|i| i.arity() == 2).collect();
+            // Brute force all canonical binary candidates.
+            let mut want: HashSet<NaryInd> = HashSet::new();
+            for d1 in 0..cols {
+                for d2 in d1 + 1..cols {
+                    for r1 in 0..cols {
+                        for r2 in 0..cols {
+                            // Positionwise-distinct convention (Xᵢ ≠ Yᵢ),
+                            // matching the unary level.
+                            if r1 == r2 || r1 == d1 || r2 == d2 {
+                                continue;
+                            }
+                            if nary_ind_holds(&t, &[d1, d2], &[r1, r2]) {
+                                want.insert(nary(&[d1, d2], &[r1, r2]));
+                            }
+                        }
+                    }
+                }
+            }
+            assert_eq!(got, want, "case {case}");
+        }
+    }
+}

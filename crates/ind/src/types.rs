@@ -1,0 +1,54 @@
+//! Unary inclusion dependency representation.
+
+use std::fmt;
+
+/// A unary inclusion dependency `dependent ⊆ referenced`: every non-null
+/// value of the dependent column occurs in the referenced column.
+///
+/// Columns are schema positions of a single relation — the paper restricts
+/// IND discovery to one relation because UCCs and FDs are single-relation
+/// metadata (§2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Ind {
+    /// The contained column (X in `X ⊆ Y`).
+    pub dependent: usize,
+    /// The containing column (Y in `X ⊆ Y`).
+    pub referenced: usize,
+}
+
+impl Ind {
+    /// Creates `dependent ⊆ referenced`.
+    pub fn new(dependent: usize, referenced: usize) -> Self {
+        Ind { dependent, referenced }
+    }
+}
+
+impl fmt::Display for Ind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ⊆ [{}]", self.dependent, self.referenced)
+    }
+}
+
+/// Renders INDs with column names for human-readable output.
+pub fn format_inds(inds: &[Ind], names: &[&str]) -> Vec<String> {
+    inds.iter().map(|i| format!("{} ⊆ {}", names[i.dependent], names[i.referenced])).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordering_and_display() {
+        let a = Ind::new(0, 1);
+        let b = Ind::new(0, 2);
+        assert!(a < b);
+        assert_eq!(a.to_string(), "[0] ⊆ [1]");
+    }
+
+    #[test]
+    fn formatting_with_names() {
+        let out = format_inds(&[Ind::new(0, 2)], &["id", "x", "ref"]);
+        assert_eq!(out, vec!["id ⊆ ref"]);
+    }
+}

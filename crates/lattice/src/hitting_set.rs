@@ -1,0 +1,230 @@
+//! Minimal hitting sets (hypergraph transversals).
+//!
+//! DUCC's hole detection (§2.2 of the paper) relies on a classic duality:
+//! for a monotone property over the attribute lattice (uniqueness, or
+//! "determines column A"), the *minimal positive* sets are exactly the
+//! minimal hitting sets of the complements of the *maximal negative* sets.
+//! After a random-walk pass, DUCC "identifies and fills these holes by
+//! comparing the found minimal UCCs with the complement of the found
+//! maximal non-UCCs" — that comparison is a minimal-transversal
+//! computation, implemented here with the MMCS algorithm of Murakami and
+//! Uno (critical-edge pruning, no duplicates).
+
+use crate::ColumnSet;
+
+/// Computes all minimal hitting sets of `edges` over `universe`.
+///
+/// A hitting set H ⊆ universe intersects every edge; it is minimal if no
+/// proper subset is a hitting set.
+///
+/// Conventions:
+/// * no edges → the empty set is the unique minimal hitting set;
+/// * any empty edge → no hitting set exists (empty result).
+pub fn minimal_hitting_sets(edges: &[ColumnSet], universe: &ColumnSet) -> Vec<ColumnSet> {
+    if edges.iter().any(|e| e.intersection(universe).is_empty()) {
+        return Vec::new();
+    }
+    if edges.is_empty() {
+        return vec![ColumnSet::empty()];
+    }
+    let edges: Vec<ColumnSet> = edges.iter().map(|e| e.intersection(universe)).collect();
+    let mut out = Vec::new();
+    let mut s = ColumnSet::empty();
+    mmcs(&edges, *universe, &mut s, &mut out);
+    out
+}
+
+/// Recursive MMCS step.
+///
+/// `cand` is the set of vertices still allowed to be added on this branch;
+/// shrinking it between sibling branches is what prevents duplicate outputs.
+fn mmcs(edges: &[ColumnSet], mut cand: ColumnSet, s: &mut ColumnSet, out: &mut Vec<ColumnSet>) {
+    // Pick the uncovered edge with the fewest candidate vertices.
+    let mut chosen: Option<ColumnSet> = None;
+    let mut chosen_size = usize::MAX;
+    for e in edges {
+        if !e.intersects(s) {
+            let c = e.intersection(&cand);
+            let size = c.cardinality();
+            if size == 0 {
+                return; // uncovered edge cannot be hit any more: dead branch
+            }
+            if size < chosen_size {
+                chosen_size = size;
+                chosen = Some(c);
+            }
+        }
+    }
+    let Some(c) = chosen else {
+        out.push(*s); // every edge covered; crit-invariant guarantees minimality
+        return;
+    };
+
+    cand = cand.difference(&c);
+    for v in c.iter() {
+        s.insert(v);
+        if crit_invariant_holds(edges, s) {
+            mmcs(edges, cand, s, out);
+        }
+        s.remove(v);
+        cand.insert(v); // v becomes available again for later sibling branches
+    }
+}
+
+/// True iff every vertex of `s` has a *critical* edge: an edge whose only
+/// intersection with `s` is that vertex. A vertex without a critical edge is
+/// redundant, so `s` can never extend to a minimal hitting set.
+fn crit_invariant_holds(edges: &[ColumnSet], s: &ColumnSet) -> bool {
+    'vertex: for v in s.iter() {
+        let rest = s.without(v);
+        for e in edges {
+            if e.contains(v) && !e.intersects(&rest) {
+                continue 'vertex;
+            }
+        }
+        return false;
+    }
+    true
+}
+
+/// Convenience: edges obtained by complementing each set of `family` within
+/// `universe`. This is the input DUCC feeds to the transversal computation
+/// (complements of the maximal non-UCCs).
+pub fn complement_family(family: &[ColumnSet], universe: &ColumnSet) -> Vec<ColumnSet> {
+    family.iter().map(|s| universe.difference(s)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    /// Brute-force oracle for cross-checking.
+    fn naive_minimal_hitting_sets(edges: &[ColumnSet], universe: &ColumnSet) -> Vec<ColumnSet> {
+        let cols = universe.to_vec();
+        let n = cols.len();
+        let mut hitting: Vec<ColumnSet> = Vec::new();
+        for mask in 0..(1u64 << n) {
+            let s = ColumnSet::from_indices(
+                cols.iter().enumerate().filter(|(i, _)| mask & (1 << i) != 0).map(|(_, &c)| c),
+            );
+            if edges.iter().all(|e| e.intersects(&s)) {
+                hitting.push(s);
+            }
+        }
+        let mut minimal: Vec<ColumnSet> = hitting
+            .iter()
+            .copied()
+            .filter(|h| !hitting.iter().any(|o| o.is_proper_subset_of(h)))
+            .collect();
+        minimal.sort();
+        minimal
+    }
+
+    #[test]
+    fn no_edges_yields_empty_set() {
+        assert_eq!(minimal_hitting_sets(&[], &ColumnSet::full(4)), vec![ColumnSet::empty()]);
+    }
+
+    #[test]
+    fn empty_edge_is_unhittable() {
+        assert!(minimal_hitting_sets(&[ColumnSet::empty()], &ColumnSet::full(4)).is_empty());
+        // An edge entirely outside the universe behaves like an empty edge.
+        assert!(minimal_hitting_sets(&[cs(&[9])], &ColumnSet::full(4)).is_empty());
+    }
+
+    #[test]
+    fn single_edge() {
+        let mut got = minimal_hitting_sets(&[cs(&[1, 3])], &ColumnSet::full(5));
+        got.sort();
+        assert_eq!(got, vec![cs(&[1]), cs(&[3])]);
+    }
+
+    #[test]
+    fn disjoint_edges_produce_cross_product() {
+        let mut got = minimal_hitting_sets(&[cs(&[0, 1]), cs(&[2, 3])], &ColumnSet::full(4));
+        got.sort();
+        let mut want = vec![cs(&[0, 2]), cs(&[0, 3]), cs(&[1, 2]), cs(&[1, 3])];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn overlapping_edges_share_vertices() {
+        // Edges {0,1}, {1,2}: transversals {1}, {0,2}.
+        let mut got = minimal_hitting_sets(&[cs(&[0, 1]), cs(&[1, 2])], &ColumnSet::full(3));
+        got.sort();
+        let mut want = vec![cs(&[1]), cs(&[0, 2])];
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn triangle_hypergraph() {
+        // Edges = all pairs of {0,1,2}; minimal transversals = all pairs.
+        let edges = [cs(&[0, 1]), cs(&[0, 2]), cs(&[1, 2])];
+        let mut got = minimal_hitting_sets(&edges, &ColumnSet::full(3));
+        got.sort();
+        assert_eq!(got, vec![cs(&[0, 1]), cs(&[0, 2]), cs(&[1, 2])]);
+    }
+
+    #[test]
+    fn ucc_duality_example() {
+        // Relation with 4 columns; maximal non-uniques {0,1}, {1,2,3}.
+        // Complements: {2,3}, {0}. Minimal transversals: {0,2}, {0,3}.
+        let universe = ColumnSet::full(4);
+        let edges = complement_family(&[cs(&[0, 1]), cs(&[1, 2, 3])], &universe);
+        let mut got = minimal_hitting_sets(&edges, &universe);
+        got.sort();
+        assert_eq!(got, vec![cs(&[0, 2]), cs(&[0, 3])]);
+    }
+
+    #[test]
+    fn randomized_cross_check_against_brute_force() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(42);
+        for case in 0..200 {
+            let n = rng.gen_range(1..=7);
+            let universe = ColumnSet::full(n);
+            let m = rng.gen_range(0..=6);
+            let edges: Vec<ColumnSet> = (0..m)
+                .map(|_| {
+                    let k = rng.gen_range(1..=n);
+                    ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..n)))
+                })
+                .collect();
+            let mut got = minimal_hitting_sets(&edges, &universe);
+            got.sort();
+            let want = naive_minimal_hitting_sets(&edges, &universe);
+            assert_eq!(got, want, "case {case}: edges {edges:?} universe {n}");
+        }
+    }
+
+    #[test]
+    fn outputs_are_unique_and_minimal() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..50 {
+            let n = rng.gen_range(2..=10);
+            let universe = ColumnSet::full(n);
+            let edges: Vec<ColumnSet> = (0..rng.gen_range(1..=8))
+                .map(|_| ColumnSet::from_indices((0..rng.gen_range(1..=4)).map(|_| rng.gen_range(0..n))))
+                .collect();
+            let got = minimal_hitting_sets(&edges, &universe);
+            let dedup: std::collections::BTreeSet<_> = got.iter().copied().collect();
+            assert_eq!(dedup.len(), got.len(), "duplicates produced");
+            for h in &got {
+                assert!(edges.iter().all(|e| e.intersects(h)), "{h:?} misses an edge");
+                for s in h.direct_subsets() {
+                    assert!(
+                        !edges.iter().all(|e| e.intersects(&s)),
+                        "{h:?} is not minimal: {s:?} also hits"
+                    );
+                }
+            }
+        }
+    }
+}

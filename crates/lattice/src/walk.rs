@@ -1,0 +1,474 @@
+//! Generic DUCC-style random-walk search for minimal positive sets of a
+//! monotone lattice property.
+//!
+//! DUCC (§2.2 of the paper) discovers minimal UCCs by random-walking the
+//! attribute lattice: on a non-unique node it moves to a random direct
+//! superset, on a unique node to a random direct subset, pruning subsets of
+//! non-UCCs and supersets of UCCs. Unvisited "holes" left by the combined
+//! up/down pruning are found by comparing the discovered minimal UCCs with
+//! the minimal hitting sets of the complements of the maximal non-UCCs.
+//!
+//! MUDS (§5.2) reuses the exact same traversal for FD discovery, with the
+//! monotone property "X functionally determines A" instead of "X is
+//! unique". This module therefore implements the search generically over a
+//! [`MonotoneOracle`].
+
+use std::collections::HashMap;
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+use crate::hitting_set::{complement_family, minimal_hitting_sets};
+use crate::set_trie::{MaximalSetFamily, MinimalSetFamily};
+use crate::ColumnSet;
+
+/// A monotone (upward-closed) predicate over column sets: if `check(X)` is
+/// true then `check(Y)` is true for every `Y ⊇ X`.
+///
+/// Implementations are expected to be expensive (PLI intersections); the
+/// walk engine minimizes the number of calls and never asks the same set
+/// twice.
+pub trait MonotoneOracle {
+    /// Evaluates the predicate on `set`.
+    fn check(&mut self, set: &ColumnSet) -> bool;
+}
+
+impl<F: FnMut(&ColumnSet) -> bool> MonotoneOracle for F {
+    fn check(&mut self, set: &ColumnSet) -> bool {
+        self(set)
+    }
+}
+
+/// Counters describing the work a walk performed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WalkStats {
+    /// Oracle evaluations (each typically a PLI intersection).
+    pub oracle_calls: u64,
+    /// Lattice nodes visited by the random walk (including pruned ones).
+    pub nodes_visited: u64,
+    /// Iterations of the hole-filling loop.
+    pub hole_rounds: u64,
+    /// Hole candidates produced by the hitting-set computation and checked.
+    pub holes_checked: u64,
+}
+
+/// Configuration of the random walk.
+#[derive(Debug, Clone)]
+pub struct WalkConfig {
+    /// RNG seed; walks are fully deterministic given the seed.
+    pub seed: u64,
+}
+
+impl Default for WalkConfig {
+    fn default() -> Self {
+        WalkConfig { seed: 0xD0CC }
+    }
+}
+
+/// Outcome of [`find_minimal_positives`].
+#[derive(Debug, Clone)]
+pub struct WalkResult {
+    /// All minimal sets satisfying the predicate, sorted.
+    pub minimal_positives: Vec<ColumnSet>,
+    /// All maximal sets violating the predicate, sorted. Empty when the
+    /// predicate holds on the empty set.
+    pub maximal_negatives: Vec<ColumnSet>,
+    /// Work counters.
+    pub stats: WalkStats,
+}
+
+/// Classification of a visited node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    Positive,
+    Negative,
+}
+
+struct Search<'a, O: MonotoneOracle> {
+    universe: ColumnSet,
+    oracle: &'a mut O,
+    visited: HashMap<ColumnSet, Status>,
+    min_pos: MinimalSetFamily,
+    max_neg: MaximalSetFamily,
+    rng: StdRng,
+    stats: WalkStats,
+}
+
+impl<'a, O: MonotoneOracle> Search<'a, O> {
+    /// Classifies `set`, consulting pruning information before the oracle.
+    fn classify(&mut self, set: &ColumnSet) -> Status {
+        if let Some(&s) = self.visited.get(set) {
+            return s;
+        }
+        let status = if self.min_pos.dominates(set) {
+            Status::Positive
+        } else if self.max_neg.dominates(set) {
+            Status::Negative
+        } else {
+            self.stats.oracle_calls += 1;
+            if self.oracle.check(set) {
+                Status::Positive
+            } else {
+                self.max_neg.add(*set);
+                Status::Negative
+            }
+        };
+        self.visited.insert(*set, status);
+        status
+    }
+
+    /// Status without any oracle call; `None` when unknown.
+    fn known_status(&self, set: &ColumnSet) -> Option<Status> {
+        if let Some(&s) = self.visited.get(set) {
+            return Some(s);
+        }
+        if self.min_pos.dominates(set) {
+            return Some(Status::Positive);
+        }
+        if self.max_neg.dominates(set) {
+            return Some(Status::Negative);
+        }
+        None
+    }
+
+    /// Random walk from `start` following the DUCC strategy: move down from
+    /// positives, up from negatives, record minimal positives when every
+    /// direct subset is negative.
+    fn walk_from(&mut self, start: ColumnSet) {
+        let mut trail: Vec<ColumnSet> = Vec::new();
+        let mut current = start;
+        loop {
+            self.stats.nodes_visited += 1;
+            let status = self.classify(&current);
+            let next = match status {
+                Status::Positive => {
+                    let down = self.pick_unknown_subset(&current);
+                    if down.is_none() && self.is_confirmed_minimal(&current) {
+                        self.min_pos.add(current);
+                    }
+                    down
+                }
+                Status::Negative => self.pick_unknown_superset(&current),
+            };
+            match next {
+                Some(n) => {
+                    trail.push(current);
+                    current = n;
+                }
+                None => match trail.pop() {
+                    Some(prev) => current = prev,
+                    None => return,
+                },
+            }
+        }
+    }
+
+    /// A uniformly random direct subset whose status is unknown.
+    fn pick_unknown_subset(&mut self, set: &ColumnSet) -> Option<ColumnSet> {
+        let mut candidates: Vec<ColumnSet> =
+            set.direct_subsets().filter(|s| self.known_status(s).is_none()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..candidates.len());
+        Some(candidates.swap_remove(i))
+    }
+
+    /// A uniformly random direct superset (within the universe) whose status
+    /// is unknown.
+    fn pick_unknown_superset(&mut self, set: &ColumnSet) -> Option<ColumnSet> {
+        let mut candidates: Vec<ColumnSet> =
+            set.direct_supersets(&self.universe).filter(|s| self.known_status(s).is_none()).collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        let i = self.rng.gen_range(0..candidates.len());
+        Some(candidates.swap_remove(i))
+    }
+
+    /// True iff every direct subset of `set` is known negative, which proves
+    /// `set` is a minimal positive. The empty set has no subsets and is
+    /// trivially minimal.
+    fn is_confirmed_minimal(&mut self, set: &ColumnSet) -> bool {
+        let subsets: Vec<ColumnSet> = set.direct_subsets().collect();
+        subsets.iter().all(|s| self.classify(s) == Status::Negative)
+    }
+
+    /// Walks `positive` down to a minimal positive and records it.
+    fn minimize_positive(&mut self, positive: ColumnSet) {
+        let mut current = positive;
+        'outer: loop {
+            let subsets: Vec<ColumnSet> = current.direct_subsets().collect();
+            for s in subsets {
+                if self.classify(&s) == Status::Positive {
+                    current = s;
+                    continue 'outer;
+                }
+            }
+            // All direct subsets negative: current is minimal.
+            self.min_pos.add(current);
+            return;
+        }
+    }
+
+    /// Walks `negative` up to a maximal negative (recorded by `classify`).
+    fn maximize_negative(&mut self, negative: ColumnSet) {
+        let mut current = negative;
+        'outer: loop {
+            let supersets: Vec<ColumnSet> = current.direct_supersets(&self.universe).collect();
+            for s in supersets {
+                if self.classify(&s) == Status::Negative {
+                    current = s;
+                    continue 'outer;
+                }
+            }
+            return; // max_neg already holds it via classify()
+        }
+    }
+}
+
+/// Finds **all** minimal positive sets of a monotone predicate over the
+/// lattice of subsets of `universe`.
+///
+/// The search runs the DUCC random walk seeded at every singleton, then
+/// iterates the hitting-set duality until the discovered minimal positives
+/// are provably complete: the loop ends when the minimal transversals of the
+/// complements of the maximal negatives coincide with the found minimal
+/// positives, which certifies both families (Gunopulos et al.; used by DUCC
+/// as "hole" detection).
+///
+/// `known_negatives` seeds the maximal-negative family with sets already
+/// known to violate the predicate (inter-task pruning in MUDS); they must be
+/// genuinely negative.
+pub fn find_minimal_positives<O: MonotoneOracle>(
+    universe: ColumnSet,
+    oracle: &mut O,
+    config: &WalkConfig,
+    known_negatives: &[ColumnSet],
+) -> WalkResult {
+    find_minimal_positives_seeded(universe, oracle, config, known_negatives, &[])
+}
+
+/// [`find_minimal_positives`] additionally seeded with sets *known to be
+/// positive* but not necessarily minimal (e.g. FD left-hand sides found by
+/// an earlier phase). Each seed is walked down to a minimal positive before
+/// the regular search starts, so prior knowledge prunes the walk without
+/// affecting exactness.
+pub fn find_minimal_positives_seeded<O: MonotoneOracle>(
+    universe: ColumnSet,
+    oracle: &mut O,
+    config: &WalkConfig,
+    known_negatives: &[ColumnSet],
+    known_positives: &[ColumnSet],
+) -> WalkResult {
+    let mut search = Search {
+        universe,
+        oracle,
+        visited: HashMap::new(),
+        min_pos: MinimalSetFamily::new(),
+        max_neg: MaximalSetFamily::with_universe(universe),
+        rng: StdRng::seed_from_u64(config.seed),
+        stats: WalkStats::default(),
+    };
+    for &n in known_negatives {
+        search.max_neg.add(n);
+        search.visited.insert(n, Status::Negative);
+    }
+
+    // The empty set: positive means it is the unique minimal positive
+    // (e.g. a constant column for the FD oracle, a ≤1-row table for UCCs).
+    if search.classify(&ColumnSet::empty()) == Status::Positive {
+        return WalkResult {
+            minimal_positives: vec![ColumnSet::empty()],
+            maximal_negatives: Vec::new(),
+            stats: search.stats,
+        };
+    }
+
+    for &p in known_positives {
+        search.visited.insert(p, Status::Positive);
+        search.minimize_positive(p);
+    }
+
+    // Seed walks from every singleton, in random order like DUCC.
+    let mut seeds: Vec<ColumnSet> = universe.iter().map(ColumnSet::single).collect();
+    seeds.shuffle(&mut search.rng);
+    for seed in seeds {
+        search.walk_from(seed);
+    }
+
+    // Hole-filling loop: converges when duality certifies completeness.
+    loop {
+        search.stats.hole_rounds += 1;
+        let edges = complement_family(search.max_neg.sets(), &universe);
+        let transversals = minimal_hitting_sets(&edges, &universe);
+        let mut progressed = false;
+        for hole in transversals {
+            if search.min_pos.sets().contains(&hole) {
+                continue;
+            }
+            search.stats.holes_checked += 1;
+            match search.classify(&hole) {
+                Status::Positive => search.minimize_positive(hole),
+                Status::Negative => search.maximize_negative(hole),
+            }
+            progressed = true;
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    let mut minimal_positives = search.min_pos.sets().to_vec();
+    minimal_positives.sort();
+    let mut maximal_negatives = search.max_neg.sets().to_vec();
+    maximal_negatives.sort();
+    WalkResult { minimal_positives, maximal_negatives, stats: search.stats }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    /// Oracle defined by explicit minimal positives: X positive iff it
+    /// contains one of them.
+    struct FamilyOracle {
+        minimal: Vec<ColumnSet>,
+        calls: u64,
+    }
+
+    impl MonotoneOracle for FamilyOracle {
+        fn check(&mut self, set: &ColumnSet) -> bool {
+            self.calls += 1;
+            self.minimal.iter().any(|m| m.is_subset_of(set))
+        }
+    }
+
+    fn run(universe: usize, minimal: Vec<ColumnSet>) -> WalkResult {
+        let mut oracle = FamilyOracle { minimal, calls: 0 };
+        find_minimal_positives(ColumnSet::full(universe), &mut oracle, &WalkConfig::default(), &[])
+    }
+
+    #[test]
+    fn single_minimal_singleton() {
+        let r = run(4, vec![cs(&[2])]);
+        assert_eq!(r.minimal_positives, vec![cs(&[2])]);
+    }
+
+    #[test]
+    fn empty_set_positive_short_circuits() {
+        let r = run(4, vec![ColumnSet::empty()]);
+        assert_eq!(r.minimal_positives, vec![ColumnSet::empty()]);
+        assert!(r.maximal_negatives.is_empty());
+    }
+
+    #[test]
+    fn no_positives_at_all() {
+        let mut oracle = |_: &ColumnSet| false;
+        let r = find_minimal_positives(ColumnSet::full(3), &mut oracle, &WalkConfig::default(), &[]);
+        assert!(r.minimal_positives.is_empty());
+        assert_eq!(r.maximal_negatives, vec![ColumnSet::full(3)]);
+    }
+
+    #[test]
+    fn full_set_only() {
+        let r = run(4, vec![ColumnSet::full(4)]);
+        assert_eq!(r.minimal_positives, vec![ColumnSet::full(4)]);
+    }
+
+    #[test]
+    fn overlapping_minimal_positives() {
+        let want = vec![cs(&[0, 1]), cs(&[1, 2]), cs(&[3])];
+        let r = run(5, want.clone());
+        let mut want = want;
+        want.sort();
+        assert_eq!(r.minimal_positives, want);
+    }
+
+    #[test]
+    fn maximal_negatives_are_duals() {
+        // Minimal positives {0,1} and {2} over 3 columns.
+        // Negatives: sets containing neither → subsets of {0,2}^c .. compute:
+        // a set is negative iff it misses {2} and does not contain {0,1}.
+        // Maximal negatives: {0} ∪ ... → {0}, {1}: {0} misses 2, no {0,1}. {1} same.
+        // Actually maximal: {0} can grow to... {0} ∪ {1} contains {0,1} → positive.
+        // {0} ∪ {2} positive. So maximal negatives are {0} and {1}.
+        let r = run(3, vec![cs(&[0, 1]), cs(&[2])]);
+        assert_eq!(r.maximal_negatives, vec![cs(&[0]), cs(&[1])]);
+    }
+
+    #[test]
+    fn known_negatives_reduce_oracle_calls() {
+        let minimal = vec![cs(&[0, 1, 2])];
+        let mut o1 = FamilyOracle { minimal: minimal.clone(), calls: 0 };
+        let r1 = find_minimal_positives(ColumnSet::full(6), &mut o1, &WalkConfig::default(), &[]);
+        // Tell the search the largest negatives up front.
+        let negs: Vec<ColumnSet> = r1.maximal_negatives.clone();
+        let mut o2 = FamilyOracle { minimal, calls: 0 };
+        let r2 = find_minimal_positives(ColumnSet::full(6), &mut o2, &WalkConfig::default(), &negs);
+        assert_eq!(r1.minimal_positives, r2.minimal_positives);
+        assert!(o2.calls < o1.calls, "seeded walk should call the oracle less ({} vs {})", o2.calls, o1.calls);
+    }
+
+    #[test]
+    fn seeded_positives_preserve_exactness() {
+        let fam = vec![cs(&[0, 1]), cs(&[2, 3])];
+        let mut o1 = FamilyOracle { minimal: fam.clone(), calls: 0 };
+        let r1 = find_minimal_positives(ColumnSet::full(5), &mut o1, &WalkConfig::default(), &[]);
+        // Seed with *non-minimal* positive supersets.
+        let seeds = vec![cs(&[0, 1, 4]), cs(&[2, 3, 4])];
+        let mut o2 = FamilyOracle { minimal: fam, calls: 0 };
+        let r2 = find_minimal_positives_seeded(
+            ColumnSet::full(5),
+            &mut o2,
+            &WalkConfig::default(),
+            &[],
+            &seeds,
+        );
+        assert_eq!(r1.minimal_positives, r2.minimal_positives);
+        assert_eq!(r1.maximal_negatives, r2.maximal_negatives);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let fam = vec![cs(&[0, 3]), cs(&[1, 2, 4])];
+        let mut o1 = FamilyOracle { minimal: fam.clone(), calls: 0 };
+        let mut o2 = FamilyOracle { minimal: fam, calls: 0 };
+        let cfg = WalkConfig { seed: 99 };
+        let r1 = find_minimal_positives(ColumnSet::full(6), &mut o1, &cfg, &[]);
+        let r2 = find_minimal_positives(ColumnSet::full(6), &mut o2, &cfg, &[]);
+        assert_eq!(r1.minimal_positives, r2.minimal_positives);
+        assert_eq!(r1.stats, r2.stats);
+    }
+
+    #[test]
+    fn randomized_equivalence_with_ground_truth() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(123);
+        for case in 0..80 {
+            let n = rng.gen_range(1..=8);
+            let k = rng.gen_range(1..=4);
+            // Random antichain via MinimalSetFamily.
+            let mut fam = crate::set_trie::MinimalSetFamily::new();
+            for _ in 0..k {
+                let size = rng.gen_range(1..=n);
+                fam.add(ColumnSet::from_indices((0..size).map(|_| rng.gen_range(0..n))));
+            }
+            let mut want = fam.sets().to_vec();
+            want.sort();
+            let r = run(n, want.clone());
+            assert_eq!(r.minimal_positives, want, "case {case}");
+            // Verify maximal negatives truly are negative and maximal.
+            for neg in &r.maximal_negatives {
+                assert!(!want.iter().any(|m| m.is_subset_of(neg)));
+                for sup in neg.direct_supersets(&ColumnSet::full(n)) {
+                    assert!(want.iter().any(|m| m.is_subset_of(&sup)), "case {case}: {neg:?} not maximal");
+                }
+            }
+        }
+    }
+}

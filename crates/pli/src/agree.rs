@@ -1,0 +1,143 @@
+//! Agree sets — the row-based view of dependency discovery.
+//!
+//! The *agree set* of two rows is the set of columns on which they carry
+//! equal values. Agree sets are the bridge between row-based and
+//! column-based profiling (§7 of the paper contrasts the two): maximal
+//! non-UCCs are exactly the maximal agree sets, and the minimal left-hand
+//! sides of FDs are the minimal hitting sets of the complements of the
+//! agree sets that disagree on the right-hand side (Dep-Miner / FastFDs).
+//!
+//! Candidate row pairs are generated from the stripped single-column PLIs
+//! — two rows with an empty agree set never share a cluster anywhere, so
+//! only co-clustered pairs need comparing (the same observation Gordian's
+//! prefix tree exploits).
+
+use std::collections::HashSet;
+
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+
+use crate::pli::Pli;
+
+/// Computes all distinct non-empty agree sets of `table`.
+///
+/// Quadratic in the largest cluster size; intended for the row-based
+/// baseline algorithms and cross-validation, not for very large inputs.
+pub fn agree_sets(table: &Table) -> Vec<ColumnSet> {
+    let n = table.num_columns();
+    let codes: Vec<&[u32]> = table.columns().iter().map(|c| c.codes()).collect();
+
+    // Candidate pairs: rows sharing a cluster in some single-column PLI.
+    let mut pairs: HashSet<(u32, u32)> = HashSet::new();
+    for col in table.columns() {
+        let pli = Pli::from_column(col);
+        for cluster in pli.clusters() {
+            for (i, &a) in cluster.iter().enumerate() {
+                for &b in &cluster[i + 1..] {
+                    pairs.insert((a.min(b), a.max(b)));
+                }
+            }
+        }
+    }
+
+    let mut sets: HashSet<ColumnSet> = HashSet::new();
+    for (a, b) in pairs {
+        let mut agree = ColumnSet::empty();
+        for c in 0..n {
+            if codes[c][a as usize] == codes[c][b as usize] {
+                agree.insert(c);
+            }
+        }
+        if !agree.is_empty() {
+            sets.insert(agree);
+        }
+    }
+    let mut out: Vec<ColumnSet> = sets.into_iter().collect();
+    out.sort();
+    out
+}
+
+/// Keeps only the maximal sets of `sets` (no stored superset).
+pub fn maximal_sets(sets: &[ColumnSet]) -> Vec<ColumnSet> {
+    let mut maximal: Vec<ColumnSet> = sets
+        .iter()
+        .copied()
+        .filter(|s| !sets.iter().any(|o| s.is_proper_subset_of(o)))
+        .collect();
+    maximal.sort();
+    maximal
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    #[test]
+    fn simple_agree_sets() {
+        // rows: (1,x), (1,y), (2,y)
+        // pairs: (0,1) agree on {a}; (1,2) agree on {b}; (0,2) agree on ∅.
+        let t = Table::from_rows(
+            "t",
+            &["a", "b"],
+            &[vec!["1", "x"], vec!["1", "y"], vec!["2", "y"]],
+        )
+        .unwrap();
+        assert_eq!(agree_sets(&t), vec![cs(&[0]), cs(&[1])]);
+    }
+
+    #[test]
+    fn all_distinct_rows_no_agreement() {
+        let t = Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["2", "y"]]).unwrap();
+        assert!(agree_sets(&t).is_empty());
+    }
+
+    #[test]
+    fn nulls_agree_with_each_other() {
+        let t = Table::from_rows("t", &["a", "b"], &[vec!["", "x"], vec!["", "y"]]).unwrap();
+        assert_eq!(agree_sets(&t), vec![cs(&[0])]);
+    }
+
+    #[test]
+    fn maximal_filter() {
+        let sets = vec![cs(&[0]), cs(&[0, 1]), cs(&[2])];
+        assert_eq!(maximal_sets(&sets), vec![cs(&[0, 1]), cs(&[2])]);
+    }
+
+    #[test]
+    fn cross_check_with_bruteforce_pairs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..40 {
+            let cols = rng.gen_range(1..=5);
+            let rows = rng.gen_range(2..=20);
+            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+            let data: Vec<Vec<String>> = (0..rows)
+                .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
+                .collect();
+            let t = Table::from_rows("t", &name_refs, &data).unwrap().dedup_rows();
+            // Brute force over all row pairs.
+            let mut expect: HashSet<ColumnSet> = HashSet::new();
+            for a in 0..t.num_rows() {
+                for b in a + 1..t.num_rows() {
+                    let mut agree = ColumnSet::empty();
+                    for c in 0..cols {
+                        if t.column(c).codes()[a] == t.column(c).codes()[b] {
+                            agree.insert(c);
+                        }
+                    }
+                    if !agree.is_empty() {
+                        expect.insert(agree);
+                    }
+                }
+            }
+            let mut expect: Vec<ColumnSet> = expect.into_iter().collect();
+            expect.sort();
+            assert_eq!(agree_sets(&t), expect);
+        }
+    }
+}

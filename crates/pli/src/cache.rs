@@ -1,0 +1,282 @@
+//! Shared PLI cache — the "holistic data structure" of §3.
+//!
+//! All three discovery tasks intersect PLIs for overlapping column
+//! combinations. The cache memoizes them behind a [`ColumnSet`] key so DUCC,
+//! the MUDS FD phases, FUN and TANE reuse each other's work instead of
+//! recomputing — one of the paper's three sources of holistic speed-up
+//! (shared data structures). Single-column PLIs (and the empty-set PLI) are
+//! pinned; larger combinations live in a bounded LRU so wide lattices do not
+//! exhaust memory.
+
+use std::collections::HashMap;
+use std::rc::Rc;
+
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+
+use crate::pli::Pli;
+
+/// Work counters for a [`PliCache`]. These are the quantities the paper's
+/// phase analysis (§6.4) talks about: "the primary time-consuming operation
+/// is the PLI intersect".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PliCacheStats {
+    /// PLI intersect operations performed.
+    pub intersects: u64,
+    /// Cache hits (PLI served without any intersect).
+    pub hits: u64,
+    /// Cache misses (PLI had to be computed).
+    pub misses: u64,
+    /// Entries evicted from the LRU region.
+    pub evictions: u64,
+    /// Partition-refinement FD checks (`Pli::refines`).
+    pub refinement_checks: u64,
+}
+
+/// A memoizing provider of PLIs for arbitrary column combinations of one
+/// table.
+pub struct PliCache<'a> {
+    table: &'a Table,
+    /// Pinned PLIs: empty set and singletons, indexed by column.
+    empty: Rc<Pli>,
+    singles: Vec<Rc<Pli>>,
+    /// LRU region for multi-column combinations.
+    entries: HashMap<ColumnSet, (Rc<Pli>, u64)>,
+    capacity: usize,
+    tick: u64,
+    stats: PliCacheStats,
+}
+
+impl<'a> PliCache<'a> {
+    /// Default LRU capacity for multi-column PLIs.
+    pub const DEFAULT_CAPACITY: usize = 8192;
+
+    /// Creates a cache over `table`, eagerly building the single-column
+    /// PLIs (this is the PLI-construction step MUDS performs while reading
+    /// the input, §5).
+    pub fn new(table: &'a Table) -> Self {
+        Self::with_capacity(table, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a cache with a custom LRU capacity (≥ 1).
+    pub fn with_capacity(table: &'a Table, capacity: usize) -> Self {
+        let singles = table.columns().iter().map(|c| Rc::new(Pli::from_column(c))).collect();
+        PliCache {
+            table,
+            empty: Rc::new(Pli::empty_set(table.num_rows())),
+            singles,
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: 0,
+            stats: PliCacheStats::default(),
+        }
+    }
+
+    /// The table this cache serves.
+    pub fn table(&self) -> &'a Table {
+        self.table
+    }
+
+    /// Work counters so far.
+    pub fn stats(&self) -> &PliCacheStats {
+        &self.stats
+    }
+
+    /// Resets the work counters (the cache contents are kept).
+    pub fn reset_stats(&mut self) {
+        self.stats = PliCacheStats::default();
+    }
+
+    /// Returns the PLI of `set`, computing and caching it if necessary.
+    ///
+    /// Multi-column PLIs are assembled by intersecting the PLI of
+    /// `set \ {max}` with the single-column PLI of `max`, so a chain of
+    /// related look-ups (as produced by lattice traversals) reuses cached
+    /// prefixes.
+    pub fn get(&mut self, set: &ColumnSet) -> Rc<Pli> {
+        match set.cardinality() {
+            0 => {
+                self.stats.hits += 1;
+                Rc::clone(&self.empty)
+            }
+            1 => {
+                self.stats.hits += 1;
+                Rc::clone(&self.singles[set.min_col().expect("non-empty")])
+            }
+            _ => {
+                self.tick += 1;
+                let tick = self.tick;
+                if let Some((pli, stamp)) = self.entries.get_mut(set) {
+                    *stamp = tick;
+                    self.stats.hits += 1;
+                    return Rc::clone(pli);
+                }
+                self.stats.misses += 1;
+                let last = set.max_col().expect("non-empty");
+                let rest = set.without(last);
+                let left = self.get(&rest);
+                let right = Rc::clone(&self.singles[last]);
+                self.stats.intersects += 1;
+                let pli = Rc::new(left.intersect(&right));
+                self.insert(*set, Rc::clone(&pli));
+                pli
+            }
+        }
+    }
+
+    fn insert(&mut self, set: ColumnSet, pli: Rc<Pli>) {
+        if self.entries.len() >= self.capacity {
+            // Evict the least recently used entry.
+            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+                self.entries.remove(&victim);
+                self.stats.evictions += 1;
+            }
+        }
+        self.entries.insert(set, (pli, self.tick));
+    }
+
+    /// Number of distinct values of the projection on `set` (Lemma 1's
+    /// `|X|_r`).
+    pub fn distinct_count(&mut self, set: &ColumnSet) -> usize {
+        self.get(set).distinct_count()
+    }
+
+    /// True iff `set` is a unique column combination.
+    pub fn is_unique(&mut self, set: &ColumnSet) -> bool {
+        self.get(set).is_unique()
+    }
+
+    /// Partition-refinement FD check: true iff `lhs → rhs_col` holds.
+    /// Trivial FDs (`rhs_col ∈ lhs`) are true by definition.
+    pub fn determines(&mut self, lhs: &ColumnSet, rhs_col: usize) -> bool {
+        if lhs.contains(rhs_col) {
+            return true;
+        }
+        self.stats.refinement_checks += 1;
+        let pli = self.get(lhs);
+        pli.refines(self.table.column(rhs_col).codes())
+    }
+
+    /// Number of multi-column entries currently cached.
+    pub fn cached_entries(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_table::Table;
+
+    fn cs(cols: &[usize]) -> ColumnSet {
+        ColumnSet::from_indices(cols.iter().copied())
+    }
+
+    fn table() -> Table {
+        // a: 1 1 2 2 ; b: x y x y ; c: p p p q ; d = a (copy)
+        Table::from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                vec!["1", "x", "p", "1"],
+                vec!["1", "y", "p", "1"],
+                vec!["2", "x", "p", "2"],
+                vec!["2", "y", "q", "2"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn singletons_are_pinned_hits() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let p = cache.get(&cs(&[0]));
+        assert_eq!(p.distinct_count(), 2);
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 0);
+    }
+
+    #[test]
+    fn multi_column_composed_and_cached() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let ab = cache.get(&cs(&[0, 1]));
+        assert!(ab.is_unique()); // (a,b) pairs are all distinct
+        assert_eq!(cache.stats().intersects, 1);
+        // Second request is a hit, no further intersects.
+        let _ = cache.get(&cs(&[0, 1]));
+        assert_eq!(cache.stats().intersects, 1);
+        assert!(cache.stats().hits >= 1);
+    }
+
+    #[test]
+    fn chained_lookup_reuses_prefix() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let _ = cache.get(&cs(&[0, 1]));
+        let before = cache.stats().intersects;
+        let _ = cache.get(&cs(&[0, 1, 2]));
+        // {0,1,2} = {0,1} ∩ {2}: exactly one extra intersect.
+        assert_eq!(cache.stats().intersects, before + 1);
+    }
+
+    #[test]
+    fn distinct_counts_match_direct_computation() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        assert_eq!(cache.distinct_count(&cs(&[])), 1);
+        assert_eq!(cache.distinct_count(&cs(&[2])), 2);
+        assert_eq!(cache.distinct_count(&cs(&[0, 2])), 3);
+        assert_eq!(cache.distinct_count(&cs(&[0, 1, 2, 3])), 4);
+    }
+
+    #[test]
+    fn determines_matches_semantics() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        // d is a copy of a: a → d and d → a.
+        assert!(cache.determines(&cs(&[0]), 3));
+        assert!(cache.determines(&cs(&[3]), 0));
+        // a does not determine b.
+        assert!(!cache.determines(&cs(&[0]), 1));
+        // {a,b} is a key: determines everything.
+        assert!(cache.determines(&cs(&[0, 1]), 2));
+        // Trivial FD.
+        assert!(cache.determines(&cs(&[0]), 0));
+    }
+
+    #[test]
+    fn empty_lhs_determines_constants_only() {
+        let t = Table::from_rows("t", &["k", "v"], &[vec!["c", "1"], vec!["c", "2"]]).unwrap();
+        let mut cache = PliCache::new(&t);
+        assert!(cache.determines(&ColumnSet::empty(), 0));
+        assert!(!cache.determines(&ColumnSet::empty(), 1));
+    }
+
+    #[test]
+    fn eviction_keeps_capacity_bounded() {
+        let t = table();
+        let mut cache = PliCache::with_capacity(&t, 2);
+        let _ = cache.get(&cs(&[0, 1]));
+        let _ = cache.get(&cs(&[0, 2]));
+        let _ = cache.get(&cs(&[1, 2]));
+        assert!(cache.cached_entries() <= 2);
+        assert!(cache.stats().evictions >= 1);
+        // Evicted entries are recomputed correctly.
+        assert!(cache.get(&cs(&[0, 1])).is_unique());
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let t = table();
+        let mut cache = PliCache::with_capacity(&t, 2);
+        let _ = cache.get(&cs(&[0, 1])); // tick 1
+        let _ = cache.get(&cs(&[0, 2])); // tick 2
+        let _ = cache.get(&cs(&[0, 1])); // refresh {0,1}, tick 3
+        let _ = cache.get(&cs(&[1, 2])); // evicts {0,2}
+        let before = cache.stats().misses;
+        let _ = cache.get(&cs(&[0, 1])); // still cached → hit
+        assert_eq!(cache.stats().misses, before);
+    }
+}

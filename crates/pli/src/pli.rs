@@ -1,0 +1,309 @@
+//! Position list indexes (PLIs), also known as stripped partitions.
+//!
+//! A PLI for a column combination X lists, per distinct value of the
+//! projection on X, the set of row ids sharing that value — keeping only
+//! clusters of size ≥ 2 ("stripped", §2.2 of the paper). PLIs answer the
+//! two questions every UCC/FD algorithm asks:
+//!
+//! * **uniqueness**: X is a UCC iff its stripped PLI is empty;
+//! * **refinement** (Lemma 1): X → A iff every PLI cluster of X agrees on
+//!   the value of A, equivalently `|X| = |X ∪ {A}|` in distinct counts.
+//!
+//! PLIs of larger combinations are built by pairwise intersection
+//! (`π_{XY} = π_X ∩ π_Y`), the dominant runtime cost of all partition-based
+//! profiling algorithms — which is why the holistic algorithms of the paper
+//! share them across tasks via `PliCache`.
+
+use muds_table::Column;
+
+/// Row identifier within a table.
+pub type RowId = u32;
+
+/// A stripped partition: clusters of row ids with equal values, singletons
+/// removed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Pli {
+    clusters: Vec<Vec<RowId>>,
+    num_rows: usize,
+    /// Sum of cluster sizes (cached).
+    size: usize,
+}
+
+impl Pli {
+    /// Builds the PLI of a single dictionary-encoded column.
+    pub fn from_column(column: &Column) -> Pli {
+        Self::from_codes(column.codes(), column.code_domain())
+    }
+
+    /// Builds a PLI by bucketing `codes`; `code_domain` bounds the code
+    /// values (codes must be `< code_domain`).
+    pub fn from_codes(codes: &[u32], code_domain: usize) -> Pli {
+        let mut buckets: Vec<Vec<RowId>> = vec![Vec::new(); code_domain];
+        for (row, &code) in codes.iter().enumerate() {
+            buckets[code as usize].push(row as RowId);
+        }
+        let clusters: Vec<Vec<RowId>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        let size = clusters.iter().map(|c| c.len()).sum();
+        Pli { clusters, num_rows: codes.len(), size }
+    }
+
+    /// The PLI of the empty column combination: every row agrees with every
+    /// other, so all rows form one cluster (stripped away when the table has
+    /// fewer than two rows). Needed for `∅ → A` checks on constant columns.
+    pub fn empty_set(num_rows: usize) -> Pli {
+        if num_rows < 2 {
+            return Pli { clusters: Vec::new(), num_rows, size: 0 };
+        }
+        let all: Vec<RowId> = (0..num_rows as RowId).collect();
+        Pli { clusters: vec![all], num_rows, size: num_rows }
+    }
+
+    /// Constructs a PLI from explicit clusters (test/support use). Clusters
+    /// of size < 2 are stripped; rows must be unique and `< num_rows`.
+    pub fn from_clusters(clusters: Vec<Vec<RowId>>, num_rows: usize) -> Pli {
+        let clusters: Vec<Vec<RowId>> = clusters.into_iter().filter(|c| c.len() >= 2).collect();
+        debug_assert!(clusters.iter().flatten().all(|&r| (r as usize) < num_rows));
+        let size = clusters.iter().map(|c| c.len()).sum();
+        Pli { clusters, num_rows, size }
+    }
+
+    /// The stripped clusters.
+    pub fn clusters(&self) -> &[Vec<RowId>] {
+        &self.clusters
+    }
+
+    /// Number of rows of the underlying table.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of clusters.
+    pub fn cluster_count(&self) -> usize {
+        self.clusters.len()
+    }
+
+    /// Sum of cluster sizes (rows appearing in some duplicate group).
+    pub fn size(&self) -> usize {
+        self.size
+    }
+
+    /// True iff the column combination has no duplicate projections — i.e.
+    /// it is a unique column combination.
+    pub fn is_unique(&self) -> bool {
+        self.clusters.is_empty()
+    }
+
+    /// Number of distinct values of the projection:
+    /// `num_rows - size + cluster_count`.
+    pub fn distinct_count(&self) -> usize {
+        self.num_rows - self.size + self.clusters.len()
+    }
+
+    /// The probe vector: `probe[row] = cluster index + 1`, or 0 for rows not
+    /// in any cluster. Used for intersection and refinement checks.
+    pub fn probe_vector(&self) -> Vec<u32> {
+        let mut probe = vec![0u32; self.num_rows];
+        for (i, cluster) in self.clusters.iter().enumerate() {
+            for &row in cluster {
+                probe[row as usize] = (i + 1) as u32;
+            }
+        }
+        probe
+    }
+
+    /// Intersects two stripped partitions: the PLI of the union of the two
+    /// column combinations. Linear in `self.size() + other.size()`.
+    pub fn intersect(&self, other: &Pli) -> Pli {
+        assert_eq!(self.num_rows, other.num_rows, "PLIs over different tables");
+        // Iterate the smaller partition and probe the larger.
+        let (small, large) = if self.size <= other.size { (self, other) } else { (other, self) };
+        let probe = large.probe_vector();
+        let mut clusters: Vec<Vec<RowId>> = Vec::new();
+        let mut groups: std::collections::HashMap<u32, Vec<RowId>> = std::collections::HashMap::new();
+        for cluster in &small.clusters {
+            groups.clear();
+            for &row in cluster {
+                let p = probe[row as usize];
+                if p != 0 {
+                    groups.entry(p).or_default().push(row);
+                }
+            }
+            for (_, rows) in groups.drain() {
+                if rows.len() >= 2 {
+                    clusters.push(rows);
+                }
+            }
+        }
+        let size = clusters.iter().map(|c| c.len()).sum();
+        Pli { clusters, num_rows: self.num_rows, size }
+    }
+
+    /// Partition-refinement FD check (Lemma 1): true iff the column with
+    /// per-row `codes` is constant within every cluster — i.e. the
+    /// combination this PLI represents functionally determines that column.
+    ///
+    /// Strictly cheaper than building the intersected PLI: it short-circuits
+    /// on the first violating cluster.
+    pub fn refines(&self, codes: &[u32]) -> bool {
+        debug_assert_eq!(codes.len(), self.num_rows);
+        for cluster in &self.clusters {
+            let first = codes[cluster[0] as usize];
+            if cluster[1..].iter().any(|&r| codes[r as usize] != first) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_table::Column;
+
+    fn col(values: &[&str]) -> Column {
+        Column::from_values("c", values)
+    }
+
+    #[test]
+    fn from_column_strips_singletons() {
+        let p = Pli::from_column(&col(&["a", "b", "a", "c", "b"]));
+        assert_eq!(p.cluster_count(), 2);
+        assert_eq!(p.size(), 4);
+        assert_eq!(p.num_rows(), 5);
+        assert_eq!(p.distinct_count(), 3);
+        assert!(!p.is_unique());
+        let mut clusters = p.clusters().to_vec();
+        clusters.sort();
+        assert_eq!(clusters, vec![vec![0, 2], vec![1, 4]]);
+    }
+
+    #[test]
+    fn unique_column_has_empty_pli() {
+        let p = Pli::from_column(&col(&["a", "b", "c"]));
+        assert!(p.is_unique());
+        assert_eq!(p.distinct_count(), 3);
+        assert_eq!(p.size(), 0);
+    }
+
+    #[test]
+    fn nulls_form_a_cluster() {
+        let p = Pli::from_column(&col(&["", "", "x"]));
+        assert_eq!(p.cluster_count(), 1);
+        assert_eq!(p.clusters()[0], vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_set_pli() {
+        let p = Pli::empty_set(4);
+        assert_eq!(p.cluster_count(), 1);
+        assert_eq!(p.distinct_count(), 1);
+        let p1 = Pli::empty_set(1);
+        assert!(p1.is_unique());
+        assert_eq!(p1.distinct_count(), 1); // 1 - 0 + 0
+        let p0 = Pli::empty_set(0);
+        assert_eq!(p0.distinct_count(), 0);
+    }
+
+    #[test]
+    fn intersect_matches_combined_column() {
+        // Column X: a a b b ; Column Y: p q p p
+        // Combined XY: (a,p) (a,q) (b,p) (b,p) → one cluster {2,3}.
+        let x = Pli::from_column(&col(&["a", "a", "b", "b"]));
+        let y = Pli::from_column(&col(&["p", "q", "p", "p"]));
+        let xy = x.intersect(&y);
+        assert_eq!(xy.cluster_count(), 1);
+        let mut c = xy.clusters()[0].clone();
+        c.sort();
+        assert_eq!(c, vec![2, 3]);
+        assert_eq!(xy.distinct_count(), 3);
+    }
+
+    #[test]
+    fn intersect_is_commutative() {
+        let x = Pli::from_column(&col(&["a", "a", "b", "b", "a", "c"]));
+        let y = Pli::from_column(&col(&["p", "q", "p", "p", "p", "q"]));
+        let mut xy: Vec<Vec<RowId>> = x.intersect(&y).clusters().to_vec();
+        let mut yx: Vec<Vec<RowId>> = y.intersect(&x).clusters().to_vec();
+        for c in xy.iter_mut().chain(yx.iter_mut()) {
+            c.sort();
+        }
+        xy.sort();
+        yx.sort();
+        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn intersect_with_empty_set_pli_is_identity() {
+        let x = Pli::from_column(&col(&["a", "a", "b", "b"]));
+        let e = Pli::empty_set(4);
+        let r = x.intersect(&e);
+        assert_eq!(r.distinct_count(), x.distinct_count());
+        assert_eq!(r.cluster_count(), x.cluster_count());
+    }
+
+    #[test]
+    fn intersect_with_unique_is_unique() {
+        let x = Pli::from_column(&col(&["a", "a", "b"]));
+        let u = Pli::from_column(&col(&["1", "2", "3"]));
+        assert!(x.intersect(&u).is_unique());
+    }
+
+    #[test]
+    #[should_panic(expected = "different tables")]
+    fn intersect_rejects_mismatched_row_counts() {
+        let a = Pli::empty_set(3);
+        let b = Pli::empty_set(4);
+        let _ = a.intersect(&b);
+    }
+
+    #[test]
+    fn refines_detects_fd() {
+        // X: a a b b determines Y: p p q q but not Z: p q p q.
+        let x = Pli::from_column(&col(&["a", "a", "b", "b"]));
+        let y = col(&["p", "p", "q", "q"]);
+        let z = col(&["p", "q", "p", "q"]);
+        assert!(x.refines(y.codes()));
+        assert!(!x.refines(z.codes()));
+    }
+
+    #[test]
+    fn refines_agrees_with_cardinality_criterion() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..100 {
+            let n = rng.gen_range(1..30);
+            let xs: Vec<String> = (0..n).map(|_| rng.gen_range(0..4).to_string()).collect();
+            let ys: Vec<String> = (0..n).map(|_| rng.gen_range(0..3).to_string()).collect();
+            let xcol = Column::from_values("x", &xs.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let ycol = Column::from_values("y", &ys.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let px = Pli::from_column(&xcol);
+            let py = Pli::from_column(&ycol);
+            let lemma1 = px.distinct_count() == px.intersect(&py).distinct_count();
+            assert_eq!(px.refines(ycol.codes()), lemma1);
+        }
+    }
+
+    #[test]
+    fn empty_set_pli_refines_only_constants() {
+        let e = Pli::empty_set(3);
+        assert!(e.refines(col(&["k", "k", "k"]).codes()));
+        assert!(!e.refines(col(&["k", "k", "j"]).codes()));
+    }
+
+    #[test]
+    fn probe_vector_marks_cluster_membership() {
+        let p = Pli::from_column(&col(&["a", "b", "a", "c"]));
+        let probe = p.probe_vector();
+        assert_eq!(probe[0], probe[2]);
+        assert_ne!(probe[0], 0);
+        assert_eq!(probe[1], 0);
+        assert_eq!(probe[3], 0);
+    }
+
+    #[test]
+    fn from_clusters_strips_small() {
+        let p = Pli::from_clusters(vec![vec![0, 1], vec![2], vec![]], 3);
+        assert_eq!(p.cluster_count(), 1);
+    }
+}

@@ -1,0 +1,164 @@
+//! Dictionary-encoded column storage.
+//!
+//! Every column is stored as a vector of integer *codes* plus a sorted
+//! dictionary of the distinct non-null values. This single representation
+//! serves all three profiling tasks of the paper at once (§3, "shared data
+//! structures"):
+//!
+//! * **PLIs** (UCC/FD discovery) are built by grouping equal codes — no
+//!   string comparisons after load time;
+//! * **SPIDER** (IND discovery) consumes the sorted dictionary directly as
+//!   its duplicate-free sorted value list, exactly the synergy the paper
+//!   describes ("at construction time, PLIs map values to positions so that
+//!   Spider can retrieve duplicate-free value lists");
+//! * cardinality statistics fall out of the dictionary length.
+
+/// NULL handling: an empty input field is NULL. For UCC/FD discovery NULL
+/// behaves as an ordinary value equal to itself (two NULLs agree); for IND
+/// discovery NULL values are ignored on the dependent side. These are the
+/// Metanome conventions the paper's evaluation framework uses.
+#[derive(Debug, Clone)]
+pub struct Column {
+    name: String,
+    /// Per-row dictionary codes. Codes are order-preserving: `code(a) <
+    /// code(b)` iff `a < b` as strings. NULL rows get [`Column::null_code`],
+    /// one past the largest dictionary code, so NULLs form a single equality
+    /// class.
+    codes: Vec<u32>,
+    /// Sorted distinct non-null values; the code of a value is its index.
+    dictionary: Vec<String>,
+    /// Number of NULL entries.
+    null_count: usize,
+}
+
+impl Column {
+    /// Dictionary-encodes `values`. Empty strings become NULL.
+    pub fn from_values(name: impl Into<String>, values: &[&str]) -> Self {
+        let mut dictionary: Vec<String> =
+            values.iter().filter(|v| !v.is_empty()).map(|v| v.to_string()).collect();
+        dictionary.sort_unstable();
+        dictionary.dedup();
+        let null_code = dictionary.len() as u32;
+        let mut null_count = 0;
+        let codes = values
+            .iter()
+            .map(|v| {
+                if v.is_empty() {
+                    null_count += 1;
+                    null_code
+                } else {
+                    dictionary.binary_search_by(|d| d.as_str().cmp(v)).expect("value in dictionary") as u32
+                }
+            })
+            .collect();
+        Column { name: name.into(), codes, dictionary, null_count }
+    }
+
+    /// Column name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Per-row dictionary codes (NULL rows carry [`Self::null_code`]).
+    pub fn codes(&self) -> &[u32] {
+        &self.codes
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.codes.len()
+    }
+
+    /// True iff the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.codes.is_empty()
+    }
+
+    /// The sorted, duplicate-free list of non-null values — SPIDER's input.
+    pub fn sorted_distinct_values(&self) -> &[String] {
+        &self.dictionary
+    }
+
+    /// The code assigned to NULL rows.
+    pub fn null_code(&self) -> u32 {
+        self.dictionary.len() as u32
+    }
+
+    /// Number of NULL rows.
+    pub fn null_count(&self) -> usize {
+        self.null_count
+    }
+
+    /// Number of distinct values under UCC/FD semantics (NULL counts as one
+    /// value when present).
+    pub fn distinct_count(&self) -> usize {
+        self.dictionary.len() + usize::from(self.null_count > 0)
+    }
+
+    /// Total number of distinct codes including the NULL class — the code
+    /// domain size, useful for sizing PLI buffers.
+    pub fn code_domain(&self) -> usize {
+        self.dictionary.len() + 1
+    }
+
+    /// Decodes the value of `row`; `None` for NULL.
+    pub fn value(&self, row: usize) -> Option<&str> {
+        let code = self.codes[row];
+        self.dictionary.get(code as usize).map(|s| s.as_str())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dictionary_is_sorted_and_deduped() {
+        let c = Column::from_values("c", &["b", "a", "b", "c", "a"]);
+        assert_eq!(c.sorted_distinct_values(), &["a", "b", "c"]);
+        assert_eq!(c.distinct_count(), 3);
+        assert_eq!(c.len(), 5);
+        assert_eq!(c.null_count(), 0);
+    }
+
+    #[test]
+    fn codes_are_order_preserving() {
+        let c = Column::from_values("c", &["delta", "alpha", "charlie"]);
+        // alpha=0, charlie=1, delta=2
+        assert_eq!(c.codes(), &[2, 0, 1]);
+    }
+
+    #[test]
+    fn nulls_share_one_code_past_dictionary() {
+        let c = Column::from_values("c", &["x", "", "y", ""]);
+        assert_eq!(c.null_count(), 2);
+        assert_eq!(c.null_code(), 2);
+        assert_eq!(c.codes(), &[0, 2, 1, 2]);
+        assert_eq!(c.distinct_count(), 3); // x, y, NULL
+        assert_eq!(c.sorted_distinct_values(), &["x", "y"]);
+    }
+
+    #[test]
+    fn all_null_column() {
+        let c = Column::from_values("c", &["", "", ""]);
+        assert_eq!(c.distinct_count(), 1);
+        assert_eq!(c.sorted_distinct_values().len(), 0);
+        assert_eq!(c.null_code(), 0);
+        assert_eq!(c.value(0), None);
+    }
+
+    #[test]
+    fn empty_column() {
+        let c = Column::from_values("c", &[]);
+        assert!(c.is_empty());
+        assert_eq!(c.distinct_count(), 0);
+    }
+
+    #[test]
+    fn value_round_trips() {
+        let c = Column::from_values("c", &["m", "", "k"]);
+        assert_eq!(c.value(0), Some("m"));
+        assert_eq!(c.value(1), None);
+        assert_eq!(c.value(2), Some("k"));
+    }
+}

@@ -1,0 +1,291 @@
+//! Minimal RFC-4180-style CSV reader and writer.
+//!
+//! Implemented in-tree (rather than pulling a dependency) because the
+//! profiling pipeline needs only a small, predictable subset: configurable
+//! delimiter, double-quote quoting with `""` escapes, quoted fields that may
+//! contain delimiters and newlines, and both `\n` and `\r\n` row
+//! terminators. Empty fields are NULL by the conventions of
+//! [`crate::column::Column`].
+
+use std::fs::File;
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::error::TableError;
+use crate::table::Table;
+
+/// CSV parsing options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter (default `,`).
+    pub delimiter: char,
+    /// Whether the first record carries column names (default `true`).
+    /// Without a header, columns are named `col0`, `col1`, ...
+    pub has_header: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions { delimiter: ',', has_header: true }
+    }
+}
+
+/// Splits CSV `input` into records of fields.
+pub fn parse_csv(input: &str, options: &CsvOptions) -> Result<Vec<Vec<String>>, TableError> {
+    let mut records = Vec::new();
+    let mut record: Vec<String> = Vec::new();
+    let mut field = String::new();
+    let mut chars = input.chars().peekable();
+    let mut in_quotes = false;
+    let mut line = 1usize;
+    let mut any_char_in_record = false;
+
+    while let Some(c) = chars.next() {
+        if in_quotes {
+            match c {
+                '"' => {
+                    if chars.peek() == Some(&'"') {
+                        chars.next();
+                        field.push('"');
+                    } else {
+                        in_quotes = false;
+                    }
+                }
+                '\n' => {
+                    field.push(c);
+                    line += 1;
+                }
+                _ => field.push(c),
+            }
+            continue;
+        }
+        match c {
+            '"' => {
+                in_quotes = true;
+                any_char_in_record = true;
+            }
+            '\r' => {
+                // Swallow; the following '\n' (if any) ends the record.
+            }
+            '\n' => {
+                line += 1;
+                if any_char_in_record || !field.is_empty() || !record.is_empty() {
+                    record.push(std::mem::take(&mut field));
+                    records.push(std::mem::take(&mut record));
+                }
+                any_char_in_record = false;
+            }
+            d if d == options.delimiter => {
+                record.push(std::mem::take(&mut field));
+                any_char_in_record = true;
+            }
+            _ => {
+                field.push(c);
+                any_char_in_record = true;
+            }
+        }
+    }
+    if in_quotes {
+        return Err(TableError::Csv { line, message: "unterminated quoted field".into() });
+    }
+    if any_char_in_record || !field.is_empty() || !record.is_empty() {
+        record.push(field);
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// Parses CSV text into a [`Table`].
+pub fn table_from_csv(name: &str, input: &str, options: &CsvOptions) -> Result<Table, TableError> {
+    let mut records = parse_csv(input, options)?;
+    let header: Vec<String> = if options.has_header {
+        if records.is_empty() {
+            return Err(TableError::NoColumns);
+        }
+        records.remove(0)
+    } else {
+        let width = records.first().map_or(0, |r| r.len());
+        (0..width).map(|i| format!("col{i}")).collect()
+    };
+    let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
+    Table::from_rows(name, &header_refs, &records)
+}
+
+/// Reads a CSV file into a [`Table`], named after the file stem.
+pub fn table_from_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Table, TableError> {
+    let path = path.as_ref();
+    let mut input = String::new();
+    File::open(path)?.read_to_string(&mut input)?;
+    let name = path.file_stem().and_then(|s| s.to_str()).unwrap_or("table");
+    table_from_csv(name, &input, options)
+}
+
+/// Serializes a field, quoting when necessary.
+fn write_field(out: &mut String, field: &str, delimiter: char) {
+    let needs_quotes = field.contains(delimiter) || field.contains('"') || field.contains('\n') || field.contains('\r');
+    if needs_quotes {
+        out.push('"');
+        for c in field.chars() {
+            if c == '"' {
+                out.push('"');
+            }
+            out.push(c);
+        }
+        out.push('"');
+    } else {
+        out.push_str(field);
+    }
+}
+
+/// Serializes a [`Table`] to CSV text (header included; NULLs as empty
+/// fields). Round-trips through [`table_from_csv`].
+pub fn table_to_csv(table: &Table, options: &CsvOptions) -> String {
+    let mut out = String::new();
+    for (i, name) in table.column_names().iter().enumerate() {
+        if i > 0 {
+            out.push(options.delimiter);
+        }
+        write_field(&mut out, name, options.delimiter);
+    }
+    out.push('\n');
+    for r in 0..table.num_rows() {
+        for (i, v) in table.row(r).iter().enumerate() {
+            if i > 0 {
+                out.push(options.delimiter);
+            }
+            write_field(&mut out, v.unwrap_or(""), options.delimiter);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a [`Table`] to a CSV file.
+pub fn table_to_csv_file(
+    table: &Table,
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<(), TableError> {
+    let mut w = BufWriter::new(File::create(path)?);
+    w.write_all(table_to_csv(table, options).as_bytes())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_parse() {
+        let t = table_from_csv("t", "a,b\n1,2\n3,4\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_names(), vec!["a", "b"]);
+        assert_eq!(t.row(1), vec![Some("3"), Some("4")]);
+    }
+
+    #[test]
+    fn quoted_fields_with_delimiters_and_newlines() {
+        let input = "a,b\n\"x,y\",\"line1\nline2\",\n";
+        // Note: three fields in the data row — ragged, should error.
+        assert!(table_from_csv("t", input, &CsvOptions::default()).is_err());
+        let input = "a,b\n\"x,y\",\"line1\nline2\"\n";
+        let t = table_from_csv("t", input, &CsvOptions::default()).unwrap();
+        assert_eq!(t.row(0), vec![Some("x,y"), Some("line1\nline2")]);
+    }
+
+    #[test]
+    fn escaped_quotes() {
+        let t = table_from_csv("t", "a\n\"he said \"\"hi\"\"\"\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.row(0), vec![Some("he said \"hi\"")]);
+    }
+
+    #[test]
+    fn unterminated_quote_is_error() {
+        let err = table_from_csv("t", "a\n\"oops\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::Csv { .. }));
+    }
+
+    #[test]
+    fn crlf_terminators() {
+        let t = table_from_csv("t", "a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        assert_eq!(t.row(0), vec![Some("1"), Some("2")]);
+    }
+
+    #[test]
+    fn missing_trailing_newline() {
+        let t = table_from_csv("t", "a,b\n1,2", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+    }
+
+    #[test]
+    fn empty_fields_are_null() {
+        let t = table_from_csv("t", "a,b\n,2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.row(0), vec![None, Some("2")]);
+    }
+
+    #[test]
+    fn quoted_empty_string_is_also_null() {
+        // We deliberately collapse "" (quoted empty) and empty to NULL.
+        let t = table_from_csv("t", "a,b\n\"\",2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.row(0), vec![None, Some("2")]);
+    }
+
+    #[test]
+    fn custom_delimiter() {
+        let opts = CsvOptions { delimiter: ';', has_header: true };
+        let t = table_from_csv("t", "a;b\n1;2\n", &opts).unwrap();
+        assert_eq!(t.row(0), vec![Some("1"), Some("2")]);
+    }
+
+    #[test]
+    fn headerless_input() {
+        let opts = CsvOptions { delimiter: ',', has_header: false };
+        let t = table_from_csv("t", "1,2\n3,4\n", &opts).unwrap();
+        assert_eq!(t.column_names(), vec!["col0", "col1"]);
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_row_number() {
+        let err = table_from_csv("t", "a,b\n1,2\n1,2,3\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { row: 1, .. }));
+    }
+
+    #[test]
+    fn round_trip() {
+        let t = table_from_csv(
+            "t",
+            "a,b\n\"x,1\",\n\"multi\nline\",\"q\"\"q\"\n",
+            &CsvOptions::default(),
+        )
+        .unwrap();
+        let csv = table_to_csv(&t, &CsvOptions::default());
+        let t2 = table_from_csv("t", &csv, &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), t2.num_rows());
+        for r in 0..t.num_rows() {
+            assert_eq!(t.row(r), t2.row(r));
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let t = table_from_csv("x", "a,b\n1,2\n", &CsvOptions::default()).unwrap();
+        let dir = std::env::temp_dir().join("muds-csv-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("roundtrip.csv");
+        table_to_csv_file(&t, &path, &CsvOptions::default()).unwrap();
+        let t2 = table_from_csv_file(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(t2.name(), "roundtrip");
+        assert_eq!(t2.num_rows(), 1);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_input_is_no_columns() {
+        assert!(matches!(
+            table_from_csv("t", "", &CsvOptions::default()),
+            Err(TableError::NoColumns)
+        ));
+    }
+}

@@ -1,0 +1,76 @@
+//! Error types for table construction and CSV parsing.
+
+use std::fmt;
+
+/// Errors raised while building a [`crate::Table`] or parsing CSV input.
+#[derive(Debug)]
+pub enum TableError {
+    /// The input has more columns than the profiling lattice supports.
+    TooManyColumns { got: usize, max: usize },
+    /// A row's field count differs from the header's.
+    RaggedRow { row: usize, expected: usize, got: usize },
+    /// Two columns share a name.
+    DuplicateColumnName(String),
+    /// The input declares no columns at all.
+    NoColumns,
+    /// Malformed CSV (e.g. unterminated quoted field).
+    Csv { line: usize, message: String },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for TableError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TableError::TooManyColumns { got, max } => {
+                write!(f, "table has {got} columns; the profiler supports at most {max}")
+            }
+            TableError::RaggedRow { row, expected, got } => {
+                write!(f, "row {row} has {got} fields, expected {expected}")
+            }
+            TableError::DuplicateColumnName(name) => {
+                write!(f, "duplicate column name {name:?}")
+            }
+            TableError::NoColumns => write!(f, "table has no columns"),
+            TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),
+            TableError::Io(e) => write!(f, "I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TableError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TableError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TableError {
+    fn from(e: std::io::Error) -> Self {
+        TableError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = TableError::TooManyColumns { got: 300, max: 256 };
+        assert!(e.to_string().contains("300"));
+        let e = TableError::RaggedRow { row: 7, expected: 3, got: 5 };
+        assert!(e.to_string().contains("row 7"));
+        let e = TableError::Csv { line: 2, message: "unterminated quote".into() };
+        assert!(e.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn io_error_preserves_source() {
+        use std::error::Error;
+        let e = TableError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(e.source().is_some());
+    }
+}

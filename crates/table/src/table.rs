@@ -1,0 +1,274 @@
+//! In-memory relation: a named collection of dictionary-encoded columns.
+
+use std::collections::HashSet;
+
+use crate::column::Column;
+use crate::error::TableError;
+
+/// Maximum column count, matching `muds_lattice::MAX_COLUMNS`.
+pub const MAX_COLUMNS: usize = 256;
+
+/// An immutable, column-oriented relation instance.
+///
+/// This is the substrate every discovery algorithm operates on. Rows are
+/// identified by their zero-based position; columns by their zero-based
+/// schema position (the same indices used in `ColumnSet`s).
+#[derive(Debug, Clone)]
+pub struct Table {
+    name: String,
+    columns: Vec<Column>,
+    num_rows: usize,
+}
+
+impl Table {
+    /// Builds a table from row-major string data.
+    ///
+    /// `rows` must all have exactly `column_names.len()` fields; empty
+    /// fields are NULL.
+    pub fn from_rows<S: AsRef<str>>(
+        name: impl Into<String>,
+        column_names: &[&str],
+        rows: &[Vec<S>],
+    ) -> Result<Self, TableError> {
+        if column_names.is_empty() {
+            return Err(TableError::NoColumns);
+        }
+        if column_names.len() > MAX_COLUMNS {
+            return Err(TableError::TooManyColumns { got: column_names.len(), max: MAX_COLUMNS });
+        }
+        let mut seen = HashSet::new();
+        for &n in column_names {
+            if !seen.insert(n) {
+                return Err(TableError::DuplicateColumnName(n.to_string()));
+            }
+        }
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != column_names.len() {
+                return Err(TableError::RaggedRow {
+                    row: i,
+                    expected: column_names.len(),
+                    got: row.len(),
+                });
+            }
+        }
+        let columns = column_names
+            .iter()
+            .enumerate()
+            .map(|(c, &n)| {
+                let values: Vec<&str> = rows.iter().map(|r| r[c].as_ref()).collect();
+                Column::from_values(n, &values)
+            })
+            .collect();
+        Ok(Table { name: name.into(), columns, num_rows: rows.len() })
+    }
+
+    /// Table name (dataset identifier in experiment output).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.num_rows
+    }
+
+    /// Number of columns.
+    pub fn num_columns(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// All columns in schema order.
+    pub fn columns(&self) -> &[Column] {
+        &self.columns
+    }
+
+    /// Column at schema position `idx`.
+    pub fn column(&self, idx: usize) -> &Column {
+        &self.columns[idx]
+    }
+
+    /// Schema position of the column named `name`, if any.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns.iter().position(|c| c.name() == name)
+    }
+
+    /// Column names in schema order.
+    pub fn column_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|c| c.name()).collect()
+    }
+
+    /// Reconstructs row `row` as decoded values (`None` = NULL).
+    pub fn row(&self, row: usize) -> Vec<Option<&str>> {
+        self.columns.iter().map(|c| c.value(row)).collect()
+    }
+
+    /// True iff the relation contains two identical rows (comparing NULLs
+    /// equal). The holistic algorithms require duplicate-free input (§3 of
+    /// the paper: a relation with duplicate rows has no UCC at all).
+    pub fn has_duplicate_rows(&self) -> bool {
+        let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(self.num_rows);
+        for r in 0..self.num_rows {
+            let key: Vec<u32> = self.columns.iter().map(|c| c.codes()[r]).collect();
+            if !seen.insert(key) {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Returns a copy with duplicate rows removed (first occurrence kept) —
+    /// the preprocessing step §3 assumes.
+    pub fn dedup_rows(&self) -> Table {
+        let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(self.num_rows);
+        let mut keep: Vec<usize> = Vec::with_capacity(self.num_rows);
+        for r in 0..self.num_rows {
+            let key: Vec<u32> = self.columns.iter().map(|c| c.codes()[r]).collect();
+            if seen.insert(key) {
+                keep.push(r);
+            }
+        }
+        self.select_rows(&keep)
+    }
+
+    /// Projects the table onto the given row indices (in the given order).
+    pub fn select_rows(&self, rows: &[usize]) -> Table {
+        let columns = self
+            .columns
+            .iter()
+            .map(|c| {
+                let values: Vec<&str> = rows.iter().map(|&r| c.value(r).unwrap_or("")).collect();
+                Column::from_values(c.name(), &values)
+            })
+            .collect();
+        Table { name: self.name.clone(), columns, num_rows: rows.len() }
+    }
+
+    /// Projects the table onto its first `n` rows — the paper's
+    /// row-scalability experiments (§6.1) work this way.
+    pub fn take_rows(&self, n: usize) -> Table {
+        let rows: Vec<usize> = (0..n.min(self.num_rows)).collect();
+        self.select_rows(&rows)
+    }
+
+    /// Projects the table onto the first `n` columns — the paper's
+    /// column-scalability experiments (§6.2) work this way.
+    pub fn take_columns(&self, n: usize) -> Table {
+        let n = n.min(self.columns.len());
+        Table {
+            name: self.name.clone(),
+            columns: self.columns[..n].to_vec(),
+            num_rows: self.num_rows,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple() -> Table {
+        Table::from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[
+                vec!["1", "x", "p"],
+                vec!["2", "x", "q"],
+                vec!["3", "y", ""],
+                vec!["1", "x", "p"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_and_shape() {
+        let t = simple();
+        assert_eq!(t.num_rows(), 4);
+        assert_eq!(t.num_columns(), 3);
+        assert_eq!(t.column_names(), vec!["a", "b", "c"]);
+        assert_eq!(t.column_index("b"), Some(1));
+        assert_eq!(t.column_index("zz"), None);
+    }
+
+    #[test]
+    fn row_reconstruction() {
+        let t = simple();
+        assert_eq!(t.row(2), vec![Some("3"), Some("y"), None]);
+    }
+
+    #[test]
+    fn ragged_row_rejected() {
+        let err = Table::from_rows("t", &["a", "b"], &[vec!["1"]]).unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { row: 0, expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn duplicate_column_rejected() {
+        let err = Table::from_rows("t", &["a", "a"], &[vec!["1", "2"]]).unwrap_err();
+        assert!(matches!(err, TableError::DuplicateColumnName(_)));
+    }
+
+    #[test]
+    fn no_columns_rejected() {
+        let rows: Vec<Vec<&str>> = vec![];
+        let err = Table::from_rows("t", &[], &rows).unwrap_err();
+        assert!(matches!(err, TableError::NoColumns));
+    }
+
+    #[test]
+    fn too_many_columns_rejected() {
+        let names: Vec<String> = (0..257).map(|i| format!("c{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        let rows: Vec<Vec<&str>> = vec![];
+        let err = Table::from_rows("t", &name_refs, &rows).unwrap_err();
+        assert!(matches!(err, TableError::TooManyColumns { got: 257, .. }));
+    }
+
+    #[test]
+    fn duplicate_detection_and_dedup() {
+        let t = simple();
+        assert!(t.has_duplicate_rows());
+        let d = t.dedup_rows();
+        assert_eq!(d.num_rows(), 3);
+        assert!(!d.has_duplicate_rows());
+        assert_eq!(d.row(0), vec![Some("1"), Some("x"), Some("p")]);
+    }
+
+    #[test]
+    fn nulls_compare_equal_in_dedup() {
+        let t = Table::from_rows("t", &["a"], &[vec![""], vec![""]]).unwrap();
+        assert!(t.has_duplicate_rows());
+        assert_eq!(t.dedup_rows().num_rows(), 1);
+    }
+
+    #[test]
+    fn take_rows_and_columns() {
+        let t = simple();
+        let r = t.take_rows(2);
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.num_columns(), 3);
+        let c = t.take_columns(2);
+        assert_eq!(c.num_columns(), 2);
+        assert_eq!(c.num_rows(), 4);
+        // Requesting more than available clamps.
+        assert_eq!(t.take_rows(99).num_rows(), 4);
+        assert_eq!(t.take_columns(99).num_columns(), 3);
+    }
+
+    #[test]
+    fn select_rows_reencodes_dictionaries() {
+        let t = simple();
+        let s = t.select_rows(&[1, 2]);
+        assert_eq!(s.num_rows(), 2);
+        // Dictionary of column a should now only contain 2 and 3.
+        assert_eq!(s.column(0).sorted_distinct_values(), &["2", "3"]);
+    }
+
+    #[test]
+    fn empty_table_with_columns_is_fine() {
+        let rows: Vec<Vec<&str>> = vec![];
+        let t = Table::from_rows("t", &["a"], &rows).unwrap();
+        assert_eq!(t.num_rows(), 0);
+        assert!(!t.has_duplicate_rows());
+    }
+}

@@ -1,0 +1,70 @@
+//! Exponential ground-truth UCC oracle for testing.
+
+use std::collections::HashSet;
+
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+
+/// Enumerates every column combination (2^n) and reports the minimal unique
+/// ones. Only usable on narrow tables; this is the reference implementation
+/// for tests.
+pub fn naive_minimal_uccs(table: &Table) -> Vec<ColumnSet> {
+    let n = table.num_columns();
+    assert!(n <= 16, "naive UCC discovery is exponential; {n} columns is too many");
+    let mut uniques: Vec<ColumnSet> = Vec::new();
+    for mask in 0..(1u32 << n) {
+        let set = ColumnSet::from_indices((0..n).filter(|&c| mask & (1 << c) != 0));
+        if is_unique(table, &set) {
+            uniques.push(set);
+        }
+    }
+    let mut minimal: Vec<ColumnSet> = uniques
+        .iter()
+        .copied()
+        .filter(|u| !uniques.iter().any(|v| v.is_proper_subset_of(u)))
+        .collect();
+    minimal.sort();
+    minimal
+}
+
+/// Direct uniqueness check by hashing row projections.
+pub fn is_unique(table: &Table, set: &ColumnSet) -> bool {
+    let cols: Vec<usize> = set.to_vec();
+    let mut seen: HashSet<Vec<u32>> = HashSet::with_capacity(table.num_rows());
+    for r in 0..table.num_rows() {
+        let key: Vec<u32> = cols.iter().map(|&c| table.column(c).codes()[r]).collect();
+        if !seen.insert(key) {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimal_composite_keys() {
+        let t = Table::from_rows(
+            "t",
+            &["a", "b", "c"],
+            &[vec!["1", "1", "x"], vec!["1", "2", "x"], vec!["2", "1", "x"]],
+        )
+        .unwrap();
+        let uccs = naive_minimal_uccs(&t);
+        assert_eq!(uccs, vec![ColumnSet::from_indices([0, 1])]);
+    }
+
+    #[test]
+    fn empty_set_unique_for_single_row() {
+        let t = Table::from_rows("t", &["a"], &[vec!["1"]]).unwrap();
+        assert_eq!(naive_minimal_uccs(&t), vec![ColumnSet::empty()]);
+    }
+
+    #[test]
+    fn is_unique_respects_null_equality() {
+        let t = Table::from_rows("t", &["a"], &[vec![""], vec![""]]).unwrap();
+        assert!(!is_unique(&t, &ColumnSet::single(0)));
+    }
+}

@@ -1,0 +1,54 @@
+//! Quickstart: holistically profile a small table with MUDS.
+//!
+//! Builds a tiny employee relation, runs the holistic profiler, and prints
+//! all three kinds of metadata the paper's algorithm discovers in one pass:
+//! unary inclusion dependencies, minimal unique column combinations, and
+//! minimal functional dependencies.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_ind::format_inds;
+use muds_table::Table;
+
+fn main() {
+    let table = Table::from_rows(
+        "employees",
+        &["emp_id", "email", "dept", "dept_head", "office", "salary_band"],
+        &[
+            vec!["1", "ann@corp.io", "cs", "dijkstra", "b42", "s2"],
+            vec!["2", "bob@corp.io", "cs", "dijkstra", "b42", "s1"],
+            vec!["3", "cat@corp.io", "ee", "shannon", "b17", "s2"],
+            vec!["4", "dan@corp.io", "ee", "shannon", "b17", "s3"],
+            vec!["5", "eve@corp.io", "cs", "dijkstra", "b42", "s3"],
+        ],
+    )
+    .expect("valid table");
+
+    let result = profile(&table, Algorithm::Muds, &ProfilerConfig::default());
+    let names = table.column_names();
+
+    println!("profiled {:?}: {} rows x {} columns\n", table.name(), table.num_rows(), table.num_columns());
+
+    println!("unary inclusion dependencies ({}):", result.inds.len());
+    for line in format_inds(&result.inds, &names) {
+        println!("  {line}");
+    }
+
+    println!("\nminimal unique column combinations ({}):", result.minimal_uccs.len());
+    for ucc in &result.minimal_uccs {
+        let cols: Vec<&str> = ucc.iter().map(|c| names[c]).collect();
+        println!("  {{{}}}", cols.join(", "));
+    }
+
+    println!("\nminimal functional dependencies ({}):", result.fds.len());
+    for fd in result.fds.to_sorted_vec() {
+        let lhs: Vec<&str> = fd.lhs.iter().map(|c| names[c]).collect();
+        println!("  {{{}}} -> {}", lhs.join(", "), names[fd.rhs]);
+    }
+
+    println!("\nphase timings:");
+    for phase in &result.phases {
+        println!("  {:<28} {:?}", phase.name, phase.duration);
+    }
+}

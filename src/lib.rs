@@ -1,0 +1,9 @@
+//! Facade crate re-exporting the full holistic-profiling API.
+pub use muds_core as core;
+pub use muds_datagen as datagen;
+pub use muds_fd as fd;
+pub use muds_ind as ind;
+pub use muds_lattice as lattice;
+pub use muds_pli as pli;
+pub use muds_table as table;
+pub use muds_ucc as ucc;

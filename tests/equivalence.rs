@@ -1,0 +1,86 @@
+//! Cross-algorithm equivalence on the generated experiment datasets: every
+//! pipeline (sequential baseline, Holistic FUN, MUDS, TANE) must produce
+//! identical metadata. This is the end-to-end guarantee behind every
+//! benchmark comparison — the algorithms race only if they agree.
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_datagen::{ionosphere_like, ncvoter_like, uci_dataset, uniprot_like};
+use muds_table::Table;
+
+fn assert_all_agree(table: &Table) {
+    let cfg = ProfilerConfig::default();
+    let results: Vec<_> = Algorithm::ALL.iter().map(|&a| profile(table, a, &cfg)).collect();
+    for pair in results.windows(2) {
+        assert_eq!(
+            pair[0].fds.to_sorted_vec(),
+            pair[1].fds.to_sorted_vec(),
+            "{} vs {} disagree on FDs for {}",
+            pair[0].algorithm.name(),
+            pair[1].algorithm.name(),
+            table.name()
+        );
+        assert_eq!(
+            pair[0].minimal_uccs, pair[1].minimal_uccs,
+            "{} vs {} disagree on UCCs for {}",
+            pair[0].algorithm.name(),
+            pair[1].algorithm.name(),
+            table.name()
+        );
+    }
+    // IND-producing pipelines agree among themselves.
+    assert_eq!(results[0].inds, results[1].inds, "{}", table.name());
+    assert_eq!(results[1].inds, results[2].inds, "{}", table.name());
+}
+
+#[test]
+fn all_algorithms_agree_on_uniprot_like() {
+    assert_all_agree(&uniprot_like(800, 8));
+}
+
+#[test]
+fn all_algorithms_agree_on_ionosphere_like() {
+    assert_all_agree(&ionosphere_like(11));
+}
+
+#[test]
+fn all_algorithms_agree_on_ncvoter_like() {
+    assert_all_agree(&ncvoter_like(600, 10));
+}
+
+#[test]
+fn all_algorithms_agree_on_small_uci_datasets() {
+    for name in ["iris", "balance", "b-cancer", "bridges", "echocard"] {
+        assert_all_agree(&uci_dataset(name));
+    }
+}
+
+#[test]
+fn all_algorithms_agree_on_downsampled_wide_uci_datasets() {
+    // The big Table 3 datasets, cut down so the test stays fast while the
+    // dependency structure survives.
+    assert_all_agree(&uci_dataset("abalone").take_rows(800));
+    assert_all_agree(&uci_dataset("adult").take_rows(600).take_columns(10));
+    assert_all_agree(&uci_dataset("letter").take_rows(500).take_columns(10));
+    assert_all_agree(&uci_dataset("hepatitis").take_columns(12).dedup_rows());
+}
+
+#[test]
+fn ground_truth_check_on_narrow_tables() {
+    // Against the exponential oracles, where feasible.
+    for table in [uniprot_like(300, 7), ncvoter_like(250, 8), ionosphere_like(9)] {
+        let result = profile(&table, Algorithm::Muds, &ProfilerConfig::default());
+        assert_eq!(
+            result.fds.to_sorted_vec(),
+            muds_fd::naive_minimal_fds(&table).to_sorted_vec(),
+            "MUDS vs naive FDs on {}",
+            table.name()
+        );
+        assert_eq!(
+            result.minimal_uccs,
+            muds_ucc::naive_minimal_uccs(&table),
+            "MUDS vs naive UCCs on {}",
+            table.name()
+        );
+        assert_eq!(result.inds, muds_ind::naive_inds(&table), "MUDS vs naive INDs on {}", table.name());
+    }
+}

@@ -1,0 +1,88 @@
+//! Integration tests for the extension modules built alongside the paper's
+//! core scope: n-ary INDs (§2.1's generalization), the row-based
+//! Dep-Miner/agree-set family (§7), and approximate FDs (TANE's g₃
+//! extension) — all validated against the lattice algorithms on generated
+//! experiment data.
+
+use muds_core::{muds, MudsConfig};
+use muds_datagen::{ncvoter_like, uniprot_like};
+use muds_fd::{approximate_fds, depminer_fds, g3_error};
+use muds_lattice::ColumnSet;
+use muds_pli::PliCache;
+use muds_table::Table;
+
+#[test]
+fn depminer_agrees_with_muds_on_generated_data() {
+    for table in [uniprot_like(300, 7), ncvoter_like(250, 8)] {
+        let report = muds(&table, &MudsConfig::default());
+        assert_eq!(
+            depminer_fds(&table).to_sorted_vec(),
+            report.fds.to_sorted_vec(),
+            "Dep-Miner vs MUDS on {}",
+            table.name()
+        );
+        assert_eq!(
+            muds_fd::agree_set_uccs(&table),
+            report.minimal_uccs,
+            "agree-set UCCs vs DUCC on {}",
+            table.name()
+        );
+    }
+}
+
+#[test]
+fn approximate_fds_at_zero_match_exact_on_generated_data() {
+    let table = ncvoter_like(300, 8);
+    let report = muds(&table, &MudsConfig::default());
+    let mut cache = PliCache::new(&table);
+    assert_eq!(
+        approximate_fds(&mut cache, 0.0).to_sorted_vec(),
+        report.fds.to_sorted_vec()
+    );
+}
+
+#[test]
+fn g3_error_zero_exactly_for_valid_fds() {
+    let table = uniprot_like(400, 8);
+    let mut cache = PliCache::new(&table);
+    let report = muds(&table, &MudsConfig::default());
+    for fd in report.fds.to_sorted_vec() {
+        assert_eq!(g3_error(&mut cache, &fd.lhs, fd.rhs), 0.0, "{fd}");
+    }
+    // And a deliberately broken FD has positive error.
+    let n = table.num_columns();
+    for a in 0..n {
+        let lhs = ColumnSet::empty();
+        if !report.fds.contains(&lhs, a) {
+            assert!(g3_error(&mut cache, &lhs, a) > 0.0, "∅ → {a} should be dirty");
+        }
+    }
+}
+
+#[test]
+fn nary_inds_extend_spider_consistently() {
+    // Build a table with a planted binary IND: (order_ref, line) ⊆ (order_id, line_id).
+    let rows: Vec<Vec<String>> = (0..60)
+        .map(|i| {
+            vec![
+                (i / 3).to_string(),          // order_id
+                (i % 3).to_string(),          // line_id
+                ((i / 6) % 10).to_string(),   // order_ref ⊆ order_id values
+                (i % 3).to_string(),          // line ⊆ line_id values
+            ]
+        })
+        .collect();
+    let t = Table::from_rows("orders", &["order_id", "line_id", "order_ref", "line"], &rows)
+        .unwrap();
+    let nary = muds_ind::nary_inds(&t, 2);
+    // Arity-1 results coincide with SPIDER.
+    let unary: Vec<_> = nary.iter().filter(|i| i.arity() == 1).collect();
+    let spider = muds_ind::spider(&t);
+    assert_eq!(unary.len(), spider.len());
+    // The planted binary IND is found, with tuple (not columnwise) semantics.
+    assert!(
+        muds_ind::nary_ind_holds(&t, &[2, 3], &[0, 1]),
+        "(order_ref, line) ⊆ (order_id, line_id) should hold"
+    );
+    assert!(nary.iter().any(|i| i.dependent == vec![2, 3] && i.referenced == vec![0, 1]));
+}

@@ -1,0 +1,119 @@
+//! End-to-end pipeline tests: CSV in → metadata out, degenerate inputs,
+//! configuration knobs, and the documented MUDS deviations.
+
+use muds_core::{muds, profile_csv, Algorithm, MudsConfig, ProfilerConfig, ShadowLookup};
+use muds_datagen::{ncvoter_like, uniprot_like};
+use muds_table::{table_to_csv, CsvOptions, Table};
+
+#[test]
+fn csv_to_metadata_round_trip() {
+    let table = uniprot_like(400, 7);
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let from_csv =
+            profile_csv(table.name(), &csv, &CsvOptions::default(), alg, &cfg).expect("valid CSV");
+        let direct = muds_core::profile(&table, alg, &cfg);
+        assert_eq!(from_csv.fds.to_sorted_vec(), direct.fds.to_sorted_vec(), "{}", alg.name());
+        assert_eq!(from_csv.minimal_uccs, direct.minimal_uccs, "{}", alg.name());
+    }
+}
+
+#[test]
+fn baseline_reparses_per_task_holistic_once() {
+    let table = ncvoter_like(300, 8);
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    let cfg = ProfilerConfig::default();
+    // The baseline reports one phase per task; the holistic runs include a
+    // single "read input" phase.
+    let base = profile_csv("t", &csv, &CsvOptions::default(), Algorithm::Baseline, &cfg).unwrap();
+    assert_eq!(base.phases.len(), 3, "SPIDER, DUCC, FUN phases");
+    let hol = profile_csv("t", &csv, &CsvOptions::default(), Algorithm::HolisticFun, &cfg).unwrap();
+    assert_eq!(hol.phases[0].name, "read input");
+}
+
+#[test]
+fn muds_config_knobs_do_not_change_results_on_typical_data() {
+    let table = ncvoter_like(400, 10);
+    let base = muds(&table, &MudsConfig::default());
+    for config in [
+        MudsConfig { use_known_fd_pruning: false, ..MudsConfig::default() },
+        MudsConfig { shadow_lookup: ShadowLookup::Generous, ..MudsConfig::default() },
+        MudsConfig { seed: 12345, ..MudsConfig::default() },
+    ] {
+        let other = muds(&table, &config);
+        assert_eq!(base.fds.to_sorted_vec(), other.fds.to_sorted_vec(), "{config:?}");
+        assert_eq!(base.minimal_uccs, other.minimal_uccs, "{config:?}");
+    }
+}
+
+#[test]
+fn duplicate_rows_are_a_documented_degradation_not_a_crash() {
+    let table = Table::from_rows(
+        "dups",
+        &["a", "b", "c"],
+        &[
+            vec!["1", "x", "q"],
+            vec!["1", "x", "q"],
+            vec!["2", "y", "q"],
+            vec!["3", "y", "r"],
+        ],
+    )
+    .unwrap();
+    assert!(table.has_duplicate_rows());
+    let report = muds(&table, &MudsConfig::default());
+    assert!(report.minimal_uccs.is_empty(), "duplicates admit no UCC");
+    // FDs are still exact (everything flows through the R\Z walks).
+    assert_eq!(
+        report.fds.to_sorted_vec(),
+        muds_fd::naive_minimal_fds(&table).to_sorted_vec()
+    );
+}
+
+#[test]
+fn single_column_and_single_row_tables() {
+    let one_col = Table::from_rows("c1", &["a"], &[vec!["1"], vec!["2"], vec!["2"]]).unwrap().dedup_rows();
+    let r = muds(&one_col, &MudsConfig::default());
+    assert!(r.inds.is_empty());
+    assert_eq!(r.minimal_uccs.len(), 1);
+
+    let one_row = Table::from_rows("r1", &["a", "b", "c"], &[vec!["1", "2", "3"]]).unwrap();
+    let r = muds(&one_row, &MudsConfig::default());
+    // Everything is constant: ∅ → each column; ∅ is the unique minimal UCC.
+    assert_eq!(r.fds.len(), 3);
+    assert_eq!(r.minimal_uccs, vec![muds_lattice::ColumnSet::empty()]);
+}
+
+#[test]
+fn all_null_column_profile() {
+    let t = Table::from_rows(
+        "nulls",
+        &["id", "ghost"],
+        &[vec!["1", ""], vec!["2", ""], vec!["3", ""]],
+    )
+    .unwrap();
+    let r = muds(&t, &MudsConfig::default());
+    // ghost is constant (NULL everywhere): determined by the empty set, and
+    // vacuously included in id.
+    assert!(r.fds.contains(&muds_lattice::ColumnSet::empty(), 1));
+    assert!(r.inds.contains(&muds_ind::Ind::new(1, 0)));
+}
+
+#[test]
+fn results_are_deterministic_across_runs_and_seeds() {
+    let table = uniprot_like(500, 8);
+    let a = muds(&table, &MudsConfig::default());
+    let b = muds(&table, &MudsConfig::default());
+    assert_eq!(a.fds.to_sorted_vec(), b.fds.to_sorted_vec());
+    assert_eq!(a.stats.pli.intersects, b.stats.pli.intersects, "same seed ⇒ same work");
+    let c = muds(&table, &MudsConfig { seed: 999, ..MudsConfig::default() });
+    assert_eq!(a.fds.to_sorted_vec(), c.fds.to_sorted_vec(), "results seed-independent");
+}
+
+#[test]
+fn wide_table_is_rejected_cleanly() {
+    let names: Vec<String> = (0..300).map(|i| format!("c{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<&str>> = vec![];
+    assert!(Table::from_rows("wide", &name_refs, &rows).is_err());
+}
