@@ -17,9 +17,7 @@ fn bench_all_algorithms(c: &mut Criterion, label: &str, table: &Table) {
 
     group.bench_function("baseline", |b| b.iter(|| baseline(black_box(table), 42)));
     group.bench_function("holistic_fun", |b| b.iter(|| holistic_fun(black_box(table))));
-    group.bench_function("muds", |b| {
-        b.iter(|| muds(black_box(table), &MudsConfig::default()))
-    });
+    group.bench_function("muds", |b| b.iter(|| muds(black_box(table), &MudsConfig::default())));
     group.bench_function("tane", |b| {
         b.iter(|| {
             let mut cache = PliCache::new(table);
@@ -41,9 +39,7 @@ fn muds_ablations(c: &mut Criterion) {
     let mut group = c.benchmark_group("muds_ablations_ncvoter_800x10");
     group.sample_size(10);
 
-    group.bench_function("default", |b| {
-        b.iter(|| muds(black_box(&table), &MudsConfig::default()))
-    });
+    group.bench_function("default", |b| b.iter(|| muds(black_box(&table), &MudsConfig::default())));
     group.bench_function("no_known_fd_pruning", |b| {
         let cfg = MudsConfig { use_known_fd_pruning: false, ..MudsConfig::default() };
         b.iter(|| muds(black_box(&table), &cfg))

@@ -112,10 +112,15 @@ fn bench_apriori(c: &mut Criterion) {
 
 fn bench_spider(c: &mut Criterion) {
     let table = ncvoter_like(10_000, 12);
-    c.bench_function("spider_10k_rows_12_cols", |b| {
-        b.iter(|| muds_ind::spider(black_box(&table)))
-    });
+    c.bench_function("spider_10k_rows_12_cols", |b| b.iter(|| muds_ind::spider(black_box(&table))));
 }
 
-criterion_group!(benches, bench_pli, bench_set_trie, bench_hitting_sets, bench_apriori, bench_spider);
+criterion_group!(
+    benches,
+    bench_pli,
+    bench_set_trie,
+    bench_hitting_sets,
+    bench_apriori,
+    bench_spider
+);
 criterion_main!(benches);

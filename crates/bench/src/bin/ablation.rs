@@ -12,21 +12,26 @@
 
 use std::time::Instant;
 
-use muds_bench::{print_table, secs};
+use muds_bench::{print_table, secs, MetricsSidecar};
 use muds_core::{baseline, holistic_fun, muds, MudsConfig};
 use muds_datagen::{ncvoter_like, uci_dataset, uniprot_like};
 use muds_lattice::{ColumnSet, SetTrie};
+use muds_obs::Metrics;
 use rand::prelude::*;
 
 fn main() {
-    a1_prefix_tree();
-    a2_known_fd_pruning();
-    a3_shared_structures();
-    sweep_cost();
+    let metrics = Metrics::new();
+    let _guard = metrics.install();
+    let mut sidecar = MetricsSidecar::for_bin("ablation");
+    a1_prefix_tree(&metrics, &mut sidecar);
+    a2_known_fd_pruning(&metrics, &mut sidecar);
+    a3_shared_structures(&metrics, &mut sidecar);
+    sweep_cost(&metrics, &mut sidecar);
+    sidecar.write();
 }
 
 /// A1: subset look-ups against a set of "minimal UCCs" — trie vs scan.
-fn a1_prefix_tree() {
+fn a1_prefix_tree(metrics: &Metrics, sidecar: &mut MetricsSidecar) {
     println!("A1 — §5.4 prefix tree vs linear scan (subset look-ups)\n");
     let mut rng = StdRng::seed_from_u64(41);
     let mut rows = Vec::new();
@@ -73,10 +78,11 @@ fn a1_prefix_tree() {
     }
     print_table(&["stored sets", "prefix tree", "linear scan", "speedup"], &rows);
     println!();
+    sidecar.record("A1 trie micro-benchmark", "trie", &metrics.drain_snapshot());
 }
 
 /// A2: MUDS with and without the known-FD reduction in the R\Z walks.
-fn a2_known_fd_pruning() {
+fn a2_known_fd_pruning(metrics: &Metrics, sidecar: &mut MetricsSidecar) {
     println!("A2 — §5.2 known-FD pruning in the R\\Z sub-lattice walks\n");
     // uniprot-like data keeps most annotation columns outside Z, so the
     // R\Z walks actually run (ncvoter-like has Z = all columns).
@@ -87,6 +93,7 @@ fn a2_known_fd_pruning() {
         let t0 = Instant::now();
         let report = muds(&t, &config);
         let elapsed = t0.elapsed();
+        sidecar.record(&format!("A2 {label}"), "MUDS", &metrics.drain_snapshot());
         rows.push(vec![
             label.to_string(),
             secs(elapsed),
@@ -101,7 +108,7 @@ fn a2_known_fd_pruning() {
 
 /// A3: shared scan + shared PLIs (holistic) vs per-task rebuild
 /// (sequential), with the FD/UCC algorithms held identical (FUN).
-fn a3_shared_structures() {
+fn a3_shared_structures(metrics: &Metrics, sidecar: &mut MetricsSidecar) {
     println!("A3 — §3 shared scan & data structures vs per-task rebuild\n");
     let t = uci_dataset("adult");
     let mut rows = Vec::new();
@@ -109,11 +116,13 @@ fn a3_shared_structures() {
     let t0 = Instant::now();
     let _ = holistic_fun(&t);
     let shared = t0.elapsed();
+    sidecar.record("A3 shared", "HFUN", &metrics.drain_snapshot());
     rows.push(vec!["holistic (shared)".into(), secs(shared)]);
 
     let t0 = Instant::now();
     let _ = baseline(&t, 42);
     let sequential = t0.elapsed();
+    sidecar.record("A3 rebuilds", "baseline", &metrics.drain_snapshot());
     rows.push(vec!["sequential (rebuilds)".into(), secs(sequential)]);
     rows.push(vec![
         "sequential / holistic".into(),
@@ -124,7 +133,7 @@ fn a3_shared_structures() {
 }
 
 /// Cost of the exactness sweep (our deviation from the paper).
-fn sweep_cost() {
+fn sweep_cost(metrics: &Metrics, sidecar: &mut MetricsSidecar) {
     println!("Exactness sweep cost (paper-faithful vs exact MUDS)\n");
     let t = ncvoter_like(5_000, 16);
     let mut rows = Vec::new();
@@ -133,6 +142,7 @@ fn sweep_cost() {
         let t0 = Instant::now();
         let report = muds(&t, &config);
         let elapsed = t0.elapsed();
+        sidecar.record(&format!("sweep {label}"), "MUDS", &metrics.drain_snapshot());
         rows.push(vec![
             label.to_string(),
             secs(elapsed),

@@ -10,7 +10,9 @@
 //! Usage: `cargo run -p muds-bench --release --bin fig6 [--max-rows N]
 //! [--cols N] [--paper-faithful]`
 
-use muds_bench::{arg_flag, arg_usize, assert_consistent, measure, print_table, secs};
+use muds_bench::{
+    arg_flag, arg_usize, assert_consistent, measure, print_table, secs, MetricsSidecar,
+};
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::uniprot_like;
 
@@ -29,11 +31,13 @@ fn main() {
     let full = uniprot_like(max_rows, cols);
     let steps = 5;
     let mut rows_out = Vec::new();
+    let mut sidecar = MetricsSidecar::for_bin("fig6");
     for step in 1..=steps {
         let n = max_rows * step / steps;
         let t = full.take_rows(n);
         let ms = measure(&t, &algorithms, &config);
         assert_consistent(&ms);
+        sidecar.record_all(&format!("rows={n}"), &ms);
         let (inds, uccs, fds) = ms[0].result.counts();
         rows_out.push(vec![
             n.to_string(),
@@ -47,4 +51,5 @@ fn main() {
         eprintln!("  ..done {n} rows");
     }
     print_table(&["rows", "baseline", "HFUN", "MUDS", "#INDs", "#UCCs", "#FDs"], &rows_out);
+    sidecar.write();
 }

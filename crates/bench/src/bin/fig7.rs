@@ -16,7 +16,9 @@
 //! Usage: `cargo run -p muds-bench --release --bin fig7 [--max-cols N]
 //! [--paper-faithful]`
 
-use muds_bench::{arg_flag, arg_usize, assert_consistent, measure, print_table, secs};
+use muds_bench::{
+    arg_flag, arg_usize, assert_consistent, measure, print_table, secs, MetricsSidecar,
+};
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::ionosphere_like;
 
@@ -31,14 +33,19 @@ fn main() {
     println!("Figure 7 — column scalability on ionosphere-like data (351 rows)");
     println!("paper: exponential growth for all; MUDS flattest; counts explode\n");
 
-    let col_steps: Vec<usize> =
-        [10usize, 12, 14, 15, 16, 18, 20, 21, 22, 23].iter().copied().filter(|&c| c <= max_cols).collect();
+    let col_steps: Vec<usize> = [10usize, 12, 14, 15, 16, 18, 20, 21, 22, 23]
+        .iter()
+        .copied()
+        .filter(|&c| c <= max_cols)
+        .collect();
     let full = ionosphere_like(max_cols);
     let mut rows_out = Vec::new();
+    let mut sidecar = MetricsSidecar::for_bin("fig7");
     for &cols in &col_steps {
         let t = full.take_columns(cols);
         let ms = measure(&t, &algorithms, &config);
         assert_consistent(&ms);
+        sidecar.record_all(&format!("cols={cols}"), &ms);
         let (inds, uccs, fds) = ms[2].result.counts();
         rows_out.push(vec![
             cols.to_string(),
@@ -52,4 +59,5 @@ fn main() {
         eprintln!("  ..done {cols} columns");
     }
     print_table(&["cols", "baseline", "HFUN", "MUDS", "#INDs", "#UCCs", "#FDs"], &rows_out);
+    sidecar.write();
 }

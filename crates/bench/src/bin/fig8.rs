@@ -15,9 +15,10 @@
 //!
 //! Usage: `cargo run -p muds-bench --release --bin fig8 [--rows N] [--cols N]`
 
-use muds_bench::{arg_usize, print_table, secs};
+use muds_bench::{arg_usize, print_table, secs, MetricsSidecar};
 use muds_core::{muds, MudsConfig, ShadowLookup};
 use muds_datagen::ncvoter_like;
+use muds_obs::Metrics;
 
 fn main() {
     let rows = arg_usize("--rows", 10_000);
@@ -47,9 +48,13 @@ fn main() {
         ("exact (default: faithful look-up + completion sweep)", MudsConfig::default()),
     ];
 
+    let metrics = Metrics::new();
+    let _guard = metrics.install();
+    let mut sidecar = MetricsSidecar::for_bin("fig8");
     for (label, config) in configs {
         println!("=== {label} ===");
         let report = muds(&t, &config);
+        sidecar.record(label, "MUDS", &metrics.drain_snapshot());
         let total = report.timings.total();
         let rows_out: Vec<Vec<String>> = report
             .timings
@@ -79,4 +84,5 @@ fn main() {
             report.stats.shadowed.rounds
         );
     }
+    sidecar.write();
 }

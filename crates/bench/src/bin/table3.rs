@@ -11,7 +11,7 @@
 //! Usage: `cargo run -p muds-bench --release --bin table3 [--paper-faithful]
 //! [--dataset NAME]`
 
-use muds_bench::{arg_flag, assert_consistent, measure, print_table, secs};
+use muds_bench::{arg_flag, assert_consistent, measure, print_table, secs, MetricsSidecar};
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::{uci_dataset, TABLE3_DATASETS};
 
@@ -29,6 +29,7 @@ fn main() {
     println!("paper: HFUN ≥ baseline always; MUDS wins on wide datasets; TANE wins on hepatitis\n");
 
     let mut rows_out = Vec::new();
+    let mut sidecar = MetricsSidecar::for_bin("table3");
     for name in TABLE3_DATASETS {
         if let Some(ref o) = only {
             if o != name {
@@ -38,6 +39,7 @@ fn main() {
         let t = uci_dataset(name);
         let ms = measure(&t, &Algorithm::ALL, &config);
         assert_consistent(&ms);
+        sidecar.record_all(name, &ms);
         let fds = ms[0].result.fds.len();
         rows_out.push(vec![
             name.to_string(),
@@ -52,4 +54,5 @@ fn main() {
         eprintln!("  ..done {name}");
     }
     print_table(&["dataset", "cols", "rows", "FDs", "baseline", "HFUN", "MUDS", "TANE"], &rows_out);
+    sidecar.write();
 }

@@ -12,6 +12,7 @@
 use std::time::{Duration, Instant};
 
 use muds_core::{profile_csv, Algorithm, ProfileResult, ProfilerConfig};
+use muds_obs::MetricsSnapshot;
 use muds_table::{table_to_csv, CsvOptions, Table};
 
 /// Formats a duration as fractional seconds with sensible precision.
@@ -38,7 +39,11 @@ pub struct Measurement {
 /// Runs `algorithms` on the CSV serialization of `table`, so the sequential
 /// baseline honestly pays one parse per task while the holistic algorithms
 /// parse once — the paper's I/O-sharing comparison.
-pub fn measure(table: &Table, algorithms: &[Algorithm], config: &ProfilerConfig) -> Vec<Measurement> {
+pub fn measure(
+    table: &Table,
+    algorithms: &[Algorithm],
+    config: &ProfilerConfig,
+) -> Vec<Measurement> {
     let csv = table_to_csv(table, &CsvOptions::default());
     algorithms
         .iter()
@@ -64,7 +69,8 @@ pub fn assert_consistent(measurements: &[Measurement]) {
             pair[1].algorithm.name()
         );
         assert_eq!(
-            pair[0].result.minimal_uccs, pair[1].result.minimal_uccs,
+            pair[0].result.minimal_uccs,
+            pair[1].result.minimal_uccs,
             "{} and {} disagree on UCCs",
             pair[0].algorithm.name(),
             pair[1].algorithm.name()
@@ -83,8 +89,11 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
         }
     }
     let line = |cells: &[String]| {
-        let padded: Vec<String> =
-            cells.iter().enumerate().map(|(i, c)| format!("{:>width$}", c, width = widths[i])).collect();
+        let padded: Vec<String> = cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect();
         println!("  {}", padded.join("  "));
     };
     line(&headers.iter().map(|s| s.to_string()).collect::<Vec<_>>());
@@ -105,9 +114,76 @@ pub fn arg_usize(name: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
+/// Parses a `--flag value`-style string argument from the binary's argv.
+pub fn arg_str(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter().position(|a| a == name).and_then(|i| args.get(i + 1).cloned())
+}
+
 /// True when `--flag` is present in argv.
 pub fn arg_flag(name: &str) -> bool {
     std::env::args().any(|a| a == name)
+}
+
+/// Collects the metrics snapshots of an experiment run and writes them as
+/// one JSON sidecar file next to the printed tables, so the work counters
+/// (PLI traffic, walk effort, SPIDER merge steps, …) behind every cell
+/// survive the run. Grows via [`MetricsSidecar::record`], written once at
+/// binary exit.
+pub struct MetricsSidecar {
+    path: String,
+    entries: Vec<String>,
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => "\\\"".chars().collect::<Vec<_>>(),
+            '\\' => "\\\\".chars().collect(),
+            '\n' => "\\n".chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+impl MetricsSidecar {
+    /// Sidecar for the named experiment binary. The default path
+    /// `<bin>_metrics.json` (current directory) can be overridden with
+    /// `--metrics-out <path>`.
+    pub fn for_bin(bin: &str) -> MetricsSidecar {
+        let path = arg_str("--metrics-out").unwrap_or_else(|| format!("{bin}_metrics.json"));
+        MetricsSidecar { path, entries: Vec::new() }
+    }
+
+    /// Records one labelled snapshot, e.g. `("rows=50000", "MUDS", …)`.
+    pub fn record(&mut self, label: &str, algorithm: &str, snapshot: &MetricsSnapshot) {
+        self.entries.push(format!(
+            "{{\"label\":\"{}\",\"algorithm\":\"{}\",\"metrics\":{}}}",
+            json_escape(label),
+            json_escape(algorithm),
+            snapshot.to_json()
+        ));
+    }
+
+    /// Records every measurement of one experiment cell under `label`.
+    pub fn record_all(&mut self, label: &str, measurements: &[Measurement]) {
+        for m in measurements {
+            self.record(label, m.algorithm.name(), &m.result.metrics);
+        }
+    }
+
+    /// The sidecar content: a JSON array, one element per recorded snapshot.
+    pub fn to_json(&self) -> String {
+        format!("[\n  {}\n]\n", self.entries.join(",\n  "))
+    }
+
+    /// Writes the sidecar, reporting the path (or the error) on stderr.
+    pub fn write(&self) {
+        match std::fs::write(&self.path, self.to_json()) {
+            Ok(()) => eprintln!("metrics sidecar: {}", self.path),
+            Err(e) => eprintln!("metrics sidecar: cannot write {}: {e}", self.path),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -121,6 +197,19 @@ mod tests {
         let ms = measure(&t, &Algorithm::ALL, &ProfilerConfig::default());
         assert_eq!(ms.len(), 4);
         assert_consistent(&ms);
+    }
+
+    #[test]
+    fn sidecar_json_shape() {
+        let t = uniprot_like(100, 5);
+        let ms = measure(&t, &[Algorithm::Muds], &ProfilerConfig::default());
+        let mut sidecar = MetricsSidecar { path: "unused".into(), entries: Vec::new() };
+        sidecar.record_all("rows=100", &ms);
+        let json = sidecar.to_json();
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"label\":\"rows=100\""));
+        assert!(json.contains("\"algorithm\":\"MUDS\""));
+        assert!(json.contains("\"pli.intersects\""));
     }
 
     #[test]

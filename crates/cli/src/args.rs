@@ -2,6 +2,15 @@
 
 use muds_core::Algorithm;
 
+/// Output format of the `--metrics` report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricsFormat {
+    /// Indented span tree plus counter tables.
+    Pretty,
+    /// One compact JSON object.
+    Json,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -12,9 +21,17 @@ pub enum Command {
         delimiter: char,
         has_header: bool,
         paper_faithful: bool,
+        metrics: Option<MetricsFormat>,
+        trace: Option<String>,
     },
     /// Run all four algorithms on a CSV file and compare runtimes.
-    Compare { path: String, delimiter: char, has_header: bool },
+    Compare {
+        path: String,
+        delimiter: char,
+        has_header: bool,
+        metrics: Option<MetricsFormat>,
+        trace: Option<String>,
+    },
     /// Generate one of the paper's stand-in datasets as CSV on stdout or to
     /// a file.
     Generate { dataset: String, rows: usize, cols: usize, output: Option<String> },
@@ -49,6 +66,14 @@ fn take_value<'a>(args: &'a [String], i: &mut usize, flag: &str) -> Result<&'a s
     args.get(*i).map(|s| s.as_str()).ok_or_else(|| ArgError(format!("{flag} needs a value")))
 }
 
+fn metrics_format(value: &str) -> Result<MetricsFormat, ArgError> {
+    match value.to_ascii_lowercase().as_str() {
+        "pretty" => Ok(MetricsFormat::Pretty),
+        "json" => Ok(MetricsFormat::Json),
+        other => Err(ArgError(format!("--metrics must be pretty or json, got {other:?}"))),
+    }
+}
+
 /// Parses `argv[1..]`.
 pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let Some(cmd) = args.first() else {
@@ -62,10 +87,18 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut delimiter = ',';
             let mut has_header = true;
             let mut paper_faithful = false;
+            let mut metrics: Option<MetricsFormat> = None;
+            let mut trace: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
-                    "--algorithm" | "-a" => algorithm = algorithm_by_name(take_value(args, &mut i, "--algorithm")?)?,
+                    "--algorithm" | "-a" => {
+                        algorithm = algorithm_by_name(take_value(args, &mut i, "--algorithm")?)?
+                    }
+                    "--metrics" => {
+                        metrics = Some(metrics_format(take_value(args, &mut i, "--metrics")?)?)
+                    }
+                    "--trace" => trace = Some(take_value(args, &mut i, "--trace")?.to_string()),
                     "--delimiter" | "-d" => {
                         let v = take_value(args, &mut i, "--delimiter")?;
                         let mut chars = v.chars();
@@ -86,9 +119,17 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             let path = path.ok_or_else(|| ArgError(format!("{cmd} needs a CSV file path")))?;
             if cmd == "compare" {
-                Ok(Command::Compare { path, delimiter, has_header })
+                Ok(Command::Compare { path, delimiter, has_header, metrics, trace })
             } else {
-                Ok(Command::Profile { path, algorithm, delimiter, has_header, paper_faithful })
+                Ok(Command::Profile {
+                    path,
+                    algorithm,
+                    delimiter,
+                    has_header,
+                    paper_faithful,
+                    metrics,
+                    trace,
+                })
             }
         }
         "generate" => {
@@ -109,7 +150,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                             .parse()
                             .map_err(|_| ArgError("--cols must be an integer".into()))?;
                     }
-                    "--output" | "-o" => output = Some(take_value(args, &mut i, "--output")?.to_string()),
+                    "--output" | "-o" => {
+                        output = Some(take_value(args, &mut i, "--output")?.to_string())
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(ArgError(format!("unknown flag {flag:?}")));
                     }
@@ -134,9 +177,17 @@ mudsprof — holistic data profiling (MUDS, EDBT 2016 reproduction)
 USAGE:
   mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
                    [--no-header] [--paper-faithful]
+                   [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof compare <file.csv> [-d <delim>] [--no-header]
+                   [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof generate <dataset> [--rows N] [--cols N] [-o out.csv]
   mudsprof help
+
+OBSERVABILITY:
+  --metrics pretty   print the span tree and all work counters (PLI cache,
+                     lattice walks, SPIDER merge, per-phase FD checks)
+  --metrics json     emit the same as one JSON object per algorithm run
+  --trace <file>     stream span/counter events as JSON Lines while running
 
 Datasets for generate: uniprot, ionosphere, ncvoter, iris, balance, chess,
 abalone, nursery, b-cancer, bridges, echocard, adult, letter, hepatitis.
@@ -161,6 +212,8 @@ mod tests {
                 delimiter: ',',
                 has_header: true,
                 paper_faithful: false,
+                metrics: None,
+                trace: None,
             }
         );
     }
@@ -169,7 +222,7 @@ mod tests {
     fn profile_with_flags() {
         let cmd = parse(&argv("profile -a tane -d ; --no-header --paper-faithful x.csv")).unwrap();
         match cmd {
-            Command::Profile { path, algorithm, delimiter, has_header, paper_faithful } => {
+            Command::Profile { path, algorithm, delimiter, has_header, paper_faithful, .. } => {
                 assert_eq!(path, "x.csv");
                 assert_eq!(algorithm, Algorithm::Tane);
                 assert_eq!(delimiter, ';');
@@ -178,6 +231,31 @@ mod tests {
             }
             other => panic!("unexpected {other:?}"),
         }
+    }
+
+    #[test]
+    fn metrics_and_trace_flags() {
+        let cmd = parse(&argv("profile x.csv --metrics json --trace run.jsonl")).unwrap();
+        match cmd {
+            Command::Profile { metrics, trace, .. } => {
+                assert_eq!(metrics, Some(MetricsFormat::Json));
+                assert_eq!(trace.as_deref(), Some("run.jsonl"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("compare x.csv --metrics pretty")).unwrap();
+        match cmd {
+            Command::Compare { metrics, trace, .. } => {
+                assert_eq!(metrics, Some(MetricsFormat::Pretty));
+                assert_eq!(trace, None);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("profile x.csv --metrics yaml"))
+            .unwrap_err()
+            .0
+            .contains("pretty or json"));
+        assert!(parse(&argv("profile x.csv --trace")).is_err());
     }
 
     #[test]

@@ -7,11 +7,11 @@
 mod args;
 
 use std::process::ExitCode;
-use std::time::Instant;
 
-use args::{parse, Command, USAGE};
-use muds_core::{profile_csv, Algorithm, ProfilerConfig};
+use args::{parse, Command, MetricsFormat, USAGE};
+use muds_core::{profile_csv, Algorithm, Phase, ProfilerConfig};
 use muds_datagen as datagen;
+use muds_obs::{JsonlSink, Metrics};
 use muds_table::{table_from_csv_file, table_to_csv, CsvOptions};
 
 fn main() -> ExitCode {
@@ -32,17 +32,48 @@ fn main() -> ExitCode {
     }
 }
 
+/// Builds the run's metrics registry, attaching a JSONL trace sink when
+/// `--trace` was given, and installs it as the ambient registry so every
+/// `profile_csv` call below records into it.
+fn install_metrics(trace: Option<&str>) -> Result<(Metrics, muds_obs::AmbientGuard), String> {
+    let metrics = Metrics::new();
+    if let Some(path) = trace {
+        let sink =
+            JsonlSink::create(path).map_err(|e| format!("cannot open trace file {path:?}: {e}"))?;
+        metrics.set_sink(Box::new(sink));
+    }
+    let guard = metrics.install();
+    Ok((metrics, guard))
+}
+
+fn print_phase_tree(phases: &[Phase], indent: usize) {
+    for phase in phases {
+        println!("  {:indent$}{:<28} {:?}", "", phase.name, phase.duration, indent = indent);
+        print_phase_tree(&phase.children, indent + 2);
+    }
+}
+
 fn run(command: Command) -> Result<(), String> {
     match command {
         Command::Help => {
             println!("{USAGE}");
             Ok(())
         }
-        Command::Profile { path, algorithm, delimiter, has_header, paper_faithful } => {
+        Command::Profile {
+            path,
+            algorithm,
+            delimiter,
+            has_header,
+            paper_faithful,
+            metrics,
+            trace,
+        } => {
             let options = CsvOptions { delimiter, has_header };
             let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
             let table = if table.has_duplicate_rows() {
-                eprintln!("note: input contains duplicate rows; removing them (paper §3 precondition)");
+                eprintln!(
+                    "note: input contains duplicate rows; removing them (paper §3 precondition)"
+                );
                 table.dedup_rows()
             } else {
                 table
@@ -50,6 +81,7 @@ fn run(command: Command) -> Result<(), String> {
             let mut config = ProfilerConfig::default();
             config.muds.completion_sweep = !paper_faithful;
             let csv = table_to_csv(&table, &options);
+            let (_registry, _guard) = install_metrics(trace.as_deref())?;
             let result = profile_csv(table.name(), &csv, &options, algorithm, &config)
                 .map_err(|e| e.to_string())?;
 
@@ -75,18 +107,31 @@ fn run(command: Command) -> Result<(), String> {
                 let lhs: Vec<&str> = fd.lhs.iter().map(|c| names[c]).collect();
                 println!("  {{{}}} → {}", lhs.join(", "), names[fd.rhs]);
             }
-            println!("\nphases:");
-            for phase in &result.phases {
-                println!("  {:<28} {:?}", phase.name, phase.duration);
+            match metrics {
+                // render_pretty already includes the span tree, so the
+                // plain phase list would be redundant.
+                Some(MetricsFormat::Pretty) => {
+                    println!("\n{}", result.metrics.render_pretty());
+                }
+                Some(MetricsFormat::Json) => {
+                    println!("\nphases:");
+                    print_phase_tree(&result.phases, 0);
+                    println!("\n{}", result.metrics.to_json());
+                }
+                None => {
+                    println!("\nphases:");
+                    print_phase_tree(&result.phases, 0);
+                }
             }
             Ok(())
         }
-        Command::Compare { path, delimiter, has_header } => {
+        Command::Compare { path, delimiter, has_header, metrics, trace } => {
             let options = CsvOptions { delimiter, has_header };
             let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
             let table = table.dedup_rows();
             let csv = table_to_csv(&table, &options);
             let config = ProfilerConfig::default();
+            let (_registry, _guard) = install_metrics(trace.as_deref())?;
             println!(
                 "{}: {} rows x {} columns\n",
                 table.name(),
@@ -94,13 +139,35 @@ fn run(command: Command) -> Result<(), String> {
                 table.num_columns()
             );
             println!("{:<10} {:>12} {:>8} {:>8} {:>8}", "algorithm", "time", "INDs", "UCCs", "FDs");
+            let mut detail: Vec<muds_core::ProfileResult> = Vec::new();
             for &alg in &Algorithm::ALL {
-                let t0 = Instant::now();
                 let result = profile_csv(table.name(), &csv, &options, alg, &config)
                     .map_err(|e| e.to_string())?;
-                let elapsed = t0.elapsed();
+                // Sum the algorithm's own phases rather than wall-clocking
+                // this loop body, so the table excludes harness overhead and
+                // matches `profile`'s per-phase report.
+                let elapsed = result.total_time();
                 let (inds, uccs, fds) = result.counts();
                 println!("{:<10} {:>12?} {:>8} {:>8} {:>8}", alg.name(), elapsed, inds, uccs, fds);
+                if metrics.is_some() {
+                    detail.push(result);
+                }
+            }
+            for result in &detail {
+                match metrics {
+                    Some(MetricsFormat::Pretty) => {
+                        println!("\n--- {} ---", result.algorithm.name());
+                        println!("{}", result.metrics.render_pretty());
+                    }
+                    Some(MetricsFormat::Json) => {
+                        println!(
+                            "{{\"algorithm\":\"{}\",\"metrics\":{}}}",
+                            result.algorithm.name(),
+                            result.metrics.to_json()
+                        );
+                    }
+                    None => {}
+                }
             }
             Ok(())
         }

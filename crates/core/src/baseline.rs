@@ -7,7 +7,7 @@
 //! the table) and builds its own PLIs — exactly the duplicated cost the
 //! holistic algorithms eliminate (§1: shared I/O, shared data structures).
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use muds_fd::{fun, FdSet};
 use muds_ind::{spider, Ind};
@@ -64,26 +64,26 @@ fn run_baseline<F: Fn() -> Table>(rescan: F, seed: u64) -> BaselineReport {
     let mut timings = BaselineTimings::default();
 
     // Task 1: SPIDER, with its own scan.
-    let t0 = Instant::now();
+    let span = muds_obs::span("SPIDER");
     let t = rescan();
     let inds = spider(&t);
-    timings.spider = t0.elapsed();
+    timings.spider = span.stop();
 
     // Task 2: DUCC, with its own scan and PLIs.
-    let t0 = Instant::now();
+    let span = muds_obs::span("DUCC");
     let t = rescan();
     let mut cache = PliCache::new(&t);
     let ducc_result = ducc(&mut cache, &DuccConfig { walk: WalkConfig { seed } });
-    timings.ducc = t0.elapsed();
+    timings.ducc = span.stop();
     let minimal_uccs = ducc_result.minimal_uccs;
 
     // Task 3: FUN, with its own scan and PLIs (UCC byproduct discarded —
     // the sequential baseline does not use it).
-    let t0 = Instant::now();
+    let span = muds_obs::span("FUN");
     let t = rescan();
     let mut cache = PliCache::new(&t);
     let fds = fun(&mut cache).fds;
-    timings.fun = t0.elapsed();
+    timings.fun = span.stop();
 
     BaselineReport { inds, minimal_uccs, fds, timings }
 }
@@ -100,11 +100,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id", "grp", "val"],
-            &[
-                vec!["1", "a", "x"],
-                vec!["2", "a", "x"],
-                vec!["3", "b", "y"],
-            ],
+            &[vec!["1", "a", "x"], vec!["2", "a", "x"], vec!["3", "b", "y"]],
         )
         .unwrap();
         let r = baseline(&t, 1);

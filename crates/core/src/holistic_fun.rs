@@ -8,7 +8,7 @@
 //! beats the sequential execution by exactly the duplicated work it avoids,
 //! but applies none of MUDS' inter-task pruning.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use muds_fd::{fun, FdSet, FunStats};
 use muds_ind::{spider_with_stats, Ind, SpiderStats};
@@ -47,14 +47,14 @@ pub struct HolisticFunReport {
 pub fn holistic_fun(table: &Table) -> HolisticFunReport {
     let mut timings = HolisticFunTimings::default();
 
-    let t0 = Instant::now();
+    let span = muds_obs::span("SPIDER");
     let (inds, spider_stats) = spider_with_stats(table);
     let mut cache = PliCache::new(table);
-    timings.spider = t0.elapsed();
+    timings.spider = span.stop();
 
-    let t0 = Instant::now();
+    let span = muds_obs::span("FUN");
     let result = fun(&mut cache);
-    timings.fun = t0.elapsed();
+    timings.fun = span.stop();
 
     HolisticFunReport {
         inds,
@@ -79,12 +79,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id", "grp", "val"],
-            &[
-                vec!["1", "a", "x"],
-                vec!["2", "a", "x"],
-                vec!["3", "b", "y"],
-                vec!["4", "b", "y"],
-            ],
+            &[vec!["1", "a", "x"], vec!["2", "a", "x"], vec!["3", "b", "y"], vec!["4", "b", "y"]],
         )
         .unwrap();
         let r = holistic_fun(&t);

@@ -26,9 +26,7 @@ use std::time::{Duration, Instant};
 
 use muds_fd::FdSet;
 use muds_ind::{spider_with_stats, Ind, SpiderStats};
-use muds_lattice::{
-    find_minimal_positives_seeded, ColumnSet, SetTrie, WalkConfig, WalkStats,
-};
+use muds_lattice::{find_minimal_positives_seeded, ColumnSet, SetTrie, WalkConfig, WalkStats};
 use muds_pli::{PliCache, PliCacheStats};
 use muds_table::Table;
 use muds_ucc::{ducc, DuccConfig};
@@ -162,18 +160,20 @@ pub fn muds(table: &Table, config: &MudsConfig) -> MudsReport {
     let mut timings = MudsPhaseTimings::default();
     let mut stats = MudsStats::default();
 
-    // Phase: SPIDER + PLI construction (shared input scan).
-    let t0 = Instant::now();
+    // Phase: SPIDER + PLI construction (shared input scan). Each phase is
+    // an obs span: the timer both feeds the legacy `MudsPhaseTimings`
+    // (Figure 8 rows) and nests into the ambient registry's phase tree.
+    let span = muds_obs::span("SPIDER");
     let (inds, spider_stats) = spider_with_stats(table);
     let mut cache = PliCache::new(table);
-    timings.spider = t0.elapsed();
+    timings.spider = span.stop();
     stats.spider = spider_stats;
 
     // Phase: DUCC.
-    let t0 = Instant::now();
+    let span = muds_obs::span("DUCC");
     let ducc_cfg = DuccConfig { walk: WalkConfig { seed: config.seed } };
     let ducc_result = ducc(&mut cache, &ducc_cfg);
-    timings.ducc = t0.elapsed();
+    timings.ducc = span.stop();
     stats.ducc_walk = ducc_result.stats.clone();
     let minimal_uccs = ducc_result.minimal_uccs.clone();
 
@@ -191,20 +191,25 @@ pub fn muds(table: &Table, config: &MudsConfig) -> MudsReport {
     }
 
     // Phase: FDs in connected minimal UCCs (§5.1).
-    let t0 = Instant::now();
+    let span = muds_obs::span("minimize FDs");
     let (mut fds, minimize_stats) =
         minimize::minimize_fds(&mut cache, &minimal_uccs, &ucc_trie, &z, &mut knowledge);
-    timings.minimize_fds = t0.elapsed();
+    timings.minimize_fds = span.stop();
+    muds_obs::add("minimize.tasks", minimize_stats.tasks);
+    muds_obs::add("minimize.fd_checks", minimize_stats.fd_checks);
+    muds_obs::add("minimize.connector_lookups", minimize_stats.connector_lookups);
     stats.minimize = minimize_stats;
 
     // Phase: R\Z sub-lattice walks (§5.2).
-    let t0 = Instant::now();
-    let rz_cfg = RzConfig {
-        seed: config.seed ^ 0x5A5A,
-        use_known_fd_pruning: config.use_known_fd_pruning,
-    };
+    let span = muds_obs::span("calculate R\\Z");
+    let rz_cfg =
+        RzConfig { seed: config.seed ^ 0x5A5A, use_known_fd_pruning: config.use_known_fd_pruning };
     let (rz_fds, rz_stats) = rz::discover_rz_fds(&mut cache, &z, &fds, &rz_cfg, &mut knowledge);
-    timings.calculate_rz = t0.elapsed();
+    timings.calculate_rz = span.stop();
+    // The per-walk counters inside each sub-lattice flush themselves
+    // (`walk.*`); these are the phase-level aggregates.
+    muds_obs::add("rz.sub_lattices", rz_stats.sub_lattices);
+    muds_obs::add("rz.reductions", rz_stats.reductions);
     stats.rz = rz_stats;
     for fd in rz_fds.to_sorted_vec() {
         fds.insert(fd.lhs, fd.rhs);
@@ -222,20 +227,30 @@ pub fn muds(table: &Table, config: &MudsConfig) -> MudsReport {
     );
     let shadow_total = t0.elapsed();
     // Attribute time to generation vs minimization proportionally to the FD
-    // checks spent in each (both phases are check-dominated, §6.4).
+    // checks spent in each (both phases are check-dominated, §6.4). The two
+    // logical phases share one measured interval, so they enter the span
+    // tree post-hoc as leaf spans rather than via RAII timers.
     let gen = shadowed_stats.generation_fd_checks;
     let min = shadowed_stats.minimize_fd_checks;
     let denom = (gen + min).max(1);
     timings.generate_shadowed = shadow_total.mul_f64(gen as f64 / denom as f64);
     timings.minimize_shadowed = shadow_total.mul_f64(min as f64 / denom as f64);
+    muds_obs::record_span("generate shadowed fd tasks", timings.generate_shadowed);
+    muds_obs::record_span("minimize shadowed tasks", timings.minimize_shadowed);
+    muds_obs::add("shadowed.tasks_generated", shadowed_stats.tasks_generated);
+    muds_obs::add("shadowed.generation_fd_checks", shadowed_stats.generation_fd_checks);
+    muds_obs::add("shadowed.minimize_fd_checks", shadowed_stats.minimize_fd_checks);
+    muds_obs::add("shadowed.checks_short_circuited", shadowed_stats.checks_short_circuited);
+    muds_obs::add("shadowed.rounds", shadowed_stats.rounds);
     stats.shadowed = shadowed_stats;
 
     // Optional exactness sweep for right-hand sides in Z.
     if config.completion_sweep {
-        let t0 = Instant::now();
+        let span = muds_obs::span("completion sweep");
         let sweep_calls = completion_sweep(&mut cache, &z, &mut fds, &mut knowledge, config);
-        timings.completion_sweep = t0.elapsed();
+        timings.completion_sweep = span.stop();
         stats.sweep_oracle_calls = sweep_calls;
+        muds_obs::add("muds.sweep_oracle_calls", sweep_calls);
     }
 
     // Structural minimality guard (pure set algebra; see DESIGN.md).
@@ -263,8 +278,12 @@ fn completion_sweep(
         // Seed the walk with everything the earlier phases learned about
         // this right-hand side, positive and negative.
         let seeds: Vec<ColumnSet> = knowledge.positive_sets(a);
-        let negatives: Vec<ColumnSet> =
-            knowledge.negative_sets(a).iter().copied().filter(|s| s.is_subset_of(&universe)).collect();
+        let negatives: Vec<ColumnSet> = knowledge
+            .negative_sets(a)
+            .iter()
+            .copied()
+            .filter(|s| s.is_subset_of(&universe))
+            .collect();
         let mut oracle = |set: &ColumnSet| cache.determines(set, a);
         let walk_cfg = WalkConfig { seed: config.seed ^ (0xC0DE + a as u64) };
         let result =
@@ -328,9 +347,9 @@ mod tests {
         let rows: Vec<Vec<String>> = (0u32..16)
             .map(|i| {
                 vec![
-                    i.to_string(),              // A: key
-                    (i / 2).to_string(),        // B
-                    (i % 2).to_string(),        // C
+                    i.to_string(),                   // A: key
+                    (i / 2).to_string(),             // B
+                    (i % 2).to_string(),             // C
                     ((i / 2) ^ (i % 2)).to_string(), // D = f(B, C)
                 ]
             })
@@ -361,10 +380,7 @@ mod tests {
         .unwrap();
         let report = muds(&t, &MudsConfig::default());
         assert!(report.minimal_uccs.is_empty());
-        assert_eq!(
-            report.fds.to_sorted_vec(),
-            naive_minimal_fds(&t).to_sorted_vec()
-        );
+        assert_eq!(report.fds.to_sorted_vec(), naive_minimal_fds(&t).to_sorted_vec());
     }
 
     #[test]
@@ -380,9 +396,8 @@ mod tests {
             let data: Vec<Vec<String>> = (0..rows)
                 .map(|_| (0..cols).map(|_| rng.gen_range(0..cardinality).to_string()).collect())
                 .collect();
-            let t = Table::from_rows(format!("rand{case}"), &name_refs, &data)
-                .unwrap()
-                .dedup_rows();
+            let t =
+                Table::from_rows(format!("rand{case}"), &name_refs, &data).unwrap().dedup_rows();
             check_equivalence(&t, &MudsConfig::default());
         }
     }
@@ -407,9 +422,8 @@ mod tests {
             let data: Vec<Vec<String>> = (0..rows)
                 .map(|_| (0..cols).map(|_| rng.gen_range(0..cardinality).to_string()).collect())
                 .collect();
-            let t = Table::from_rows(format!("rand{case}"), &name_refs, &data)
-                .unwrap()
-                .dedup_rows();
+            let t =
+                Table::from_rows(format!("rand{case}"), &name_refs, &data).unwrap().dedup_rows();
             let report = muds(&t, &cfg);
             for fd in report.fds.to_sorted_vec() {
                 assert!(muds_fd::holds(&t, &fd.lhs, fd.rhs), "unsound FD {fd} on case {case}");
@@ -439,9 +453,22 @@ mod tests {
     #[test]
     fn paper_faithful_mode_misses_a_shadowed_fd() {
         let raw = [
-            "1,0,2,0,0", "2,1,3,0,0", "0,3,0,3,1", "2,3,3,0,2", "0,2,3,1,2", "1,3,0,2,3",
-            "0,2,0,0,3", "1,0,0,3,1", "3,2,3,2,1", "3,3,2,3,0", "3,2,3,3,2", "3,1,2,3,2",
-            "1,2,0,0,1", "3,3,2,0,1", "0,1,3,1,1", "3,3,2,2,1",
+            "1,0,2,0,0",
+            "2,1,3,0,0",
+            "0,3,0,3,1",
+            "2,3,3,0,2",
+            "0,2,3,1,2",
+            "1,3,0,2,3",
+            "0,2,0,0,3",
+            "1,0,0,3,1",
+            "3,2,3,2,1",
+            "3,3,2,3,0",
+            "3,2,3,3,2",
+            "3,1,2,3,2",
+            "1,2,0,0,1",
+            "3,3,2,0,1",
+            "0,1,3,1,1",
+            "3,3,2,2,1",
         ];
         let rows: Vec<Vec<&str>> = raw.iter().map(|r| r.split(',').collect()).collect();
         let t = Table::from_rows("counterexample", &["A", "B", "C", "D", "E"], &rows).unwrap();

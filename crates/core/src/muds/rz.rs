@@ -171,9 +171,7 @@ mod tests {
     }
 
     fn z_of(t: &Table) -> ColumnSet {
-        muds_ucc::naive_minimal_uccs(t)
-            .iter()
-            .fold(ColumnSet::empty(), |acc, u| acc.union(u))
+        muds_ucc::naive_minimal_uccs(t).iter().fold(ColumnSet::empty(), |acc, u| acc.union(u))
     }
 
     #[test]
@@ -182,36 +180,39 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id", "g", "x"],
-            &[
-                vec!["1", "a", "p"],
-                vec!["2", "a", "p"],
-                vec!["3", "b", "q"],
-                vec!["4", "b", "q"],
-            ],
+            &[vec!["1", "a", "p"], vec!["2", "a", "p"], vec!["3", "b", "q"], vec!["4", "b", "q"]],
         )
         .unwrap();
         let z = z_of(&t); // {id}
         assert_eq!(z, cs(&[0]));
         let mut cache = PliCache::new(&t);
-        let (fds, stats) = discover_rz_fds(&mut cache, &z, &FdSet::new(), &RzConfig::default(), &mut FdKnowledge::new(t.num_columns()));
+        let (fds, stats) = discover_rz_fds(
+            &mut cache,
+            &z,
+            &FdSet::new(),
+            &RzConfig::default(),
+            &mut FdKnowledge::new(t.num_columns()),
+        );
         assert!(fds.contains(&cs(&[1]), 2), "g → x");
         assert_eq!(stats.sub_lattices, 2); // g and x
-        // Exactness vs naive.
-        let got: Vec<(ColumnSet, usize)> = fds
-            .to_sorted_vec()
-            .into_iter()
-            .map(|fd| (fd.lhs, fd.rhs))
-            .collect();
+                                           // Exactness vs naive.
+        let got: Vec<(ColumnSet, usize)> =
+            fds.to_sorted_vec().into_iter().map(|fd| (fd.lhs, fd.rhs)).collect();
         assert_eq!(got, expected_rz(&t, &z));
     }
 
     #[test]
     fn constant_column_gets_empty_lhs() {
-        let t =
-            Table::from_rows("t", &["id", "k"], &[vec!["1", "c"], vec!["2", "c"]]).unwrap();
+        let t = Table::from_rows("t", &["id", "k"], &[vec!["1", "c"], vec!["2", "c"]]).unwrap();
         let z = z_of(&t);
         let mut cache = PliCache::new(&t);
-        let (fds, _) = discover_rz_fds(&mut cache, &z, &FdSet::new(), &RzConfig::default(), &mut FdKnowledge::new(t.num_columns()));
+        let (fds, _) = discover_rz_fds(
+            &mut cache,
+            &z,
+            &FdSet::new(),
+            &RzConfig::default(),
+            &mut FdKnowledge::new(t.num_columns()),
+        );
         assert!(fds.contains(&ColumnSet::empty(), 1));
     }
 
@@ -230,7 +231,13 @@ mod tests {
             let t = Table::from_rows("t", &name_refs, &data).unwrap().dedup_rows();
             let z = z_of(&t);
             let mut cache = PliCache::new(&t);
-            let (fds, _) = discover_rz_fds(&mut cache, &z, &FdSet::new(), &RzConfig::default(), &mut FdKnowledge::new(t.num_columns()));
+            let (fds, _) = discover_rz_fds(
+                &mut cache,
+                &z,
+                &FdSet::new(),
+                &RzConfig::default(),
+                &mut FdKnowledge::new(t.num_columns()),
+            );
             let got: Vec<(ColumnSet, usize)> =
                 fds.to_sorted_vec().into_iter().map(|fd| (fd.lhs, fd.rhs)).collect();
             assert_eq!(got, expected_rz(&t, &z), "case {case}");

@@ -328,12 +328,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id1", "id2", "v"],
-            &[
-                vec!["1", "a", "x"],
-                vec!["2", "a", "y"],
-                vec!["1", "b", "y"],
-                vec!["2", "b", "x"],
-            ],
+            &[vec!["1", "a", "x"], vec!["2", "a", "y"], vec!["1", "b", "y"], vec!["2", "b", "x"]],
         )
         .unwrap();
         let uccs = muds_ucc::naive_minimal_uccs(&t);
@@ -346,8 +341,13 @@ mod tests {
             }
         }
         let mut knowledge = FdKnowledge::new(t.num_columns());
-        let stats =
-            discover_shadowed_fds(&mut cache, &mut fds, &trie, ShadowLookup::Generous, &mut knowledge);
+        let stats = discover_shadowed_fds(
+            &mut cache,
+            &mut fds,
+            &trie,
+            ShadowLookup::Generous,
+            &mut knowledge,
+        );
         assert!(stats.rounds >= 1);
         // All emitted FDs valid.
         for fd in fds.to_sorted_vec() {
@@ -368,14 +368,13 @@ mod tests {
         let mut cache = PliCache::new(&t);
         let mut fds = FdSet::new();
         let mut stats = ShadowedStats::default();
-        let added =
-            minimize_tasks(
-                &mut cache,
-                vec![(cs(&[0, 2]), cs(&[1]))],
-                &mut fds,
-                &mut FdKnowledge::new(3),
-                &mut stats,
-            );
+        let added = minimize_tasks(
+            &mut cache,
+            vec![(cs(&[0, 2]), cs(&[1]))],
+            &mut fds,
+            &mut FdKnowledge::new(3),
+            &mut stats,
+        );
         assert!(added >= 1);
         assert!(fds.contains(&cs(&[0]), 1));
         assert!(!fds.contains(&cs(&[0, 2]), 1));

@@ -11,6 +11,7 @@ use std::time::Duration;
 use muds_fd::FdSet;
 use muds_ind::Ind;
 use muds_lattice::ColumnSet;
+use muds_obs::{Metrics, MetricsSnapshot, SpanNode};
 use muds_table::{table_from_csv, CsvOptions, Table, TableError};
 
 use crate::baseline::{baseline, baseline_csv};
@@ -63,11 +64,24 @@ impl Default for ProfilerConfig {
     }
 }
 
-/// One timed phase of an algorithm run.
+/// One timed phase of an algorithm run. Phases form a tree: a phase that
+/// contains nested instrumented spans (e.g. an algorithm phase with timed
+/// sub-steps) carries them as `children`.
 #[derive(Debug, Clone)]
 pub struct Phase {
     pub name: String,
     pub duration: Duration,
+    pub children: Vec<Phase>,
+}
+
+impl Phase {
+    fn from_span(span: &SpanNode) -> Phase {
+        Phase {
+            name: span.name.clone(),
+            duration: span.duration,
+            children: span.children.iter().map(Phase::from_span).collect(),
+        }
+    }
 }
 
 /// Uniform result of any [`Algorithm`].
@@ -81,13 +95,16 @@ pub struct ProfileResult {
     pub minimal_uccs: Vec<ColumnSet>,
     /// All minimal FDs.
     pub fds: FdSet,
-    /// Phase-level wall-clock breakdown (phase names are
-    /// algorithm-specific).
+    /// Phase-level wall-clock breakdown, derived from the run's span tree
+    /// (phase names are algorithm-specific).
     pub phases: Vec<Phase>,
+    /// Every counter, gauge, and span the run recorded — PLI cache traffic,
+    /// lattice-walk work, SPIDER merge effort, per-phase FD checks.
+    pub metrics: MetricsSnapshot,
 }
 
 impl ProfileResult {
-    /// Total runtime across phases.
+    /// Total runtime across top-level phases.
     pub fn total_time(&self) -> Duration {
         self.phases.iter().map(|p| p.duration).sum()
     }
@@ -98,67 +115,65 @@ impl ProfileResult {
     }
 }
 
-fn phase(name: &str, duration: Duration) -> Phase {
-    Phase { name: name.to_string(), duration }
+/// The ambient metrics registry if one is installed (the CLI installs one
+/// to attach a trace sink), else a fresh registry installed for the scope
+/// of the returned guard.
+fn ensure_ambient() -> (Metrics, Option<muds_obs::AmbientGuard>) {
+    match Metrics::current() {
+        Some(m) => (m, None),
+        None => {
+            let m = Metrics::new();
+            let guard = m.install();
+            (m, Some(guard))
+        }
+    }
+}
+
+/// Drains the run's metrics out of `metrics` and assembles the uniform
+/// result, deriving the phase list from the recorded span tree.
+fn finish(
+    algorithm: Algorithm,
+    inds: Vec<Ind>,
+    minimal_uccs: Vec<ColumnSet>,
+    fds: FdSet,
+    metrics: &Metrics,
+) -> ProfileResult {
+    let snapshot = metrics.drain_snapshot();
+    let phases = snapshot.spans.iter().map(Phase::from_span).collect();
+    ProfileResult { algorithm, inds, minimal_uccs, fds, phases, metrics: snapshot }
 }
 
 /// Runs `algorithm` on a parsed table. Input is assumed duplicate-free
 /// (§3); see [`Table::dedup_rows`].
 pub fn profile(table: &Table, algorithm: Algorithm, config: &ProfilerConfig) -> ProfileResult {
+    let (metrics, _guard) = ensure_ambient();
     match algorithm {
         Algorithm::Muds => {
             let mut muds_cfg = config.muds.clone();
             muds_cfg.seed = config.seed;
             let r = muds(table, &muds_cfg);
-            ProfileResult {
-                algorithm,
-                inds: r.inds,
-                minimal_uccs: r.minimal_uccs,
-                fds: r.fds,
-                phases: r
-                    .timings
-                    .as_rows()
-                    .into_iter()
-                    .map(|(n, d)| phase(n, d))
-                    .collect(),
-            }
+            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
         }
         Algorithm::HolisticFun => {
             let r = holistic_fun(table);
-            ProfileResult {
-                algorithm,
-                inds: r.inds,
-                minimal_uccs: r.minimal_uccs,
-                fds: r.fds,
-                phases: vec![phase("SPIDER", r.timings.spider), phase("FUN", r.timings.fun)],
-            }
+            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
         }
         Algorithm::Baseline => {
             let r = baseline(table, config.seed);
-            ProfileResult {
-                algorithm,
-                inds: r.inds,
-                minimal_uccs: r.minimal_uccs,
-                fds: r.fds,
-                phases: vec![
-                    phase("SPIDER", r.timings.spider),
-                    phase("DUCC", r.timings.ducc),
-                    phase("FUN", r.timings.fun),
-                ],
-            }
+            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
         }
         Algorithm::Tane => {
-            let t0 = std::time::Instant::now();
+            // TANE discovers no INDs itself; like the baseline, the IND
+            // list comes from SPIDER on a separate pass, timed as its own
+            // phase so Table 3 comparisons stay honest.
+            let span = muds_obs::span("SPIDER");
+            let inds = muds_ind::spider(table);
+            span.stop();
+            let span = muds_obs::span("TANE");
             let mut cache = muds_pli::PliCache::new(table);
             let r = muds_fd::tane(&mut cache);
-            let tane_time = t0.elapsed();
-            ProfileResult {
-                algorithm,
-                inds: Vec::new(),
-                minimal_uccs: r.minimal_uccs,
-                fds: r.fds,
-                phases: vec![phase("TANE", tane_time)],
-            }
+            span.stop();
+            finish(algorithm, inds, r.minimal_uccs, r.fds, &metrics)
         }
     }
 }
@@ -175,27 +190,20 @@ pub fn profile_csv(
 ) -> Result<ProfileResult, TableError> {
     match algorithm {
         Algorithm::Baseline => {
+            let (metrics, _guard) = ensure_ambient();
             let r = baseline_csv(name, csv, options, config.seed);
-            Ok(ProfileResult {
-                algorithm,
-                inds: r.inds,
-                minimal_uccs: r.minimal_uccs,
-                fds: r.fds,
-                phases: vec![
-                    phase("SPIDER", r.timings.spider),
-                    phase("DUCC", r.timings.ducc),
-                    phase("FUN", r.timings.fun),
-                ],
-            })
+            Ok(finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics))
         }
         _ => {
             // Holistic algorithms and TANE: one parse, timed as a phase.
-            let t0 = std::time::Instant::now();
+            // The guard (when we installed the registry) must outlive the
+            // inner profile() call so the parse span and the algorithm
+            // spans drain into one snapshot.
+            let (_metrics, _guard) = ensure_ambient();
+            let span = muds_obs::span("read input");
             let table = table_from_csv(name, csv, options)?;
-            let parse_time = t0.elapsed();
-            let mut result = profile(&table, algorithm, config);
-            result.phases.insert(0, phase("read input", parse_time));
-            Ok(result)
+            span.stop();
+            Ok(profile(&table, algorithm, config))
         }
     }
 }
@@ -234,9 +242,53 @@ mod tests {
             );
             assert_eq!(pair[0].minimal_uccs, pair[1].minimal_uccs);
         }
-        // IND-producing algorithms agree too.
+        // All four algorithms produce the same IND list (TANE gets its
+        // INDs from a separate SPIDER pass).
         assert_eq!(results[0].inds, results[1].inds);
         assert_eq!(results[1].inds, results[2].inds);
+        assert_eq!(results[2].inds, results[3].inds);
+    }
+
+    /// Regression: TANE used to return an empty IND list; it now runs
+    /// SPIDER as its own timed phase, like the sequential baseline.
+    #[test]
+    fn tane_reports_real_inds_from_its_spider_phase() {
+        let t = sample();
+        let cfg = ProfilerConfig::default();
+        let tane = profile(&t, Algorithm::Tane, &cfg);
+        let base = profile(&t, Algorithm::Baseline, &cfg);
+        assert!(!tane.inds.is_empty(), "sample table has INDs (id ↔ cpy)");
+        assert_eq!(tane.inds, base.inds);
+        let names: Vec<&str> = tane.phases.iter().map(|p| p.name.as_str()).collect();
+        assert_eq!(names, ["SPIDER", "TANE"]);
+    }
+
+    #[test]
+    fn profile_attaches_metrics_snapshot() {
+        let t = sample();
+        let r = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        assert!(r.metrics.counter("pli.intersects") > 0);
+        assert_eq!(
+            r.metrics.counter("pli.requests"),
+            r.metrics.counter("pli.hits") + r.metrics.counter("pli.misses")
+        );
+        assert!(r.metrics.counter("walk.nodes_visited") > 0);
+        // Phase list mirrors the span tree.
+        assert_eq!(r.phases.len(), r.metrics.spans.len());
+        assert_eq!(r.phases[0].name, "SPIDER");
+    }
+
+    #[test]
+    fn consecutive_runs_under_one_registry_get_independent_snapshots() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let t = sample();
+        let cfg = ProfilerConfig::default();
+        let a = profile(&t, Algorithm::Muds, &cfg);
+        let b = profile(&t, Algorithm::Muds, &cfg);
+        // Same seed → identical counters; the drain between runs prevents
+        // accumulation.
+        assert_eq!(a.metrics.counters, b.metrics.counters);
     }
 
     #[test]

@@ -91,7 +91,10 @@ pub fn ionosphere_like(cols: usize) -> Table {
             if i >= 4 && i % 3 == 2 {
                 ColumnSpec::new(
                     format!("ch{i}"),
-                    ColumnKind::Derived { sources: vec![i - 4, i - 3, i - 2, i - 1], cardinality: 3 },
+                    ColumnKind::Derived {
+                        sources: vec![i - 4, i - 3, i - 2, i - 1],
+                        cardinality: 3,
+                    },
                 )
                 .shared()
             } else {
@@ -185,7 +188,7 @@ mod tests {
         let t = uniprot_like(2000, 10);
         assert_eq!(t.num_columns(), 10);
         assert!(t.num_rows() >= 1990); // dedup removes at most a handful
-        // Three overlapping composite keys, no singleton key.
+                                       // Three overlapping composite keys, no singleton key.
         for pair in [[0usize, 1], [0, 2], [1, 2]] {
             assert!(muds_ucc::is_unique(&t, &ColumnSet::from_indices(pair)), "{pair:?}");
         }

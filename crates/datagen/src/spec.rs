@@ -123,6 +123,9 @@ impl DatasetSpec {
         let mut raw: Vec<Vec<Option<u64>>> = Vec::with_capacity(n_cols);
         for (col_idx, spec) in self.columns.iter().enumerate() {
             let mut col: Vec<Option<u64>> = Vec::with_capacity(self.rows);
+            // `raw` is indexed by *earlier column* then row; iterating it
+            // directly would not fit the row loop.
+            #[allow(clippy::needless_range_loop)]
             for i in 0..self.rows {
                 let v = match &spec.kind {
                     ColumnKind::Serial => i as u64,
@@ -214,10 +217,7 @@ mod tests {
             columns: vec![
                 ColumnSpec::new("id", ColumnKind::Serial),
                 ColumnSpec::new("g", ColumnKind::Derived { sources: vec![0], cardinality: 10 }),
-                ColumnSpec::new(
-                    "h",
-                    ColumnKind::Derived { sources: vec![1], cardinality: 3 },
-                ),
+                ColumnSpec::new("h", ColumnKind::Derived { sources: vec![1], cardinality: 3 }),
             ],
             seed: 2,
         };
@@ -294,7 +294,10 @@ mod tests {
             rows: 50,
             columns: vec![
                 ColumnSpec::new("a", ColumnKind::Random { cardinality: 4 }),
-                ColumnSpec::new("b", ColumnKind::Noisy { source: 0, cardinality: 4, flip_permille: 100 }),
+                ColumnSpec::new(
+                    "b",
+                    ColumnKind::Noisy { source: 0, cardinality: 4, flip_permille: 100 },
+                ),
             ],
             seed: 9,
         };

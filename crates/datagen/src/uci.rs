@@ -69,8 +69,11 @@ pub fn iris() -> Table {
         ColumnSpec::new("sepal_wid", ColumnKind::Random { cardinality: 23 }).shared(),
         ColumnSpec::new("petal_len", ColumnKind::Random { cardinality: 43 }).shared(),
         ColumnSpec::new("petal_wid", ColumnKind::Random { cardinality: 22 }).shared(),
-        ColumnSpec::new("class", ColumnKind::Noisy { source: 2, cardinality: 3, flip_permille: 100 })
-            .shared(),
+        ColumnSpec::new(
+            "class",
+            ColumnKind::Noisy { source: 2, cardinality: 3, flip_permille: 100 },
+        )
+        .shared(),
     ];
     DatasetSpec { name: "iris".into(), rows: 150, columns, seed: 0x1215 }.generate()
 }
@@ -113,12 +116,18 @@ pub fn abalone() -> Table {
     let columns = vec![
         ColumnSpec::new("sex", ColumnKind::Random { cardinality: 3 }).shared(),
         ColumnSpec::new("length", ColumnKind::Random { cardinality: 134 }).shared(),
-        ColumnSpec::new("diameter", ColumnKind::Noisy { source: 1, cardinality: 111, flip_permille: 150 })
-            .shared(),
+        ColumnSpec::new(
+            "diameter",
+            ColumnKind::Noisy { source: 1, cardinality: 111, flip_permille: 150 },
+        )
+        .shared(),
         ColumnSpec::new("height", ColumnKind::Random { cardinality: 51 }).shared(),
         ColumnSpec::new("whole_w", ColumnKind::Random { cardinality: 2429 }).shared(),
-        ColumnSpec::new("shucked_w", ColumnKind::Noisy { source: 4, cardinality: 1515, flip_permille: 300 })
-            .shared(),
+        ColumnSpec::new(
+            "shucked_w",
+            ColumnKind::Noisy { source: 4, cardinality: 1515, flip_permille: 300 },
+        )
+        .shared(),
         ColumnSpec::new("viscera_w", ColumnKind::Random { cardinality: 880 }).shared(),
         ColumnSpec::new("shell_w", ColumnKind::Random { cardinality: 926 }).shared(),
         ColumnSpec::new("rings", ColumnKind::Random { cardinality: 28 }).shared(),
@@ -157,8 +166,11 @@ pub fn breast_cancer() -> Table {
         );
     }
     columns.push(
-        ColumnSpec::new("class", ColumnKind::Noisy { source: 1, cardinality: 2, flip_permille: 150 })
-            .shared(),
+        ColumnSpec::new(
+            "class",
+            ColumnKind::Noisy { source: 1, cardinality: 2, flip_permille: 150 },
+        )
+        .shared(),
     );
     DatasetSpec { name: "b-cancer".into(), rows: 699, columns, seed: 0xBC01 }.generate()
 }
@@ -220,8 +232,11 @@ pub fn adult() -> Table {
         ColumnSpec::new("cap_gain", ColumnKind::Random { cardinality: 123 }).shared(),
         ColumnSpec::new("cap_loss", ColumnKind::Random { cardinality: 99 }).shared(),
         ColumnSpec::new("hours", ColumnKind::Random { cardinality: 96 }).shared(),
-        ColumnSpec::new("income", ColumnKind::Noisy { source: 4, cardinality: 2, flip_permille: 250 })
-            .shared(),
+        ColumnSpec::new(
+            "income",
+            ColumnKind::Noisy { source: 4, cardinality: 2, flip_permille: 250 },
+        )
+        .shared(),
     ];
     DatasetSpec { name: "adult".into(), rows: 48_842, columns, seed: 0xAD17 }.generate()
 }
@@ -252,8 +267,11 @@ pub fn letter() -> Table {
         })
         .collect();
     columns.push(
-        ColumnSpec::new("letter", ColumnKind::Noisy { source: 0, cardinality: 26, flip_permille: 300 })
-            .shared(),
+        ColumnSpec::new(
+            "letter",
+            ColumnKind::Noisy { source: 0, cardinality: 26, flip_permille: 300 },
+        )
+        .shared(),
     );
     DatasetSpec { name: "letter".into(), rows: 20_000, columns, seed: 0x1E77 }.generate()
 }
@@ -318,7 +336,12 @@ mod tests {
         let t = balance();
         let fds = muds_fd::naive_minimal_fds(&t);
         assert_eq!(t.num_rows(), 625);
-        assert_eq!(fds.len(), 1, "balance should have exactly the class FD, got {:?}", fds.display_sorted());
+        assert_eq!(
+            fds.len(),
+            1,
+            "balance should have exactly the class FD, got {:?}",
+            fds.display_sorted()
+        );
     }
 
     #[test]

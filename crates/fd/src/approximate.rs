@@ -109,13 +109,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b"],
-            &[
-                vec!["g", "1"],
-                vec!["g", "1"],
-                vec!["g", "2"],
-                vec!["h", "3"],
-                vec!["h", "3"],
-            ],
+            &[vec!["g", "1"], vec!["g", "1"], vec!["g", "2"], vec!["h", "3"], vec!["h", "3"]],
         )
         .unwrap();
         let mut cache = PliCache::new(&t);

@@ -40,11 +40,8 @@ pub fn depminer_fds(table: &Table) -> FdSet {
         // `∅ → a` fails for any non-constant column — so it is always
         // added (it is implied by every other edge and therefore harmless
         // when redundant).
-        let mut difference_sets: Vec<ColumnSet> = agree
-            .iter()
-            .filter(|ag| !ag.contains(a))
-            .map(|ag| universe.difference(ag))
-            .collect();
+        let mut difference_sets: Vec<ColumnSet> =
+            agree.iter().filter(|ag| !ag.contains(a)).map(|ag| universe.difference(ag)).collect();
         difference_sets.push(universe);
         // Pairs agreeing on everything but `a` make the rhs underivable —
         // their difference set is empty and no lhs exists (the hitting-set
@@ -90,12 +87,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id", "grp", "val"],
-            &[
-                vec!["1", "a", "x"],
-                vec!["2", "a", "x"],
-                vec!["3", "b", "y"],
-                vec!["4", "b", "y"],
-            ],
+            &[vec!["1", "a", "x"], vec!["2", "a", "x"], vec!["3", "b", "y"], vec!["4", "b", "y"]],
         )
         .unwrap();
         assert_eq!(depminer_fds(&t).to_sorted_vec(), naive_minimal_fds(&t).to_sorted_vec());

@@ -42,6 +42,17 @@ pub struct FunStats {
     pub max_level: usize,
 }
 
+impl FunStats {
+    /// Publishes the counters into the ambient [`muds_obs::Metrics`]
+    /// registry (no-op without one).
+    fn flush(&self) {
+        muds_obs::add("fun.cards_computed", self.cards_computed);
+        muds_obs::add("fun.cards_inferred", self.cards_inferred);
+        muds_obs::add("fun.free_sets", self.free_sets);
+        muds_obs::gauge_max("fun.max_level", self.max_level as i64);
+    }
+}
+
 /// Result of a FUN run.
 #[derive(Debug, Clone)]
 pub struct FunResult {
@@ -168,6 +179,7 @@ pub fn fun(cache: &mut PliCache<'_>) -> FunResult {
     }
 
     minimal_uccs.sort();
+    fun.stats.flush();
     FunResult { fds, minimal_uccs, stats: fun.stats }
 }
 
@@ -211,12 +223,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["0", "0", "0"],
-                vec!["0", "1", "1"],
-                vec!["1", "0", "1"],
-                vec!["1", "1", "0"],
-            ],
+            &[vec!["0", "0", "0"], vec!["0", "1", "1"], vec!["1", "0", "1"], vec!["1", "1", "0"]],
         )
         .unwrap();
         check_table(&t);
@@ -238,12 +245,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["id", "x", "y"],
-            &[
-                vec!["1", "a", "p"],
-                vec!["2", "a", "q"],
-                vec!["3", "b", "p"],
-                vec!["4", "b", "q"],
-            ],
+            &[vec!["1", "a", "p"], vec!["2", "a", "q"], vec!["3", "b", "p"], vec!["4", "b", "q"]],
         )
         .unwrap();
         let mut cache = PliCache::new(&t);
@@ -308,12 +310,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["1", "1", "1"],
-                vec!["1", "2", "1"],
-                vec!["2", "1", "1"],
-                vec!["2", "2", "2"],
-            ],
+            &[vec!["1", "1", "1"], vec!["1", "2", "1"], vec!["2", "1", "1"], vec!["2", "2", "2"]],
         )
         .unwrap();
         let mut cache = PliCache::new(&t);

@@ -45,16 +45,16 @@ pub fn holds(table: &Table, lhs: &ColumnSet, rhs: usize) -> bool {
     let cols: Vec<usize> = lhs.to_vec();
     let rhs_codes = table.column(rhs).codes();
     let mut groups: HashMap<Vec<u32>, u32> = HashMap::new();
-    for r in 0..table.num_rows() {
+    for (r, &rhs_code) in rhs_codes.iter().enumerate().take(table.num_rows()) {
         let key: Vec<u32> = cols.iter().map(|&c| table.column(c).codes()[r]).collect();
         match groups.entry(key) {
             std::collections::hash_map::Entry::Occupied(e) => {
-                if *e.get() != rhs_codes[r] {
+                if *e.get() != rhs_code {
                     return false;
                 }
             }
             std::collections::hash_map::Entry::Vacant(e) => {
-                e.insert(rhs_codes[r]);
+                e.insert(rhs_code);
             }
         }
     }
@@ -71,12 +71,9 @@ mod tests {
 
     #[test]
     fn copy_column_fd() {
-        let t = Table::from_rows(
-            "t",
-            &["a", "b"],
-            &[vec!["1", "1"], vec!["2", "2"], vec!["3", "3"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "1"], vec!["2", "2"], vec!["3", "3"]])
+                .unwrap();
         let fds = naive_minimal_fds(&t);
         assert!(fds.contains(&cs(&[0]), 1));
         assert!(fds.contains(&cs(&[1]), 0));
@@ -98,12 +95,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["0", "0", "0"],
-                vec!["0", "1", "1"],
-                vec!["1", "0", "1"],
-                vec!["1", "1", "0"],
-            ],
+            &[vec!["0", "0", "0"], vec!["0", "1", "1"], vec!["1", "0", "1"], vec!["1", "1", "0"]],
         )
         .unwrap();
         let fds = naive_minimal_fds(&t);

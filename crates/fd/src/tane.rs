@@ -44,6 +44,16 @@ pub struct TaneStats {
     pub max_level: usize,
 }
 
+impl TaneStats {
+    /// Publishes the counters into the ambient [`muds_obs::Metrics`]
+    /// registry (no-op without one).
+    fn flush(&self) {
+        muds_obs::add("tane.fd_checks", self.fd_checks);
+        muds_obs::add("tane.nodes_processed", self.nodes_processed);
+        muds_obs::gauge_max("tane.max_level", self.max_level as i64);
+    }
+}
+
 /// Result of a TANE run.
 #[derive(Debug, Clone)]
 pub struct TaneResult {
@@ -80,6 +90,7 @@ pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
                 fds.insert(ColumnSet::empty(), a);
             }
         }
+        stats.flush();
         return TaneResult { fds, minimal_uccs, stats };
     }
 
@@ -156,6 +167,7 @@ pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
     }
 
     minimal_uccs.sort();
+    stats.flush();
     TaneResult { fds, minimal_uccs, stats }
 }
 
@@ -204,12 +216,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["0", "0", "0"],
-                vec!["0", "1", "1"],
-                vec!["1", "0", "1"],
-                vec!["1", "1", "0"],
-            ],
+            &[vec!["0", "0", "0"], vec!["0", "1", "1"], vec!["1", "0", "1"], vec!["1", "1", "0"]],
         )
         .unwrap();
         check_table(&t);

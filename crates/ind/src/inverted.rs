@@ -79,7 +79,11 @@ mod tests {
                     (0..cols)
                         .map(|_| {
                             let v = rng.gen_range(0..5);
-                            if v == 0 { String::new() } else { v.to_string() }
+                            if v == 0 {
+                                String::new()
+                            } else {
+                                v.to_string()
+                            }
                         })
                         .collect()
                 })

@@ -153,11 +153,7 @@ mod tests {
         Table::from_rows(
             "t",
             &["A", "B", "C", "D"],
-            &[
-                vec!["1", "x", "1", "x"],
-                vec!["2", "y", "2", "y"],
-                vec!["1", "x", "3", "z"],
-            ],
+            &[vec!["1", "x", "1", "x"], vec!["2", "y", "2", "y"], vec!["1", "x", "3", "z"]],
         )
         .unwrap()
     }
@@ -176,10 +172,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["A", "B", "C", "D"],
-            &[
-                vec!["1", "x", "1", "y"],
-                vec!["2", "y", "2", "x"],
-            ],
+            &[vec!["1", "x", "1", "y"], vec!["2", "y", "2", "x"]],
         )
         .unwrap();
         assert!(nary_ind_holds(&t, &[0], &[2]));
@@ -193,10 +186,8 @@ mod tests {
     fn arity_one_matches_spider() {
         let t = binary_table();
         let unary: Vec<NaryInd> = nary_inds(&t, 1);
-        let expected: Vec<NaryInd> = spider(&t)
-            .iter()
-            .map(|i| nary(&[i.dependent], &[i.referenced]))
-            .collect();
+        let expected: Vec<NaryInd> =
+            spider(&t).iter().map(|i| nary(&[i.dependent], &[i.referenced])).collect();
         assert_eq!(unary, expected);
     }
 
@@ -205,10 +196,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["A", "B", "C", "D"],
-            &[
-                vec!["1", "", "1", "x"],
-                vec!["1", "x", "1", "x"],
-            ],
+            &[vec!["1", "", "1", "x"], vec!["1", "x", "1", "x"]],
         )
         .unwrap();
         // The (1, NULL) tuple is skipped, so (A,B) ⊆ (C,D) holds.
@@ -228,7 +216,8 @@ mod tests {
                 .map(|_| (0..cols).map(|_| rng.gen_range(0..3).to_string()).collect())
                 .collect();
             let t = Table::from_rows("t", &name_refs, &data).unwrap();
-            let got: HashSet<NaryInd> = nary_inds(&t, 2).into_iter().filter(|i| i.arity() == 2).collect();
+            let got: HashSet<NaryInd> =
+                nary_inds(&t, 2).into_iter().filter(|i| i.arity() == 2).collect();
             // Brute force all canonical binary candidates.
             let mut want: HashSet<NaryInd> = HashSet::new();
             for d1 in 0..cols {

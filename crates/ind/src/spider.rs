@@ -30,6 +30,25 @@ pub struct SpiderStats {
     pub groups_formed: u64,
     /// Columns discarded before their stream ended.
     pub columns_discarded: u64,
+    /// Heap pops during the synchronized merge (one per column per shared
+    /// value — the comparison phase's unit of work).
+    pub merge_steps: u64,
+    /// Per-column dictionary values read into the merge (initial loads plus
+    /// cursor advances).
+    pub values_read: u64,
+}
+
+impl SpiderStats {
+    /// Publishes the counters into the ambient [`muds_obs::Metrics`]
+    /// registry (no-op without one).
+    fn flush(&self, inds_found: usize) {
+        muds_obs::add("spider.values_processed", self.values_processed);
+        muds_obs::add("spider.groups_formed", self.groups_formed);
+        muds_obs::add("spider.columns_discarded", self.columns_discarded);
+        muds_obs::add("spider.merge_steps", self.merge_steps);
+        muds_obs::add("spider.values_read", self.values_read);
+        muds_obs::add("spider.inds_found", inds_found as u64);
+    }
 }
 
 /// Discovers all unary INDs between the columns of `table` using SPIDER.
@@ -59,6 +78,7 @@ pub fn spider_with_stats(table: &Table) -> (Vec<Ind>, SpiderStats) {
     let mut heap: BinaryHeap<Reverse<(&str, usize)>> = BinaryHeap::new();
     for (i, col) in table.columns().iter().enumerate() {
         if let Some(v) = col.sorted_distinct_values().first() {
+            stats.values_read += 1;
             heap.push(Reverse((v.as_str(), i)));
         }
         // Columns with no non-null values never constrain anything; they
@@ -75,6 +95,7 @@ pub fn spider_with_stats(table: &Table) -> (Vec<Ind>, SpiderStats) {
                 break;
             }
             heap.pop();
+            stats.merge_steps += 1;
             group_cols.push(col);
         }
         stats.values_processed += 1;
@@ -109,6 +130,7 @@ pub fn spider_with_stats(table: &Table) -> (Vec<Ind>, SpiderStats) {
             cursors[col] += 1;
             let dict = table.column(col).sorted_distinct_values();
             if let Some(v) = dict.get(cursors[col]) {
+                stats.values_read += 1;
                 heap.push(Reverse((v.as_str(), col)));
             } else {
                 // Stream ended: col can no longer serve as a referencer for
@@ -125,6 +147,7 @@ pub fn spider_with_stats(table: &Table) -> (Vec<Ind>, SpiderStats) {
         }
     }
     inds.sort();
+    stats.flush(inds.len());
     (inds, stats)
 }
 
@@ -204,15 +227,27 @@ mod tests {
 
     #[test]
     fn stats_count_distinct_values() {
-        let t = Table::from_rows(
-            "t",
-            &["A", "B"],
-            &[vec!["a", "b"], vec!["b", "c"], vec!["c", "a"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows("t", &["A", "B"], &[vec!["a", "b"], vec!["b", "c"], vec!["c", "a"]])
+                .unwrap();
         let (_, stats) = spider_with_stats(&t);
         // Values a, b, c shared; 3 groups.
         assert_eq!(stats.groups_formed, 3);
+        // Both columns hold all three values: six heap pops, six reads.
+        assert_eq!(stats.merge_steps, 6);
+        assert_eq!(stats.values_read, 6);
+    }
+
+    #[test]
+    fn stats_flush_into_ambient_registry() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let t = Table::from_rows("t", &["A", "B"], &[vec!["1", "1"], vec!["2", "2"]]).unwrap();
+        let (inds, stats) = spider_with_stats(&t);
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("spider.merge_steps"), stats.merge_steps);
+        assert_eq!(snap.counter("spider.values_read"), stats.values_read);
+        assert_eq!(snap.counter("spider.inds_found"), inds.len() as u64);
     }
 
     #[test]
@@ -235,7 +270,11 @@ mod tests {
                     (0..cols)
                         .map(|_| {
                             let v = rng.gen_range(0..6);
-                            if v == 0 { String::new() } else { v.to_string() }
+                            if v == 0 {
+                                String::new()
+                            } else {
+                                v.to_string()
+                            }
                         })
                         .collect()
                 })

@@ -214,7 +214,10 @@ impl ColumnSet {
 
     /// Iterates all direct supersets within `universe` (`self` plus one
     /// column of `universe \ self` each).
-    pub fn direct_supersets<'a>(&'a self, universe: &ColumnSet) -> impl Iterator<Item = ColumnSet> + 'a {
+    pub fn direct_supersets<'a>(
+        &'a self,
+        universe: &ColumnSet,
+    ) -> impl Iterator<Item = ColumnSet> + 'a {
         let me = *self;
         universe.difference(self).iter().map(move |c| me.with(c))
     }

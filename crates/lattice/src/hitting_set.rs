@@ -211,7 +211,9 @@ mod tests {
             let n = rng.gen_range(2..=10);
             let universe = ColumnSet::full(n);
             let edges: Vec<ColumnSet> = (0..rng.gen_range(1..=8))
-                .map(|_| ColumnSet::from_indices((0..rng.gen_range(1..=4)).map(|_| rng.gen_range(0..n))))
+                .map(|_| {
+                    ColumnSet::from_indices((0..rng.gen_range(1..=4)).map(|_| rng.gen_range(0..n)))
+                })
                 .collect();
             let got = minimal_hitting_sets(&edges, &universe);
             let dedup: std::collections::BTreeSet<_> = got.iter().copied().collect();

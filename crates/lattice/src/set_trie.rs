@@ -27,10 +27,7 @@ struct Node {
 
 impl Node {
     fn child(&self, col: u16) -> Option<NodeId> {
-        self.children
-            .binary_search_by_key(&col, |&(c, _)| c)
-            .ok()
-            .map(|i| self.children[i].1)
+        self.children.binary_search_by_key(&col, |&(c, _)| c).ok().map(|i| self.children[i].1)
     }
 }
 
@@ -49,6 +46,29 @@ impl Node {
 pub struct SetTrie {
     nodes: Vec<Node>,
     len: usize,
+    meters: TrieMeters,
+}
+
+/// Ambient-registry counter handles, bound once per trie. Clones share the
+/// handles, so a copied trie keeps counting into the same run totals.
+#[derive(Debug, Clone)]
+struct TrieMeters {
+    /// Trie nodes visited during subset/superset searches.
+    node_probes: muds_obs::Counter,
+    /// Subset queries answered (`contains_subset_of`, `subsets_of`).
+    subset_queries: muds_obs::Counter,
+    /// Superset queries answered (`contains_superset_of`, `supersets_of`).
+    superset_queries: muds_obs::Counter,
+}
+
+impl TrieMeters {
+    fn bind() -> Self {
+        TrieMeters {
+            node_probes: muds_obs::counter("trie.node_probes"),
+            subset_queries: muds_obs::counter("trie.subset_queries"),
+            superset_queries: muds_obs::counter("trie.superset_queries"),
+        }
+    }
 }
 
 impl Default for SetTrie {
@@ -60,7 +80,7 @@ impl Default for SetTrie {
 impl SetTrie {
     /// Creates an empty trie.
     pub fn new() -> Self {
-        SetTrie { nodes: vec![Node::default()], len: 0 }
+        SetTrie { nodes: vec![Node::default()], len: 0, meters: TrieMeters::bind() }
     }
 
     /// Builds a trie from an iterator of sets.
@@ -145,6 +165,7 @@ impl SetTrie {
 
     /// True iff some stored set is a subset of `query` (⊆, not strict).
     pub fn contains_subset_of(&self, query: &ColumnSet) -> bool {
+        self.meters.subset_queries.inc();
         let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
         self.subset_search(0, &cols, 0)
     }
@@ -155,6 +176,7 @@ impl SetTrie {
     }
 
     fn subset_search(&self, node: NodeId, cols: &[u16], from: usize) -> bool {
+        self.meters.node_probes.inc();
         let n = &self.nodes[node as usize];
         if n.terminal {
             return true;
@@ -173,6 +195,7 @@ impl SetTrie {
     /// All stored sets that are subsets of `query` (including `query` itself
     /// if stored).
     pub fn subsets_of(&self, query: &ColumnSet) -> Vec<ColumnSet> {
+        self.meters.subset_queries.inc();
         let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
         let mut out = Vec::new();
         let mut path = ColumnSet::empty();
@@ -188,6 +211,7 @@ impl SetTrie {
         path: &mut ColumnSet,
         out: &mut Vec<ColumnSet>,
     ) {
+        self.meters.node_probes.inc();
         let n = &self.nodes[node as usize];
         if n.terminal {
             out.push(*path);
@@ -203,14 +227,18 @@ impl SetTrie {
 
     /// True iff some stored set is a superset of `query` (⊇, not strict).
     pub fn contains_superset_of(&self, query: &ColumnSet) -> bool {
+        self.meters.superset_queries.inc();
         let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
         self.superset_search(0, &cols)
     }
 
     fn superset_search(&self, node: NodeId, remaining: &[u16]) -> bool {
+        self.meters.node_probes.inc();
         let n = &self.nodes[node as usize];
         match remaining.first() {
-            None => n.terminal || n.children.iter().any(|&(_, c)| self.superset_search(c, remaining)),
+            None => {
+                n.terminal || n.children.iter().any(|&(_, c)| self.superset_search(c, remaining))
+            }
             Some(&next) => n.children.iter().take_while(|&&(c, _)| c <= next).any(|&(c, child)| {
                 let rest = if c == next { &remaining[1..] } else { remaining };
                 self.superset_search(child, rest)
@@ -223,6 +251,7 @@ impl SetTrie {
     /// This is the *connector look-up* primitive of §5.1: given a connector,
     /// return every minimal UCC containing it.
     pub fn supersets_of(&self, query: &ColumnSet) -> Vec<ColumnSet> {
+        self.meters.superset_queries.inc();
         let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
         let mut out = Vec::new();
         let mut path = ColumnSet::empty();
@@ -237,6 +266,7 @@ impl SetTrie {
         path: &mut ColumnSet,
         out: &mut Vec<ColumnSet>,
     ) {
+        self.meters.node_probes.inc();
         let n = &self.nodes[node as usize];
         if remaining.is_empty() && n.terminal {
             out.push(*path);
@@ -484,7 +514,8 @@ mod tests {
         // Connector {1}: every stored set starting with 1.
         let mut sups = t.supersets_of(&cs(&[1]));
         sups.sort();
-        let mut want = vec![cs(&[1, 3, 8]), cs(&[1, 5]), cs(&[1, 10]), cs(&[1, 11, 17]), cs(&[1, 12])];
+        let mut want =
+            vec![cs(&[1, 3, 8]), cs(&[1, 5]), cs(&[1, 10]), cs(&[1, 11, 17]), cs(&[1, 12])];
         want.sort();
         assert_eq!(sups, want);
         assert!(t.contains_superset_of(&cs(&[11])));
@@ -504,7 +535,12 @@ mod tests {
         let e = 4;
         let f = 5;
         let g = 6;
-        let t = SetTrie::from_sets([cs(&[a, f, g]), cs(&[b, d, f, g]), cs(&[d, e, f]), cs(&[c, e, f, g])]);
+        let t = SetTrie::from_sets([
+            cs(&[a, f, g]),
+            cs(&[b, d, f, g]),
+            cs(&[d, e, f]),
+            cs(&[c, e, f, g]),
+        ]);
         let connector = cs(&[f, g]);
         let matched = t.supersets_of(&connector);
         assert_eq!(matched.len(), 3);
@@ -566,6 +602,20 @@ mod tests {
     }
 
     #[test]
+    fn queries_meter_into_ambient_registry() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let t = paper_trie();
+        assert!(t.contains_subset_of(&cs(&[1, 5, 10])));
+        assert!(t.contains_superset_of(&cs(&[1])));
+        let _ = t.subsets_of(&cs(&[1, 5]));
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("trie.subset_queries"), 2);
+        assert_eq!(snap.counter("trie.superset_queries"), 1);
+        assert!(snap.counter("trie.node_probes") > 0);
+    }
+
+    #[test]
     fn large_randomized_cross_check_against_linear_scan() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(7);
@@ -581,12 +631,14 @@ mod tests {
         for _ in 0..200 {
             let k = rng.gen_range(0..7);
             let q = ColumnSet::from_indices((0..k).map(|_| rng.gen_range(0..12)));
-            let mut expect_subs: Vec<_> = stored.iter().copied().filter(|s| s.is_subset_of(&q)).collect();
+            let mut expect_subs: Vec<_> =
+                stored.iter().copied().filter(|s| s.is_subset_of(&q)).collect();
             expect_subs.sort();
             let mut got_subs = trie.subsets_of(&q);
             got_subs.sort();
             assert_eq!(got_subs, expect_subs, "subsets_of({q:?})");
-            let mut expect_sups: Vec<_> = stored.iter().copied().filter(|s| s.is_superset_of(&q)).collect();
+            let mut expect_sups: Vec<_> =
+                stored.iter().copied().filter(|s| s.is_superset_of(&q)).collect();
             expect_sups.sort();
             let mut got_sups = trie.supersets_of(&q);
             got_sups.sort();

@@ -52,6 +52,23 @@ pub struct WalkStats {
     pub holes_checked: u64,
 }
 
+impl WalkStats {
+    /// Publishes the counters into the ambient [`muds_obs::Metrics`]
+    /// registry (no-op without one). Called once per walk at each exit
+    /// point, so per-walk structs stay exact while the registry
+    /// accumulates run-level totals across all walks of an algorithm
+    /// (DUCC + every R\Z sub-lattice + completion sweep).
+    fn flush(&self, minimal_positives: usize, maximal_negatives: usize) {
+        muds_obs::add("walk.runs", 1);
+        muds_obs::add("walk.oracle_calls", self.oracle_calls);
+        muds_obs::add("walk.nodes_visited", self.nodes_visited);
+        muds_obs::add("walk.hole_rounds", self.hole_rounds);
+        muds_obs::add("walk.holes_checked", self.holes_checked);
+        muds_obs::add("walk.minimal_positives", minimal_positives as u64);
+        muds_obs::add("walk.maximal_negatives", maximal_negatives as u64);
+    }
+}
+
 /// Configuration of the random walk.
 #[derive(Debug, Clone)]
 pub struct WalkConfig {
@@ -177,8 +194,10 @@ impl<'a, O: MonotoneOracle> Search<'a, O> {
     /// A uniformly random direct superset (within the universe) whose status
     /// is unknown.
     fn pick_unknown_superset(&mut self, set: &ColumnSet) -> Option<ColumnSet> {
-        let mut candidates: Vec<ColumnSet> =
-            set.direct_supersets(&self.universe).filter(|s| self.known_status(s).is_none()).collect();
+        let mut candidates: Vec<ColumnSet> = set
+            .direct_supersets(&self.universe)
+            .filter(|s| self.known_status(s).is_none())
+            .collect();
         if candidates.is_empty() {
             return None;
         }
@@ -278,6 +297,7 @@ pub fn find_minimal_positives_seeded<O: MonotoneOracle>(
     // The empty set: positive means it is the unique minimal positive
     // (e.g. a constant column for the FD oracle, a ≤1-row table for UCCs).
     if search.classify(&ColumnSet::empty()) == Status::Positive {
+        search.stats.flush(1, 0);
         return WalkResult {
             minimal_positives: vec![ColumnSet::empty()],
             maximal_negatives: Vec::new(),
@@ -323,6 +343,7 @@ pub fn find_minimal_positives_seeded<O: MonotoneOracle>(
     minimal_positives.sort();
     let mut maximal_negatives = search.max_neg.sets().to_vec();
     maximal_negatives.sort();
+    search.stats.flush(minimal_positives.len(), maximal_negatives.len());
     WalkResult { minimal_positives, maximal_negatives, stats: search.stats }
 }
 
@@ -369,7 +390,8 @@ mod tests {
     #[test]
     fn no_positives_at_all() {
         let mut oracle = |_: &ColumnSet| false;
-        let r = find_minimal_positives(ColumnSet::full(3), &mut oracle, &WalkConfig::default(), &[]);
+        let r =
+            find_minimal_positives(ColumnSet::full(3), &mut oracle, &WalkConfig::default(), &[]);
         assert!(r.minimal_positives.is_empty());
         assert_eq!(r.maximal_negatives, vec![ColumnSet::full(3)]);
     }
@@ -411,7 +433,12 @@ mod tests {
         let mut o2 = FamilyOracle { minimal, calls: 0 };
         let r2 = find_minimal_positives(ColumnSet::full(6), &mut o2, &WalkConfig::default(), &negs);
         assert_eq!(r1.minimal_positives, r2.minimal_positives);
-        assert!(o2.calls < o1.calls, "seeded walk should call the oracle less ({} vs {})", o2.calls, o1.calls);
+        assert!(
+            o2.calls < o1.calls,
+            "seeded walk should call the oracle less ({} vs {})",
+            o2.calls,
+            o1.calls
+        );
     }
 
     #[test]
@@ -446,6 +473,29 @@ mod tests {
     }
 
     #[test]
+    fn walk_stats_flush_into_ambient_registry() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let r = run(5, vec![cs(&[0, 1]), cs(&[3])]);
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("walk.runs"), 1);
+        assert_eq!(snap.counter("walk.oracle_calls"), r.stats.oracle_calls);
+        assert_eq!(snap.counter("walk.nodes_visited"), r.stats.nodes_visited);
+        assert_eq!(snap.counter("walk.minimal_positives"), r.minimal_positives.len() as u64);
+        assert_eq!(snap.counter("walk.maximal_negatives"), r.maximal_negatives.len() as u64);
+    }
+
+    #[test]
+    fn empty_positive_walk_still_flushes() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let _ = run(4, vec![ColumnSet::empty()]);
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("walk.runs"), 1);
+        assert_eq!(snap.counter("walk.minimal_positives"), 1);
+    }
+
+    #[test]
     fn randomized_equivalence_with_ground_truth() {
         use rand::prelude::*;
         let mut rng = StdRng::seed_from_u64(123);
@@ -466,7 +516,10 @@ mod tests {
             for neg in &r.maximal_negatives {
                 assert!(!want.iter().any(|m| m.is_subset_of(neg)));
                 for sup in neg.direct_supersets(&ColumnSet::full(n)) {
-                    assert!(want.iter().any(|m| m.is_subset_of(&sup)), "case {case}: {neg:?} not maximal");
+                    assert!(
+                        want.iter().any(|m| m.is_subset_of(&sup)),
+                        "case {case}: {neg:?} not maximal"
+                    );
                 }
             }
         }

@@ -1,0 +1,74 @@
+//! Minimal JSON emission — just enough to serialize snapshots and events
+//! without pulling serde into a zero-dependency crate.
+
+/// Appends the JSON string literal for `s` (quotes and escapes included)
+/// to `out`.
+pub fn write_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// `"key":` fragment.
+pub fn write_key(out: &mut String, key: &str) {
+    write_json_string(out, key);
+    out.push(':');
+}
+
+/// Writes `{"k":v,...}` for string→u64 pairs in iteration order.
+pub fn write_u64_map<'a, I: Iterator<Item = (&'a String, &'a u64)>>(out: &mut String, it: I) {
+    out.push('{');
+    for (i, (k, v)) in it.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_key(out, k);
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+/// Writes `{"k":v,...}` for string→i64 pairs in iteration order.
+pub fn write_i64_map<'a, I: Iterator<Item = (&'a String, &'a i64)>>(out: &mut String, it: I) {
+    out.push('{');
+    for (i, (k, v)) in it.enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_key(out, k);
+        out.push_str(&v.to_string());
+    }
+    out.push('}');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_are_escaped() {
+        let mut out = String::new();
+        write_json_string(&mut out, "a\"b\\c\nd\u{1}");
+        assert_eq!(out, "\"a\\\"b\\\\c\\nd\\u0001\"");
+    }
+
+    #[test]
+    fn maps_render_in_order() {
+        let mut out = String::new();
+        let pairs = [("a".to_string(), 1u64), ("b".to_string(), 2)];
+        write_u64_map(&mut out, pairs.iter().map(|(k, v)| (k, v)));
+        assert_eq!(out, "{\"a\":1,\"b\":2}");
+    }
+}

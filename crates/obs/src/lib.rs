@@ -1,0 +1,557 @@
+//! `muds-obs` — zero-dependency instrumentation for the MUDS profiler.
+//!
+//! Three pieces:
+//!
+//! * a [`Metrics`] registry of named monotonic [`Counter`]s and [`Gauge`]s.
+//!   Handles are `Rc<Cell<_>>` behind the scenes, so hot paths fetch a
+//!   handle once at construction and pay one unsynchronised add per event;
+//! * RAII [`SpanTimer`]s that nest into a phase tree ([`SpanNode`]),
+//!   replacing flat phase lists with a hierarchy that mirrors the actual
+//!   call structure;
+//! * a pluggable [`EventSink`] ([`JsonlSink`] for `--trace`, [`NullSink`]
+//!   / no sink for zero overhead) that streams span and counter events.
+//!
+//! Instrumented library code does not take a `&Metrics` parameter through
+//! every signature. Instead a `Metrics` is *installed* as the thread-local
+//! ambient registry ([`Metrics::install`]); library code calls the free
+//! functions [`counter`], [`add`], [`span`], … which resolve against the
+//! ambient registry, or degrade to no-ops (detached cells, pure timers)
+//! when none is installed. This keeps `muds-pli`/`muds-lattice`/… APIs
+//! unchanged while still letting `mudsprof` observe everything.
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::rc::Rc;
+use std::time::{Duration, Instant};
+
+mod json;
+mod sink;
+mod snapshot;
+
+pub use sink::{Event, EventSink, JsonlSink, MemorySink, NullSink};
+pub use snapshot::{MetricsSnapshot, SpanNode};
+
+/// Monotonic counter handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Counter(Rc<Cell<u64>>);
+
+impl Counter {
+    /// Fresh counter detached from any registry (used when no ambient
+    /// `Metrics` is installed; increments are simply dropped on the floor
+    /// when the cell is never read).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, delta: u64) {
+        self.0.set(self.0.get().wrapping_add(delta));
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.get()
+    }
+}
+
+/// Last-value gauge handle. Cloning shares the underlying cell.
+#[derive(Debug, Clone, Default)]
+pub struct Gauge(Rc<Cell<i64>>);
+
+impl Gauge {
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    #[inline]
+    pub fn set(&self, value: i64) {
+        self.0.set(value);
+    }
+
+    /// Sets the gauge to `max(current, value)` — handy for high-water
+    /// marks like lattice levels.
+    #[inline]
+    pub fn set_max(&self, value: i64) {
+        if value > self.0.get() {
+            self.0.set(value);
+        }
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.get()
+    }
+}
+
+/// A span that has been opened but not yet closed.
+struct OpenSpan {
+    name: String,
+    start: Instant,
+    children: Vec<SpanNode>,
+}
+
+struct MetricsInner {
+    counters: RefCell<BTreeMap<String, Counter>>,
+    gauges: RefCell<BTreeMap<String, Gauge>>,
+    /// LIFO stack of currently open spans; index 0 is the outermost.
+    open: RefCell<Vec<OpenSpan>>,
+    /// Completed top-level spans.
+    roots: RefCell<Vec<SpanNode>>,
+    sink: RefCell<Option<Box<dyn EventSink>>>,
+}
+
+/// Registry of counters, gauges, and spans. Cheap to clone (shared
+/// reference); single-threaded by design — the profiler is sequential, and
+/// each thread installs its own registry.
+#[derive(Clone)]
+pub struct Metrics {
+    inner: Rc<MetricsInner>,
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Metrics {
+    pub fn new() -> Self {
+        Metrics {
+            inner: Rc::new(MetricsInner {
+                counters: RefCell::new(BTreeMap::new()),
+                gauges: RefCell::new(BTreeMap::new()),
+                open: RefCell::new(Vec::new()),
+                roots: RefCell::new(Vec::new()),
+                sink: RefCell::new(None),
+            }),
+        }
+    }
+
+    /// Returns the named counter, creating it (at zero) on first use.
+    pub fn counter(&self, name: &str) -> Counter {
+        let mut counters = self.inner.counters.borrow_mut();
+        if let Some(c) = counters.get(name) {
+            return c.clone();
+        }
+        let c = Counter::default();
+        counters.insert(name.to_string(), c.clone());
+        c
+    }
+
+    /// Returns the named gauge, creating it (at zero) on first use.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        let mut gauges = self.inner.gauges.borrow_mut();
+        if let Some(g) = gauges.get(name) {
+            return g.clone();
+        }
+        let g = Gauge::default();
+        gauges.insert(name.to_string(), g.clone());
+        g
+    }
+
+    /// Adds `delta` to the named counter and publishes the bulk add to the
+    /// sink (this is the end-of-phase flush path, not the per-event hot
+    /// path — hot paths hold a [`Counter`] handle and never hit the map).
+    pub fn add(&self, name: &str, delta: u64) {
+        self.counter(name).add(delta);
+        if delta > 0 {
+            self.emit(&Event::CounterAdd { name, delta });
+        }
+    }
+
+    /// Sets the named gauge.
+    pub fn gauge_set(&self, name: &str, value: i64) {
+        self.gauge(name).set(value);
+    }
+
+    /// Installs `sink` as the event receiver for this registry.
+    pub fn set_sink(&self, sink: Box<dyn EventSink>) {
+        *self.inner.sink.borrow_mut() = Some(sink);
+    }
+
+    fn emit(&self, event: &Event<'_>) {
+        if let Some(sink) = self.inner.sink.borrow_mut().as_mut() {
+            sink.emit(event);
+        }
+    }
+
+    /// Opens a nested timed span. Close it with [`SpanTimer::stop`] (to get
+    /// the measured duration back) or by dropping it.
+    pub fn span(&self, name: impl Into<String>) -> SpanTimer {
+        let name = name.into();
+        let depth = {
+            let mut open = self.inner.open.borrow_mut();
+            open.push(OpenSpan { name: name.clone(), start: Instant::now(), children: Vec::new() });
+            open.len() - 1
+        };
+        self.emit(&Event::SpanStart { name: &name, depth });
+        SpanTimer { metrics: Some(self.clone()), depth, start: Instant::now(), name }
+    }
+
+    /// Records an already-measured leaf span at the current nesting level.
+    /// Used when a phase's duration is computed rather than directly timed
+    /// (e.g. MUDS splits one measured interval across two logical phases).
+    pub fn record_span(&self, name: impl Into<String>, duration: Duration) {
+        let node = SpanNode::leaf(name, duration);
+        let depth = {
+            let mut open = self.inner.open.borrow_mut();
+            let depth = open.len();
+            match open.last_mut() {
+                Some(parent) => parent.children.push(node.clone()),
+                None => self.inner.roots.borrow_mut().push(node.clone()),
+            }
+            depth
+        };
+        self.emit(&Event::SpanEnd { name: &node.name, depth, duration: node.duration });
+    }
+
+    /// Closes the span opened at `depth`, force-closing any deeper spans
+    /// left open (non-LIFO drops), and returns its measured duration.
+    fn close_span(&self, depth: usize, elapsed: Duration) -> Duration {
+        loop {
+            let top = {
+                let mut open = self.inner.open.borrow_mut();
+                if open.len() <= depth {
+                    return elapsed; // already closed (defensive; shouldn't happen)
+                }
+                let straggler = open.len() - 1 > depth;
+                let mut span = open.pop().expect("non-empty checked above");
+                let duration = if straggler { span.start.elapsed() } else { elapsed };
+                let node = SpanNode {
+                    name: std::mem::take(&mut span.name),
+                    duration,
+                    children: std::mem::take(&mut span.children),
+                };
+                let at = open.len();
+                match open.last_mut() {
+                    Some(parent) => parent.children.push(node.clone()),
+                    None => self.inner.roots.borrow_mut().push(node.clone()),
+                }
+                (node, at, straggler)
+            };
+            let (node, at, straggler) = top;
+            self.emit(&Event::SpanEnd { name: &node.name, depth: at, duration: node.duration });
+            if !straggler {
+                return node.duration;
+            }
+        }
+    }
+
+    /// Takes a snapshot of every counter, gauge, and completed root span,
+    /// then resets the registry (counters/gauges to zero, span tree
+    /// cleared) so consecutive runs under one registry — e.g. the four
+    /// algorithms of `mudsprof compare` — get independent snapshots. The
+    /// snapshot is also published to the sink, which is then flushed.
+    pub fn drain_snapshot(&self) -> MetricsSnapshot {
+        // Close any spans left open (e.g. a panicking phase unwound past
+        // its timer) so they still show up.
+        while !self.inner.open.borrow().is_empty() {
+            let depth = self.inner.open.borrow().len() - 1;
+            let elapsed = self.inner.open.borrow()[depth].start.elapsed();
+            self.close_span(depth, elapsed);
+        }
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, counter) in self.inner.counters.borrow().iter() {
+            snapshot.counters.insert(name.clone(), counter.get());
+            counter.0.set(0);
+        }
+        for (name, gauge) in self.inner.gauges.borrow().iter() {
+            snapshot.gauges.insert(name.clone(), gauge.get());
+            gauge.0.set(0);
+        }
+        snapshot.spans = std::mem::take(&mut *self.inner.roots.borrow_mut());
+        self.emit(&Event::Snapshot { snapshot: &snapshot });
+        if let Some(sink) = self.inner.sink.borrow_mut().as_mut() {
+            sink.flush();
+        }
+        snapshot
+    }
+
+    /// Installs this registry as the thread-local ambient one; the free
+    /// functions ([`counter`], [`add`], [`span`], …) resolve against it
+    /// until the returned guard drops.
+    pub fn install(&self) -> AmbientGuard {
+        AMBIENT.with(|stack| stack.borrow_mut().push(self.clone()));
+        AmbientGuard { _priv: () }
+    }
+
+    /// The innermost installed registry on this thread, if any.
+    pub fn current() -> Option<Metrics> {
+        AMBIENT.with(|stack| stack.borrow().last().cloned())
+    }
+}
+
+thread_local! {
+    static AMBIENT: RefCell<Vec<Metrics>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Reverts [`Metrics::install`] on drop.
+pub struct AmbientGuard {
+    _priv: (),
+}
+
+impl Drop for AmbientGuard {
+    fn drop(&mut self) {
+        AMBIENT.with(|stack| {
+            stack.borrow_mut().pop();
+        });
+    }
+}
+
+/// RAII timer for one span. Always measures wall time, even with no
+/// registry attached, so callers can feed legacy timing structs from the
+/// value returned by [`SpanTimer::stop`].
+pub struct SpanTimer {
+    metrics: Option<Metrics>,
+    name: String,
+    depth: usize,
+    start: Instant,
+}
+
+impl SpanTimer {
+    /// Timer with no registry: measures but records nowhere.
+    fn detached(name: String) -> Self {
+        SpanTimer { metrics: None, name, depth: 0, start: Instant::now() }
+    }
+
+    /// The span's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Stops the timer, records the span, and returns the measured
+    /// duration.
+    pub fn stop(mut self) -> Duration {
+        self.finish()
+    }
+
+    fn finish(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        match self.metrics.take() {
+            Some(metrics) => metrics.close_span(self.depth, elapsed),
+            None => elapsed,
+        }
+    }
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if self.metrics.is_some() {
+            self.finish();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Free functions against the ambient registry.
+// ---------------------------------------------------------------------------
+
+/// Handle to `name` in the ambient registry, or a detached counter whose
+/// increments vanish when none is installed. Fetch once, increment often.
+pub fn counter(name: &str) -> Counter {
+    match Metrics::current() {
+        Some(m) => m.counter(name),
+        None => Counter::detached(),
+    }
+}
+
+/// Handle to `name` in the ambient registry, or a detached gauge.
+pub fn gauge(name: &str) -> Gauge {
+    match Metrics::current() {
+        Some(m) => m.gauge(name),
+        None => Gauge::detached(),
+    }
+}
+
+/// Bulk-adds `delta` to the ambient counter `name` (no-op without an
+/// ambient registry). This is the end-of-phase flush entry point.
+pub fn add(name: &str, delta: u64) {
+    if delta == 0 {
+        return;
+    }
+    if let Some(m) = Metrics::current() {
+        m.add(name, delta);
+    }
+}
+
+/// Sets the ambient gauge `name` (no-op without an ambient registry).
+pub fn gauge_set(name: &str, value: i64) {
+    if let Some(m) = Metrics::current() {
+        m.gauge_set(name, value);
+    }
+}
+
+/// Raises the ambient gauge `name` to at least `value`.
+pub fn gauge_max(name: &str, value: i64) {
+    if let Some(m) = Metrics::current() {
+        m.gauge(name).set_max(value);
+    }
+}
+
+/// Opens a span in the ambient registry; without one, returns a detached
+/// timer that still measures wall time.
+pub fn span(name: impl Into<String>) -> SpanTimer {
+    let name = name.into();
+    match Metrics::current() {
+        Some(m) => m.span(name),
+        None => SpanTimer::detached(name),
+    }
+}
+
+/// Records an already-measured leaf span in the ambient registry (no-op
+/// without one).
+pub fn record_span(name: impl Into<String>, duration: Duration) {
+    if let Some(m) = Metrics::current() {
+        m.record_span(name, duration);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_share_state_through_handles() {
+        let metrics = Metrics::new();
+        let a = metrics.counter("x");
+        let b = metrics.counter("x");
+        a.inc();
+        b.add(4);
+        assert_eq!(metrics.counter("x").get(), 5);
+    }
+
+    #[test]
+    fn gauges_track_last_value_and_max() {
+        let metrics = Metrics::new();
+        let g = metrics.gauge("level");
+        g.set(3);
+        g.set_max(2); // lower: ignored
+        assert_eq!(g.get(), 3);
+        g.set_max(9);
+        assert_eq!(metrics.gauge("level").get(), 9);
+    }
+
+    #[test]
+    fn spans_nest_into_a_tree() {
+        let metrics = Metrics::new();
+        let outer = metrics.span("outer");
+        let inner = metrics.span("inner");
+        let inner_d = inner.stop();
+        metrics.record_span("posthoc", Duration::from_nanos(5));
+        let outer_d = outer.stop();
+        assert!(outer_d >= inner_d);
+
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        let root = &snap.spans[0];
+        assert_eq!(root.name, "outer");
+        let kids: Vec<&str> = root.children.iter().map(|c| c.name.as_str()).collect();
+        assert_eq!(kids, ["inner", "posthoc"]);
+        assert_eq!(root.children[1].duration, Duration::from_nanos(5));
+    }
+
+    #[test]
+    fn dropped_spans_are_recorded() {
+        let metrics = Metrics::new();
+        {
+            let _outer = metrics.span("outer");
+            let _inner = metrics.span("inner");
+            // Both dropped here, inner first (reverse declaration order).
+        }
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].children.len(), 1);
+        assert_eq!(snap.spans[0].children[0].name, "inner");
+    }
+
+    #[test]
+    fn non_lifo_stop_closes_stragglers() {
+        let metrics = Metrics::new();
+        let outer = metrics.span("outer");
+        let _inner = metrics.span("inner"); // never explicitly stopped
+        std::mem::forget(_inner); // simulate a leaked child timer
+        outer.stop();
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.spans.len(), 1);
+        assert_eq!(snap.spans[0].children.len(), 1, "straggler folded into parent");
+    }
+
+    #[test]
+    fn drain_resets_counters_and_spans() {
+        let metrics = Metrics::new();
+        metrics.add("n", 2);
+        metrics.span("p").stop();
+        let first = metrics.drain_snapshot();
+        assert_eq!(first.counter("n"), 2);
+        assert_eq!(first.spans.len(), 1);
+
+        let second = metrics.drain_snapshot();
+        assert_eq!(second.counter("n"), 0, "counters reset by drain");
+        assert!(second.spans.is_empty(), "span tree cleared by drain");
+    }
+
+    #[test]
+    fn ambient_install_scopes_free_functions() {
+        add("orphan", 10); // no registry installed: dropped
+        let metrics = Metrics::new();
+        {
+            let _guard = metrics.install();
+            add("seen", 3);
+            let c = counter("seen");
+            c.inc();
+            gauge_max("depth", 4);
+            span("phase").stop();
+        }
+        add("after", 1); // guard dropped: dropped again
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("seen"), 4);
+        assert_eq!(snap.counter("orphan"), 0);
+        assert_eq!(snap.counter("after"), 0);
+        assert_eq!(snap.gauge("depth"), 4);
+        assert_eq!(snap.spans.len(), 1);
+    }
+
+    #[test]
+    fn nested_installs_shadow_outer_registry() {
+        let outer = Metrics::new();
+        let inner = Metrics::new();
+        let _g1 = outer.install();
+        {
+            let _g2 = inner.install();
+            add("n", 1);
+        }
+        add("n", 10);
+        assert_eq!(inner.drain_snapshot().counter("n"), 1);
+        assert_eq!(outer.drain_snapshot().counter("n"), 10);
+    }
+
+    /// Sink that appends JSONL lines to a shared buffer the test keeps.
+    struct SharedSink(Rc<RefCell<Vec<String>>>);
+
+    impl EventSink for SharedSink {
+        fn emit(&mut self, event: &Event<'_>) {
+            self.0.borrow_mut().push(event.to_json());
+        }
+    }
+
+    #[test]
+    fn sink_receives_span_counter_and_snapshot_events() {
+        let lines = Rc::new(RefCell::new(Vec::new()));
+        let metrics = Metrics::new();
+        metrics.set_sink(Box::new(SharedSink(Rc::clone(&lines))));
+        metrics.span("root").stop();
+        metrics.add("c", 5);
+        metrics.drain_snapshot();
+
+        let lines = lines.borrow();
+        assert!(lines[0].contains("\"type\":\"span_start\""));
+        assert!(lines[0].contains("\"root\""));
+        assert!(lines[1].contains("\"type\":\"span_end\""));
+        assert!(lines[2].contains("\"type\":\"counter\"") && lines[2].contains("\"delta\":5"));
+        assert!(lines[3].contains("\"type\":\"snapshot\""));
+        assert!(lines[3].contains("\"c\":5"));
+    }
+}

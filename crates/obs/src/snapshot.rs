@@ -1,0 +1,170 @@
+//! Immutable snapshots of a [`crate::Metrics`] registry: counter/gauge
+//! values plus the finished span tree, with JSON and human-readable
+//! renderings.
+
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+use crate::json::{write_i64_map, write_json_string, write_key, write_u64_map};
+
+/// One finished span: a named, timed region with nested children.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SpanNode {
+    pub name: String,
+    pub duration: Duration,
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Leaf span with no children.
+    pub fn leaf(name: impl Into<String>, duration: Duration) -> Self {
+        SpanNode { name: name.into(), duration, children: Vec::new() }
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        write_key(out, "name");
+        write_json_string(out, &self.name);
+        out.push(',');
+        write_key(out, "duration_ns");
+        out.push_str(&self.duration.as_nanos().to_string());
+        out.push(',');
+        write_key(out, "children");
+        out.push('[');
+        for (i, child) in self.children.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            child.write_json(out);
+        }
+        out.push_str("]}");
+    }
+}
+
+/// Point-in-time copy of every counter, gauge, and finished span.
+///
+/// Counter/gauge maps are `BTreeMap`s so iteration (and therefore JSON
+/// output) is deterministic.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MetricsSnapshot {
+    pub counters: BTreeMap<String, u64>,
+    pub gauges: BTreeMap<String, i64>,
+    pub spans: Vec<SpanNode>,
+}
+
+impl MetricsSnapshot {
+    /// Value of a counter, defaulting to 0 when never touched.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Value of a gauge, defaulting to 0 when never set.
+    pub fn gauge(&self, name: &str) -> i64 {
+        self.gauges.get(name).copied().unwrap_or(0)
+    }
+
+    /// Compact single-line JSON object:
+    /// `{"counters":{...},"gauges":{...},"spans":[...]}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push('{');
+        write_key(&mut out, "counters");
+        write_u64_map(&mut out, self.counters.iter());
+        out.push(',');
+        write_key(&mut out, "gauges");
+        write_i64_map(&mut out, self.gauges.iter());
+        out.push(',');
+        write_key(&mut out, "spans");
+        out.push('[');
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            span.write_json(&mut out);
+        }
+        out.push_str("]}");
+        out
+    }
+
+    /// Indented human-readable rendering: span tree first, then counters
+    /// and gauges grouped by dotted prefix.
+    pub fn render_pretty(&self) -> String {
+        let mut out = String::new();
+        if !self.spans.is_empty() {
+            out.push_str("phases:\n");
+            for span in &self.spans {
+                render_span(&mut out, span, 1);
+            }
+        }
+        if !self.counters.is_empty() {
+            out.push_str("counters:\n");
+            let width = self.counters.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.counters {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.gauges.is_empty() {
+            out.push_str("gauges:\n");
+            let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, value) in &self.gauges {
+                out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        out
+    }
+}
+
+fn render_span(out: &mut String, span: &SpanNode, depth: usize) {
+    let indent = "  ".repeat(depth);
+    out.push_str(&format!("{indent}{:<32} {:>12.3?}\n", span.name, span.duration));
+    for child in &span.children {
+        render_span(out, child, depth + 1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSnapshot {
+        let mut snap = MetricsSnapshot::default();
+        snap.counters.insert("pli.hits".into(), 7);
+        snap.counters.insert("pli.misses".into(), 3);
+        snap.gauges.insert("walk.depth".into(), -2);
+        snap.spans.push(SpanNode {
+            name: "MUDS".into(),
+            duration: Duration::from_nanos(100),
+            children: vec![SpanNode::leaf("SPIDER", Duration::from_nanos(40))],
+        });
+        snap
+    }
+
+    #[test]
+    fn json_is_deterministic_and_nested() {
+        let json = sample().to_json();
+        assert_eq!(
+            json,
+            "{\"counters\":{\"pli.hits\":7,\"pli.misses\":3},\
+             \"gauges\":{\"walk.depth\":-2},\
+             \"spans\":[{\"name\":\"MUDS\",\"duration_ns\":100,\"children\":\
+             [{\"name\":\"SPIDER\",\"duration_ns\":40,\"children\":[]}]}]}"
+        );
+    }
+
+    #[test]
+    fn accessors_default_to_zero() {
+        let snap = sample();
+        assert_eq!(snap.counter("pli.hits"), 7);
+        assert_eq!(snap.counter("nope"), 0);
+        assert_eq!(snap.gauge("walk.depth"), -2);
+        assert_eq!(snap.gauge("nope"), 0);
+    }
+
+    #[test]
+    fn pretty_rendering_indents_children() {
+        let text = sample().render_pretty();
+        assert!(text.contains("phases:"));
+        assert!(text.contains("    SPIDER"), "child indented two levels:\n{text}");
+        assert!(text.contains("counters:"));
+    }
+}

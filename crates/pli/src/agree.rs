@@ -43,8 +43,8 @@ pub fn agree_sets(table: &Table) -> Vec<ColumnSet> {
     let mut sets: HashSet<ColumnSet> = HashSet::new();
     for (a, b) in pairs {
         let mut agree = ColumnSet::empty();
-        for c in 0..n {
-            if codes[c][a as usize] == codes[c][b as usize] {
+        for (c, col_codes) in codes.iter().enumerate().take(n) {
+            if col_codes[a as usize] == col_codes[b as usize] {
                 agree.insert(c);
             }
         }
@@ -59,11 +59,8 @@ pub fn agree_sets(table: &Table) -> Vec<ColumnSet> {
 
 /// Keeps only the maximal sets of `sets` (no stored superset).
 pub fn maximal_sets(sets: &[ColumnSet]) -> Vec<ColumnSet> {
-    let mut maximal: Vec<ColumnSet> = sets
-        .iter()
-        .copied()
-        .filter(|s| !sets.iter().any(|o| s.is_proper_subset_of(o)))
-        .collect();
+    let mut maximal: Vec<ColumnSet> =
+        sets.iter().copied().filter(|s| !sets.iter().any(|o| s.is_proper_subset_of(o))).collect();
     maximal.sort();
     maximal
 }
@@ -80,12 +77,9 @@ mod tests {
     fn simple_agree_sets() {
         // rows: (1,x), (1,y), (2,y)
         // pairs: (0,1) agree on {a}; (1,2) agree on {b}; (0,2) agree on ∅.
-        let t = Table::from_rows(
-            "t",
-            &["a", "b"],
-            &[vec!["1", "x"], vec!["1", "y"], vec!["2", "y"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["1", "y"], vec!["2", "y"]])
+                .unwrap();
         assert_eq!(agree_sets(&t), vec![cs(&[0]), cs(&[1])]);
     }
 

@@ -33,6 +33,32 @@ pub struct PliCacheStats {
     pub refinement_checks: u64,
 }
 
+/// Handles into the ambient [`muds_obs::Metrics`] registry, resolved once
+/// at cache construction so the hot path pays one `Cell` add per event and
+/// never touches the name→counter map. When no registry is installed the
+/// handles are detached cells and the adds are dead stores.
+struct PliMeters {
+    requests: muds_obs::Counter,
+    hits: muds_obs::Counter,
+    misses: muds_obs::Counter,
+    intersects: muds_obs::Counter,
+    evictions: muds_obs::Counter,
+    refinement_checks: muds_obs::Counter,
+}
+
+impl PliMeters {
+    fn bind() -> Self {
+        PliMeters {
+            requests: muds_obs::counter("pli.requests"),
+            hits: muds_obs::counter("pli.hits"),
+            misses: muds_obs::counter("pli.misses"),
+            intersects: muds_obs::counter("pli.intersects"),
+            evictions: muds_obs::counter("pli.evictions"),
+            refinement_checks: muds_obs::counter("pli.refinement_checks"),
+        }
+    }
+}
+
 /// A memoizing provider of PLIs for arbitrary column combinations of one
 /// table.
 pub struct PliCache<'a> {
@@ -45,6 +71,7 @@ pub struct PliCache<'a> {
     capacity: usize,
     tick: u64,
     stats: PliCacheStats,
+    meters: PliMeters,
 }
 
 impl<'a> PliCache<'a> {
@@ -69,6 +96,7 @@ impl<'a> PliCache<'a> {
             capacity: capacity.max(1),
             tick: 0,
             stats: PliCacheStats::default(),
+            meters: PliMeters::bind(),
         }
     }
 
@@ -94,13 +122,16 @@ impl<'a> PliCache<'a> {
     /// related look-ups (as produced by lattice traversals) reuses cached
     /// prefixes.
     pub fn get(&mut self, set: &ColumnSet) -> Rc<Pli> {
+        self.meters.requests.inc();
         match set.cardinality() {
             0 => {
                 self.stats.hits += 1;
+                self.meters.hits.inc();
                 Rc::clone(&self.empty)
             }
             1 => {
                 self.stats.hits += 1;
+                self.meters.hits.inc();
                 Rc::clone(&self.singles[set.min_col().expect("non-empty")])
             }
             _ => {
@@ -109,14 +140,17 @@ impl<'a> PliCache<'a> {
                 if let Some((pli, stamp)) = self.entries.get_mut(set) {
                     *stamp = tick;
                     self.stats.hits += 1;
+                    self.meters.hits.inc();
                     return Rc::clone(pli);
                 }
                 self.stats.misses += 1;
+                self.meters.misses.inc();
                 let last = set.max_col().expect("non-empty");
                 let rest = set.without(last);
                 let left = self.get(&rest);
                 let right = Rc::clone(&self.singles[last]);
                 self.stats.intersects += 1;
+                self.meters.intersects.inc();
                 let pli = Rc::new(left.intersect(&right));
                 self.insert(*set, Rc::clone(&pli));
                 pli
@@ -130,6 +164,7 @@ impl<'a> PliCache<'a> {
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp) {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
+                self.meters.evictions.inc();
             }
         }
         self.entries.insert(set, (pli, self.tick));
@@ -153,6 +188,7 @@ impl<'a> PliCache<'a> {
             return true;
         }
         self.stats.refinement_checks += 1;
+        self.meters.refinement_checks.inc();
         let pli = self.get(lhs);
         pli.refines(self.table.column(rhs_col).codes())
     }
@@ -265,6 +301,30 @@ mod tests {
         assert!(cache.stats().evictions >= 1);
         // Evicted entries are recomputed correctly.
         assert!(cache.get(&cs(&[0, 1])).is_unique());
+    }
+
+    #[test]
+    fn obs_counters_mirror_stats() {
+        let metrics = muds_obs::Metrics::new();
+        let _guard = metrics.install();
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let _ = cache.get(&cs(&[0, 1]));
+        let _ = cache.get(&cs(&[0, 1]));
+        assert!(cache.determines(&cs(&[0]), 3));
+        let stats = cache.stats().clone();
+        drop(cache);
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("pli.hits"), stats.hits);
+        assert_eq!(snap.counter("pli.misses"), stats.misses);
+        assert_eq!(snap.counter("pli.intersects"), stats.intersects);
+        assert_eq!(snap.counter("pli.refinement_checks"), stats.refinement_checks);
+        // Every get() resolves to exactly one hit or miss.
+        assert_eq!(
+            snap.counter("pli.requests"),
+            snap.counter("pli.hits") + snap.counter("pli.misses")
+        );
+        assert!(snap.counter("pli.requests") > 0);
     }
 
     #[test]

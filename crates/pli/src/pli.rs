@@ -119,7 +119,8 @@ impl Pli {
         let (small, large) = if self.size <= other.size { (self, other) } else { (other, self) };
         let probe = large.probe_vector();
         let mut clusters: Vec<Vec<RowId>> = Vec::new();
-        let mut groups: std::collections::HashMap<u32, Vec<RowId>> = std::collections::HashMap::new();
+        let mut groups: std::collections::HashMap<u32, Vec<RowId>> =
+            std::collections::HashMap::new();
         for cluster in &small.clusters {
             groups.clear();
             for &row in cluster {

@@ -47,7 +47,8 @@ impl Column {
                     null_count += 1;
                     null_code
                 } else {
-                    dictionary.binary_search_by(|d| d.as_str().cmp(v)).expect("value in dictionary") as u32
+                    dictionary.binary_search_by(|d| d.as_str().cmp(v)).expect("value in dictionary")
+                        as u32
                 }
             })
             .collect();

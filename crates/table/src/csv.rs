@@ -112,7 +112,10 @@ pub fn table_from_csv(name: &str, input: &str, options: &CsvOptions) -> Result<T
 }
 
 /// Reads a CSV file into a [`Table`], named after the file stem.
-pub fn table_from_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Result<Table, TableError> {
+pub fn table_from_csv_file(
+    path: impl AsRef<Path>,
+    options: &CsvOptions,
+) -> Result<Table, TableError> {
     let path = path.as_ref();
     let mut input = String::new();
     File::open(path)?.read_to_string(&mut input)?;
@@ -122,7 +125,10 @@ pub fn table_from_csv_file(path: impl AsRef<Path>, options: &CsvOptions) -> Resu
 
 /// Serializes a field, quoting when necessary.
 fn write_field(out: &mut String, field: &str, delimiter: char) {
-    let needs_quotes = field.contains(delimiter) || field.contains('"') || field.contains('\n') || field.contains('\r');
+    let needs_quotes = field.contains(delimiter)
+        || field.contains('"')
+        || field.contains('\n')
+        || field.contains('\r');
     if needs_quotes {
         out.push('"');
         for c in field.chars() {

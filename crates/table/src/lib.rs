@@ -13,6 +13,8 @@ mod error;
 mod table;
 
 pub use column::Column;
-pub use csv::{parse_csv, table_from_csv, table_from_csv_file, table_to_csv, table_to_csv_file, CsvOptions};
+pub use csv::{
+    parse_csv, table_from_csv, table_from_csv_file, table_to_csv, table_to_csv_file, CsvOptions,
+};
 pub use error::TableError;
 pub use table::{Table, MAX_COLUMNS};

@@ -170,12 +170,7 @@ mod tests {
         Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["1", "x", "p"],
-                vec!["2", "x", "q"],
-                vec!["3", "y", ""],
-                vec!["1", "x", "p"],
-            ],
+            &[vec!["1", "x", "p"], vec!["2", "x", "q"], vec!["3", "y", ""], vec!["1", "x", "p"]],
         )
         .unwrap()
     }

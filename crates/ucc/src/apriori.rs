@@ -19,6 +19,15 @@ pub struct AprioriUccStats {
     pub max_level: usize,
 }
 
+impl AprioriUccStats {
+    /// Publishes the counters into the ambient [`muds_obs::Metrics`]
+    /// registry (no-op without one).
+    fn flush(&self) {
+        muds_obs::add("apriori_ucc.checks", self.checks);
+        muds_obs::gauge_max("apriori_ucc.max_level", self.max_level as i64);
+    }
+}
+
 /// Discovers all minimal UCCs level-wise. Returns them sorted.
 pub fn apriori_uccs(cache: &mut PliCache<'_>) -> Vec<ColumnSet> {
     apriori_uccs_with_stats(cache).0
@@ -34,6 +43,7 @@ pub fn apriori_uccs_with_stats(cache: &mut PliCache<'_>) -> (Vec<ColumnSet>, Apr
     // empty column combination.
     stats.checks += 1;
     if cache.is_unique(&ColumnSet::empty()) {
+        stats.flush();
         return (vec![ColumnSet::empty()], stats);
     }
 
@@ -54,6 +64,7 @@ pub fn apriori_uccs_with_stats(cache: &mut PliCache<'_>) -> (Vec<ColumnSet>, Apr
         depth += 1;
     }
     minimal.sort();
+    stats.flush();
     (minimal, stats)
 }
 

@@ -69,12 +69,9 @@ mod tests {
 
     #[test]
     fn composite_key_only() {
-        let t = Table::from_rows(
-            "t",
-            &["a", "b"],
-            &[vec!["1", "x"], vec!["1", "y"], vec!["2", "x"]],
-        )
-        .unwrap();
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["1", "y"], vec!["2", "x"]])
+                .unwrap();
         let mut cache = PliCache::new(&t);
         let r = ducc(&mut cache, &DuccConfig::default());
         assert_eq!(r.minimal_uccs, vec![cs(&[0, 1])]);
@@ -103,12 +100,7 @@ mod tests {
         let t = Table::from_rows(
             "t",
             &["a", "b", "c"],
-            &[
-                vec!["1", "1", "1"],
-                vec!["1", "2", "1"],
-                vec!["2", "1", "1"],
-                vec!["2", "2", "2"],
-            ],
+            &[vec!["1", "1", "1"], vec!["1", "2", "1"], vec!["2", "1", "1"], vec!["2", "2", "2"]],
         )
         .unwrap();
         let mut cache = PliCache::new(&t);

@@ -18,7 +18,12 @@ use muds_datagen::uniprot_like;
 fn main() {
     let table = uniprot_like(5_000, 10);
     let names = table.column_names();
-    println!("profiling {:?} ({} rows x {} columns)...\n", table.name(), table.num_rows(), table.num_columns());
+    println!(
+        "profiling {:?} ({} rows x {} columns)...\n",
+        table.name(),
+        table.num_rows(),
+        table.num_columns()
+    );
 
     let report = muds(&table, &MudsConfig::default());
 
@@ -41,7 +46,8 @@ fn main() {
     println!("\nderivable annotation columns (single-column FDs):");
     let mut any = false;
     for fd in report.fds.to_sorted_vec() {
-        if fd.lhs.cardinality() == 1 && !report.minimal_uccs.iter().any(|u| u.is_subset_of(&fd.lhs)) {
+        if fd.lhs.cardinality() == 1 && !report.minimal_uccs.iter().any(|u| u.is_subset_of(&fd.lhs))
+        {
             let src = fd.lhs.min_col().expect("single column");
             println!("  {} is determined by {}", names[fd.rhs], names[src]);
             any = true;

@@ -28,7 +28,12 @@ fn main() {
     let result = profile(&table, Algorithm::Muds, &ProfilerConfig::default());
     let names = table.column_names();
 
-    println!("profiled {:?}: {} rows x {} columns\n", table.name(), table.num_rows(), table.num_columns());
+    println!(
+        "profiled {:?}: {} rows x {} columns\n",
+        table.name(),
+        table.num_rows(),
+        table.num_columns()
+    );
 
     println!("unary inclusion dependencies ({}):", result.inds.len());
     for line in format_inds(&result.inds, &names) {

@@ -16,7 +16,12 @@ use std::time::Instant;
 fn main() {
     let table = ncvoter_like(2_000, 12);
     let names = table.column_names();
-    println!("profiling {:?} ({} rows x {} columns)\n", table.name(), table.num_rows(), table.num_columns());
+    println!(
+        "profiling {:?} ({} rows x {} columns)\n",
+        table.name(),
+        table.num_rows(),
+        table.num_columns()
+    );
 
     // All three pipelines; the holistic ones share scan + PLIs.
     let t0 = Instant::now();

@@ -20,7 +20,8 @@ fn assert_all_agree(table: &Table) {
             table.name()
         );
         assert_eq!(
-            pair[0].minimal_uccs, pair[1].minimal_uccs,
+            pair[0].minimal_uccs,
+            pair[1].minimal_uccs,
             "{} vs {} disagree on UCCs for {}",
             pair[0].algorithm.name(),
             pair[1].algorithm.name(),
@@ -81,6 +82,11 @@ fn ground_truth_check_on_narrow_tables() {
             "MUDS vs naive UCCs on {}",
             table.name()
         );
-        assert_eq!(result.inds, muds_ind::naive_inds(&table), "MUDS vs naive INDs on {}", table.name());
+        assert_eq!(
+            result.inds,
+            muds_ind::naive_inds(&table),
+            "MUDS vs naive INDs on {}",
+            table.name()
+        );
     }
 }

@@ -35,10 +35,7 @@ fn approximate_fds_at_zero_match_exact_on_generated_data() {
     let table = ncvoter_like(300, 8);
     let report = muds(&table, &MudsConfig::default());
     let mut cache = PliCache::new(&table);
-    assert_eq!(
-        approximate_fds(&mut cache, 0.0).to_sorted_vec(),
-        report.fds.to_sorted_vec()
-    );
+    assert_eq!(approximate_fds(&mut cache, 0.0).to_sorted_vec(), report.fds.to_sorted_vec());
 }
 
 #[test]
@@ -65,15 +62,15 @@ fn nary_inds_extend_spider_consistently() {
     let rows: Vec<Vec<String>> = (0..60)
         .map(|i| {
             vec![
-                (i / 3).to_string(),          // order_id
-                (i % 3).to_string(),          // line_id
-                ((i / 6) % 10).to_string(),   // order_ref ⊆ order_id values
-                (i % 3).to_string(),          // line ⊆ line_id values
+                (i / 3).to_string(),        // order_id
+                (i % 3).to_string(),        // line_id
+                ((i / 6) % 10).to_string(), // order_ref ⊆ order_id values
+                (i % 3).to_string(),        // line ⊆ line_id values
             ]
         })
         .collect();
-    let t = Table::from_rows("orders", &["order_id", "line_id", "order_ref", "line"], &rows)
-        .unwrap();
+    let t =
+        Table::from_rows("orders", &["order_id", "line_id", "order_ref", "line"], &rows).unwrap();
     let nary = muds_ind::nary_inds(&t, 2);
     // Arity-1 results coincide with SPIDER.
     let unary: Vec<_> = nary.iter().filter(|i| i.arity() == 1).collect();

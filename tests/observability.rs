@@ -1,0 +1,86 @@
+//! Integration tests for the instrumentation layer: every algorithm run
+//! carries a metrics snapshot whose counters satisfy the cache invariants,
+//! counter snapshots are deterministic across same-seed runs, and a trace
+//! sink receives span events for every reported phase.
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_obs::{JsonlSink, Metrics};
+use muds_table::Table;
+
+fn fixture() -> Table {
+    Table::from_rows(
+        "obs-fixture",
+        &["id", "grp", "val", "cpy"],
+        &[
+            vec!["1", "a", "x", "1"],
+            vec!["2", "a", "x", "2"],
+            vec!["3", "b", "y", "3"],
+            vec!["4", "b", "y", "4"],
+            vec!["5", "c", "x", "5"],
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn every_algorithm_reports_consistent_pli_counters() {
+    let t = fixture();
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let r = profile(&t, alg, &cfg);
+        let m = &r.metrics;
+        assert!(m.counter("pli.intersects") > 0, "{} built multi-column PLIs", alg.name());
+        assert_eq!(
+            m.counter("pli.requests"),
+            m.counter("pli.hits") + m.counter("pli.misses"),
+            "{}: every cache request is a hit or a miss",
+            alg.name()
+        );
+        assert!(m.counter("spider.inds_found") > 0, "{} ran SPIDER", alg.name());
+        // The phase breakdown mirrors the span tree.
+        assert_eq!(r.phases.len(), m.spans.len(), "{}", alg.name());
+    }
+}
+
+#[test]
+fn same_seed_runs_have_identical_counter_snapshots() {
+    let t = fixture();
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let a = profile(&t, alg, &cfg);
+        let b = profile(&t, alg, &cfg);
+        assert_eq!(a.metrics.counters, b.metrics.counters, "{}", alg.name());
+        assert_eq!(a.metrics.gauges, b.metrics.gauges, "{}", alg.name());
+    }
+}
+
+#[test]
+fn trace_sink_receives_a_span_event_per_phase() {
+    let t = fixture();
+    let cfg = ProfilerConfig::default();
+    let path = std::env::temp_dir().join(format!("muds-obs-trace-{}.jsonl", std::process::id()));
+
+    let metrics = Metrics::new();
+    metrics.set_sink(Box::new(JsonlSink::create(&path).expect("temp file")));
+    let guard = metrics.install();
+    let results: Vec<_> = Algorithm::ALL.iter().map(|&alg| profile(&t, alg, &cfg)).collect();
+    drop(guard);
+
+    let trace = std::fs::read_to_string(&path).expect("trace written");
+    let _ = std::fs::remove_file(&path);
+    for r in &results {
+        for phase in &r.phases {
+            // Phase names appear JSON-escaped in the trace (R\Z → R\\Z).
+            let escaped = phase.name.replace('\\', "\\\\").replace('"', "\\\"");
+            let needle = format!("\"type\":\"span_end\",\"name\":\"{escaped}\"");
+            assert!(
+                trace.lines().any(|l| l.contains(&needle)),
+                "{}: no span_end event for phase {:?}",
+                r.algorithm.name(),
+                phase.name
+            );
+        }
+    }
+    // Four drained runs → four snapshot events.
+    assert_eq!(trace.lines().filter(|l| l.contains("\"type\":\"snapshot\"")).count(), 4);
+}

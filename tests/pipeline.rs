@@ -52,27 +52,20 @@ fn duplicate_rows_are_a_documented_degradation_not_a_crash() {
     let table = Table::from_rows(
         "dups",
         &["a", "b", "c"],
-        &[
-            vec!["1", "x", "q"],
-            vec!["1", "x", "q"],
-            vec!["2", "y", "q"],
-            vec!["3", "y", "r"],
-        ],
+        &[vec!["1", "x", "q"], vec!["1", "x", "q"], vec!["2", "y", "q"], vec!["3", "y", "r"]],
     )
     .unwrap();
     assert!(table.has_duplicate_rows());
     let report = muds(&table, &MudsConfig::default());
     assert!(report.minimal_uccs.is_empty(), "duplicates admit no UCC");
     // FDs are still exact (everything flows through the R\Z walks).
-    assert_eq!(
-        report.fds.to_sorted_vec(),
-        muds_fd::naive_minimal_fds(&table).to_sorted_vec()
-    );
+    assert_eq!(report.fds.to_sorted_vec(), muds_fd::naive_minimal_fds(&table).to_sorted_vec());
 }
 
 #[test]
 fn single_column_and_single_row_tables() {
-    let one_col = Table::from_rows("c1", &["a"], &[vec!["1"], vec!["2"], vec!["2"]]).unwrap().dedup_rows();
+    let one_col =
+        Table::from_rows("c1", &["a"], &[vec!["1"], vec!["2"], vec!["2"]]).unwrap().dedup_rows();
     let r = muds(&one_col, &MudsConfig::default());
     assert!(r.inds.is_empty());
     assert_eq!(r.minimal_uccs.len(), 1);
@@ -86,12 +79,9 @@ fn single_column_and_single_row_tables() {
 
 #[test]
 fn all_null_column_profile() {
-    let t = Table::from_rows(
-        "nulls",
-        &["id", "ghost"],
-        &[vec!["1", ""], vec!["2", ""], vec!["3", ""]],
-    )
-    .unwrap();
+    let t =
+        Table::from_rows("nulls", &["id", "ghost"], &[vec!["1", ""], vec!["2", ""], vec!["3", ""]])
+            .unwrap();
     let r = muds(&t, &MudsConfig::default());
     // ghost is constant (NULL everywhere): determined by the empty set, and
     // vacuously included in id.

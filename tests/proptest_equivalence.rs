@@ -15,23 +15,20 @@ use proptest::prelude::*;
 /// small alphabet (with occasional NULLs), duplicates removed.
 fn arb_table() -> impl Strategy<Value = Table> {
     (1usize..=6, 1usize..=35, 2u32..=4).prop_flat_map(|(cols, rows, card)| {
-        proptest::collection::vec(
-            proptest::collection::vec(0u32..=card, cols),
-            rows..=rows,
-        )
-        .prop_map(move |data| {
-            let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
-            let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
-            let rows: Vec<Vec<String>> = data
-                .iter()
-                .map(|r| {
-                    r.iter()
-                        .map(|&v| if v == 0 { String::new() } else { v.to_string() })
-                        .collect()
-                })
-                .collect();
-            Table::from_rows("prop", &name_refs, &rows).expect("valid").dedup_rows()
-        })
+        proptest::collection::vec(proptest::collection::vec(0u32..=card, cols), rows..=rows)
+            .prop_map(move |data| {
+                let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+                let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+                let rows: Vec<Vec<String>> = data
+                    .iter()
+                    .map(|r| {
+                        r.iter()
+                            .map(|&v| if v == 0 { String::new() } else { v.to_string() })
+                            .collect()
+                    })
+                    .collect();
+                Table::from_rows("prop", &name_refs, &rows).expect("valid").dedup_rows()
+            })
     })
 }
 

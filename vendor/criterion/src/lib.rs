@@ -1,0 +1,167 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored crate
+//! provides the benchmark-harness subset the workspace's `benches/` use:
+//! [`Criterion::benchmark_group`], [`Bencher::iter`] /
+//! [`Bencher::iter_batched`], and the `criterion_group!` /
+//! `criterion_main!` macros. No statistics, plots, or outlier analysis —
+//! each benchmark runs `sample_size` timed iterations after one warm-up and
+//! reports the mean, which is enough to eyeball perf trends offline.
+
+use std::time::{Duration, Instant};
+
+/// Batch sizing hint for [`Bencher::iter_batched`]. Ignored here beyond API
+/// compatibility: every iteration gets a fresh setup value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    samples: usize,
+    /// Mean duration of one iteration, recorded by `iter*`.
+    mean: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the configured number of samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        std::hint::black_box(routine()); // warm-up, untimed
+        let t0 = Instant::now();
+        for _ in 0..self.samples {
+            std::hint::black_box(routine());
+        }
+        self.mean = t0.elapsed() / self.samples as u32;
+    }
+
+    /// Times `routine` with a per-iteration `setup` value; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        std::hint::black_box(routine(setup())); // warm-up, untimed
+        let mut total = Duration::ZERO;
+        for _ in 0..self.samples {
+            let input = setup();
+            let t0 = Instant::now();
+            std::hint::black_box(routine(input));
+            total += t0.elapsed();
+        }
+        self.mean = total / self.samples as u32;
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the number of timed iterations per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        self.criterion.report(&format!("{}/{}", self.name, id), b.mean, self.sample_size);
+        self
+    }
+
+    /// Ends the group (upstream flushes reports here; here a no-op).
+    pub fn finish(self) {}
+}
+
+/// Benchmark driver. Collects results and prints one line per benchmark.
+pub struct Criterion {
+    default_sample_size: usize,
+    /// `(id, mean)` of every benchmark run, in execution order.
+    results: Vec<(String, Duration)>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { default_sample_size: 10, results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup { criterion: self, name: name.to_string(), sample_size }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher { samples: self.default_sample_size, mean: Duration::ZERO };
+        f(&mut b);
+        self.report(id, b.mean, self.default_sample_size);
+        self
+    }
+
+    fn report(&mut self, id: &str, mean: Duration, samples: usize) {
+        println!("{id:<60} {mean:>12.2?}/iter  ({samples} samples)");
+        self.results.push((id.to_string(), mean));
+    }
+
+    /// All results recorded so far.
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
+    }
+}
+
+/// Re-export so user code can `use criterion::black_box`.
+pub use std::hint::black_box;
+
+/// Declares a group of benchmark functions, like upstream.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, like upstream.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut runs = 0u32;
+        group.bench_function("count", |b| b.iter(|| runs += 1));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+        assert_eq!(runs, 4, "one warm-up plus three samples");
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].0, "g/count");
+    }
+}
