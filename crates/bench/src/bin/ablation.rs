@@ -12,7 +12,7 @@
 
 use std::time::Instant;
 
-use muds_bench::{print_table, secs, MetricsSidecar};
+use muds_bench::{init_threads, print_table, secs, MetricsSidecar};
 use muds_core::{baseline, holistic_fun, muds, MudsConfig};
 use muds_datagen::{ncvoter_like, uci_dataset, uniprot_like};
 use muds_lattice::{ColumnSet, SetTrie};
@@ -20,6 +20,7 @@ use muds_obs::Metrics;
 use rand::prelude::*;
 
 fn main() {
+    init_threads();
     let metrics = Metrics::new();
     let _guard = metrics.install();
     let mut sidecar = MetricsSidecar::for_bin("ablation");

@@ -11,12 +11,14 @@
 //! [--cols N] [--paper-faithful]`
 
 use muds_bench::{
-    arg_flag, arg_usize, assert_consistent, measure, print_table, secs, MetricsSidecar,
+    arg_flag, arg_usize, assert_consistent, init_threads, measure, print_table, secs,
+    MetricsSidecar,
 };
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::uniprot_like;
 
 fn main() {
+    init_threads();
     let cols = arg_usize("--cols", 10);
     let max_rows = arg_usize("--max-rows", 250_000);
     let mut config = ProfilerConfig::default();

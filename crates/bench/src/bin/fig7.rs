@@ -17,12 +17,14 @@
 //! [--paper-faithful]`
 
 use muds_bench::{
-    arg_flag, arg_usize, assert_consistent, measure, print_table, secs, MetricsSidecar,
+    arg_flag, arg_usize, assert_consistent, init_threads, measure, print_table, secs,
+    MetricsSidecar,
 };
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::ionosphere_like;
 
 fn main() {
+    init_threads();
     let max_cols = arg_usize("--max-cols", 16);
     let mut config = ProfilerConfig::default();
     if arg_flag("--paper-faithful") {

@@ -15,12 +15,13 @@
 //!
 //! Usage: `cargo run -p muds-bench --release --bin fig8 [--rows N] [--cols N]`
 
-use muds_bench::{arg_usize, print_table, secs, MetricsSidecar};
+use muds_bench::{arg_usize, init_threads, print_table, secs, MetricsSidecar};
 use muds_core::{muds, MudsConfig, ShadowLookup};
 use muds_datagen::ncvoter_like;
 use muds_obs::Metrics;
 
 fn main() {
+    init_threads();
     let rows = arg_usize("--rows", 10_000);
     let cols = arg_usize("--cols", 20);
 

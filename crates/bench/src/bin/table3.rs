@@ -11,11 +11,14 @@
 //! Usage: `cargo run -p muds-bench --release --bin table3 [--paper-faithful]
 //! [--dataset NAME]`
 
-use muds_bench::{arg_flag, assert_consistent, measure, print_table, secs, MetricsSidecar};
+use muds_bench::{
+    arg_flag, assert_consistent, init_threads, measure, print_table, secs, MetricsSidecar,
+};
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_datagen::{uci_dataset, TABLE3_DATASETS};
 
 fn main() {
+    init_threads();
     let mut config = ProfilerConfig::default();
     if arg_flag("--paper-faithful") {
         config.muds.completion_sweep = false;

@@ -103,6 +103,19 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Configures the global worker pool from an optional `--threads N`
+/// argument; call once at the top of every experiment binary. Without the
+/// flag, rayon defaults to all cores on first use. Results and counters are
+/// thread-count invariant, so `--threads` only changes wall-clock numbers.
+pub fn init_threads() {
+    let n = arg_usize("--threads", 0);
+    if n > 0 {
+        if let Err(e) = rayon::ThreadPoolBuilder::new().num_threads(n).build_global() {
+            eprintln!("warning: cannot configure {n} worker threads: {e}");
+        }
+    }
+}
+
 /// Parses `--flag value`-style integer arguments from the binary's argv,
 /// with a default.
 pub fn arg_usize(name: &str, default: usize) -> usize {

@@ -23,6 +23,9 @@ pub enum Command {
         paper_faithful: bool,
         metrics: Option<MetricsFormat>,
         trace: Option<String>,
+        /// Worker threads for the parallel execution layer (`None` = all
+        /// cores; `Some(1)` reproduces the sequential execution exactly).
+        threads: Option<usize>,
     },
     /// Run all four algorithms on a CSV file and compare runtimes.
     Compare {
@@ -31,6 +34,8 @@ pub enum Command {
         has_header: bool,
         metrics: Option<MetricsFormat>,
         trace: Option<String>,
+        /// Worker threads for the parallel execution layer.
+        threads: Option<usize>,
     },
     /// Generate one of the paper's stand-in datasets as CSV on stdout or to
     /// a file.
@@ -89,9 +94,19 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut paper_faithful = false;
             let mut metrics: Option<MetricsFormat> = None;
             let mut trace: Option<String> = None;
+            let mut threads: Option<usize> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--threads" | "-t" => {
+                        let v: usize = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| ArgError("--threads must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(v);
+                    }
                     "--algorithm" | "-a" => {
                         algorithm = algorithm_by_name(take_value(args, &mut i, "--algorithm")?)?
                     }
@@ -119,7 +134,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             }
             let path = path.ok_or_else(|| ArgError(format!("{cmd} needs a CSV file path")))?;
             if cmd == "compare" {
-                Ok(Command::Compare { path, delimiter, has_header, metrics, trace })
+                Ok(Command::Compare { path, delimiter, has_header, metrics, trace, threads })
             } else {
                 Ok(Command::Profile {
                     path,
@@ -129,6 +144,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     paper_faithful,
                     metrics,
                     trace,
+                    threads,
                 })
             }
         }
@@ -176,12 +192,18 @@ mudsprof — holistic data profiling (MUDS, EDBT 2016 reproduction)
 
 USAGE:
   mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
-                   [--no-header] [--paper-faithful]
+                   [--no-header] [--paper-faithful] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
-  mudsprof compare <file.csv> [-d <delim>] [--no-header]
+  mudsprof compare <file.csv> [-d <delim>] [--no-header] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof generate <dataset> [--rows N] [--cols N] [-o out.csv]
   mudsprof help
+
+PARALLELISM:
+  --threads N        worker threads for PLI construction, lattice-level
+                     validation, and dictionary sorting (default: all
+                     cores). Results and counters are identical for any N;
+                     --threads 1 reproduces the sequential execution.
 
 OBSERVABILITY:
   --metrics pretty   print the span tree and all work counters (PLI cache,
@@ -214,8 +236,20 @@ mod tests {
                 paper_faithful: false,
                 metrics: None,
                 trace: None,
+                threads: None,
             }
         );
+    }
+
+    #[test]
+    fn threads_flag() {
+        let cmd = parse(&argv("profile x.csv --threads 8")).unwrap();
+        assert!(matches!(cmd, Command::Profile { threads: Some(8), .. }));
+        let cmd = parse(&argv("compare x.csv -t 1")).unwrap();
+        assert!(matches!(cmd, Command::Compare { threads: Some(1), .. }));
+        assert!(parse(&argv("profile x.csv --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("profile x.csv --threads two")).is_err());
+        assert!(parse(&argv("profile x.csv --threads")).is_err());
     }
 
     #[test]

@@ -46,6 +46,18 @@ fn install_metrics(trace: Option<&str>) -> Result<(Metrics, muds_obs::AmbientGua
     Ok((metrics, guard))
 }
 
+/// Configures the global worker pool from `--threads`. A no-op when the
+/// flag is absent (rayon then defaults to all cores on first use).
+fn configure_threads(threads: Option<usize>) -> Result<(), String> {
+    if let Some(n) = threads {
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(n)
+            .build_global()
+            .map_err(|e| format!("cannot configure {n} worker threads: {e}"))?;
+    }
+    Ok(())
+}
+
 fn print_phase_tree(phases: &[Phase], indent: usize) {
     for phase in phases {
         println!("  {:indent$}{:<28} {:?}", "", phase.name, phase.duration, indent = indent);
@@ -67,7 +79,9 @@ fn run(command: Command) -> Result<(), String> {
             paper_faithful,
             metrics,
             trace,
+            threads,
         } => {
+            configure_threads(threads)?;
             let options = CsvOptions { delimiter, has_header };
             let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
             let table = if table.has_duplicate_rows() {
@@ -125,7 +139,8 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
-        Command::Compare { path, delimiter, has_header, metrics, trace } => {
+        Command::Compare { path, delimiter, has_header, metrics, trace, threads } => {
+            configure_threads(threads)?;
             let options = CsvOptions { delimiter, has_header };
             let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
             let table = table.dedup_rows();

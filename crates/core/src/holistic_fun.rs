@@ -48,8 +48,17 @@ pub fn holistic_fun(table: &Table) -> HolisticFunReport {
     let mut timings = HolisticFunTimings::default();
 
     let span = muds_obs::span("SPIDER");
-    let (inds, spider_stats) = spider_with_stats(table);
-    let mut cache = PliCache::new(table);
+    // Same shared-input-scan join as MUDS: PLI construction on the caller
+    // thread, SPIDER on a worker with the ambient metrics handle installed
+    // (ambient registries are thread-local).
+    let ambient = muds_obs::Metrics::current();
+    let (mut cache, (inds, spider_stats)) = rayon::join(
+        || PliCache::new(table),
+        move || {
+            let _guard = ambient.as_ref().map(|m| m.install());
+            spider_with_stats(table)
+        },
+    );
     timings.spider = span.stop();
 
     let span = muds_obs::span("FUN");

@@ -19,6 +19,16 @@ use muds_fd::FdSet;
 use muds_lattice::{ColumnSet, MaximalSetFamily, SetTrie};
 use muds_pli::PliCache;
 
+/// Outcome of one decision in a [`FdKnowledge::decide_many`] batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchOutcome {
+    /// Whether `lhs → rhs` holds.
+    pub holds: bool,
+    /// True when the answer came from existing knowledge (or triviality)
+    /// instead of a fresh partition-refinement check.
+    pub known: bool,
+}
+
 /// Accumulated three-valued FD knowledge for one table.
 pub struct FdKnowledge {
     positives: HashMap<usize, SetTrie>,
@@ -96,6 +106,50 @@ impl FdKnowledge {
         v
     }
 
+    /// Decides `lhs → a` for every `a` in `rhss` at once.
+    ///
+    /// Equivalent to a loop of [`Self::determines`] calls: knowledge
+    /// look-ups and outcome recording happen sequentially in input order,
+    /// and only the partition scans of the unresolved checks fan out across
+    /// threads. Batching is sound because the rhss of one call are distinct
+    /// columns over a fixed lhs, so no check in the batch can create
+    /// knowledge that would have short-circuited a later one. `self.checks`
+    /// is incremented per real check; knowledge hits are reported through
+    /// `known` and their accounting is left to the caller (call sites
+    /// disagree on which counter a hit feeds).
+    pub fn decide_many(
+        &mut self,
+        cache: &mut PliCache<'_>,
+        lhs: &ColumnSet,
+        rhss: &[usize],
+    ) -> Vec<BatchOutcome> {
+        let mut out: Vec<BatchOutcome> = Vec::with_capacity(rhss.len());
+        // (position in `out`, rhs) of the decisions needing a real check.
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        for &a in rhss {
+            if lhs.contains(a) {
+                out.push(BatchOutcome { holds: true, known: true });
+            } else if let Some(v) = self.lookup(lhs, a) {
+                out.push(BatchOutcome { holds: v, known: true });
+            } else {
+                self.checks += 1;
+                pending.push((out.len(), a));
+                out.push(BatchOutcome { holds: false, known: false });
+            }
+        }
+        let checks: Vec<(ColumnSet, usize)> = pending.iter().map(|&(_, a)| (*lhs, a)).collect();
+        let verdicts = cache.refines_many(&checks);
+        for (&(slot, a), &v) in pending.iter().zip(&verdicts) {
+            if v {
+                self.record_positive(*lhs, a);
+            } else {
+                self.record_negative(*lhs, a);
+            }
+            out[slot].holds = v;
+        }
+        out
+    }
+
     /// Known maximal non-determining sets for `rhs` (walk seeds).
     pub fn negative_sets(&self, rhs: usize) -> &[ColumnSet] {
         self.negatives.get(&rhs).map_or(&[], |f| f.sets())
@@ -157,6 +211,42 @@ mod tests {
         k.absorb(&fds);
         assert_eq!(k.lookup(&cs(&[0, 2]), 1), Some(true));
         assert_eq!(k.lookup(&cs(&[2]), 1), None);
+    }
+
+    #[test]
+    fn decide_many_matches_a_determines_loop() {
+        let t = Table::from_rows(
+            "t",
+            &["a", "b", "c", "d"],
+            &[
+                vec!["1", "1", "x", "p"],
+                vec!["2", "2", "y", "p"],
+                vec!["3", "3", "x", "q"],
+                vec!["4", "4", "y", "q"],
+            ],
+        )
+        .unwrap();
+        // Pre-seed both stores identically so knowledge hits arise.
+        let mut seq = FdKnowledge::new(4);
+        let mut bat = FdKnowledge::new(4);
+        for k in [&mut seq, &mut bat] {
+            k.record_positive(cs(&[0]), 1);
+            k.record_negative(cs(&[3]), 2);
+        }
+        let mut c1 = PliCache::new(&t);
+        let mut c2 = PliCache::new(&t);
+        let lhs = cs(&[0, 3]);
+        let rhss = [1usize, 2, 3]; // knowledge hit, real check, trivial
+        let seq_holds: Vec<bool> = rhss.iter().map(|&a| seq.determines(&mut c1, &lhs, a)).collect();
+        let outcomes = bat.decide_many(&mut c2, &lhs, &rhss);
+        assert_eq!(outcomes.iter().map(|o| o.holds).collect::<Vec<_>>(), seq_holds);
+        assert_eq!(outcomes.iter().map(|o| o.known).collect::<Vec<_>>(), vec![true, false, true],);
+        assert_eq!(bat.checks, seq.checks);
+        assert_eq!(c1.stats(), c2.stats());
+        // Outcomes were recorded: a second batch is fully known.
+        let again = bat.decide_many(&mut c2, &lhs, &rhss);
+        assert!(again.iter().all(|o| o.known));
+        assert_eq!(again.iter().map(|o| o.holds).collect::<Vec<_>>(), seq_holds,);
     }
 
     #[test]

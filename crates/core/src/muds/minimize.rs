@@ -106,10 +106,17 @@ pub fn minimize_fds(
                 }
             }
 
+            // One knowledge batch per node: unresolved checks of the same
+            // lhs fan out across threads, outcomes apply in rhs order.
+            let rhs_list: Vec<usize> = potential.iter().collect();
+            stats.fd_checks += rhs_list.len() as u64;
             let mut valid_rhs = ColumnSet::empty();
-            for a in potential.iter() {
-                stats.fd_checks += 1;
-                if knowledge.determines(cache, &lhs_subset, a) {
+            let outcomes = knowledge.decide_many(cache, &lhs_subset, &rhs_list);
+            for (&a, outcome) in rhs_list.iter().zip(&outcomes) {
+                if outcome.known {
+                    knowledge.short_circuits += 1;
+                }
+                if outcome.holds {
                     valid_rhs.insert(a);
                 }
             }

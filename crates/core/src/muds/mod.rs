@@ -164,8 +164,19 @@ pub fn muds(table: &Table, config: &MudsConfig) -> MudsReport {
     // an obs span: the timer both feeds the legacy `MudsPhaseTimings`
     // (Figure 8 rows) and nests into the ambient registry's phase tree.
     let span = muds_obs::span("SPIDER");
-    let (inds, spider_stats) = spider_with_stats(table);
-    let mut cache = PliCache::new(table);
+    // SPIDER and PLI construction read the same immutable columns but
+    // produce independent outputs, so the "one shared scan" phase runs them
+    // as the two branches of a join. Ambient metrics registries are
+    // thread-local; the branch that may land on a worker thread installs
+    // the captured handle so SPIDER's counter flush is not lost.
+    let ambient = muds_obs::Metrics::current();
+    let (mut cache, (inds, spider_stats)) = rayon::join(
+        || PliCache::new(table),
+        move || {
+            let _guard = ambient.as_ref().map(|m| m.install());
+            spider_with_stats(table)
+        },
+    );
     timings.spider = span.stop();
     stats.spider = spider_stats;
 

@@ -87,25 +87,28 @@ fn minimize_tasks(
         for subset in lhs.direct_subsets() {
             let mut valid = ColumnSet::empty();
             let (checked, valid_known) = answered.entry(subset).or_default();
+            // Resolve the memo first, then decide the rest as one batch
+            // (unresolved checks of the same subset fan out across threads;
+            // memo and knowledge updates apply in rhs order as before).
+            let mut pending: Vec<usize> = Vec::new();
             for a in rhs.difference(&subset).iter() {
                 if checked.contains(a) {
                     if valid_known.contains(a) {
                         valid.insert(a);
                     }
-                    continue;
+                } else {
+                    pending.push(a);
                 }
-                let holds = match knowledge.lookup(&subset, a) {
-                    Some(v) => {
-                        stats.checks_short_circuited += 1;
-                        v
-                    }
-                    None => {
-                        stats.minimize_fd_checks += 1;
-                        knowledge.determines(cache, &subset, a)
-                    }
-                };
+            }
+            let outcomes = knowledge.decide_many(cache, &subset, &pending);
+            for (&a, outcome) in pending.iter().zip(&outcomes) {
+                if outcome.known {
+                    stats.checks_short_circuited += 1;
+                } else {
+                    stats.minimize_fd_checks += 1;
+                }
                 checked.insert(a);
-                if holds {
+                if outcome.holds {
                     valid_known.insert(a);
                     valid.insert(a);
                 }
@@ -166,8 +169,13 @@ pub fn discover_shadowed_fds(
     loop {
         stats.rounds += 1;
         let mut tasks: Vec<(ColumnSet, ColumnSet)> = Vec::new();
-        let entries: Vec<(ColumnSet, ColumnSet)> =
+        // `FdSet` stores entries in a hash map; sort so the check sequence
+        // (and thus every interleaving of knowledge lookups with knowledge
+        // growth) is identical across runs — probe counters are part of the
+        // determinism contract pinned by tests/determinism.rs.
+        let mut entries: Vec<(ColumnSet, ColumnSet)> =
             fds.iter_entries().map(|(l, r)| (*l, *r)).collect();
+        entries.sort_unstable();
         // Index all current left-hand sides. A connector with a non-empty
         // `FDs[connector]` is by definition a stored lhs, so instead of
         // enumerating all 2^|lhs| subsets (the paper's formulation) we
@@ -203,20 +211,20 @@ pub fn discover_shadowed_fds(
                     .clone();
                 for reduced in reduced_sets {
                     // The extension is valid for new_lhs by construction;
-                    // after UCC removal it must be re-validated.
+                    // after UCC removal it must be re-validated. The
+                    // reductions stay sequential (a check on one reduced
+                    // set can short-circuit the next), but each set's
+                    // unresolved checks fan out as one batch.
+                    let rhs_list: Vec<usize> = rhs.difference(&reduced).iter().collect();
+                    let outcomes = knowledge.decide_many(cache, &reduced, &rhs_list);
                     let mut valid = ColumnSet::empty();
-                    for a in rhs.difference(&reduced).iter() {
-                        let holds = match knowledge.lookup(&reduced, a) {
-                            Some(v) => {
-                                stats.checks_short_circuited += 1;
-                                v
-                            }
-                            None => {
-                                stats.generation_fd_checks += 1;
-                                knowledge.determines(cache, &reduced, a)
-                            }
-                        };
-                        if holds {
+                    for (&a, outcome) in rhs_list.iter().zip(&outcomes) {
+                        if outcome.known {
+                            stats.checks_short_circuited += 1;
+                        } else {
+                            stats.generation_fd_checks += 1;
+                        }
+                        if outcome.holds {
                             valid.insert(a);
                         }
                     }

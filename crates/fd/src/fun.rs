@@ -127,10 +127,13 @@ pub fn fun(cache: &mut PliCache<'_>) -> FunResult {
         } else {
             apriori_gen(&expandable)
         };
-        for c in &candidates {
-            let card = fun.cache.distinct_count(c);
+        // Candidate PLIs are independent intersections; materialize the
+        // level as one parallel batch and read the cardinalities in
+        // candidate order (identical bookkeeping to per-candidate gets).
+        let candidate_plis = fun.cache.get_many(&candidates);
+        for (c, pli) in candidates.iter().zip(&candidate_plis) {
             fun.stats.cards_computed += 1;
-            fun.card.insert(*c, card);
+            fun.card.insert(*c, pli.distinct_count());
         }
 
         // Emit FDs for the current level's free sets. X → A holds iff

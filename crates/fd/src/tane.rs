@@ -100,7 +100,13 @@ pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
         stats.max_level = depth;
         let mut cplus: HashMap<ColumnSet, ColumnSet> = HashMap::with_capacity(level.len());
 
-        // COMPUTE_DEPENDENCIES
+        // COMPUTE_DEPENDENCIES. Each node's candidate rhs set is fixed on
+        // entry (`X ∩ C⁺₀(X)` — the sequential loop iterates a snapshot
+        // too), so the whole level's refinement checks form one batch whose
+        // partition scans fan out across threads; verdicts are then applied
+        // in node order, reproducing the sequential control flow exactly.
+        let mut cplus0: Vec<ColumnSet> = Vec::with_capacity(level.len());
+        let mut checks: Vec<(ColumnSet, usize)> = Vec::new();
         for &x in &level {
             stats.nodes_processed += 1;
             // C⁺(X) = ∩_{A ∈ X} C⁺(X \ {A}); missing entries denote pruned
@@ -116,9 +122,20 @@ pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
                 }
             }
             for a in x.intersection(&cp).iter() {
+                checks.push((x.without(a), a));
+            }
+            cplus0.push(cp);
+        }
+        stats.fd_checks += checks.len() as u64;
+        let verdicts = cache.refines_many(&checks);
+        let mut next_verdict = 0usize;
+        for (&x, &cp0) in level.iter().zip(&cplus0) {
+            let mut cp = cp0;
+            for a in x.intersection(&cp0).iter() {
                 let lhs = x.without(a);
-                stats.fd_checks += 1;
-                if cache.determines(&lhs, a) {
+                let holds = verdicts[next_verdict];
+                next_verdict += 1;
+                if holds {
                     fds.insert(lhs, a);
                     tries.record(lhs, a);
                     cp.remove(a);
@@ -128,14 +145,15 @@ pub fn tane(cache: &mut PliCache<'_>) -> TaneResult {
             cplus.insert(x, cp);
         }
 
-        // PRUNE
+        // PRUNE. Every unpruned node's uniqueness is needed regardless of
+        // outcome, so the level's PLIs materialize as one parallel batch.
+        let unpruned: Vec<ColumnSet> =
+            level.iter().copied().filter(|x| !cplus[x].is_empty()).collect();
+        let plis = cache.get_many(&unpruned);
         let mut survivors: Vec<ColumnSet> = Vec::with_capacity(level.len());
-        for &x in &level {
+        for (&x, pli) in unpruned.iter().zip(&plis) {
             let cp = cplus[&x];
-            if cp.is_empty() {
-                continue;
-            }
-            if cache.is_unique(&x) {
+            if pli.is_unique() {
                 // X is a key, so X → A is valid for every A ∉ X; it is
                 // emitted when no smaller lhs for A exists. TANE phrases
                 // this through C⁺ look-ups of sibling nodes

@@ -115,7 +115,11 @@ impl FdSet {
         let mut out = FdSet::new();
         for (a, mut lhss) in per_rhs {
             // Insert in ascending cardinality; a trie catches dominated sets.
-            lhss.sort_by_key(|l| l.cardinality());
+            // Ties break on the set itself: `by_lhs` iterates in hash order,
+            // and a cardinality-only (stable) sort would leak that order into
+            // the trie's growth — probe counters are part of the determinism
+            // contract pinned by tests/determinism.rs.
+            lhss.sort_unstable_by_key(|l| (l.cardinality(), *l));
             let mut trie = SetTrie::new();
             for lhs in lhss {
                 if !trie.contains_subset_of(&lhs) {

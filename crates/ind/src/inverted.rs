@@ -5,6 +5,14 @@
 //! containing it, then intersects every column's candidate set with the
 //! column set of each of its values. Asymptotically similar to SPIDER but
 //! materializes the full index (no early discarding, higher memory).
+//!
+//! NULL semantics deliberately match SPIDER's: the index is built from
+//! `Column::sorted_distinct_values`, which excludes NULLs, so NULL rows are
+//! skipped on the dependent side and an all-NULL column is vacuously
+//! included in every other column. Because both algorithms consume the very
+//! same per-column lists, they cannot disagree on tables with NULLs or
+//! empty strings — `null_semantics_differential` below exercises exactly
+//! those shapes.
 
 use std::collections::HashMap;
 
@@ -63,6 +71,36 @@ mod tests {
         )
         .unwrap();
         assert_eq!(inverted_index_inds(&t), spider(&t));
+    }
+
+    #[test]
+    fn null_semantics_differential() {
+        // Hand-built NULL shapes: all-NULL column, partially-NULL columns,
+        // a column whose only non-null value is shared, and a no-row table.
+        // SPIDER, the inverted index, and the naive checker must agree on
+        // every one of them.
+        let tables = vec![
+            Table::from_rows(
+                "nulls",
+                &["full", "partial", "all_null", "shared"],
+                &[vec!["1", "1", "", "1"], vec!["2", "", "", ""], vec!["3", "2", "", ""]],
+            )
+            .unwrap(),
+            Table::from_rows("all-null-pair", &["x", "y"], &[vec!["", ""], vec!["", ""]]).unwrap(),
+            Table::from_rows("empty", &["a", "b"], &Vec::<Vec<&str>>::new()).unwrap(),
+        ];
+        for t in &tables {
+            let want = naive_inds(t);
+            assert_eq!(spider(t), want, "spider on {}", t.name());
+            assert_eq!(inverted_index_inds(t), want, "inverted on {}", t.name());
+        }
+        // The all-NULL column is included everywhere and references nothing.
+        let t = &tables[0];
+        let inds = inverted_index_inds(t);
+        for j in [0usize, 1, 3] {
+            assert!(inds.contains(&Ind::new(2, j)));
+        }
+        assert!(!inds.iter().any(|i| i.referenced == 2));
     }
 
     #[test]

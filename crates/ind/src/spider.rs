@@ -12,6 +12,16 @@
 //! The implementation keeps SPIDER's early-discarding optimization: a column
 //! whose candidates are exhausted and which no other column still references
 //! is dropped from the merge.
+//!
+//! The sorting phase is where SPIDER parallelizes: it happens inside
+//! `Column::from_values` (a parallel sort of each dictionary), so by the
+//! time this module runs, only the inherently sequential synchronized merge
+//! remains. NULL semantics are inherited from the dictionary too — NULLs
+//! never appear in `sorted_distinct_values`, so they are skipped on the
+//! dependent side; the inverted-index baseline reads the same lists, which
+//! keeps the two IND algorithms agreeing on NULL-laden tables by
+//! construction (pinned by `null_semantics_differential` in
+//! `inverted.rs` and the `null_semantics` integration suite).
 
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;

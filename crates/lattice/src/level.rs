@@ -8,6 +8,8 @@
 
 use std::collections::HashSet;
 
+use rayon::prelude::*;
+
 use crate::ColumnSet;
 
 /// Generates level `k+1` candidates from the surviving level-`k` sets.
@@ -16,6 +18,11 @@ use crate::ColumnSet;
 /// element (prefix join); the joined candidate is kept only if all of its
 /// direct subsets appear in `level`. The input order does not matter; the
 /// output is sorted and duplicate-free.
+///
+/// The subset-prune — the expensive part on wide levels, `k+1` hash probes
+/// per joined candidate — runs as an order-preserving parallel filter over
+/// the joined candidates (read-only sharing of the member set), so the
+/// output is identical for any thread count.
 pub fn apriori_gen(level: &[ColumnSet]) -> Vec<ColumnSet> {
     if level.is_empty() {
         return Vec::new();
@@ -25,7 +32,7 @@ pub fn apriori_gen(level: &[ColumnSet]) -> Vec<ColumnSet> {
     // Group by prefix (set minus largest element) by sorting on it.
     sorted.sort_by_key(|s| (s.max_col().map(|m| s.without(m)), s.max_col()));
 
-    let mut out = Vec::new();
+    let mut joined = Vec::new();
     let mut i = 0;
     while i < sorted.len() {
         let prefix_i = sorted[i].max_col().map(|m| sorted[i].without(m));
@@ -35,14 +42,16 @@ pub fn apriori_gen(level: &[ColumnSet]) -> Vec<ColumnSet> {
             if prefix_i != prefix_j {
                 break;
             }
-            let candidate = sorted[i].union(&sorted[j]);
-            if candidate.direct_subsets().all(|s| members.contains(&s)) {
-                out.push(candidate);
-            }
+            joined.push(sorted[i].union(&sorted[j]));
             j += 1;
         }
         i += 1;
     }
+    let mut out: Vec<ColumnSet> = joined
+        .par_iter()
+        .filter(|candidate| candidate.direct_subsets().all(|s| members.contains(&s)))
+        .copied()
+        .collect();
     out.sort();
     out.dedup();
     out

@@ -3,8 +3,9 @@
 //! Three pieces:
 //!
 //! * a [`Metrics`] registry of named monotonic [`Counter`]s and [`Gauge`]s.
-//!   Handles are `Rc<Cell<_>>` behind the scenes, so hot paths fetch a
-//!   handle once at construction and pay one unsynchronised add per event;
+//!   Counter handles are sharded atomics behind the scenes, so hot paths
+//!   fetch a handle once at construction and pay one relaxed atomic add per
+//!   event — from any thread, without contending on a single cache line;
 //! * RAII [`SpanTimer`]s that nest into a phase tree ([`SpanNode`]),
 //!   replacing flat phase lists with a hierarchy that mirrors the actual
 //!   call structure;
@@ -18,10 +19,35 @@
 //! ambient registry, or degrade to no-ops (detached cells, pure timers)
 //! when none is installed. This keeps `muds-pli`/`muds-lattice`/… APIs
 //! unchanged while still letting `mudsprof` observe everything.
+//!
+//! # Threading model
+//!
+//! A registry is shared state: `Metrics` is `Send + Sync` and cheap to
+//! clone (shared `Arc`). [`Counter`]s are *sharded* — eight cache-line
+//! padded atomics, with each thread writing one shard chosen by a
+//! thread-local index — so concurrent increments from the parallel
+//! execution layer neither race nor serialize on one line; [`Counter::get`]
+//! sums the shards. [`Gauge`]s are single atomics ([`Gauge::set_max`] uses
+//! `fetch_max`). Because counter adds are commutative and the profiler's
+//! parallel sections perform a fixed multiset of increments regardless of
+//! thread count, drained counter totals are deterministic for any
+//! `--threads N`.
+//!
+//! The *ambient* registry stays thread-local: worker threads spawned by the
+//! parallel layer start with no ambient registry and must explicitly
+//! [`Metrics::install`] a handle captured from the spawning thread if they
+//! want the free functions to resolve (hot paths instead capture handles
+//! up front, which work from any thread).
+//!
+//! Span entry/exit and [`Metrics::drain_snapshot`] are intended for the
+//! coordinating thread: spans form one tree per registry, and draining
+//! resets counters non-atomically with respect to concurrent writers, so
+//! callers drain only at quiescent points (end of a run).
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
-use std::rc::Rc;
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
 mod json;
@@ -31,14 +57,47 @@ mod snapshot;
 pub use sink::{Event, EventSink, JsonlSink, MemorySink, NullSink};
 pub use snapshot::{MetricsSnapshot, SpanNode};
 
-/// Monotonic counter handle. Cloning shares the underlying cell.
+/// Number of shards per counter. Eight padded lines bound the memory cost
+/// per counter while spreading writers enough for the profiler's depth-1
+/// parallelism (worker counts are typically ≤ core count).
+const COUNTER_SHARDS: usize = 8;
+
+/// One cache-line padded counter shard.
+#[repr(align(64))]
+#[derive(Debug, Default)]
+struct CounterShard(AtomicU64);
+
+/// The shard this thread writes. Assigned round-robin on first use.
+fn shard_index() -> usize {
+    thread_local! {
+        static SHARD: Cell<usize> = const { Cell::new(usize::MAX) };
+    }
+    static NEXT_SHARD: AtomicUsize = AtomicUsize::new(0);
+    SHARD.with(|slot| {
+        let mut idx = slot.get();
+        if idx == usize::MAX {
+            idx = NEXT_SHARD.fetch_add(1, Ordering::Relaxed) % COUNTER_SHARDS;
+            slot.set(idx);
+        }
+        idx
+    })
+}
+
+/// Locks ignoring poisoning: a panicking phase must not wedge the registry
+/// (the data is counters and span names, always in a usable state).
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// Monotonic counter handle. Cloning shares the underlying shards; adds
+/// are safe (and non-contending) from any thread.
 #[derive(Debug, Clone, Default)]
-pub struct Counter(Rc<Cell<u64>>);
+pub struct Counter(Arc<[CounterShard; COUNTER_SHARDS]>);
 
 impl Counter {
     /// Fresh counter detached from any registry (used when no ambient
     /// `Metrics` is installed; increments are simply dropped on the floor
-    /// when the cell is never read).
+    /// when the shards are never read).
     pub fn detached() -> Self {
         Self::default()
     }
@@ -50,17 +109,25 @@ impl Counter {
 
     #[inline]
     pub fn add(&self, delta: u64) {
-        self.0.set(self.0.get().wrapping_add(delta));
+        self.0[shard_index()].0.fetch_add(delta, Ordering::Relaxed);
     }
 
+    /// Sum over all shards. Exact once writers are quiescent.
     pub fn get(&self) -> u64 {
-        self.0.get()
+        self.0.iter().fold(0u64, |acc, shard| acc.wrapping_add(shard.0.load(Ordering::Relaxed)))
+    }
+
+    /// Zeroes all shards (drain path; callers ensure writers are quiescent).
+    fn reset(&self) {
+        for shard in self.0.iter() {
+            shard.0.store(0, Ordering::Relaxed);
+        }
     }
 }
 
-/// Last-value gauge handle. Cloning shares the underlying cell.
+/// Last-value gauge handle. Cloning shares the underlying atomic.
 #[derive(Debug, Clone, Default)]
-pub struct Gauge(Rc<Cell<i64>>);
+pub struct Gauge(Arc<AtomicI64>);
 
 impl Gauge {
     pub fn detached() -> Self {
@@ -69,20 +136,18 @@ impl Gauge {
 
     #[inline]
     pub fn set(&self, value: i64) {
-        self.0.set(value);
+        self.0.store(value, Ordering::Relaxed);
     }
 
     /// Sets the gauge to `max(current, value)` — handy for high-water
-    /// marks like lattice levels.
+    /// marks like lattice levels. Atomic, so racing raisers keep the max.
     #[inline]
     pub fn set_max(&self, value: i64) {
-        if value > self.0.get() {
-            self.0.set(value);
-        }
+        self.0.fetch_max(value, Ordering::Relaxed);
     }
 
     pub fn get(&self) -> i64 {
-        self.0.get()
+        self.0.load(Ordering::Relaxed)
     }
 }
 
@@ -94,21 +159,22 @@ struct OpenSpan {
 }
 
 struct MetricsInner {
-    counters: RefCell<BTreeMap<String, Counter>>,
-    gauges: RefCell<BTreeMap<String, Gauge>>,
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
     /// LIFO stack of currently open spans; index 0 is the outermost.
-    open: RefCell<Vec<OpenSpan>>,
+    open: Mutex<Vec<OpenSpan>>,
     /// Completed top-level spans.
-    roots: RefCell<Vec<SpanNode>>,
-    sink: RefCell<Option<Box<dyn EventSink>>>,
+    roots: Mutex<Vec<SpanNode>>,
+    sink: Mutex<Option<Box<dyn EventSink>>>,
 }
 
 /// Registry of counters, gauges, and spans. Cheap to clone (shared
-/// reference); single-threaded by design — the profiler is sequential, and
-/// each thread installs its own registry.
+/// reference) and `Send + Sync`: counter/gauge handles may be exercised
+/// from any thread, while the span tree and [`Metrics::drain_snapshot`]
+/// belong to the coordinating thread (see the module docs).
 #[derive(Clone)]
 pub struct Metrics {
-    inner: Rc<MetricsInner>,
+    inner: Arc<MetricsInner>,
 }
 
 impl Default for Metrics {
@@ -120,19 +186,19 @@ impl Default for Metrics {
 impl Metrics {
     pub fn new() -> Self {
         Metrics {
-            inner: Rc::new(MetricsInner {
-                counters: RefCell::new(BTreeMap::new()),
-                gauges: RefCell::new(BTreeMap::new()),
-                open: RefCell::new(Vec::new()),
-                roots: RefCell::new(Vec::new()),
-                sink: RefCell::new(None),
+            inner: Arc::new(MetricsInner {
+                counters: Mutex::new(BTreeMap::new()),
+                gauges: Mutex::new(BTreeMap::new()),
+                open: Mutex::new(Vec::new()),
+                roots: Mutex::new(Vec::new()),
+                sink: Mutex::new(None),
             }),
         }
     }
 
     /// Returns the named counter, creating it (at zero) on first use.
     pub fn counter(&self, name: &str) -> Counter {
-        let mut counters = self.inner.counters.borrow_mut();
+        let mut counters = lock(&self.inner.counters);
         if let Some(c) = counters.get(name) {
             return c.clone();
         }
@@ -143,7 +209,7 @@ impl Metrics {
 
     /// Returns the named gauge, creating it (at zero) on first use.
     pub fn gauge(&self, name: &str) -> Gauge {
-        let mut gauges = self.inner.gauges.borrow_mut();
+        let mut gauges = lock(&self.inner.gauges);
         if let Some(g) = gauges.get(name) {
             return g.clone();
         }
@@ -169,11 +235,11 @@ impl Metrics {
 
     /// Installs `sink` as the event receiver for this registry.
     pub fn set_sink(&self, sink: Box<dyn EventSink>) {
-        *self.inner.sink.borrow_mut() = Some(sink);
+        *lock(&self.inner.sink) = Some(sink);
     }
 
     fn emit(&self, event: &Event<'_>) {
-        if let Some(sink) = self.inner.sink.borrow_mut().as_mut() {
+        if let Some(sink) = lock(&self.inner.sink).as_mut() {
             sink.emit(event);
         }
     }
@@ -183,7 +249,7 @@ impl Metrics {
     pub fn span(&self, name: impl Into<String>) -> SpanTimer {
         let name = name.into();
         let depth = {
-            let mut open = self.inner.open.borrow_mut();
+            let mut open = lock(&self.inner.open);
             open.push(OpenSpan { name: name.clone(), start: Instant::now(), children: Vec::new() });
             open.len() - 1
         };
@@ -197,11 +263,11 @@ impl Metrics {
     pub fn record_span(&self, name: impl Into<String>, duration: Duration) {
         let node = SpanNode::leaf(name, duration);
         let depth = {
-            let mut open = self.inner.open.borrow_mut();
+            let mut open = lock(&self.inner.open);
             let depth = open.len();
             match open.last_mut() {
                 Some(parent) => parent.children.push(node.clone()),
-                None => self.inner.roots.borrow_mut().push(node.clone()),
+                None => lock(&self.inner.roots).push(node.clone()),
             }
             depth
         };
@@ -213,7 +279,7 @@ impl Metrics {
     fn close_span(&self, depth: usize, elapsed: Duration) -> Duration {
         loop {
             let top = {
-                let mut open = self.inner.open.borrow_mut();
+                let mut open = lock(&self.inner.open);
                 if open.len() <= depth {
                     return elapsed; // already closed (defensive; shouldn't happen)
                 }
@@ -228,7 +294,7 @@ impl Metrics {
                 let at = open.len();
                 match open.last_mut() {
                     Some(parent) => parent.children.push(node.clone()),
-                    None => self.inner.roots.borrow_mut().push(node.clone()),
+                    None => lock(&self.inner.roots).push(node.clone()),
                 }
                 (node, at, straggler)
             };
@@ -245,26 +311,32 @@ impl Metrics {
     /// cleared) so consecutive runs under one registry — e.g. the four
     /// algorithms of `mudsprof compare` — get independent snapshots. The
     /// snapshot is also published to the sink, which is then flushed.
+    ///
+    /// Call at quiescent points only: the read-then-reset of each counter
+    /// is not atomic with respect to concurrent `add`s.
     pub fn drain_snapshot(&self) -> MetricsSnapshot {
         // Close any spans left open (e.g. a panicking phase unwound past
         // its timer) so they still show up.
-        while !self.inner.open.borrow().is_empty() {
-            let depth = self.inner.open.borrow().len() - 1;
-            let elapsed = self.inner.open.borrow()[depth].start.elapsed();
+        loop {
+            let open = lock(&self.inner.open);
+            let Some(top) = open.last() else { break };
+            let depth = open.len() - 1;
+            let elapsed = top.start.elapsed();
+            drop(open);
             self.close_span(depth, elapsed);
         }
         let mut snapshot = MetricsSnapshot::default();
-        for (name, counter) in self.inner.counters.borrow().iter() {
+        for (name, counter) in lock(&self.inner.counters).iter() {
             snapshot.counters.insert(name.clone(), counter.get());
-            counter.0.set(0);
+            counter.reset();
         }
-        for (name, gauge) in self.inner.gauges.borrow().iter() {
+        for (name, gauge) in lock(&self.inner.gauges).iter() {
             snapshot.gauges.insert(name.clone(), gauge.get());
-            gauge.0.set(0);
+            gauge.set(0);
         }
-        snapshot.spans = std::mem::take(&mut *self.inner.roots.borrow_mut());
+        snapshot.spans = std::mem::take(&mut *lock(&self.inner.roots));
         self.emit(&Event::Snapshot { snapshot: &snapshot });
-        if let Some(sink) = self.inner.sink.borrow_mut().as_mut() {
+        if let Some(sink) = lock(&self.inner.sink).as_mut() {
             sink.flush();
         }
         snapshot
@@ -272,7 +344,9 @@ impl Metrics {
 
     /// Installs this registry as the thread-local ambient one; the free
     /// functions ([`counter`], [`add`], [`span`], …) resolve against it
-    /// until the returned guard drops.
+    /// until the returned guard drops. Worker threads inherit nothing:
+    /// code running on a spawned thread installs a captured handle itself
+    /// if it needs the free functions there.
     pub fn install(&self) -> AmbientGuard {
         AMBIENT.with(|stack| stack.borrow_mut().push(self.clone()));
         AmbientGuard { _priv: () }
@@ -424,6 +498,24 @@ mod tests {
     }
 
     #[test]
+    fn counters_aggregate_across_threads() {
+        let metrics = Metrics::new();
+        let c = metrics.counter("shared");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        handle.inc();
+                    }
+                });
+            }
+        });
+        c.add(5);
+        assert_eq!(metrics.counter("shared").get(), 4005);
+    }
+
+    #[test]
     fn gauges_track_last_value_and_max() {
         let metrics = Metrics::new();
         let g = metrics.gauge("level");
@@ -432,6 +524,19 @@ mod tests {
         assert_eq!(g.get(), 3);
         g.set_max(9);
         assert_eq!(metrics.gauge("level").get(), 9);
+    }
+
+    #[test]
+    fn gauge_max_is_atomic_across_threads() {
+        let metrics = Metrics::new();
+        let g = metrics.gauge("peak");
+        std::thread::scope(|s| {
+            for t in 1..=8i64 {
+                let handle = g.clone();
+                s.spawn(move || handle.set_max(t * 10));
+            }
+        });
+        assert_eq!(g.get(), 80);
     }
 
     #[test]
@@ -515,6 +620,30 @@ mod tests {
     }
 
     #[test]
+    fn ambient_registry_is_per_thread_until_installed() {
+        let metrics = Metrics::new();
+        let _guard = metrics.install();
+        let from_worker = std::thread::scope(|s| {
+            let m = metrics.clone();
+            s.spawn(move || {
+                // A fresh thread has no ambient registry…
+                assert!(Metrics::current().is_none());
+                add("lost", 7); // …so this is dropped.
+                                // …until it installs a captured handle.
+                let _g = m.install();
+                add("kept", 2);
+                Metrics::current().is_some()
+            })
+            .join()
+            .unwrap()
+        });
+        assert!(from_worker);
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.counter("lost"), 0);
+        assert_eq!(snap.counter("kept"), 2);
+    }
+
+    #[test]
     fn nested_installs_shadow_outer_registry() {
         let outer = Metrics::new();
         let inner = Metrics::new();
@@ -529,24 +658,24 @@ mod tests {
     }
 
     /// Sink that appends JSONL lines to a shared buffer the test keeps.
-    struct SharedSink(Rc<RefCell<Vec<String>>>);
+    struct SharedSink(Arc<Mutex<Vec<String>>>);
 
     impl EventSink for SharedSink {
         fn emit(&mut self, event: &Event<'_>) {
-            self.0.borrow_mut().push(event.to_json());
+            self.0.lock().unwrap().push(event.to_json());
         }
     }
 
     #[test]
     fn sink_receives_span_counter_and_snapshot_events() {
-        let lines = Rc::new(RefCell::new(Vec::new()));
+        let lines = Arc::new(Mutex::new(Vec::new()));
         let metrics = Metrics::new();
-        metrics.set_sink(Box::new(SharedSink(Rc::clone(&lines))));
+        metrics.set_sink(Box::new(SharedSink(Arc::clone(&lines))));
         metrics.span("root").stop();
         metrics.add("c", 5);
         metrics.drain_snapshot();
 
-        let lines = lines.borrow();
+        let lines = lines.lock().unwrap();
         assert!(lines[0].contains("\"type\":\"span_start\""));
         assert!(lines[0].contains("\"root\""));
         assert!(lines[1].contains("\"type\":\"span_end\""));

@@ -61,8 +61,10 @@ impl Event<'_> {
     }
 }
 
-/// Receiver of instrumentation events.
-pub trait EventSink {
+/// Receiver of instrumentation events. `Send` because a registry (and the
+/// sink boxed inside it) may be shared across the parallel execution
+/// layer's worker threads; emission itself is serialized by the registry.
+pub trait EventSink: Send {
     /// Handles one event.
     fn emit(&mut self, event: &Event<'_>);
 
@@ -97,7 +99,7 @@ impl<W: Write> JsonlSink<W> {
     }
 }
 
-impl<W: Write> EventSink for JsonlSink<W> {
+impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&mut self, event: &Event<'_>) {
         // A failed trace write must not abort a profiling run; drop the
         // event instead.

@@ -9,10 +9,11 @@
 //! exhaust memory.
 
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use muds_lattice::ColumnSet;
 use muds_table::Table;
+use rayon::prelude::*;
 
 use crate::pli::Pli;
 
@@ -61,13 +62,20 @@ impl PliMeters {
 
 /// A memoizing provider of PLIs for arbitrary column combinations of one
 /// table.
+///
+/// The cache itself is `&mut`-owned by the coordinating thread and needs no
+/// interior mutability: the batch entry points ([`PliCache::get_many`],
+/// [`PliCache::refines_many`]) keep all bookkeeping (stats, LRU stamps,
+/// inserts) sequential and fan only the pure PLI work (intersects,
+/// refinement scans) out to worker threads. Handing out `Arc<Pli>` lets
+/// workers share the cached partitions without copying.
 pub struct PliCache<'a> {
     table: &'a Table,
     /// Pinned PLIs: empty set and singletons, indexed by column.
-    empty: Rc<Pli>,
-    singles: Vec<Rc<Pli>>,
+    empty: Arc<Pli>,
+    singles: Vec<Arc<Pli>>,
     /// LRU region for multi-column combinations.
-    entries: HashMap<ColumnSet, (Rc<Pli>, u64)>,
+    entries: HashMap<ColumnSet, (Arc<Pli>, u64)>,
     capacity: usize,
     tick: u64,
     stats: PliCacheStats,
@@ -87,10 +95,13 @@ impl<'a> PliCache<'a> {
 
     /// Creates a cache with a custom LRU capacity (≥ 1).
     pub fn with_capacity(table: &'a Table, capacity: usize) -> Self {
-        let singles = table.columns().iter().map(|c| Rc::new(Pli::from_column(c))).collect();
+        // Per-column PLI construction is independent work: build in
+        // parallel, collecting in schema order.
+        let singles: Vec<Arc<Pli>> =
+            table.columns().par_iter().map(|c| Arc::new(Pli::from_column(c))).collect();
         PliCache {
             table,
-            empty: Rc::new(Pli::empty_set(table.num_rows())),
+            empty: Arc::new(Pli::empty_set(table.num_rows())),
             singles,
             entries: HashMap::new(),
             capacity: capacity.max(1),
@@ -121,18 +132,18 @@ impl<'a> PliCache<'a> {
     /// `set \ {max}` with the single-column PLI of `max`, so a chain of
     /// related look-ups (as produced by lattice traversals) reuses cached
     /// prefixes.
-    pub fn get(&mut self, set: &ColumnSet) -> Rc<Pli> {
+    pub fn get(&mut self, set: &ColumnSet) -> Arc<Pli> {
         self.meters.requests.inc();
         match set.cardinality() {
             0 => {
                 self.stats.hits += 1;
                 self.meters.hits.inc();
-                Rc::clone(&self.empty)
+                Arc::clone(&self.empty)
             }
             1 => {
                 self.stats.hits += 1;
                 self.meters.hits.inc();
-                Rc::clone(&self.singles[set.min_col().expect("non-empty")])
+                Arc::clone(&self.singles[set.min_col().expect("non-empty")])
             }
             _ => {
                 self.tick += 1;
@@ -141,33 +152,105 @@ impl<'a> PliCache<'a> {
                     *stamp = tick;
                     self.stats.hits += 1;
                     self.meters.hits.inc();
-                    return Rc::clone(pli);
+                    return Arc::clone(pli);
                 }
                 self.stats.misses += 1;
                 self.meters.misses.inc();
                 let last = set.max_col().expect("non-empty");
                 let rest = set.without(last);
                 let left = self.get(&rest);
-                let right = Rc::clone(&self.singles[last]);
+                let right = Arc::clone(&self.singles[last]);
                 self.stats.intersects += 1;
                 self.meters.intersects.inc();
-                let pli = Rc::new(left.intersect(&right));
-                self.insert(*set, Rc::clone(&pli));
+                let pli = Arc::new(left.intersect(&right));
+                self.insert_at(*set, Arc::clone(&pli), tick);
                 pli
             }
         }
     }
 
-    fn insert(&mut self, set: ColumnSet, pli: Rc<Pli>) {
+    /// Batch [`PliCache::get`]: resolves every set, computing the PLIs that
+    /// miss with their final intersections fanned out in parallel.
+    ///
+    /// Bookkeeping runs sequentially in `sets` order — request/hit/miss
+    /// accounting, LRU ticks, prefix materialization, and (after the
+    /// parallel region) the inserts, each stamped with the tick of the
+    /// request that missed. Counters and cache state are therefore
+    /// identical for every thread count. They also match issuing the
+    /// `get`s one by one, except under LRU pressure (batched inserts land
+    /// after all of the batch's requests, so eviction timing can differ)
+    /// and for batches containing both a set and a strict prefix of it,
+    /// which compute correctly but may duplicate an intersect a
+    /// sequential caller would have reused (callers pass one lattice
+    /// level at a time, where neither arises).
+    pub fn get_many(&mut self, sets: &[ColumnSet]) -> Vec<Arc<Pli>> {
+        enum Slot {
+            Ready(Arc<Pli>),
+            Job(usize),
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(sets.len());
+        // Pending computations: (set, left operand, right operand, stamp).
+        let mut jobs: Vec<(ColumnSet, Arc<Pli>, Arc<Pli>, u64)> = Vec::new();
+        let mut job_of: HashMap<ColumnSet, usize> = HashMap::new();
+        for set in sets {
+            if set.cardinality() < 2 || self.entries.contains_key(set) {
+                slots.push(Slot::Ready(self.get(set)));
+                continue;
+            }
+            self.meters.requests.inc();
+            self.tick += 1;
+            let tick = self.tick;
+            if let Some(&job) = job_of.get(set) {
+                // Duplicate within the batch: a sequential caller would hit
+                // the entry the first occurrence inserted; count it as a
+                // hit and refresh the pending stamp accordingly.
+                self.stats.hits += 1;
+                self.meters.hits.inc();
+                jobs[job].3 = tick;
+                slots.push(Slot::Job(job));
+                continue;
+            }
+            self.stats.misses += 1;
+            self.meters.misses.inc();
+            let last = set.max_col().expect("cardinality >= 2");
+            let rest = set.without(last);
+            let left = self.get(&rest);
+            let right = Arc::clone(&self.singles[last]);
+            self.stats.intersects += 1;
+            self.meters.intersects.inc();
+            job_of.insert(*set, jobs.len());
+            slots.push(Slot::Job(jobs.len()));
+            jobs.push((*set, left, right, tick));
+        }
+        let computed: Vec<Arc<Pli>> = if jobs.len() <= 1 {
+            jobs.iter().map(|(_, left, right, _)| Arc::new(left.intersect(right))).collect()
+        } else {
+            jobs.par_iter().map(|(_, left, right, _)| Arc::new(left.intersect(right))).collect()
+        };
+        for ((set, _, _, stamp), pli) in jobs.iter().zip(&computed) {
+            self.insert_at(*set, Arc::clone(pli), *stamp);
+        }
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Ready(pli) => pli,
+                Slot::Job(job) => Arc::clone(&computed[job]),
+            })
+            .collect()
+    }
+
+    fn insert_at(&mut self, set: ColumnSet, pli: Arc<Pli>, stamp: u64) {
         if self.entries.len() >= self.capacity {
-            // Evict the least recently used entry.
+            // Evict the least recently used entry. Stamps are unique (every
+            // multi-column request advances the tick), so the victim — and
+            // therefore the whole eviction sequence — is deterministic.
             if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp) {
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
                 self.meters.evictions.inc();
             }
         }
-        self.entries.insert(set, (pli, self.tick));
+        self.entries.insert(set, (pli, stamp));
     }
 
     /// Number of distinct values of the projection on `set` (Lemma 1's
@@ -191,6 +274,49 @@ impl<'a> PliCache<'a> {
         self.meters.refinement_checks.inc();
         let pli = self.get(lhs);
         pli.refines(self.table.column(rhs_col).codes())
+    }
+
+    /// Batch [`PliCache::determines`]: evaluates `lhs → rhs` for every pair
+    /// in `checks`, fanning the partition-refinement scans out in parallel.
+    ///
+    /// Bookkeeping mirrors per-pair `determines` calls exactly and stays
+    /// sequential in input order: trivial checks (`rhs ∈ lhs`) answer true
+    /// without touching counters, every real check bumps
+    /// `refinement_checks` and materializes its left-hand PLI via
+    /// [`PliCache::get`] (hits after the first occurrence of an `lhs`).
+    /// Only the pure `Pli::refines` scans run on worker threads, so stats,
+    /// cache state, and verdict order are thread-count independent.
+    pub fn refines_many(&mut self, checks: &[(ColumnSet, usize)]) -> Vec<bool> {
+        enum Slot {
+            Trivial,
+            Job(usize),
+        }
+        let table = self.table;
+        let mut slots: Vec<Slot> = Vec::with_capacity(checks.len());
+        let mut jobs: Vec<(Arc<Pli>, &[u32])> = Vec::new();
+        for (lhs, rhs) in checks {
+            if lhs.contains(*rhs) {
+                slots.push(Slot::Trivial);
+                continue;
+            }
+            self.stats.refinement_checks += 1;
+            self.meters.refinement_checks.inc();
+            let pli = self.get(lhs);
+            slots.push(Slot::Job(jobs.len()));
+            jobs.push((pli, table.column(*rhs).codes()));
+        }
+        let verdicts: Vec<bool> = if jobs.len() <= 1 {
+            jobs.iter().map(|(pli, codes)| pli.refines(codes)).collect()
+        } else {
+            jobs.par_iter().map(|(pli, codes)| pli.refines(codes)).collect()
+        };
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Trivial => true,
+                Slot::Job(job) => verdicts[job],
+            })
+            .collect()
     }
 
     /// Number of multi-column entries currently cached.
@@ -325,6 +451,60 @@ mod tests {
             snap.counter("pli.hits") + snap.counter("pli.misses")
         );
         assert!(snap.counter("pli.requests") > 0);
+    }
+
+    #[test]
+    fn get_many_matches_sequential_gets() {
+        let t = table();
+        let sets =
+            [cs(&[0, 1]), cs(&[2]), cs(&[0, 2]), cs(&[0, 1]), cs(&[1, 2]), cs(&[0, 1, 2])];
+        let mut batched = PliCache::new(&t);
+        let batch_plis = batched.get_many(&sets[..5]);
+        let mut sequential = PliCache::new(&t);
+        let seq_plis: Vec<_> = sets[..5].iter().map(|s| sequential.get(s)).collect();
+        for (b, s) in batch_plis.iter().zip(&seq_plis) {
+            assert_eq!(**b, **s);
+        }
+        assert_eq!(batched.stats(), sequential.stats(), "batching must not change accounting");
+        // A follow-up level reuses what the batch cached.
+        let before = batched.stats().intersects;
+        let _ = batched.get_many(&sets[5..]);
+        assert_eq!(batched.stats().intersects, before + 1, "{{0,1,2}} = cached {{0,1}} ∩ {{2}}");
+    }
+
+    #[test]
+    fn get_many_counts_duplicates_as_hits() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let plis = cache.get_many(&[cs(&[0, 1]), cs(&[0, 1]), cs(&[0, 1])]);
+        assert_eq!(cache.stats().misses, 1);
+        // Two duplicate hits, plus the pinned-singleton hit for the {0}
+        // prefix the miss materialized — as a sequential caller would see.
+        assert_eq!(cache.stats().hits, 3);
+        assert_eq!(cache.stats().intersects, 1);
+        assert_eq!(*plis[0], *plis[1]);
+        assert_eq!(*plis[1], *plis[2]);
+    }
+
+    #[test]
+    fn refines_many_matches_determines() {
+        let t = table();
+        let checks = vec![
+            (cs(&[0]), 3),
+            (cs(&[3]), 0),
+            (cs(&[0]), 1),
+            (cs(&[0, 1]), 2),
+            (cs(&[0]), 0), // trivial
+            (cs(&[0]), 3), // repeated lhs: second get is a hit
+        ];
+        let mut batched = PliCache::new(&t);
+        let verdicts = batched.refines_many(&checks);
+        let mut sequential = PliCache::new(&t);
+        let expected: Vec<bool> =
+            checks.iter().map(|(lhs, rhs)| sequential.determines(lhs, *rhs)).collect();
+        assert_eq!(verdicts, expected);
+        assert_eq!(verdicts, vec![true, true, false, true, true, true]);
+        assert_eq!(batched.stats(), sequential.stats(), "batching must not change accounting");
     }
 
     #[test]

@@ -21,6 +21,13 @@ pub type RowId = u32;
 
 /// A stripped partition: clusters of row ids with equal values, singletons
 /// removed.
+///
+/// Clusters are kept in *canonical order*: row ids ascending within each
+/// cluster, clusters ordered by their first (= smallest) row id. Since
+/// clusters are disjoint, this order is unique, so two PLIs describing the
+/// same partition compare equal under `PartialEq` no matter how they were
+/// built — construction path, operand order of [`Pli::intersect`], hash-map
+/// iteration history, or thread count.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Pli {
     clusters: Vec<Vec<RowId>>,
@@ -42,7 +49,10 @@ impl Pli {
         for (row, &code) in codes.iter().enumerate() {
             buckets[code as usize].push(row as RowId);
         }
-        let clusters: Vec<Vec<RowId>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        // Buckets fill in row order (rows ascending within each cluster),
+        // but bucket order is code order; sort by first row to canonicalize.
+        let mut clusters: Vec<Vec<RowId>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows: codes.len(), size }
     }
@@ -59,10 +69,15 @@ impl Pli {
     }
 
     /// Constructs a PLI from explicit clusters (test/support use). Clusters
-    /// of size < 2 are stripped; rows must be unique and `< num_rows`.
+    /// of size < 2 are stripped, and the input is normalized to canonical
+    /// order; rows must be unique and `< num_rows`.
     pub fn from_clusters(clusters: Vec<Vec<RowId>>, num_rows: usize) -> Pli {
-        let clusters: Vec<Vec<RowId>> = clusters.into_iter().filter(|c| c.len() >= 2).collect();
+        let mut clusters: Vec<Vec<RowId>> = clusters.into_iter().filter(|c| c.len() >= 2).collect();
         debug_assert!(clusters.iter().flatten().all(|&r| (r as usize) < num_rows));
+        for cluster in &mut clusters {
+            cluster.sort_unstable();
+        }
+        clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows, size }
     }
@@ -135,6 +150,13 @@ impl Pli {
                 }
             }
         }
+        // `groups.drain()` yields in arbitrary (hash) order; restore the
+        // canonical order. Rows within each group were pushed in small-
+        // cluster order, which is ascending by the canonical-order
+        // invariant, so sorting by first row id fully canonicalizes —
+        // making the result independent of operand order (which operand
+        // played "small") and of hash-map history.
+        clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows: self.num_rows, size }
     }
@@ -174,9 +196,8 @@ mod tests {
         assert_eq!(p.num_rows(), 5);
         assert_eq!(p.distinct_count(), 3);
         assert!(!p.is_unique());
-        let mut clusters = p.clusters().to_vec();
-        clusters.sort();
-        assert_eq!(clusters, vec![vec![0, 2], vec![1, 4]]);
+        // Canonical order: no re-sorting needed to compare.
+        assert_eq!(p.clusters(), &[vec![0, 2], vec![1, 4]]);
     }
 
     #[test]
@@ -214,24 +235,56 @@ mod tests {
         let y = Pli::from_column(&col(&["p", "q", "p", "p"]));
         let xy = x.intersect(&y);
         assert_eq!(xy.cluster_count(), 1);
-        let mut c = xy.clusters()[0].clone();
-        c.sort();
-        assert_eq!(c, vec![2, 3]);
+        assert_eq!(xy.clusters()[0], vec![2, 3]);
         assert_eq!(xy.distinct_count(), 3);
     }
 
     #[test]
     fn intersect_is_commutative() {
+        // Canonical cluster order makes intersection results directly
+        // comparable: no per-cluster or per-list re-sorting. (The two
+        // operand orders exercise both "small"/"large" role assignments.)
         let x = Pli::from_column(&col(&["a", "a", "b", "b", "a", "c"]));
         let y = Pli::from_column(&col(&["p", "q", "p", "p", "p", "q"]));
-        let mut xy: Vec<Vec<RowId>> = x.intersect(&y).clusters().to_vec();
-        let mut yx: Vec<Vec<RowId>> = y.intersect(&x).clusters().to_vec();
-        for c in xy.iter_mut().chain(yx.iter_mut()) {
-            c.sort();
+        assert_eq!(x.intersect(&y), y.intersect(&x));
+    }
+
+    #[test]
+    fn clusters_are_in_canonical_order() {
+        // Dictionary order differs from first-row order: "z" rows come
+        // first positionally but sort last by code.
+        let p = Pli::from_column(&col(&["z", "a", "z", "a"]));
+        assert_eq!(p.clusters(), &[vec![0, 2], vec![1, 3]]);
+        // Intersections preserve the canonical order too.
+        let q = Pli::from_column(&col(&["k", "k", "k", "k"]));
+        assert_eq!(p.intersect(&q).clusters(), &[vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn intersect_is_deterministic_across_repetitions() {
+        // Many clusters per operand so a hash-order regression would have
+        // plenty of chances to show: every repetition must match exactly.
+        let xs: Vec<String> = (0..200).map(|i| format!("x{}", i % 20)).collect();
+        let ys: Vec<String> = (0..200).map(|i| format!("y{}", i % 31)).collect();
+        let x = Pli::from_column(&Column::from_values(
+            "x",
+            &xs.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        ));
+        let y = Pli::from_column(&Column::from_values(
+            "y",
+            &ys.iter().map(|s| s.as_str()).collect::<Vec<_>>(),
+        ));
+        let first = x.intersect(&y);
+        for _ in 0..10 {
+            assert_eq!(x.intersect(&y), first);
+            assert_eq!(y.intersect(&x), first);
         }
-        xy.sort();
-        yx.sort();
-        assert_eq!(xy, yx);
+    }
+
+    #[test]
+    fn from_clusters_normalizes_to_canonical_order() {
+        let p = Pli::from_clusters(vec![vec![5, 3], vec![2, 0, 4]], 6);
+        assert_eq!(p.clusters(), &[vec![0, 2, 4], vec![3, 5]]);
     }
 
     #[test]

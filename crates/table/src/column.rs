@@ -14,9 +14,19 @@
 //! * cardinality statistics fall out of the dictionary length.
 
 /// NULL handling: an empty input field is NULL. For UCC/FD discovery NULL
-/// behaves as an ordinary value equal to itself (two NULLs agree); for IND
-/// discovery NULL values are ignored on the dependent side. These are the
-/// Metanome conventions the paper's evaluation framework uses.
+/// behaves as an ordinary value equal to itself (two NULLs agree) — all
+/// NULL rows of a column share the single code [`Column::null_code`], so
+/// they land in one PLI equality cluster: an all-NULL column is a constant
+/// (∅ → A holds, the column can never be part of a minimal UCC of a
+/// multi-row table), and a partially-NULL column treats its NULL rows as
+/// one more distinct value. For IND discovery NULLs are ignored on the
+/// dependent side: [`Column::sorted_distinct_values`] excludes them, which
+/// makes an all-NULL column vacuously included in every other column —
+/// both SPIDER and the De Marchi inverted index consume this same list, so
+/// the two IND algorithms share one NULL semantics by construction. These
+/// are the Metanome conventions the paper's evaluation framework uses;
+/// they are pinned by tests here, in `muds-pli`, in `muds-ind`, and by the
+/// `null_semantics` integration suite.
 #[derive(Debug, Clone)]
 pub struct Column {
     name: String,
@@ -34,9 +44,14 @@ pub struct Column {
 impl Column {
     /// Dictionary-encodes `values`. Empty strings become NULL.
     pub fn from_values(name: impl Into<String>, values: &[&str]) -> Self {
+        use rayon::prelude::*;
         let mut dictionary: Vec<String> =
             values.iter().filter(|v| !v.is_empty()).map(|v| v.to_string()).collect();
-        dictionary.sort_unstable();
+        // This sort is SPIDER's "sorting phase" (the sorted duplicate-free
+        // value lists fall out of dictionary encoding), parallelized here.
+        // Equal strings are indistinguishable, so the stable parallel sort
+        // yields exactly what `sort_unstable` did.
+        dictionary.par_sort_unstable();
         dictionary.dedup();
         let null_code = dictionary.len() as u32;
         let mut null_count = 0;

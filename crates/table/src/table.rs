@@ -2,6 +2,8 @@
 
 use std::collections::HashSet;
 
+use rayon::prelude::*;
+
 use crate::column::Column;
 use crate::error::TableError;
 
@@ -24,8 +26,9 @@ impl Table {
     /// Builds a table from row-major string data.
     ///
     /// `rows` must all have exactly `column_names.len()` fields; empty
-    /// fields are NULL.
-    pub fn from_rows<S: AsRef<str>>(
+    /// fields are NULL. Columns are dictionary-encoded independently, in
+    /// parallel (schema order of the result is unaffected).
+    pub fn from_rows<S: AsRef<str> + Sync>(
         name: impl Into<String>,
         column_names: &[&str],
         rows: &[Vec<S>],
@@ -51,12 +54,11 @@ impl Table {
                 });
             }
         }
-        let columns = column_names
-            .iter()
-            .enumerate()
-            .map(|(c, &n)| {
+        let columns = (0..column_names.len())
+            .into_par_iter()
+            .map(|c| {
                 let values: Vec<&str> = rows.iter().map(|r| r[c].as_ref()).collect();
-                Column::from_values(n, &values)
+                Column::from_values(column_names[c], &values)
             })
             .collect();
         Ok(Table { name: name.into(), columns, num_rows: rows.len() })
@@ -131,10 +133,11 @@ impl Table {
     }
 
     /// Projects the table onto the given row indices (in the given order).
+    /// Columns re-encode independently, in parallel.
     pub fn select_rows(&self, rows: &[usize]) -> Table {
         let columns = self
             .columns
-            .iter()
+            .par_iter()
             .map(|c| {
                 let values: Vec<&str> = rows.iter().map(|&r| c.value(r).unwrap_or("")).collect();
                 Column::from_values(c.name(), &values)

@@ -52,12 +52,16 @@ pub fn apriori_uccs_with_stats(cache: &mut PliCache<'_>) -> (Vec<ColumnSet>, Apr
     while !level.is_empty() {
         stats.max_level = depth;
         let mut non_unique = Vec::with_capacity(level.len());
-        for candidate in level {
+        // Every candidate's PLI is needed regardless of outcome, so the
+        // level materializes as one parallel batch; verdicts are read in
+        // candidate order, matching the per-candidate bookkeeping.
+        let plis = cache.get_many(&level);
+        for (candidate, pli) in level.iter().zip(&plis) {
             stats.checks += 1;
-            if cache.is_unique(&candidate) {
-                minimal.push(candidate);
+            if pli.is_unique() {
+                minimal.push(*candidate);
             } else {
-                non_unique.push(candidate);
+                non_unique.push(*candidate);
             }
         }
         level = apriori_gen(&non_unique);

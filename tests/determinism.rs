@@ -1,0 +1,101 @@
+//! Thread-count determinism matrix: every algorithm must produce
+//! byte-identical results AND identical observability output for any
+//! worker-thread count.
+//!
+//! The parallel execution layer is deterministic by construction — batch
+//! APIs keep all bookkeeping sequential and only fan out pure compute
+//! (PLI intersections, partition-refinement scans, dictionary sorts), and
+//! the vendored `rayon`'s parallel sort is stable for every split — so
+//! dependency sets, counter totals, and span-tree structure may not vary
+//! with `--threads`. This matrix pins that contract on the paper's stand-in
+//! datasets.
+//!
+//! Everything runs inside ONE `#[test]` function: the worker-pool size is
+//! process-global state, so separate test functions (which run
+//! concurrently) would race on it.
+
+use std::collections::BTreeMap;
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_datagen::{ionosphere_like, ncvoter_like, uniprot_like};
+use muds_fd::Fd;
+use muds_ind::Ind;
+use muds_lattice::ColumnSet;
+use muds_obs::{Metrics, SpanNode};
+use muds_table::Table;
+
+/// Everything a run produces that must be invariant under the thread count.
+#[derive(Debug, PartialEq, Eq)]
+struct RunFingerprint {
+    fds: Vec<Fd>,
+    uccs: Vec<ColumnSet>,
+    inds: Vec<Ind>,
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    /// Span tree with durations stripped (names + nesting only; wall-clock
+    /// obviously varies between runs).
+    span_shape: Vec<String>,
+}
+
+fn span_names(nodes: &[SpanNode], depth: usize, out: &mut Vec<String>) {
+    for n in nodes {
+        out.push(format!("{}{}", "  ".repeat(depth), n.name));
+        span_names(&n.children, depth + 1, out);
+    }
+}
+
+fn fingerprint(table: &Table, algorithm: Algorithm) -> RunFingerprint {
+    // A fresh registry per run so counters never leak across matrix cells.
+    let metrics = Metrics::new();
+    let _guard = metrics.install();
+    let result = profile(table, algorithm, &ProfilerConfig::default());
+    let mut span_shape = Vec::new();
+    span_names(&result.metrics.spans, 0, &mut span_shape);
+    RunFingerprint {
+        fds: result.fds.to_sorted_vec(),
+        uccs: result.minimal_uccs,
+        inds: result.inds,
+        counters: result.metrics.counters,
+        gauges: result.metrics.gauges,
+        span_shape,
+    }
+}
+
+fn set_threads(n: usize) {
+    rayon::ThreadPoolBuilder::new()
+        .num_threads(n)
+        .build_global()
+        .expect("vendored rayon pool is reconfigurable");
+}
+
+#[test]
+fn results_and_counters_are_identical_for_any_thread_count() {
+    let datasets: Vec<Table> = vec![uniprot_like(200, 6), ncvoter_like(150, 8), ionosphere_like(8)];
+
+    for table in &datasets {
+        for &algorithm in &Algorithm::ALL {
+            set_threads(1);
+            let reference = fingerprint(table, algorithm);
+            assert!(
+                !reference.counters.is_empty(),
+                "{} on {} recorded no counters — fingerprint is vacuous",
+                algorithm.name(),
+                table.name()
+            );
+            for n in [2usize, 8] {
+                set_threads(n);
+                let run = fingerprint(table, algorithm);
+                assert_eq!(
+                    run,
+                    reference,
+                    "{} on {} differs between --threads 1 and --threads {n}",
+                    algorithm.name(),
+                    table.name()
+                );
+            }
+        }
+    }
+
+    // Restore the default (all cores) for anything else in this process.
+    set_threads(0);
+}

@@ -1,0 +1,154 @@
+//! NULL-semantics integration suite (promised by the `Column` docs).
+//!
+//! Pins the Metanome conventions the whole workspace shares: for UCC/FD
+//! discovery NULL equals NULL (all NULL rows of a column collapse into one
+//! equality class via `Column::null_code`), while IND discovery ignores
+//! NULLs on the dependent side (`Column::sorted_distinct_values` excludes
+//! them). Every algorithm must agree on tables exercising these shapes —
+//! fully-NULL columns, partially-NULL columns, and NULL-only rows.
+
+use muds_core::{muds, profile, Algorithm, MudsConfig, ProfilerConfig};
+use muds_fd::naive_minimal_fds;
+use muds_ind::naive_inds;
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+use muds_ucc::naive_minimal_uccs;
+
+fn cs(cols: &[usize]) -> ColumnSet {
+    ColumnSet::from_indices(cols.iter().copied())
+}
+
+/// id is a key; `hole` is partially NULL; `void` is fully NULL.
+fn null_table() -> Table {
+    Table::from_rows(
+        "nulls",
+        &["id", "hole", "void"],
+        &[vec!["1", "a", ""], vec!["2", "", ""], vec!["3", "b", ""], vec!["4", "", ""]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn null_code_is_one_past_the_dictionary() {
+    let t = null_table();
+    // `hole`: dictionary {a, b}, NULL code 2 shared by both NULL rows.
+    let hole = t.column(1);
+    assert_eq!(hole.null_code(), hole.sorted_distinct_values().len() as u32);
+    assert_eq!(hole.codes(), &[0, 2, 1, 2]);
+    assert_eq!(hole.null_count(), 2);
+    // NULL counts as one more distinct value under UCC/FD semantics.
+    assert_eq!(hole.distinct_count(), 3);
+    // `void`: empty dictionary, every row is code 0.
+    let void = t.column(2);
+    assert_eq!(void.null_code(), 0);
+    assert_eq!(void.codes(), &[0, 0, 0, 0]);
+    assert_eq!(void.distinct_count(), 1);
+}
+
+#[test]
+fn fully_null_column_is_a_constant() {
+    let t = null_table();
+    let fds = naive_minimal_fds(&t);
+    // ∅ → void: the all-NULL column is constant under null = null.
+    assert!(fds.contains(&ColumnSet::empty(), 2));
+    // A constant can never be part of a minimal UCC of a multi-row table.
+    for ucc in naive_minimal_uccs(&t) {
+        assert!(!ucc.contains(2), "constant column inside minimal UCC {ucc:?}");
+    }
+    // Every algorithm reproduces both facts.
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let r = profile(&t, alg, &cfg);
+        assert!(r.fds.contains(&ColumnSet::empty(), 2), "{}", alg.name());
+        assert!(r.minimal_uccs.iter().all(|u| !u.contains(2)), "{}", alg.name());
+    }
+}
+
+#[test]
+fn partially_null_column_treats_nulls_as_one_value() {
+    // Two NULL rows in `x` agree with each other, so {x} is not unique,
+    // but x distinguishes rows 0/2 from the NULL rows.
+    let t = Table::from_rows(
+        "partial",
+        &["x", "y"],
+        &[vec!["a", "1"], vec!["", "2"], vec!["b", "3"], vec!["", "4"]],
+    )
+    .unwrap();
+    let uccs = naive_minimal_uccs(&t);
+    assert_eq!(uccs, vec![cs(&[1])], "NULL rows of x collide, y is the only key");
+    // x → nothing: the two NULL rows of x map to different y values.
+    assert!(!naive_minimal_fds(&t).contains(&cs(&[0]), 1));
+    for &alg in &Algorithm::ALL {
+        let r = profile(&t, alg, &ProfilerConfig::default());
+        assert_eq!(r.minimal_uccs, uccs, "{}", alg.name());
+    }
+}
+
+#[test]
+fn null_only_rows_compare_equal_in_dedup() {
+    let t =
+        Table::from_rows("t", &["a", "b"], &[vec!["", ""], vec!["", ""], vec!["1", ""]]).unwrap();
+    assert!(t.has_duplicate_rows());
+    let d = t.dedup_rows();
+    assert_eq!(d.num_rows(), 2);
+    // After dedup, `a` is a key: NULL vs "1" is the only distinction.
+    assert_eq!(naive_minimal_uccs(&d), vec![cs(&[0])]);
+}
+
+#[test]
+fn ind_side_ignores_nulls_consistently() {
+    let t = null_table();
+    let want = naive_inds(&t);
+    // The all-NULL column is vacuously included in every other column and
+    // referenced by none.
+    assert!(want.contains(&muds_ind::Ind::new(2, 0)));
+    assert!(want.contains(&muds_ind::Ind::new(2, 1)));
+    assert!(!want.iter().any(|i| i.referenced == 2));
+    assert_eq!(muds_ind::spider(&t), want);
+    assert_eq!(muds_ind::inverted_index_inds(&t), want);
+    for &alg in &Algorithm::ALL {
+        let r = profile(&t, alg, &ProfilerConfig::default());
+        assert_eq!(r.inds, want, "{}", alg.name());
+    }
+}
+
+#[test]
+fn all_algorithms_agree_end_to_end_on_null_heavy_data() {
+    use rand::prelude::*;
+    let mut rng = StdRng::seed_from_u64(1100);
+    for case in 0..30 {
+        let cols = rng.gen_range(2..=5);
+        let rows = rng.gen_range(1..=20);
+        let names: Vec<String> = (0..cols).map(|i| format!("c{i}")).collect();
+        let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+        // Heavy NULL density: half the cells are empty.
+        let data: Vec<Vec<String>> = (0..rows)
+            .map(|_| {
+                (0..cols)
+                    .map(|_| {
+                        if rng.gen_bool(0.5) {
+                            String::new()
+                        } else {
+                            rng.gen_range(0..3).to_string()
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        let t = Table::from_rows(format!("n{case}"), &name_refs, &data).unwrap().dedup_rows();
+        let fds = naive_minimal_fds(&t).to_sorted_vec();
+        let uccs = naive_minimal_uccs(&t);
+        let inds = naive_inds(&t);
+        for &alg in &Algorithm::ALL {
+            let r = profile(&t, alg, &ProfilerConfig::default());
+            assert_eq!(r.fds.to_sorted_vec(), fds, "{} case {case}", alg.name());
+            assert_eq!(r.minimal_uccs, uccs, "{} case {case}", alg.name());
+            assert_eq!(r.inds, inds, "{} case {case}", alg.name());
+        }
+    }
+    // The MUDS entry point agrees too (profile() already covers it, but the
+    // direct API is what library users call).
+    let t = null_table();
+    let report = muds(&t, &MudsConfig::default());
+    assert_eq!(report.fds.to_sorted_vec(), naive_minimal_fds(&t).to_sorted_vec());
+}

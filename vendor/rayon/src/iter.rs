@@ -1,0 +1,394 @@
+//! Order-preserving parallel iterators.
+//!
+//! A [`ParallelIterator`] here is a splittable, exactly-sized description
+//! of work. The driver splits it into `min(threads, len)` contiguous
+//! parts, runs each part sequentially on a scoped worker thread, and
+//! concatenates the per-part outputs *in input order* — so every pipeline
+//! yields exactly the sequence its sequential counterpart would.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// A splittable parallel iterator. `par_len` is the number of *input*
+/// items (adapters like [`Filter`] may yield fewer).
+pub trait ParallelIterator: Sized + Send {
+    /// The type of item this iterator produces.
+    type Item: Send;
+
+    /// Number of input items remaining.
+    fn par_len(&self) -> usize;
+
+    /// Splits into the first `index` input items and the rest.
+    fn split_at(self, index: usize) -> (Self, Self);
+
+    /// Drains this iterator sequentially into `f`, preserving input order.
+    fn drive_seq<F: FnMut(Self::Item)>(self, f: F);
+
+    /// Maps every item through `f`.
+    fn map<R, F>(self, f: F) -> Map<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> R + Send + Sync,
+    {
+        Map { base: self, f: Arc::new(f) }
+    }
+
+    /// Keeps items for which `f` returns true.
+    fn filter<F>(self, f: F) -> Filter<Self, F>
+    where
+        F: Fn(&Self::Item) -> bool + Send + Sync,
+    {
+        Filter { base: self, f: Arc::new(f) }
+    }
+
+    /// Maps and filters in one pass.
+    fn filter_map<R, F>(self, f: F) -> FilterMap<Self, F>
+    where
+        R: Send,
+        F: Fn(Self::Item) -> Option<R> + Send + Sync,
+    {
+        FilterMap { base: self, f: Arc::new(f) }
+    }
+
+    /// Copies referenced items (the `iter::Iterator::copied` analogue).
+    fn copied<'a, T>(self) -> Copied<Self>
+    where
+        T: 'a + Copy + Send + Sync,
+        Self: ParallelIterator<Item = &'a T>,
+    {
+        Copied { base: self }
+    }
+
+    /// Collects into `C`, preserving input order.
+    fn collect<C: FromParallelIterator<Self::Item>>(self) -> C {
+        C::from_par_iter(self)
+    }
+}
+
+/// Conversion into a [`ParallelIterator`] (by value).
+pub trait IntoParallelIterator {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type.
+    type Item: Send;
+
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// `par_iter()` sugar: borrow `self` and iterate it in parallel.
+pub trait IntoParallelRefIterator<'a> {
+    /// The resulting iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The item type (a reference).
+    type Item: Send + 'a;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, C: 'a + ?Sized> IntoParallelRefIterator<'a> for C
+where
+    &'a C: IntoParallelIterator,
+{
+    type Iter = <&'a C as IntoParallelIterator>::Iter;
+    type Item = <&'a C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// Collection types constructible from a parallel iterator.
+pub trait FromParallelIterator<T: Send> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self;
+}
+
+impl<T: Send> FromParallelIterator<T> for Vec<T> {
+    fn from_par_iter<P: ParallelIterator<Item = T>>(iter: P) -> Self {
+        drive(iter)
+    }
+}
+
+/// Runs `iter` across up to `current_num_threads()` scoped workers and
+/// returns the outputs concatenated in input order. Falls back to a purely
+/// sequential drain for trivial sizes, a single configured thread, or when
+/// already running inside a worker (depth-1 parallelism).
+fn drive<P: ParallelIterator>(iter: P) -> Vec<P::Item> {
+    let len = iter.par_len();
+    let threads = crate::current_num_threads();
+    if len <= 1 || threads <= 1 || crate::in_worker() {
+        let mut out = Vec::with_capacity(len);
+        iter.drive_seq(|item| out.push(item));
+        return out;
+    }
+    let parts = threads.min(len);
+    let mut pieces = Vec::with_capacity(parts);
+    let mut rest = iter;
+    let mut remaining = len;
+    for i in 0..parts - 1 {
+        let take = remaining.div_ceil(parts - i);
+        let (head, tail) = rest.split_at(take);
+        pieces.push(head);
+        rest = tail;
+        remaining -= take;
+    }
+    pieces.push(rest);
+    let part_outputs: Vec<Vec<P::Item>> = std::thread::scope(|s| {
+        let handles: Vec<_> = pieces
+            .into_iter()
+            .map(|piece| {
+                s.spawn(move || {
+                    crate::run_as_worker(move || {
+                        let mut out = Vec::with_capacity(piece.par_len());
+                        piece.drive_seq(|item| out.push(item));
+                        out
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(len);
+    for part in part_outputs {
+        out.extend(part);
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Adapters.
+// ---------------------------------------------------------------------------
+
+/// See [`ParallelIterator::map`].
+pub struct Map<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, R, F> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> R + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (Map { base: left, f: Arc::clone(&self.f) }, Map { base: right, f: self.f })
+    }
+
+    fn drive_seq<G: FnMut(R)>(self, mut g: G) {
+        let f = self.f;
+        self.base.drive_seq(|item| g(f(item)));
+    }
+}
+
+/// See [`ParallelIterator::filter`].
+pub struct Filter<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, F> ParallelIterator for Filter<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(&B::Item) -> bool + Send + Sync,
+{
+    type Item = B::Item;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (Filter { base: left, f: Arc::clone(&self.f) }, Filter { base: right, f: self.f })
+    }
+
+    fn drive_seq<G: FnMut(B::Item)>(self, mut g: G) {
+        let f = self.f;
+        self.base.drive_seq(|item| {
+            if f(&item) {
+                g(item);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::filter_map`].
+pub struct FilterMap<B, F> {
+    base: B,
+    f: Arc<F>,
+}
+
+impl<B, R, F> ParallelIterator for FilterMap<B, F>
+where
+    B: ParallelIterator,
+    R: Send,
+    F: Fn(B::Item) -> Option<R> + Send + Sync,
+{
+    type Item = R;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (FilterMap { base: left, f: Arc::clone(&self.f) }, FilterMap { base: right, f: self.f })
+    }
+
+    fn drive_seq<G: FnMut(R)>(self, mut g: G) {
+        let f = self.f;
+        self.base.drive_seq(|item| {
+            if let Some(mapped) = f(item) {
+                g(mapped);
+            }
+        });
+    }
+}
+
+/// See [`ParallelIterator::copied`].
+pub struct Copied<B> {
+    base: B,
+}
+
+impl<'a, T, B> ParallelIterator for Copied<B>
+where
+    T: 'a + Copy + Send + Sync,
+    B: ParallelIterator<Item = &'a T>,
+{
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.base.par_len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (left, right) = self.base.split_at(index);
+        (Copied { base: left }, Copied { base: right })
+    }
+
+    fn drive_seq<G: FnMut(T)>(self, mut g: G) {
+        self.base.drive_seq(|item| g(*item));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Base iterators.
+// ---------------------------------------------------------------------------
+
+/// By-value iterator over a `Vec<T>`.
+pub struct VecIter<T> {
+    items: Vec<T>,
+}
+
+impl<T: Send> ParallelIterator for VecIter<T> {
+    type Item = T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(mut self, index: usize) -> (Self, Self) {
+        let tail = self.items.split_off(index);
+        (self, VecIter { items: tail })
+    }
+
+    fn drive_seq<F: FnMut(T)>(self, mut f: F) {
+        for item in self.items {
+            f(item);
+        }
+    }
+}
+
+impl<T: Send> IntoParallelIterator for Vec<T> {
+    type Iter = VecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> VecIter<T> {
+        VecIter { items: self }
+    }
+}
+
+/// By-reference iterator over a slice.
+pub struct SliceIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for SliceIter<'a, T> {
+    type Item = &'a T;
+
+    fn par_len(&self) -> usize {
+        self.items.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let (head, tail) = self.items.split_at(index);
+        (SliceIter { items: head }, SliceIter { items: tail })
+    }
+
+    fn drive_seq<F: FnMut(&'a T)>(self, mut f: F) {
+        for item in self.items {
+            f(item);
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = SliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> SliceIter<'a, T> {
+        SliceIter { items: self.as_slice() }
+    }
+}
+
+/// Iterator over a `Range<usize>`.
+pub struct RangeIter {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for RangeIter {
+    type Item = usize;
+
+    fn par_len(&self) -> usize {
+        self.range.len()
+    }
+
+    fn split_at(self, index: usize) -> (Self, Self) {
+        let mid = self.range.start + index;
+        (RangeIter { range: self.range.start..mid }, RangeIter { range: mid..self.range.end })
+    }
+
+    fn drive_seq<F: FnMut(usize)>(self, mut f: F) {
+        for i in self.range {
+            f(i);
+        }
+    }
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = RangeIter;
+    type Item = usize;
+
+    fn into_par_iter(self) -> RangeIter {
+        RangeIter { range: self }
+    }
+}

@@ -1,0 +1,223 @@
+//! Offline stand-in for the `rayon` crate (the build environment has no
+//! crates.io access). It implements the small API subset the profiler
+//! uses — `join`, a configurable global thread count, `par_iter`/
+//! `into_par_iter` with `map`/`filter`/`filter_map`/`collect`, and
+//! parallel slice sorting — on top of `std::thread::scope`.
+//!
+//! # Determinism contract
+//!
+//! Everything here is *deterministic by construction*: for any configured
+//! thread count (including 1), every operation returns results in the same
+//! order a sequential execution would produce.
+//!
+//! * Iterator pipelines split the input into contiguous parts and
+//!   concatenate the per-part outputs in input order, so `map`/`filter`
+//!   pipelines are order-preserving.
+//! * `par_sort*` is implemented as a *stable* merge sort (stable chunk
+//!   sorts + left-priority merges), so the output is the unique stable
+//!   permutation of the input regardless of how it was chunked —
+//!   `par_sort_unstable` is an alias and shares the guarantee.
+//! * Nested parallel calls from inside a worker run sequentially (depth-1
+//!   parallelism), which both bounds the thread count and keeps nesting
+//!   from changing any ordering.
+//!
+//! # Divergence from real rayon
+//!
+//! `ThreadPoolBuilder::build_global` may be called repeatedly and simply
+//! reconfigures the target thread count (real rayon errors on the second
+//! call). The determinism test matrix relies on this to run the same
+//! workload at `--threads 1/2/8` inside one process.
+
+use std::cell::Cell;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+pub mod iter;
+pub mod slice;
+
+/// The traits a caller needs in scope, mirroring `rayon::prelude`.
+pub mod prelude {
+    pub use crate::iter::{
+        FromParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+    };
+    pub use crate::slice::ParallelSliceMut;
+}
+
+/// Configured global thread count; 0 means "use available parallelism".
+static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True on threads spawned by this crate's drivers: parallel calls made
+    /// from such threads run sequentially (depth-1 parallelism).
+    static IS_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+pub(crate) fn in_worker() -> bool {
+    IS_WORKER.with(|w| w.get())
+}
+
+/// Runs `f` with the worker flag set (on a freshly spawned worker thread).
+pub(crate) fn run_as_worker<R>(f: impl FnOnce() -> R) -> R {
+    IS_WORKER.with(|w| w.set(true));
+    let r = f();
+    IS_WORKER.with(|w| w.set(false));
+    r
+}
+
+/// The number of threads parallel operations may use. Defaults to the
+/// machine's available parallelism until configured via
+/// [`ThreadPoolBuilder::build_global`].
+pub fn current_num_threads() -> usize {
+    match CONFIGURED_THREADS.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+        n => n,
+    }
+}
+
+/// Error type of [`ThreadPoolBuilder::build_global`]. This stand-in never
+/// actually fails; the type exists for API compatibility.
+#[derive(Debug)]
+pub struct ThreadPoolBuildError(());
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "global thread pool configuration failed")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// Builder for the global thread configuration.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the thread count; 0 restores the "available parallelism"
+    /// default.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Applies the configuration globally. Unlike real rayon this may be
+    /// called repeatedly; each call simply replaces the configured count
+    /// (see the module docs — the determinism matrix depends on it).
+    pub fn build_global(self) -> Result<(), ThreadPoolBuildError> {
+        CONFIGURED_THREADS.store(self.num_threads, Ordering::Relaxed);
+        Ok(())
+    }
+}
+
+/// Runs both closures, potentially in parallel, and returns both results.
+/// `a` runs on the calling thread; `b` runs on a scoped worker when more
+/// than one thread is configured (and we are not already inside a worker).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 || in_worker() {
+        let ra = a();
+        let rb = b();
+        return (ra, rb);
+    }
+    std::thread::scope(|s| {
+        let handle = s.spawn(|| run_as_worker(b));
+        let ra = a();
+        let rb = handle.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic));
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 1 + 1, || "x".to_string() + "y");
+        assert_eq!(a, 2);
+        assert_eq!(b, "xy");
+    }
+
+    #[test]
+    fn nested_join_runs_sequentially_but_correctly() {
+        let ((a, b), (c, d)) = join(|| join(|| 1, || 2), || join(|| 3, || 4));
+        assert_eq!((a, b, c, d), (1, 2, 3, 4));
+    }
+
+    #[test]
+    fn thread_count_matrix_is_deterministic() {
+        let input: Vec<u64> = (0..10_000).map(|i| (i * 2_654_435_761_u64) % 997).collect();
+        let expected_map: Vec<u64> = input.iter().map(|&x| x * 3 + 1).collect();
+        let mut expected_sorted = input.clone();
+        expected_sorted.sort();
+        for threads in [1, 2, 3, 8] {
+            ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
+            let mapped: Vec<u64> = input.par_iter().map(|&x| x * 3 + 1).collect();
+            assert_eq!(mapped, expected_map, "map order at {threads} threads");
+            let odd: Vec<u64> = input.par_iter().filter(|&&x| x % 2 == 1).copied().collect();
+            let odd_seq: Vec<u64> = input.iter().filter(|&&x| x % 2 == 1).copied().collect();
+            assert_eq!(odd, odd_seq, "filter order at {threads} threads");
+            let mut sorted = input.clone();
+            sorted.par_sort_unstable();
+            assert_eq!(sorted, expected_sorted, "sort at {threads} threads");
+        }
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+
+    #[test]
+    fn par_sort_is_stable_for_any_thread_count() {
+        // Sort by key only; payloads of equal keys must keep input order.
+        let input: Vec<(u8, usize)> =
+            (0..5_000).map(|i| ((i % 7) as u8, i)).rev().collect::<Vec<_>>();
+        let mut expected = input.clone();
+        expected.sort_by_key(|x| x.0);
+        for threads in [1, 2, 5, 8] {
+            ThreadPoolBuilder::new().num_threads(threads).build_global().unwrap();
+            let mut v = input.clone();
+            v.par_sort_by(|x, y| x.0.cmp(&y.0));
+            assert_eq!(v, expected, "stability at {threads} threads");
+        }
+        ThreadPoolBuilder::new().num_threads(0).build_global().unwrap();
+    }
+
+    #[test]
+    fn filter_map_and_ranges() {
+        let out: Vec<usize> =
+            (0..100usize).into_par_iter().filter_map(|i| (i % 3 == 0).then_some(i * 10)).collect();
+        let expected: Vec<usize> =
+            (0..100usize).filter_map(|i| (i % 3 == 0).then_some(i * 10)).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn vec_into_par_iter_moves_items() {
+        let v: Vec<String> = (0..500).map(|i| i.to_string()).collect();
+        let expected = v.clone();
+        let out: Vec<String> = v.into_par_iter().collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().copied().collect();
+        assert!(out.is_empty());
+        let one: Vec<u32> = vec![7];
+        let out: Vec<u32> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(out, vec![8]);
+        let mut small = vec![3u32, 1, 2];
+        small.par_sort();
+        assert_eq!(small, vec![1, 2, 3]);
+    }
+}

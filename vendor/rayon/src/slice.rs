@@ -1,0 +1,150 @@
+//! Parallel sorting.
+//!
+//! Implemented as a parallel *stable* merge sort: the input is split into
+//! `min(threads, …)` contiguous chunks, each chunk is sorted with the
+//! standard library's stable sort on its own worker, and the sorted chunks
+//! are merged left to right with a left-priority merge. Stable chunk sorts
+//! plus left-priority merges of adjacent runs yield the unique stable
+//! permutation of the input, so the result is bit-identical to a
+//! sequential `sort_by` for every thread count and chunking.
+//!
+//! `par_sort_unstable*` are aliases of the stable implementation: giving
+//! up stability here would buy nothing but thread-count-dependent order
+//! among equal elements, which is exactly what this crate exists to avoid.
+
+use std::cmp::Ordering;
+
+/// Inputs shorter than this sort sequentially; chunk setup would dominate.
+const MIN_PARALLEL_SORT_LEN: usize = 1024;
+
+/// Parallel sorting on vectors (this stand-in implements it for `Vec<T>`
+/// only, which is the only shape the profiler sorts).
+pub trait ParallelSliceMut<T: Send> {
+    /// Parallel stable sort.
+    fn par_sort(&mut self)
+    where
+        T: Ord;
+
+    /// Alias of [`ParallelSliceMut::par_sort`] (see module docs).
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord;
+
+    /// Parallel stable sort with a comparator.
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+
+    /// Alias of [`ParallelSliceMut::par_sort_by`] (see module docs).
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync;
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_sort(&mut self)
+    where
+        T: Ord,
+    {
+        par_merge_sort(self, &T::cmp);
+    }
+
+    fn par_sort_unstable(&mut self)
+    where
+        T: Ord,
+    {
+        par_merge_sort(self, &T::cmp);
+    }
+
+    fn par_sort_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+
+    fn par_sort_unstable_by<F>(&mut self, cmp: F)
+    where
+        F: Fn(&T, &T) -> Ordering + Sync,
+    {
+        par_merge_sort(self, &cmp);
+    }
+}
+
+fn par_merge_sort<T, F>(v: &mut Vec<T>, cmp: &F)
+where
+    T: Send,
+    F: Fn(&T, &T) -> Ordering + Sync,
+{
+    let len = v.len();
+    let threads = crate::current_num_threads();
+    if threads <= 1 || crate::in_worker() || len < MIN_PARALLEL_SORT_LEN {
+        v.sort_by(cmp);
+        return;
+    }
+    let parts = threads.min(len);
+    let mut chunks = Vec::with_capacity(parts);
+    let mut rest = std::mem::take(v);
+    let mut remaining = len;
+    for i in 0..parts - 1 {
+        let take = remaining.div_ceil(parts - i);
+        let tail = rest.split_off(take);
+        chunks.push(rest);
+        rest = tail;
+        remaining -= take;
+    }
+    chunks.push(rest);
+    let sorted: Vec<Vec<T>> = std::thread::scope(|s| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|mut chunk| {
+                s.spawn(move || {
+                    crate::run_as_worker(move || {
+                        chunk.sort_by(cmp);
+                        chunk
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().unwrap_or_else(|panic| std::panic::resume_unwind(panic)))
+            .collect()
+    });
+    let mut merged = Vec::new();
+    for chunk in sorted {
+        merged = merge(merged, chunk, cmp);
+    }
+    *v = merged;
+}
+
+/// Left-priority stable merge of two sorted runs (`a` precedes `b` in the
+/// original input, so ties take from `a`).
+fn merge<T, F>(a: Vec<T>, b: Vec<T>, cmp: &F) -> Vec<T>
+where
+    F: Fn(&T, &T) -> Ordering,
+{
+    if a.is_empty() {
+        return b;
+    }
+    if b.is_empty() {
+        return a;
+    }
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let mut a_it = a.into_iter().peekable();
+    let mut b_it = b.into_iter().peekable();
+    loop {
+        let take_left = match (a_it.peek(), b_it.peek()) {
+            (Some(x), Some(y)) => cmp(x, y) != Ordering::Greater,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        if take_left {
+            out.push(a_it.next().expect("peeked"));
+        } else {
+            out.push(b_it.next().expect("peeked"));
+        }
+    }
+    out
+}
