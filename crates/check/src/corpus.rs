@@ -1,0 +1,62 @@
+//! Corpus writer: persists shrunken failing tables as CSV regression
+//! seeds under `tests/corpus/`, where the equivalence suite auto-discovers
+//! and re-checks them on every test run.
+
+use std::path::{Path, PathBuf};
+
+use muds_table::{table_to_csv_file, CsvOptions, Table, TableError};
+
+/// Writes `table` as `<invariant>-s<seed>-i<iter>.csv` under `dir`,
+/// creating the directory if needed. Returns the written path, or `None`
+/// for zero-column tables — CSV has no representation for a relation with
+/// rows but no attributes, so those repros live as unit tests instead.
+pub fn write_repro(
+    dir: &Path,
+    table: &Table,
+    invariant: &str,
+    seed: u64,
+    iteration: usize,
+) -> Result<Option<PathBuf>, TableError> {
+    if table.num_columns() == 0 {
+        return Ok(None);
+    }
+    std::fs::create_dir_all(dir)?;
+    // Invariant names are lowercase-dash identifiers already; sanitize
+    // defensively so a future name can never escape the corpus directory.
+    let tag: String = invariant
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' { c } else { '_' })
+        .collect();
+    let path = dir.join(format!("{tag}-s{seed}-i{iteration}.csv"));
+    table_to_csv_file(table, &path, &CsvOptions::default())?;
+    Ok(Some(path))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_table::table_from_csv_file;
+
+    #[test]
+    fn round_trips_through_the_corpus_format() {
+        let dir = std::env::temp_dir().join("muds-check-corpus-test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let t = Table::from_rows("t", &["a", "b"], &[vec!["1", ""], vec!["2", "x"]]).unwrap();
+        let path = write_repro(&dir, &t, "naive-fd", 42, 7).unwrap().unwrap();
+        assert_eq!(path.file_name().unwrap().to_str().unwrap(), "naive-fd-s42-i7.csv");
+        let back = table_from_csv_file(&path, &CsvOptions::default()).unwrap();
+        assert_eq!(back.num_rows(), 2);
+        assert_eq!(back.num_columns(), 2);
+        assert_eq!(back.row(0), t.row(0));
+        assert_eq!(back.row(1), t.row(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn zero_column_tables_are_skipped() {
+        let dir = std::env::temp_dir().join("muds-check-corpus-test-zc");
+        let t = Table::from_rows("t", &["a"], &[vec!["1"]]).unwrap().take_columns(0);
+        assert_eq!(write_repro(&dir, &t, "panic", 1, 2).unwrap(), None);
+        assert!(!dir.exists(), "nothing should be created for skipped repros");
+    }
+}

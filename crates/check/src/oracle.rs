@@ -1,0 +1,443 @@
+//! The differential oracle: runs every pipeline and the exponential naive
+//! oracles on a table and checks structural invariants of the results.
+//!
+//! A check suite returns the *first* failing invariant as a
+//! [`FailureDetail`]; the invariant name doubles as the failure signature
+//! the shrinker preserves while minimizing the input.
+
+use std::collections::BTreeSet;
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_fd::{approximate_fds, g3_error, holds, Fd};
+use muds_ind::{naive_inds, nary_ind_holds, nary_inds, Ind};
+use muds_lattice::{complement_family, minimal_hitting_sets, ColumnSet};
+use muds_obs::Metrics;
+use muds_pli::PliCache;
+use muds_table::{Table, TableError, MAX_COLUMNS};
+use muds_ucc::{ducc, is_unique, naive_minimal_uccs, DuccConfig};
+
+/// One invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FailureDetail {
+    /// Stable invariant identifier — the failure signature used by the
+    /// shrinker and in corpus file names.
+    pub invariant: &'static str,
+    /// Human-readable description of the disagreement.
+    pub detail: String,
+}
+
+/// Everything one pipeline run produced that must be comparable across
+/// pipelines and thread counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Fingerprint {
+    fds: Vec<Fd>,
+    uccs: Vec<ColumnSet>,
+    inds: Vec<Ind>,
+    counters: std::collections::BTreeMap<String, u64>,
+    span_shape: Vec<String>,
+}
+
+fn span_names(nodes: &[muds_obs::SpanNode], depth: usize, out: &mut Vec<String>) {
+    for n in nodes {
+        out.push(format!("{}{}", "  ".repeat(depth), n.name));
+        span_names(&n.children, depth + 1, out);
+    }
+}
+
+/// Runs `algorithm` under a fresh metrics registry so inner counters never
+/// leak into the ambient fuzz-loop registry.
+fn fingerprint(table: &Table, algorithm: Algorithm, config: &ProfilerConfig) -> Fingerprint {
+    let metrics = Metrics::new();
+    let _guard = metrics.install();
+    let result = profile(table, algorithm, config);
+    let mut span_shape = Vec::new();
+    span_names(&result.metrics.spans, 0, &mut span_shape);
+    Fingerprint {
+        fds: result.fds.to_sorted_vec(),
+        uccs: result.minimal_uccs,
+        inds: result.inds,
+        counters: result.metrics.counters,
+        span_shape,
+    }
+}
+
+/// The differential + invariant check suite.
+#[derive(Debug, Clone)]
+pub struct CheckSuite {
+    /// Profiler configuration shared by all pipeline runs.
+    pub profiler: ProfilerConfig,
+    /// Run the exponential naive oracles when the table has at most this
+    /// many columns (they are hard-gated at 16).
+    pub naive_max_cols: usize,
+    /// Skip the naive oracles (and g₃ sweeps) above this row count.
+    pub naive_max_rows: usize,
+    /// Maximum arity for the n-ary IND projection-closure check.
+    pub nary_arity: usize,
+    /// Thread counts to cross-check for bit-identical results and
+    /// counters; the pool is restored to `restore_threads` afterwards.
+    pub thread_matrix: Vec<usize>,
+    /// Thread count to restore after the matrix (0 = all cores).
+    pub restore_threads: usize,
+    /// Test hook for the shrinker self-test: deliberately drop the first
+    /// FD from the MUDS result before comparing against the naive oracle,
+    /// manufacturing a reproducible "missed FD" disagreement.
+    pub sabotage_drop_first_fd: bool,
+}
+
+impl Default for CheckSuite {
+    fn default() -> Self {
+        CheckSuite {
+            profiler: ProfilerConfig::default(),
+            naive_max_cols: 8,
+            naive_max_rows: 64,
+            nary_arity: 3,
+            thread_matrix: vec![1, 2],
+            restore_threads: 0,
+            sabotage_drop_first_fd: false,
+        }
+    }
+}
+
+impl CheckSuite {
+    /// Runs every check on `table`, returning the first violated
+    /// invariant. `None` means the table passed.
+    pub fn check(&self, table: &Table) -> Option<FailureDetail> {
+        self.check_pipelines(table)
+            .or_else(|| self.check_thread_invariance(table))
+            .or_else(|| self.check_naive_oracles(table))
+            .or_else(|| self.check_fd_minimality(table))
+            .or_else(|| self.check_ucc_minimality(table))
+            .or_else(|| self.check_ucc_duality(table))
+            .or_else(|| self.check_ind_projection_closure(table))
+            .or_else(|| self.check_g3(table))
+    }
+
+    fn narrow(&self, table: &Table) -> bool {
+        table.num_columns() <= self.naive_max_cols && table.num_rows() <= self.naive_max_rows
+    }
+
+    /// All four pipelines agree on FDs, UCCs, and INDs.
+    fn check_pipelines(&self, table: &Table) -> Option<FailureDetail> {
+        let runs: Vec<(Algorithm, Fingerprint)> =
+            Algorithm::ALL.iter().map(|&a| (a, fingerprint(table, a, &self.profiler))).collect();
+        for pair in runs.windows(2) {
+            let (a, fa) = &pair[0];
+            let (b, fb) = &pair[1];
+            if fa.fds != fb.fds {
+                return Some(FailureDetail {
+                    invariant: "pipelines-fd",
+                    detail: format!(
+                        "{} and {} disagree on FDs: {:?} vs {:?}",
+                        a.name(),
+                        b.name(),
+                        fa.fds,
+                        fb.fds
+                    ),
+                });
+            }
+            if fa.uccs != fb.uccs {
+                return Some(FailureDetail {
+                    invariant: "pipelines-ucc",
+                    detail: format!(
+                        "{} and {} disagree on UCCs: {:?} vs {:?}",
+                        a.name(),
+                        b.name(),
+                        fa.uccs,
+                        fb.uccs
+                    ),
+                });
+            }
+            if fa.inds != fb.inds {
+                return Some(FailureDetail {
+                    invariant: "pipelines-ind",
+                    detail: format!(
+                        "{} and {} disagree on INDs: {:?} vs {:?}",
+                        a.name(),
+                        b.name(),
+                        fa.inds,
+                        fb.inds
+                    ),
+                });
+            }
+        }
+        None
+    }
+
+    /// Results AND counters are invariant under the worker-thread count.
+    fn check_thread_invariance(&self, table: &Table) -> Option<FailureDetail> {
+        if self.thread_matrix.len() < 2 {
+            return None;
+        }
+        let mut failure = None;
+        'outer: for &algorithm in &Algorithm::ALL {
+            let mut reference: Option<(usize, Fingerprint)> = None;
+            for &n in &self.thread_matrix {
+                rayon::ThreadPoolBuilder::new()
+                    .num_threads(n)
+                    .build_global()
+                    .expect("vendored rayon pool is reconfigurable");
+                let run = fingerprint(table, algorithm, &self.profiler);
+                match &reference {
+                    None => reference = Some((n, run)),
+                    Some((n0, reference)) if *reference != run => {
+                        failure = Some(FailureDetail {
+                            invariant: "thread-invariance",
+                            detail: format!(
+                                "{} differs between --threads {n0} and --threads {n} \
+                                 (results, counters, or span shape)",
+                                algorithm.name()
+                            ),
+                        });
+                        break 'outer;
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        rayon::ThreadPoolBuilder::new()
+            .num_threads(self.restore_threads)
+            .build_global()
+            .expect("vendored rayon pool is reconfigurable");
+        failure
+    }
+
+    /// MUDS agrees with the exponential ground-truth oracles.
+    fn check_naive_oracles(&self, table: &Table) -> Option<FailureDetail> {
+        if !self.narrow(table) {
+            return None;
+        }
+        let run = fingerprint(table, Algorithm::Muds, &self.profiler);
+        let mut fds = run.fds.clone();
+        if self.sabotage_drop_first_fd && !fds.is_empty() {
+            fds.remove(0); // deliberate mutation; see `sabotage_drop_first_fd`
+        }
+        let truth_fds = muds_fd::naive_minimal_fds(table).to_sorted_vec();
+        if fds != truth_fds {
+            return Some(FailureDetail {
+                invariant: "naive-fd",
+                detail: format!("MUDS FDs {fds:?} != naive {truth_fds:?}"),
+            });
+        }
+        let truth_uccs = naive_minimal_uccs(table);
+        if run.uccs != truth_uccs {
+            return Some(FailureDetail {
+                invariant: "naive-ucc",
+                detail: format!("MUDS UCCs {:?} != naive {:?}", run.uccs, truth_uccs),
+            });
+        }
+        let truth_inds = naive_inds(table);
+        if run.inds != truth_inds {
+            return Some(FailureDetail {
+                invariant: "naive-ind",
+                detail: format!("MUDS INDs {:?} != naive {:?}", run.inds, truth_inds),
+            });
+        }
+        // ε = 0 approximate discovery is exact discovery.
+        let mut cache = PliCache::new(table);
+        let approx = approximate_fds(&mut cache, 0.0).to_sorted_vec();
+        if approx != truth_fds {
+            return Some(FailureDetail {
+                invariant: "approx-eps0",
+                detail: format!("approximate_fds(0.0) {approx:?} != naive {truth_fds:?}"),
+            });
+        }
+        None
+    }
+
+    /// Every reported FD holds and no direct subset of its lhs does.
+    fn check_fd_minimality(&self, table: &Table) -> Option<FailureDetail> {
+        let run = fingerprint(table, Algorithm::Muds, &self.profiler);
+        for fd in &run.fds {
+            if !holds(table, &fd.lhs, fd.rhs) {
+                return Some(FailureDetail {
+                    invariant: "fd-validity",
+                    detail: format!("reported FD {fd} does not hold"),
+                });
+            }
+            for sub in fd.lhs.direct_subsets() {
+                if holds(table, &sub, fd.rhs) {
+                    return Some(FailureDetail {
+                        invariant: "fd-minimality",
+                        detail: format!("FD {fd} is not minimal: {sub:?} already determines"),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Every reported UCC is unique and no direct subset is.
+    fn check_ucc_minimality(&self, table: &Table) -> Option<FailureDetail> {
+        let run = fingerprint(table, Algorithm::Muds, &self.profiler);
+        for ucc in &run.uccs {
+            if !is_unique(table, ucc) {
+                return Some(FailureDetail {
+                    invariant: "ucc-validity",
+                    detail: format!("reported UCC {ucc:?} is not unique"),
+                });
+            }
+            for sub in ucc.direct_subsets() {
+                if is_unique(table, &sub) {
+                    return Some(FailureDetail {
+                        invariant: "ucc-minimality",
+                        detail: format!("UCC {ucc:?} is not minimal: {sub:?} already unique"),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// DUCC's two result families are exact hypergraph duals: the minimal
+    /// UCCs are the minimal hitting sets of the complements of the maximal
+    /// non-UCCs, and every maximal non-UCC is non-unique with only unique
+    /// direct supersets.
+    fn check_ucc_duality(&self, table: &Table) -> Option<FailureDetail> {
+        let universe = ColumnSet::full(table.num_columns());
+        let mut cache = PliCache::new(table);
+        let cfg = DuccConfig::default();
+        let result = ducc(&mut cache, &cfg);
+        let edges = complement_family(&result.maximal_non_uccs, &universe);
+        let mut dual = minimal_hitting_sets(&edges, &universe);
+        dual.sort();
+        if dual != result.minimal_uccs {
+            return Some(FailureDetail {
+                invariant: "ucc-duality",
+                detail: format!(
+                    "minimal UCCs {:?} != minimal hitting sets {:?} of complemented maximal \
+                     non-UCCs {:?}",
+                    result.minimal_uccs, dual, result.maximal_non_uccs
+                ),
+            });
+        }
+        for mn in &result.maximal_non_uccs {
+            if is_unique(table, mn) {
+                return Some(FailureDetail {
+                    invariant: "ucc-duality",
+                    detail: format!("maximal non-UCC {mn:?} is actually unique"),
+                });
+            }
+            for sup in mn.direct_supersets(&universe) {
+                if !is_unique(table, &sup) {
+                    return Some(FailureDetail {
+                        invariant: "ucc-duality",
+                        detail: format!("maximal non-UCC {mn:?} has non-unique superset {sup:?}"),
+                    });
+                }
+            }
+        }
+        None
+    }
+
+    /// Every reported n-ary IND holds, and the set is closed under
+    /// projection (the apriori property SPIDER's n-ary extension relies
+    /// on).
+    fn check_ind_projection_closure(&self, table: &Table) -> Option<FailureDetail> {
+        if !self.narrow(table) {
+            return None;
+        }
+        let inds = nary_inds(table, self.nary_arity);
+        let seen: BTreeSet<(Vec<usize>, Vec<usize>)> =
+            inds.iter().map(|i| (i.dependent.clone(), i.referenced.clone())).collect();
+        for ind in &inds {
+            if !nary_ind_holds(table, &ind.dependent, &ind.referenced) {
+                return Some(FailureDetail {
+                    invariant: "ind-validity",
+                    detail: format!("reported n-ary IND {ind:?} does not hold"),
+                });
+            }
+            if ind.arity() >= 2 {
+                for drop in 0..ind.arity() {
+                    let dep: Vec<usize> = without_index(&ind.dependent, drop);
+                    let rf: Vec<usize> = without_index(&ind.referenced, drop);
+                    if !seen.contains(&(dep.clone(), rf.clone())) {
+                        return Some(FailureDetail {
+                            invariant: "ind-projection",
+                            detail: format!(
+                                "projection {:?} ⊆ {:?} of reported IND {ind:?} is missing",
+                                dep, rf
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// g₃ is monotonically non-increasing in the lhs, and zero exactly for
+    /// FDs that hold.
+    fn check_g3(&self, table: &Table) -> Option<FailureDetail> {
+        if !self.narrow(table) {
+            return None;
+        }
+        let n = table.num_columns();
+        let mut cache = PliCache::new(table);
+        let universe = ColumnSet::full(n);
+        for a in 0..n {
+            let mut bases: Vec<ColumnSet> = vec![ColumnSet::empty()];
+            bases.extend(universe.without(a).iter().map(ColumnSet::single));
+            for x in bases {
+                let gx = g3_error(&mut cache, &x, a);
+                let holds_exactly = table.num_rows() == 0 || cache.determines(&x, a);
+                if (gx == 0.0) != holds_exactly {
+                    return Some(FailureDetail {
+                        invariant: "g3-zero-iff-holds",
+                        detail: format!(
+                            "g3({x:?} → {a}) = {gx} but determines() = {holds_exactly}"
+                        ),
+                    });
+                }
+                for b in universe.without(a).difference(&x).iter() {
+                    let gxb = g3_error(&mut cache, &x.with(b), a);
+                    if gxb > gx + 1e-12 {
+                        return Some(FailureDetail {
+                            invariant: "g3-monotone",
+                            detail: format!(
+                                "g3 grew when the lhs grew: g3({x:?} → {a}) = {gx} < \
+                                 g3({:?} → {a}) = {gxb}",
+                                x.with(b)
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+fn without_index(v: &[usize], idx: usize) -> Vec<usize> {
+    v.iter().enumerate().filter(|&(i, _)| i != idx).map(|(_, &x)| x).collect()
+}
+
+/// The ingestion guard at the `ColumnSet` boundary: any width above 256
+/// must be rejected with the typed error before a `ColumnSet::insert` can
+/// panic.
+pub fn check_overwide_rejection(width: usize) -> Option<FailureDetail> {
+    assert!(width > MAX_COLUMNS, "only meaningful above the boundary");
+    let names: Vec<String> = (0..width).map(|i| format!("c{i}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let rows: Vec<Vec<&str>> = vec![name_refs.clone()];
+    match Table::from_rows("overwide", &name_refs, &rows) {
+        Err(TableError::TooManyColumns { got, max }) if got == width && max == MAX_COLUMNS => {}
+        other => {
+            return Some(FailureDetail {
+                invariant: "overwide-from-rows",
+                detail: format!("from_rows({width} cols) returned {other:?}"),
+            });
+        }
+    }
+    // The CSV ingestion path must hit the same typed guard.
+    let mut csv = names.join(",");
+    csv.push('\n');
+    csv.push_str(&names.join(","));
+    csv.push('\n');
+    match muds_table::table_from_csv("overwide", &csv, &muds_table::CsvOptions::default()) {
+        Err(TableError::TooManyColumns { got, .. }) if got == width => None,
+        other => Some(FailureDetail {
+            invariant: "overwide-csv",
+            detail: format!("table_from_csv({width} cols) returned {other:?}"),
+        }),
+    }
+}

@@ -1,0 +1,200 @@
+//! Delta-debugging shrinker: reduces a failing table to a minimal repro
+//! while preserving the failure signature.
+//!
+//! Three reduction passes run to a fixpoint: ddmin over rows (drop
+//! half-sized chunks, halving the chunk size down to single rows), then
+//! single-column drops, then value merging (collapse each column's value
+//! domain towards its first distinct value). Every candidate is accepted
+//! only if the caller's predicate still reports the *same* failure.
+
+use muds_table::Table;
+
+/// Budget for predicate evaluations; shrinking stops when exhausted. Each
+/// evaluation re-runs the full check suite, so this bounds total work.
+const MAX_CANDIDATES: usize = 5_000;
+
+/// What the shrinker did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShrinkStats {
+    /// Candidate tables offered to the predicate.
+    pub candidates_tried: usize,
+    /// Candidates the predicate accepted (still failing).
+    pub accepted: usize,
+}
+
+/// Row-major working copy of a table (NULL = empty string, matching the
+/// profiler's NULL encoding).
+#[derive(Clone, PartialEq)]
+struct Matrix {
+    name: String,
+    columns: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Matrix {
+    fn from_table(table: &Table) -> Matrix {
+        Matrix {
+            name: table.name().to_string(),
+            columns: table.column_names().iter().map(|s| s.to_string()).collect(),
+            rows: (0..table.num_rows())
+                .map(|r| table.row(r).into_iter().map(|v| v.unwrap_or("").to_string()).collect())
+                .collect(),
+        }
+    }
+
+    fn to_table(&self) -> Table {
+        let names: Vec<&str> = self.columns.iter().map(|s| s.as_str()).collect();
+        Table::from_rows(&self.name, &names, &self.rows)
+            .expect("shrink candidates are well-formed by construction")
+    }
+
+    fn without_rows(&self, start: usize, len: usize) -> Matrix {
+        let mut m = self.clone();
+        m.rows.drain(start..(start + len).min(m.rows.len()));
+        m
+    }
+
+    fn without_column(&self, col: usize) -> Matrix {
+        let mut m = self.clone();
+        m.columns.remove(col);
+        for row in &mut m.rows {
+            row.remove(col);
+        }
+        m
+    }
+}
+
+/// Reduces `table` to a locally minimal failing input. `still_fails` must
+/// return `true` iff the candidate reproduces the original failure (same
+/// invariant); the input table is assumed to fail already.
+pub fn shrink(table: &Table, still_fails: &mut dyn FnMut(&Table) -> bool) -> (Table, ShrinkStats) {
+    let mut stats = ShrinkStats::default();
+    let mut current = Matrix::from_table(table);
+
+    // One guarded predicate call; returns None once the budget is gone.
+    let mut accept = |candidate: &Matrix, stats: &mut ShrinkStats| -> Option<bool> {
+        if stats.candidates_tried >= MAX_CANDIDATES {
+            return None;
+        }
+        stats.candidates_tried += 1;
+        let ok = still_fails(&candidate.to_table());
+        if ok {
+            stats.accepted += 1;
+        }
+        Some(ok)
+    };
+
+    loop {
+        let before = current.clone();
+
+        // Pass 1: ddmin over rows.
+        let mut chunk = (current.rows.len() / 2).max(1);
+        while chunk >= 1 && !current.rows.is_empty() {
+            let mut start = 0;
+            while start < current.rows.len() {
+                let candidate = current.without_rows(start, chunk);
+                match accept(&candidate, &mut stats) {
+                    Some(true) => current = candidate, // same start: next chunk slid in
+                    Some(false) => start += chunk,
+                    None => return (current.to_table(), stats),
+                }
+            }
+            if chunk == 1 {
+                break;
+            }
+            chunk /= 2;
+        }
+
+        // Pass 2: drop whole columns.
+        let mut col = 0;
+        while col < current.columns.len() {
+            let candidate = current.without_column(col);
+            match accept(&candidate, &mut stats) {
+                Some(true) => current = candidate, // same index now names the next column
+                Some(false) => col += 1,
+                None => return (current.to_table(), stats),
+            }
+        }
+
+        // Pass 3: merge values — rewrite each distinct value to the
+        // column's first distinct value, one value at a time.
+        for col in 0..current.columns.len() {
+            let mut seen: Vec<String> = Vec::new();
+            for row in &current.rows {
+                if !seen.contains(&row[col]) {
+                    seen.push(row[col].clone());
+                }
+            }
+            let Some(first) = seen.first().cloned() else { continue };
+            for victim in seen.into_iter().skip(1) {
+                let mut candidate = current.clone();
+                for row in &mut candidate.rows {
+                    if row[col] == victim {
+                        row[col] = first.clone();
+                    }
+                }
+                match accept(&candidate, &mut stats) {
+                    Some(true) => current = candidate,
+                    Some(false) => {}
+                    None => return (current.to_table(), stats),
+                }
+            }
+        }
+
+        if current == before {
+            return (current.to_table(), stats);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table(rows: &[[&str; 3]]) -> Table {
+        let data: Vec<Vec<&str>> = rows.iter().map(|r| r.to_vec()).collect();
+        Table::from_rows("t", &["a", "b", "c"], &data).unwrap()
+    }
+
+    #[test]
+    fn shrinks_to_the_failure_core() {
+        // "Fails" whenever column b still contains the value "bad".
+        let t = table(&[
+            ["1", "x", "p"],
+            ["2", "bad", "q"],
+            ["3", "y", "r"],
+            ["4", "bad", "s"],
+            ["5", "z", "t"],
+        ]);
+        let mut pred =
+            |cand: &Table| (0..cand.num_rows()).any(|r| cand.row(r).contains(&Some("bad")));
+        let (small, stats) = shrink(&t, &mut pred);
+        assert_eq!(small.num_rows(), 1, "one witness row suffices");
+        assert_eq!(small.num_columns(), 1, "one witness column suffices");
+        assert_eq!(small.row(0), vec![Some("bad")]);
+        assert!(stats.accepted > 0);
+        assert!(stats.candidates_tried < MAX_CANDIDATES);
+    }
+
+    #[test]
+    fn merging_values_simplifies_domains() {
+        // Fails whenever the first column has ≥2 rows (value-independent),
+        // so the shrinker should also collapse the value domain.
+        let t = table(&[["1", "x", "p"], ["2", "y", "q"], ["3", "z", "r"]]);
+        let mut pred = |cand: &Table| cand.num_rows() >= 2 && cand.num_columns() >= 1;
+        let (small, _) = shrink(&t, &mut pred);
+        assert_eq!(small.num_rows(), 2);
+        assert_eq!(small.num_columns(), 1);
+        // Both surviving cells merged to one value.
+        assert_eq!(small.row(0), small.row(1));
+    }
+
+    #[test]
+    fn zero_row_tables_shrink_without_panicking() {
+        let t = Table::from_rows("t", &["a"], &Vec::<Vec<&str>>::new()).unwrap();
+        let mut pred = |_: &Table| true;
+        let (small, _) = shrink(&t, &mut pred);
+        assert_eq!(small.num_rows(), 0);
+        assert_eq!(small.num_columns(), 0, "the lone column is droppable");
+    }
+}

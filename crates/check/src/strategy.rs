@@ -1,0 +1,261 @@
+//! Adversarial table generation strategies.
+//!
+//! Each strategy targets an instance shape where dependency discovery is
+//! known to concentrate its hardness or its edge cases: near-keys, NULL
+//! floods, constant columns, duplicate-heavy multisets, degenerate shapes
+//! (empty / single-row / zero-column), and widths at the 256-column
+//! `ColumnSet` boundary. Uniform-random tables are kept as a control —
+//! they exercise the average case the existing randomized tests already
+//! cover.
+
+use muds_table::Table;
+use rand::prelude::*;
+
+/// Size bounds for the oracle-checked strategies. Kept small enough that
+/// the exponential naive oracles stay fast (they are gated at 16 columns;
+/// the defaults stay well below).
+#[derive(Debug, Clone)]
+pub struct SizeBounds {
+    /// Maximum column count for narrow (oracle-checked) strategies.
+    pub max_cols: usize,
+    /// Maximum row count for narrow strategies.
+    pub max_rows: usize,
+}
+
+impl Default for SizeBounds {
+    fn default() -> Self {
+        SizeBounds { max_cols: 6, max_rows: 24 }
+    }
+}
+
+/// A named table generator.
+pub struct Strategy {
+    /// Stable identifier (used in counters, failure reports, and corpus
+    /// file names).
+    pub name: &'static str,
+    generate: fn(&mut StdRng, &SizeBounds) -> Table,
+}
+
+impl Strategy {
+    /// Generates one table from this strategy.
+    pub fn generate(&self, rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+        (self.generate)(rng, bounds)
+    }
+}
+
+/// All strategies, rotated round-robin by the fuzz loop.
+pub const STRATEGIES: &[Strategy] = &[
+    Strategy { name: "uniform", generate: gen_uniform },
+    Strategy { name: "null-heavy", generate: gen_null_heavy },
+    Strategy { name: "constant-columns", generate: gen_constant_columns },
+    Strategy { name: "near-unique", generate: gen_near_unique },
+    Strategy { name: "duplicate-heavy", generate: gen_duplicate_heavy },
+    Strategy { name: "degenerate", generate: gen_degenerate },
+    Strategy { name: "wide-boundary", generate: gen_wide_boundary },
+];
+
+/// Materializes a `cols × rows` table with `c0..` column names from a
+/// cell-generating closure.
+fn build(
+    name: &str,
+    cols: usize,
+    rows: usize,
+    mut cell: impl FnMut(usize, usize) -> String,
+) -> Table {
+    let names: Vec<String> = (0..cols).map(|c| format!("c{c}")).collect();
+    let name_refs: Vec<&str> = names.iter().map(|s| s.as_str()).collect();
+    let data: Vec<Vec<String>> =
+        (0..rows).map(|r| (0..cols).map(|c| cell(r, c)).collect()).collect();
+    Table::from_rows(name, &name_refs, &data).expect("generated table is well-formed")
+}
+
+/// Control: independent uniform draws from a small domain.
+fn gen_uniform(rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(1..=bounds.max_cols);
+    let rows = rng.gen_range(0..=bounds.max_rows);
+    let domain = rng.gen_range(1..=4u32);
+    build("uniform", cols, rows, |_, _| rng.gen_range(0..domain).to_string())
+}
+
+/// NULL flood: most cells empty, including whole all-NULL columns. NULLs
+/// stress the "NULL = NULL" FD/UCC semantics and SPIDER's dependent-side
+/// NULL skipping at once.
+fn gen_null_heavy(rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(1..=bounds.max_cols);
+    let rows = rng.gen_range(0..=bounds.max_rows);
+    let null_p: f64 = rng.gen_range(5..=9u32) as f64 / 10.0;
+    // Some columns are entirely NULL.
+    let all_null: Vec<bool> = (0..cols).map(|_| rng.gen_bool(0.3)).collect();
+    build("null-heavy", cols, rows, |_, c| {
+        if all_null[c] || rng.gen_bool(null_p) {
+            String::new()
+        } else {
+            rng.gen_range(0..3u32).to_string()
+        }
+    })
+}
+
+/// Constant columns mixed with a few informative ones. Constant columns
+/// produce `∅ → A` FDs and aggressive C⁺ pruning in TANE.
+fn gen_constant_columns(rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(1..=bounds.max_cols);
+    let rows = rng.gen_range(0..=bounds.max_rows);
+    let constant: Vec<Option<String>> = (0..cols)
+        .map(|_| {
+            if rng.gen_bool(0.6) {
+                // A constant value — sometimes the constant is NULL.
+                Some(if rng.gen_bool(0.25) { String::new() } else { "k".to_string() })
+            } else {
+                None
+            }
+        })
+        .collect();
+    build("constant-columns", cols, rows, |_, c| match &constant[c] {
+        Some(v) => v.clone(),
+        None => rng.gen_range(0..4u32).to_string(),
+    })
+}
+
+/// Near-keys: columns that are unique except for a handful of planted
+/// collisions. The hardest shape for the DUCC walk's pruning and for
+/// minimality checks (minimal UCCs sit just above the singletons).
+fn gen_near_unique(rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(1..=bounds.max_cols);
+    let rows = rng.gen_range(2..=bounds.max_rows.max(2));
+    // Each column is the row id, except a few rows copy another row's value.
+    let collisions: Vec<(usize, usize, usize)> = (0..rng.gen_range(1..=4usize))
+        .map(|_| (rng.gen_range(0..cols), rng.gen_range(0..rows), rng.gen_range(0..rows)))
+        .collect();
+    build("near-unique", cols, rows, |r, c| {
+        let mut v = r;
+        for &(cc, from, to) in &collisions {
+            if cc == c && r == from {
+                v = to;
+            }
+        }
+        v.to_string()
+    })
+}
+
+/// Duplicate-heavy multiset: few distinct rows, each repeated. A relation
+/// with duplicate rows has no UCC at all (§3 of the paper); every pipeline
+/// must degrade identically instead of relying on the dedup precondition.
+fn gen_duplicate_heavy(rng: &mut StdRng, bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(1..=bounds.max_cols);
+    let distinct = rng.gen_range(1..=4usize);
+    let rows = rng.gen_range(distinct..=bounds.max_rows.max(distinct));
+    let base: Vec<Vec<String>> = (0..distinct)
+        .map(|_| (0..cols).map(|_| rng.gen_range(0..3u32).to_string()).collect())
+        .collect();
+    let picks: Vec<usize> = (0..rows).map(|_| rng.gen_range(0..distinct)).collect();
+    build("duplicate-heavy", cols, rows, |r, c| base[picks[r]][c].clone())
+}
+
+/// Degenerate shapes: zero rows, one row, zero columns, a single cell,
+/// and all-NULL-only relations.
+fn gen_degenerate(rng: &mut StdRng, _bounds: &SizeBounds) -> Table {
+    match rng.gen_range(0..5u32) {
+        0 => {
+            // Zero rows, a few columns.
+            let cols = rng.gen_range(1..=3usize);
+            build("degenerate-0row", cols, 0, |_, _| unreachable!())
+        }
+        1 => {
+            // One row.
+            let cols = rng.gen_range(1..=3usize);
+            build("degenerate-1row", cols, 1, |_, c| c.to_string())
+        }
+        2 => {
+            // Zero columns (only reachable through take_columns).
+            let rows = rng.gen_range(0..=3usize);
+            build("degenerate", 2, rows, |r, _| r.to_string()).take_columns(0)
+        }
+        3 => build("degenerate-cell", 1, 1, |_, _| "x".to_string()),
+        _ => {
+            // All cells NULL.
+            let cols = rng.gen_range(1..=3usize);
+            let rows = rng.gen_range(0..=3usize);
+            build("degenerate-allnull", cols, rows, |_, _| String::new())
+        }
+    }
+}
+
+/// Width at and just under the 256-column `ColumnSet` boundary. The value
+/// structure is kept trivial (one key column, the rest constant or
+/// two-valued) so the lattice algorithms terminate instantly while every
+/// bitset word of `ColumnSet` is exercised.
+fn gen_wide_boundary(rng: &mut StdRng, _bounds: &SizeBounds) -> Table {
+    let cols = rng.gen_range(250..=256usize);
+    let rows = rng.gen_range(2..=6usize);
+    let two_valued: Vec<bool> = (0..cols).map(|_| rng.gen_bool(0.05)).collect();
+    build("wide-boundary", cols, rows, |r, c| {
+        if c == 0 {
+            r.to_string() // key column
+        } else if two_valued[c] {
+            (r % 2).to_string()
+        } else {
+            "k".to_string()
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_strategy_generates_valid_tables() {
+        let bounds = SizeBounds::default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for strategy in STRATEGIES {
+            for _ in 0..20 {
+                let t = strategy.generate(&mut rng, &bounds);
+                assert!(t.num_columns() <= 256, "{}", strategy.name);
+                // Row reconstruction works for every generated shape.
+                for r in 0..t.num_rows() {
+                    assert_eq!(t.row(r).len(), t.num_columns());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic_in_the_seed() {
+        let bounds = SizeBounds::default();
+        for strategy in STRATEGIES {
+            let t1 = strategy.generate(&mut StdRng::seed_from_u64(99), &bounds);
+            let t2 = strategy.generate(&mut StdRng::seed_from_u64(99), &bounds);
+            assert_eq!(t1.num_rows(), t2.num_rows());
+            assert_eq!(t1.num_columns(), t2.num_columns());
+            for r in 0..t1.num_rows() {
+                assert_eq!(t1.row(r), t2.row(r), "{}", strategy.name);
+            }
+        }
+    }
+
+    #[test]
+    fn wide_boundary_reaches_256_columns() {
+        let bounds = SizeBounds::default();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut max_seen = 0;
+        for _ in 0..64 {
+            let t = gen_wide_boundary(&mut rng, &bounds);
+            max_seen = max_seen.max(t.num_columns());
+        }
+        assert_eq!(max_seen, 256, "the boundary itself must be generated");
+    }
+
+    #[test]
+    fn degenerate_covers_zero_columns() {
+        let bounds = SizeBounds::default();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut saw_zero_cols = false;
+        let mut saw_zero_rows = false;
+        for _ in 0..64 {
+            let t = gen_degenerate(&mut rng, &bounds);
+            saw_zero_cols |= t.num_columns() == 0;
+            saw_zero_rows |= t.num_rows() == 0;
+        }
+        assert!(saw_zero_cols && saw_zero_rows);
+    }
+}

@@ -40,6 +40,17 @@ pub enum Command {
     /// Generate one of the paper's stand-in datasets as CSV on stdout or to
     /// a file.
     Generate { dataset: String, rows: usize, cols: usize, output: Option<String> },
+    /// Differential fuzzing: adversarial tables through all four pipelines
+    /// plus the naive oracles, with automatic shrinking on disagreement.
+    Fuzz {
+        seed: u64,
+        iters: usize,
+        /// Worker threads restored between thread-invariance probes.
+        threads: Option<usize>,
+        /// Directory for shrunken repro CSVs (`None` = don't write).
+        corpus: Option<String>,
+        metrics: Option<MetricsFormat>,
+    },
     /// Print usage.
     Help,
 }
@@ -148,6 +159,47 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 })
             }
         }
+        "fuzz" => {
+            let mut seed = 42u64;
+            let mut iters = 500usize;
+            let mut threads: Option<usize> = None;
+            let mut corpus: Option<String> = None;
+            let mut metrics: Option<MetricsFormat> = None;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" | "-s" => {
+                        seed = take_value(args, &mut i, "--seed")?
+                            .parse()
+                            .map_err(|_| ArgError("--seed must be an integer".into()))?;
+                    }
+                    "--iters" | "-n" => {
+                        iters = take_value(args, &mut i, "--iters")?
+                            .parse()
+                            .map_err(|_| ArgError("--iters must be an integer".into()))?;
+                    }
+                    "--threads" | "-t" => {
+                        let v: usize = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| ArgError("--threads must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(v);
+                    }
+                    "--corpus" => corpus = Some(take_value(args, &mut i, "--corpus")?.to_string()),
+                    "--metrics" => {
+                        metrics = Some(metrics_format(take_value(args, &mut i, "--metrics")?)?)
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ArgError(format!("unknown flag {flag:?}")));
+                    }
+                    extra => return Err(ArgError(format!("unexpected argument {extra:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Fuzz { seed, iters, threads, corpus, metrics })
+        }
         "generate" => {
             let mut dataset: Option<String> = None;
             let mut rows = 1000usize;
@@ -197,6 +249,8 @@ USAGE:
   mudsprof compare <file.csv> [-d <delim>] [--no-header] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof generate <dataset> [--rows N] [--cols N] [-o out.csv]
+  mudsprof fuzz [--seed S] [--iters N] [--threads T] [--corpus DIR]
+                [--metrics pretty|json]
   mudsprof help
 
 PARALLELISM:
@@ -210,6 +264,15 @@ OBSERVABILITY:
                      lattice walks, SPIDER merge, per-phase FD checks)
   --metrics json     emit the same as one JSON object per algorithm run
   --trace <file>     stream span/counter events as JSON Lines while running
+
+FUZZING:
+  fuzz generates adversarial tables (NULL-heavy, constant, near-unique,
+  duplicate-heavy, degenerate, 256-column boundary), runs every pipeline
+  plus exponential naive oracles on the small ones, and cross-checks
+  structural invariants (FD/UCC minimality, hitting-set duality, IND
+  projection closure, g3 monotonicity, thread invariance). Disagreements
+  are delta-debugged to a minimal repro; with --corpus DIR the repro is
+  written there as CSV. Exit status is non-zero if any check failed.
 
 Datasets for generate: uniprot, ionosphere, ncvoter, iris, balance, chess,
 abalone, nursery, b-cancer, bridges, echocard, adult, letter, hepatitis.
@@ -314,6 +377,31 @@ mod tests {
         assert!(parse(&argv("frobnicate")).is_err());
         assert!(parse(&argv("profile x.csv --delimiter ,, ")).is_err());
         assert!(parse(&argv("generate --rows abc uniprot")).is_err());
+    }
+
+    #[test]
+    fn fuzz_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("fuzz")).unwrap(),
+            Command::Fuzz { seed: 42, iters: 500, threads: None, corpus: None, metrics: None }
+        );
+        let cmd =
+            parse(&argv("fuzz --seed 7 --iters 100 -t 2 --corpus tests/corpus --metrics json"))
+                .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Fuzz {
+                seed: 7,
+                iters: 100,
+                threads: Some(2),
+                corpus: Some("tests/corpus".into()),
+                metrics: Some(MetricsFormat::Json),
+            }
+        );
+        assert!(parse(&argv("fuzz --seed x")).is_err());
+        assert!(parse(&argv("fuzz --iters")).is_err());
+        assert!(parse(&argv("fuzz --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("fuzz stray")).is_err());
     }
 
     #[test]

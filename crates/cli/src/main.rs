@@ -186,6 +186,52 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Fuzz { seed, iters, threads, corpus, metrics } => {
+            configure_threads(threads)?;
+            let (registry, _guard) = install_metrics(None)?;
+            let mut config = muds_check::FuzzConfig { seed, iters, ..Default::default() };
+            config.suite.restore_threads = threads.unwrap_or(0);
+            config.corpus_dir = corpus.map(std::path::PathBuf::from);
+
+            // The suite intentionally drives the profilers into panics and
+            // catches them; the default hook would spray a backtrace per
+            // caught panic over the report.
+            let previous_hook = std::panic::take_hook();
+            std::panic::set_hook(Box::new(|_| {}));
+            let report = muds_check::run_fuzz(&config);
+            std::panic::set_hook(previous_hook);
+
+            println!(
+                "fuzz: seed {seed}, {} iteration(s), {} failure(s)",
+                report.iterations,
+                report.failures.len()
+            );
+            for f in &report.failures {
+                println!(
+                    "\niteration {} [{}] {}: {}",
+                    f.iteration, f.strategy, f.invariant, f.detail
+                );
+                println!(
+                    "  shrunk to {} column(s) x {} row(s) ({} candidate(s) tried)",
+                    f.shrunken.0, f.shrunken.1, f.shrink_stats.candidates_tried
+                );
+                match &f.corpus_file {
+                    Some(path) => println!("  repro written to {}", path.display()),
+                    None => println!("  (no corpus file written)"),
+                }
+            }
+            let snapshot = registry.drain_snapshot();
+            match metrics {
+                Some(MetricsFormat::Pretty) => println!("\n{}", snapshot.render_pretty()),
+                Some(MetricsFormat::Json) => println!("\n{}", snapshot.to_json()),
+                None => {}
+            }
+            if report.clean() {
+                Ok(())
+            } else {
+                Err(format!("{} fuzz failure(s) found", report.failures.len()))
+            }
+        }
         Command::Generate { dataset, rows, cols, output } => {
             let table = match dataset.as_str() {
                 "uniprot" => datagen::uniprot_like(rows, cols),

@@ -16,7 +16,7 @@
 use std::collections::HashMap;
 
 use muds_fd::FdSet;
-use muds_lattice::{ColumnSet, MaximalSetFamily, SetTrie};
+use muds_lattice::{ColumnSet, MaximalSetFamily, MinimalSetFamily};
 use muds_pli::PliCache;
 
 /// Outcome of one decision in a [`FdKnowledge::decide_many`] batch.
@@ -30,8 +30,15 @@ pub struct BatchOutcome {
 }
 
 /// Accumulated three-valued FD knowledge for one table.
+///
+/// Positives are kept as per-rhs *antichains* of minimal recorded
+/// left-hand sides ([`MinimalSetFamily`]): a dominated positive can never
+/// change a subset query's answer, and phases like the R\Z walks record
+/// tens of thousands of (mostly dominated) positives on wide tables —
+/// storing them all would both bloat the trie and degrade the dense-query
+/// subset searches the look-up path performs.
 pub struct FdKnowledge {
-    positives: HashMap<usize, SetTrie>,
+    positives: HashMap<usize, MinimalSetFamily>,
     negatives: HashMap<usize, MaximalSetFamily>,
     universe: ColumnSet,
     /// Partition-refinement checks answered from knowledge instead.
@@ -54,7 +61,7 @@ impl FdKnowledge {
 
     /// Records a valid FD `lhs → rhs`.
     pub fn record_positive(&mut self, lhs: ColumnSet, rhs: usize) {
-        self.positives.entry(rhs).or_default().insert(lhs);
+        self.positives.entry(rhs).or_default().add(lhs);
     }
 
     /// Records all FDs of `fds` as positives.
@@ -77,7 +84,7 @@ impl FdKnowledge {
 
     /// `Some(answer)` when knowledge already decides `lhs → rhs`.
     pub fn lookup(&self, lhs: &ColumnSet, rhs: usize) -> Option<bool> {
-        if self.positives.get(&rhs).is_some_and(|t| t.contains_subset_of(lhs)) {
+        if self.positives.get(&rhs).is_some_and(|f| f.dominates(lhs)) {
             return Some(true);
         }
         if self.negatives.get(&rhs).is_some_and(|f| f.dominates(lhs)) {
@@ -155,10 +162,12 @@ impl FdKnowledge {
         self.negatives.get(&rhs).map_or(&[], |f| f.sets())
     }
 
-    /// Known valid left-hand sides for `rhs` (walk seeds; not necessarily
-    /// minimal).
+    /// Known valid left-hand sides for `rhs` (walk seeds): the antichain
+    /// of subset-minimal recorded positives, which covers every recorded
+    /// one for seeding purposes (a dominated positive walks down to the
+    /// same minimal core as the antichain member inside it).
     pub fn positive_sets(&self, rhs: usize) -> Vec<ColumnSet> {
-        self.positives.get(&rhs).map_or_else(Vec::new, |t| t.iter_sets())
+        self.positives.get(&rhs).map_or_else(Vec::new, |f| f.sets().to_vec())
     }
 }
 

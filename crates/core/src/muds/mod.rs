@@ -243,9 +243,17 @@ pub fn muds(table: &Table, config: &MudsConfig) -> MudsReport {
     // tree post-hoc as leaf spans rather than via RAII timers.
     let gen = shadowed_stats.generation_fd_checks;
     let min = shadowed_stats.minimize_fd_checks;
-    let denom = (gen + min).max(1);
-    timings.generate_shadowed = shadow_total.mul_f64(gen as f64 / denom as f64);
-    timings.minimize_shadowed = shadow_total.mul_f64(min as f64 / denom as f64);
+    if gen + min == 0 {
+        // Everything short-circuited: no check ratio to split by, but the
+        // wall time is real — attribute it to generation rather than
+        // dropping it from the span tree.
+        timings.generate_shadowed = shadow_total;
+        timings.minimize_shadowed = Duration::ZERO;
+    } else {
+        let denom = gen + min;
+        timings.generate_shadowed = shadow_total.mul_f64(gen as f64 / denom as f64);
+        timings.minimize_shadowed = shadow_total.mul_f64(min as f64 / denom as f64);
+    }
     muds_obs::record_span("generate shadowed fd tasks", timings.generate_shadowed);
     muds_obs::record_span("minimize shadowed tasks", timings.minimize_shadowed);
     muds_obs::add("shadowed.tasks_generated", shadowed_stats.tasks_generated);

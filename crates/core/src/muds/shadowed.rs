@@ -17,10 +17,10 @@
 //! complete on adversarial inputs (DESIGN.md documents a counterexample),
 //! which is why MUDS pairs this phase with a completion sweep by default.
 
-use std::collections::{HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet};
 
 use muds_fd::FdSet;
-use muds_lattice::{ColumnSet, SetTrie};
+use muds_lattice::{find_minimal_positives_seeded, ColumnSet, SetTrie, WalkConfig};
 use muds_pli::PliCache;
 
 use super::knowledge::FdKnowledge;
@@ -66,8 +66,19 @@ pub fn remove_uccs(lhs: &ColumnSet, ucc_trie: &SetTrie) -> Vec<ColumnSet> {
 
 /// Algorithm 4: top-down minimization of validated shadow tasks.
 ///
-/// Every emitted FD is checked against all direct subsets, so outputs are
-/// guaranteed minimal *and* valid. Returns the number of fresh FDs added.
+/// Each task `(L, R)` asks for *every* minimal `X ⊆ L` with `X → a`, for
+/// each `a ∈ R`. The paper's breadth-first descent over direct subsets
+/// answers that by visiting every valid subset of `L` — which is
+/// exponential whenever `L` is wide and contains a stable determinant
+/// (a key column makes all `2^{|L|-1}` subsets containing it valid; at
+/// the 256-column boundary the descent never terminates). We solve the
+/// identical problem with the shared walk engine instead: one
+/// minimal-positive search per distinct `(L, a)` pair, seeded with `L`
+/// (valid by construction) and backed by [`FdKnowledge`], whose memo
+/// spans problems. The walk is polynomial in the output, so outputs stay
+/// exactly the box-minimal valid FDs of the breadth-first formulation.
+///
+/// Returns the number of fresh FDs added.
 fn minimize_tasks(
     cache: &mut PliCache<'_>,
     tasks: Vec<(ColumnSet, ColumnSet)>,
@@ -75,56 +86,47 @@ fn minimize_tasks(
     knowledge: &mut FdKnowledge,
     stats: &mut ShadowedStats,
 ) -> usize {
-    let mut queue: VecDeque<(ColumnSet, ColumnSet)> = tasks.into();
-    let mut processed: HashMap<ColumnSet, ColumnSet> = HashMap::new();
-    // Per-set memo of already-resolved right-hand sides: the same subset is
-    // reached from many parents, and even knowledge look-ups add up over
-    // millions of visits.
-    let mut answered: HashMap<ColumnSet, (ColumnSet, ColumnSet)> = HashMap::new();
-    let mut added = 0usize;
-    while let Some((lhs, rhs)) = queue.pop_front() {
-        let mut current_rhs = rhs;
-        for subset in lhs.direct_subsets() {
-            let mut valid = ColumnSet::empty();
-            let (checked, valid_known) = answered.entry(subset).or_default();
-            // Resolve the memo first, then decide the rest as one batch
-            // (unresolved checks of the same subset fan out across threads;
-            // memo and knowledge updates apply in rhs order as before).
-            let mut pending: Vec<usize> = Vec::new();
-            for a in rhs.difference(&subset).iter() {
-                if checked.contains(a) {
-                    if valid_known.contains(a) {
-                        valid.insert(a);
-                    }
-                } else {
-                    pending.push(a);
-                }
-            }
-            let outcomes = knowledge.decide_many(cache, &subset, &pending);
-            for (&a, outcome) in pending.iter().zip(&outcomes) {
-                if outcome.known {
-                    stats.checks_short_circuited += 1;
-                } else {
-                    stats.minimize_fd_checks += 1;
-                }
-                checked.insert(a);
-                if outcome.holds {
-                    valid_known.insert(a);
-                    valid.insert(a);
-                }
-            }
-            current_rhs = current_rhs.difference(&valid);
-            if valid.is_empty() {
-                continue;
-            }
-            let seen = processed.entry(subset).or_insert_with(ColumnSet::empty);
-            let fresh = valid.difference(seen);
-            if !fresh.is_empty() {
-                *seen = seen.union(&fresh);
-                queue.push_back((subset, fresh));
+    let mut problems: Vec<(ColumnSet, usize)> = Vec::new();
+    let mut seen: HashSet<(ColumnSet, usize)> = HashSet::new();
+    for (lhs, rhs) in &tasks {
+        for a in rhs.iter() {
+            if seen.insert((*lhs, a)) {
+                problems.push((*lhs, a));
             }
         }
-        for a in current_rhs.iter() {
+    }
+    // Fixed problem order keeps the interleaving of knowledge look-ups
+    // with knowledge growth identical across runs (determinism contract).
+    problems.sort_unstable();
+    let mut added = 0usize;
+    for (universe, a) in problems {
+        // Seed the walk with everything already known about this rhs:
+        // recorded positives inside the box, and recorded negatives
+        // intersected into it (any subset of a non-determining set is
+        // non-determining). After the R\Z phase this usually classifies
+        // the whole box up front, so re-minimizing costs no oracle calls.
+        let mut seeds: Vec<ColumnSet> =
+            knowledge.positive_sets(a).into_iter().filter(|p| p.is_subset_of(&universe)).collect();
+        seeds.push(universe);
+        let negatives: Vec<ColumnSet> =
+            knowledge.negative_sets(a).iter().map(|n| n.intersection(&universe)).collect();
+        let mut fresh_checks = 0u64;
+        let mut short_circuited = 0u64;
+        let mut oracle = |set: &ColumnSet| {
+            let before = knowledge.checks;
+            let holds = knowledge.determines(cache, set, a);
+            if knowledge.checks == before {
+                short_circuited += 1;
+            } else {
+                fresh_checks += 1;
+            }
+            holds
+        };
+        let cfg = WalkConfig { seed: 0x5AD0_u64 ^ a as u64 };
+        let result = find_minimal_positives_seeded(universe, &mut oracle, &cfg, &negatives, &seeds);
+        stats.minimize_fd_checks += fresh_checks;
+        stats.checks_short_circuited += short_circuited;
+        for lhs in result.minimal_positives {
             if fds.insert(lhs, a) {
                 knowledge.record_positive(lhs, a);
                 added += 1;

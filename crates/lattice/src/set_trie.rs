@@ -164,10 +164,16 @@ impl SetTrie {
     }
 
     /// True iff some stored set is a subset of `query` (⊆, not strict).
+    ///
+    /// The search descends only into children whose column is in `query`
+    /// — O(1) bitset tests against the node's (typically few) children,
+    /// rather than probing the trie for each of the query's columns. On
+    /// wide queries (the 256-column boundary) the latter is two orders of
+    /// magnitude slower, and this predicate is the inner loop of every
+    /// lattice walk.
     pub fn contains_subset_of(&self, query: &ColumnSet) -> bool {
         self.meters.subset_queries.inc();
-        let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
-        self.subset_search(0, &cols, 0)
+        self.subset_search(0, query)
     }
 
     /// True iff some stored set is a **proper** subset of `query`.
@@ -175,39 +181,31 @@ impl SetTrie {
         self.subsets_of(query).iter().any(|s| s != query)
     }
 
-    fn subset_search(&self, node: NodeId, cols: &[u16], from: usize) -> bool {
+    fn subset_search(&self, node: NodeId, query: &ColumnSet) -> bool {
         self.meters.node_probes.inc();
         let n = &self.nodes[node as usize];
         if n.terminal {
             return true;
         }
-        // Try to extend the current path with any remaining query column.
-        for (i, &c) in cols.iter().enumerate().skip(from) {
-            if let Some(child) = n.child(c) {
-                if self.subset_search(child, cols, i + 1) {
-                    return true;
-                }
-            }
-        }
-        false
+        n.children
+            .iter()
+            .any(|&(c, child)| query.contains(c as usize) && self.subset_search(child, query))
     }
 
     /// All stored sets that are subsets of `query` (including `query` itself
     /// if stored).
     pub fn subsets_of(&self, query: &ColumnSet) -> Vec<ColumnSet> {
         self.meters.subset_queries.inc();
-        let cols: Vec<u16> = query.iter().map(|c| c as u16).collect();
         let mut out = Vec::new();
         let mut path = ColumnSet::empty();
-        self.collect_subsets(0, &cols, 0, &mut path, &mut out);
+        self.collect_subsets(0, query, &mut path, &mut out);
         out
     }
 
     fn collect_subsets(
         &self,
         node: NodeId,
-        cols: &[u16],
-        from: usize,
+        query: &ColumnSet,
         path: &mut ColumnSet,
         out: &mut Vec<ColumnSet>,
     ) {
@@ -216,10 +214,10 @@ impl SetTrie {
         if n.terminal {
             out.push(*path);
         }
-        for (i, &c) in cols.iter().enumerate().skip(from) {
-            if let Some(child) = n.child(c) {
+        for &(c, child) in &n.children {
+            if query.contains(c as usize) {
                 path.insert(c as usize);
-                self.collect_subsets(child, cols, i + 1, path, out);
+                self.collect_subsets(child, query, path, out);
                 path.remove(c as usize);
             }
         }
@@ -360,18 +358,34 @@ impl MinimalSetFamily {
 /// Maintains the family of *maximal* sets seen so far (e.g. maximal
 /// non-UCCs). Dual of [`MinimalSetFamily`].
 ///
-/// Subset queries (`dominates`) are answered by a trie over the
-/// *complements* of the stored sets within the full 256-bit universe:
-/// `X ⊆ N ⟺ ¬N ⊆ ¬X`, so "is the query inside any stored set" becomes a
-/// subset search on complements — sub-linear in the family size, which
-/// matters because the random walks and the shadowed-FD phase consult this
-/// structure millions of times on families of thousands of sets.
+/// Subset queries (`dominates`) are answered by one of two
+/// representations, chosen by universe width at construction:
+///
+/// * **Narrow universes (≤ [`COMPLEMENT_TRIE_MAX_UNIVERSE`] columns)**: a
+///   trie over the *complements* of the stored sets — `X ⊆ N ⟺ ¬N ⊆ ¬X`,
+///   so "is the query inside any stored set" becomes a subset search on
+///   complements, sub-linear in the family size. This matters because the
+///   random walks and the shadowed-FD phase consult this structure
+///   millions of times on families of thousands of sets.
+/// * **Wide universes**: a linear scan with bitset subset tests. On a
+///   255-column universe the complements of typical (small-to-mid)
+///   members are *dense* ~200-column sets; a failed subset search with a
+///   dense query must traverse essentially the whole complement trie, and
+///   every genuinely new member pays that worst case in `add`. A subset
+///   test is four words of bit arithmetic, so scanning even a few
+///   thousand members is orders of magnitude cheaper than the degenerate
+///   trie traversal (measured 25–40× on the walk engine at the 256-column
+///   boundary).
 #[derive(Debug, Clone)]
 pub struct MaximalSetFamily {
     sets: Vec<ColumnSet>,
-    complements: SetTrie,
+    /// `Some` iff the universe is narrow enough for the complement trie.
+    complements: Option<SetTrie>,
     universe: ColumnSet,
 }
+
+/// Widest universe for which [`MaximalSetFamily`] keeps a complement trie.
+const COMPLEMENT_TRIE_MAX_UNIVERSE: usize = 64;
 
 impl Default for MaximalSetFamily {
     fn default() -> Self {
@@ -389,7 +403,9 @@ impl MaximalSetFamily {
 
     /// A family whose members (and queries) are subsets of `universe`.
     pub fn with_universe(universe: ColumnSet) -> Self {
-        MaximalSetFamily { sets: Vec::new(), complements: SetTrie::new(), universe }
+        let complements =
+            (universe.cardinality() <= COMPLEMENT_TRIE_MAX_UNIVERSE).then(SetTrie::new);
+        MaximalSetFamily { sets: Vec::new(), complements, universe }
     }
 
     fn complement(&self, set: &ColumnSet) -> ColumnSet {
@@ -412,18 +428,23 @@ impl MaximalSetFamily {
                 true
             }
         });
-        for s in removed {
-            self.complements.remove(&self.complement(&s));
+        if let Some(trie) = &mut self.complements {
+            for s in removed {
+                let comp = self.universe.difference(&s);
+                trie.remove(&comp);
+            }
+            trie.insert(self.universe.difference(&set));
         }
-        let comp = self.complement(&set);
         self.sets.push(set);
-        self.complements.insert(comp);
         true
     }
 
     /// True iff `query` ⊆ some stored set — i.e. `query` is dominated.
     pub fn dominates(&self, query: &ColumnSet) -> bool {
-        self.complements.contains_subset_of(&self.complement(query))
+        match &self.complements {
+            Some(trie) => trie.contains_subset_of(&self.complement(query)),
+            None => self.sets.iter().any(|s| query.is_subset_of(s)),
+        }
     }
 
     pub fn sets(&self) -> &[ColumnSet] {

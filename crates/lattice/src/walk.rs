@@ -101,6 +101,16 @@ enum Status {
     Negative,
 }
 
+/// One node on a walk's trail: the node and the columns whose neighbor
+/// (direct subset for a positive node, direct superset for a negative one)
+/// has not been ruled out yet. Kept as a bitmask so family-derived
+/// exclusions apply to all remaining candidates at once.
+struct Frame {
+    set: ColumnSet,
+    remaining: ColumnSet,
+    positive: bool,
+}
+
 struct Search<'a, O: MonotoneOracle> {
     universe: ColumnSet,
     oracle: &'a mut O,
@@ -135,74 +145,139 @@ impl<'a, O: MonotoneOracle> Search<'a, O> {
     }
 
     /// Status without any oracle call; `None` when unknown.
-    fn known_status(&self, set: &ColumnSet) -> Option<Status> {
+    ///
+    /// Statuses derived from the domination tries are memoized into
+    /// `visited`: both families only grow and the oracle is exact, so a
+    /// classification can never be revised, and the memo turns repeated
+    /// neighbor probes of the same set (frequent on wide universes, where
+    /// every node has hundreds of neighbors) into a single hash lookup
+    /// instead of a trie query per probe.
+    fn known_status(&mut self, set: &ColumnSet) -> Option<Status> {
         if let Some(&s) = self.visited.get(set) {
             return Some(s);
         }
-        if self.min_pos.dominates(set) {
-            return Some(Status::Positive);
+        let derived = if self.min_pos.dominates(set) {
+            Some(Status::Positive)
+        } else if self.max_neg.dominates(set) {
+            Some(Status::Negative)
+        } else {
+            None
+        };
+        if let Some(s) = derived {
+            self.visited.insert(*set, s);
         }
-        if self.max_neg.dominates(set) {
-            return Some(Status::Negative);
-        }
-        None
+        derived
     }
 
     /// Random walk from `start` following the DUCC strategy: move down from
     /// positives, up from negatives, record minimal positives when every
     /// direct subset is negative.
+    ///
+    /// Each trail frame keeps its partial Fisher–Yates scan position, so a
+    /// node backtracked into resumes its neighbor scan where it stopped
+    /// instead of rescanning from the beginning. Every neighbor of a node
+    /// is therefore probed at most once per walk — known-ness only grows,
+    /// so a candidate found known at probe time stays known — turning a
+    /// walk from O(length × degree) probes into O(length + degree), which
+    /// on 255-column universes is the bulk of the phase's runtime.
     fn walk_from(&mut self, start: ColumnSet) {
-        let mut trail: Vec<ColumnSet> = Vec::new();
-        let mut current = start;
-        loop {
-            self.stats.nodes_visited += 1;
-            let status = self.classify(&current);
-            let next = match status {
-                Status::Positive => {
-                    let down = self.pick_unknown_subset(&current);
-                    if down.is_none() && self.is_confirmed_minimal(&current) {
-                        self.min_pos.add(current);
+        let mut stack: Vec<Frame> = vec![self.new_frame(start)];
+        while let Some(mut frame) = stack.pop() {
+            match self.advance(&mut frame) {
+                Some(next) => {
+                    stack.push(frame);
+                    let next_frame = self.new_frame(next);
+                    stack.push(next_frame);
+                }
+                None => {
+                    if frame.positive && self.is_confirmed_minimal(&frame.set) {
+                        self.min_pos.add(frame.set);
                     }
-                    down
                 }
-                Status::Negative => self.pick_unknown_superset(&current),
-            };
-            match next {
-                Some(n) => {
-                    trail.push(current);
-                    current = n;
-                }
-                None => match trail.pop() {
-                    Some(prev) => current = prev,
-                    None => return,
-                },
             }
         }
     }
 
-    /// A uniformly random direct subset whose status is unknown.
-    fn pick_unknown_subset(&mut self, set: &ColumnSet) -> Option<ColumnSet> {
-        let mut candidates: Vec<ColumnSet> =
-            set.direct_subsets().filter(|s| self.known_status(s).is_none()).collect();
-        if candidates.is_empty() {
-            return None;
-        }
-        let i = self.rng.gen_range(0..candidates.len());
-        Some(candidates.swap_remove(i))
+    /// Opens a scan frame for `set`: classifies it and seeds the candidate
+    /// columns of its unvisited-neighbor scan (direct subsets for
+    /// positives, direct supersets within the universe for negatives).
+    fn new_frame(&mut self, set: ColumnSet) -> Frame {
+        self.stats.nodes_visited += 1;
+        let positive = self.classify(&set) == Status::Positive;
+        let remaining = if positive { set } else { self.universe.difference(&set) };
+        Frame { set, remaining, positive }
     }
 
-    /// A uniformly random direct superset (within the universe) whose status
-    /// is unknown.
-    fn pick_unknown_superset(&mut self, set: &ColumnSet) -> Option<ColumnSet> {
-        let mut candidates: Vec<ColumnSet> = set
-            .direct_supersets(&self.universe)
-            .filter(|s| self.known_status(s).is_none())
-            .collect();
-        if candidates.is_empty() {
-            return None;
+    /// Drops from `frame.remaining` every column whose neighbor is
+    /// *derivable* from the current families — O(family size) bitset
+    /// operations instead of one domination probe per neighbor.
+    ///
+    /// Applied on every scan resume, not only at frame open: the families
+    /// grow while a trail node waits on the stack, and by the time a long
+    /// trail drains almost every neighbor of every frame is derivable. A
+    /// per-neighbor probe loop makes that drain O(width) hash-and-trie
+    /// lookups per frame, which on wide universes dominates the entire
+    /// search; the bitmask form removes all newly-derivable candidates at
+    /// once. Skipped columns are exactly those whose probe would have
+    /// returned a derived status, so the scan outcome is unchanged.
+    fn exclude_derivable(&self, frame: &mut Frame) {
+        if frame.positive {
+            // P\{c} is derived positive iff some known minimal positive
+            // inside P avoids c — only c in the intersection of the
+            // minimal positives within P can yield an unknown subset.
+            // P\{c} is derived negative iff P \ M = {c} for a maximal
+            // negative M.
+            for p in self.min_pos.sets() {
+                if p.is_subset_of(&frame.set) {
+                    frame.remaining = frame.remaining.intersection(p);
+                }
+            }
+            for m in self.max_neg.sets() {
+                let outside = frame.set.difference(m);
+                if outside.cardinality() == 1 {
+                    frame.remaining = frame.remaining.difference(&outside);
+                }
+            }
+        } else {
+            // N∪{c} is derived negative iff c lies in a maximal negative
+            // M ⊇ N, and derived positive iff p \ N = {c} for a known
+            // minimal positive p.
+            for m in self.max_neg.sets() {
+                if frame.set.is_subset_of(m) {
+                    frame.remaining = frame.remaining.difference(m);
+                }
+            }
+            for p in self.min_pos.sets() {
+                let missing = p.difference(&frame.set);
+                if missing.cardinality() == 1 {
+                    frame.remaining = frame.remaining.difference(&missing);
+                }
+            }
         }
-        let i = self.rng.gen_range(0..candidates.len());
-        Some(candidates.swap_remove(i))
+    }
+
+    /// Resumes `frame`'s neighbor scan: removes newly-derivable candidates,
+    /// then draws remaining columns uniformly at random until one yields a
+    /// neighbor whose status is unknown.
+    ///
+    /// Equivalent to collecting every unknown neighbor and sampling one
+    /// uniformly, but lazy: when most neighbors are unknown (the productive
+    /// phase of a walk) this probes O(1) candidates, and when most are
+    /// derivable (the drain phase) the bitmask exclusion removes them
+    /// wholesale, so only oracle-visited non-derived neighbors are ever
+    /// probed individually.
+    fn advance(&mut self, frame: &mut Frame) -> Option<ColumnSet> {
+        self.exclude_derivable(frame);
+        while !frame.remaining.is_empty() {
+            let k = self.rng.gen_range(0..frame.remaining.cardinality());
+            let c = frame.remaining.iter().nth(k).expect("k < cardinality");
+            frame.remaining = frame.remaining.without(c);
+            let candidate = if frame.positive { frame.set.without(c) } else { frame.set.with(c) };
+            if self.known_status(&candidate).is_none() {
+                return Some(candidate);
+            }
+        }
+        None
     }
 
     /// True iff every direct subset of `set` is known negative, which proves
@@ -308,6 +383,29 @@ pub fn find_minimal_positives_seeded<O: MonotoneOracle>(
     for &p in known_positives {
         search.visited.insert(p, Status::Positive);
         search.minimize_positive(p);
+    }
+
+    // Prior knowledge may already certify completeness: if every minimal
+    // transversal of the complements of the known negatives is a known
+    // minimal positive, the duality condition the hole loop converges to
+    // holds before any walking. This is the common case when re-minimizing
+    // inside a box of a universe an earlier exact phase already solved; the
+    // singleton walks below would only re-derive known classifications,
+    // which on wide tables is the dominant cost of the entire phase.
+    // (An empty transversal family arises only when the universe itself is
+    // a known negative, in which case "no positives" is exact.)
+    if !known_negatives.is_empty() || !known_positives.is_empty() {
+        search.stats.hole_rounds += 1;
+        let edges = complement_family(search.max_neg.sets(), &universe);
+        let transversals = minimal_hitting_sets(&edges, &universe);
+        if transversals.iter().all(|t| search.min_pos.sets().contains(t)) {
+            let mut minimal_positives = search.min_pos.sets().to_vec();
+            minimal_positives.sort();
+            let mut maximal_negatives = search.max_neg.sets().to_vec();
+            maximal_negatives.sort();
+            search.stats.flush(minimal_positives.len(), maximal_negatives.len());
+            return WalkResult { minimal_positives, maximal_negatives, stats: search.stats };
+        }
     }
 
     // Seed walks from every singleton, in random order like DUCC.

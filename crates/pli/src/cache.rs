@@ -8,7 +8,7 @@
 //! pinned; larger combinations live in a bounded LRU so wide lattices do not
 //! exhaust memory.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::Arc;
 
 use muds_lattice::ColumnSet;
@@ -76,6 +76,11 @@ pub struct PliCache<'a> {
     singles: Vec<Arc<Pli>>,
     /// LRU region for multi-column combinations.
     entries: HashMap<ColumnSet, (Arc<Pli>, u64)>,
+    /// Stamp-ordered mirror of `entries` (stamps are unique), so eviction
+    /// pops the oldest entry in O(log n) instead of scanning the map —
+    /// under capacity pressure (wide tables flood the cache with prefix
+    /// PLIs) a per-insert scan turns every miss into O(capacity).
+    lru: BTreeMap<u64, ColumnSet>,
     capacity: usize,
     tick: u64,
     stats: PliCacheStats,
@@ -104,6 +109,7 @@ impl<'a> PliCache<'a> {
             empty: Arc::new(Pli::empty_set(table.num_rows())),
             singles,
             entries: HashMap::new(),
+            lru: BTreeMap::new(),
             capacity: capacity.max(1),
             tick: 0,
             stats: PliCacheStats::default(),
@@ -149,6 +155,8 @@ impl<'a> PliCache<'a> {
                 self.tick += 1;
                 let tick = self.tick;
                 if let Some((pli, stamp)) = self.entries.get_mut(set) {
+                    self.lru.remove(stamp);
+                    self.lru.insert(tick, *set);
                     *stamp = tick;
                     self.stats.hits += 1;
                     self.meters.hits.inc();
@@ -244,13 +252,75 @@ impl<'a> PliCache<'a> {
             // Evict the least recently used entry. Stamps are unique (every
             // multi-column request advances the tick), so the victim — and
             // therefore the whole eviction sequence — is deterministic.
-            if let Some((&victim, _)) = self.entries.iter().min_by_key(|(_, (_, stamp))| *stamp) {
+            if let Some((&oldest, &victim)) = self.lru.iter().next() {
+                self.lru.remove(&oldest);
                 self.entries.remove(&victim);
                 self.stats.evictions += 1;
                 self.meters.evictions.inc();
             }
         }
-        self.entries.insert(set, (pli, stamp));
+        if let Some((_, old_stamp)) = self.entries.insert(set, (pli, stamp)) {
+            self.lru.remove(&old_stamp);
+        }
+        self.lru.insert(stamp, set);
+    }
+
+    /// Column count beyond which validity checks stream their intersection
+    /// instead of materializing every prefix PLI via [`PliCache::get`].
+    const STREAM_THRESHOLD: usize = 16;
+
+    /// Intersects the singleton PLIs of `set` smallest-first, without
+    /// caching intermediates, stopping as soon as the partition strips
+    /// empty (an empty stripped partition refines every column and stays
+    /// empty under further intersection).
+    fn stream_intersect(&mut self, set: &ColumnSet) -> Pli {
+        // A single-class partition covering every row (a constant column)
+        // is an identity operand of `intersect`; dropping such columns up
+        // front turns checks over mostly-constant wide sets from chains of
+        // full-table copies into one or two real intersections.
+        let mut cols: Vec<usize> = set
+            .iter()
+            .filter(|&c| {
+                let p = &self.singles[c];
+                !(p.cluster_count() == 1 && p.size() == p.num_rows())
+            })
+            .collect();
+        if cols.is_empty() {
+            // Every column is constant: the intersection is any one of them.
+            return (*self.singles[set.iter().next().expect("non-empty set")]).clone();
+        }
+        cols.sort_by_key(|&c| self.singles[c].size());
+        let mut acc = (*self.singles[cols[0]]).clone();
+        for &c in &cols[1..] {
+            if acc.is_unique() {
+                break;
+            }
+            self.stats.intersects += 1;
+            self.meters.intersects.inc();
+            acc = acc.intersect(&self.singles[c]);
+        }
+        acc
+    }
+
+    /// Resolves the PLI backing a validity check (`is_unique`,
+    /// `determines`): the regular caching path for small or already-cached
+    /// sets, the streaming early-exit path for large uncached ones.
+    ///
+    /// Lattice walks over wide universes (at the 256-column boundary)
+    /// probe hundreds of distinct large sets with near-zero prefix
+    /// overlap; routing them through `get` would perform |set| intersects
+    /// per probe *and* flood the LRU with prefixes nothing reuses. The
+    /// streaming result is not cached; verdict-level memoization is the
+    /// caller's job (walk memo, `FdKnowledge`). Streamed requests are
+    /// accounted as misses so `requests == hits + misses` stays true.
+    fn get_for_check(&mut self, set: &ColumnSet) -> Arc<Pli> {
+        if set.cardinality() <= Self::STREAM_THRESHOLD || self.entries.contains_key(set) {
+            return self.get(set);
+        }
+        self.meters.requests.inc();
+        self.stats.misses += 1;
+        self.meters.misses.inc();
+        Arc::new(self.stream_intersect(set))
     }
 
     /// Number of distinct values of the projection on `set` (Lemma 1's
@@ -261,7 +331,7 @@ impl<'a> PliCache<'a> {
 
     /// True iff `set` is a unique column combination.
     pub fn is_unique(&mut self, set: &ColumnSet) -> bool {
-        self.get(set).is_unique()
+        self.get_for_check(set).is_unique()
     }
 
     /// Partition-refinement FD check: true iff `lhs → rhs_col` holds.
@@ -272,7 +342,7 @@ impl<'a> PliCache<'a> {
         }
         self.stats.refinement_checks += 1;
         self.meters.refinement_checks.inc();
-        let pli = self.get(lhs);
+        let pli = self.get_for_check(lhs);
         pli.refines(self.table.column(rhs_col).codes())
     }
 
@@ -301,7 +371,7 @@ impl<'a> PliCache<'a> {
             }
             self.stats.refinement_checks += 1;
             self.meters.refinement_checks.inc();
-            let pli = self.get(lhs);
+            let pli = self.get_for_check(lhs);
             slots.push(Slot::Job(jobs.len()));
             jobs.push((pli, table.column(*rhs).codes()));
         }
@@ -456,8 +526,7 @@ mod tests {
     #[test]
     fn get_many_matches_sequential_gets() {
         let t = table();
-        let sets =
-            [cs(&[0, 1]), cs(&[2]), cs(&[0, 2]), cs(&[0, 1]), cs(&[1, 2]), cs(&[0, 1, 2])];
+        let sets = [cs(&[0, 1]), cs(&[2]), cs(&[0, 2]), cs(&[0, 1]), cs(&[1, 2]), cs(&[0, 1, 2])];
         let mut batched = PliCache::new(&t);
         let batch_plis = batched.get_many(&sets[..5]);
         let mut sequential = PliCache::new(&t);

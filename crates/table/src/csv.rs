@@ -30,15 +30,53 @@ impl Default for CsvOptions {
     }
 }
 
+/// One parsed CSV record together with the 1-based source line it starts
+/// on (a record spans multiple lines when a quoted field contains
+/// newlines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CsvRecord {
+    /// 1-based line number of the record's first character.
+    pub line: usize,
+    /// The record's fields, in order.
+    pub fields: Vec<String>,
+}
+
 /// Splits CSV `input` into records of fields.
 pub fn parse_csv(input: &str, options: &CsvOptions) -> Result<Vec<Vec<String>>, TableError> {
-    let mut records = Vec::new();
+    Ok(parse_csv_records(input, options)?.into_iter().map(|r| r.fields).collect())
+}
+
+/// [`parse_csv`], keeping each record's source line number for error
+/// reporting (ragged rows, width mismatches).
+pub fn parse_csv_records(input: &str, options: &CsvOptions) -> Result<Vec<CsvRecord>, TableError> {
+    let mut records: Vec<CsvRecord> = Vec::new();
     let mut record: Vec<String> = Vec::new();
     let mut field = String::new();
     let mut chars = input.chars().peekable();
     let mut in_quotes = false;
     let mut line = 1usize;
+    // Line the current record started on, captured at its first character.
+    let mut record_start = 1usize;
+    // Line the currently open quote started on, for unterminated-quote
+    // errors (the EOF line would be useless when the field spans lines).
+    let mut quote_open = 1usize;
     let mut any_char_in_record = false;
+
+    fn end_record(
+        records: &mut Vec<CsvRecord>,
+        record: &mut Vec<String>,
+        field: &mut String,
+        any_char_in_record: &mut bool,
+        record_start: usize,
+    ) {
+        // A terminator with no preceding content is a blank line, not an
+        // empty one-field record.
+        if *any_char_in_record || !field.is_empty() || !record.is_empty() {
+            record.push(std::mem::take(field));
+            records.push(CsvRecord { line: record_start, fields: std::mem::take(record) });
+        }
+        *any_char_in_record = false;
+    }
 
     while let Some(c) = chars.next() {
         if in_quotes {
@@ -59,21 +97,40 @@ pub fn parse_csv(input: &str, options: &CsvOptions) -> Result<Vec<Vec<String>>, 
             }
             continue;
         }
+        if !any_char_in_record && c != '\n' && c != '\r' {
+            record_start = line;
+        }
         match c {
             '"' => {
                 in_quotes = true;
+                quote_open = line;
                 any_char_in_record = true;
             }
             '\r' => {
-                // Swallow; the following '\n' (if any) ends the record.
+                // "\r\n" and a lone "\r" both terminate the record
+                // (RFC 4180 uses CRLF; classic Mac files used bare CR —
+                // silently gluing two lines together is never right).
+                if chars.peek() == Some(&'\n') {
+                    chars.next();
+                }
+                line += 1;
+                end_record(
+                    &mut records,
+                    &mut record,
+                    &mut field,
+                    &mut any_char_in_record,
+                    record_start,
+                );
             }
             '\n' => {
                 line += 1;
-                if any_char_in_record || !field.is_empty() || !record.is_empty() {
-                    record.push(std::mem::take(&mut field));
-                    records.push(std::mem::take(&mut record));
-                }
-                any_char_in_record = false;
+                end_record(
+                    &mut records,
+                    &mut record,
+                    &mut field,
+                    &mut any_char_in_record,
+                    record_start,
+                );
             }
             d if d == options.delimiter => {
                 record.push(std::mem::take(&mut field));
@@ -86,29 +143,45 @@ pub fn parse_csv(input: &str, options: &CsvOptions) -> Result<Vec<Vec<String>>, 
         }
     }
     if in_quotes {
-        return Err(TableError::Csv { line, message: "unterminated quoted field".into() });
+        return Err(TableError::Csv {
+            line: quote_open,
+            message: "unterminated quoted field (quote never closed before end of input)".into(),
+        });
     }
-    if any_char_in_record || !field.is_empty() || !record.is_empty() {
-        record.push(field);
-        records.push(record);
-    }
+    end_record(&mut records, &mut record, &mut field, &mut any_char_in_record, record_start);
     Ok(records)
 }
 
 /// Parses CSV text into a [`Table`].
 pub fn table_from_csv(name: &str, input: &str, options: &CsvOptions) -> Result<Table, TableError> {
-    let mut records = parse_csv(input, options)?;
+    let mut records = parse_csv_records(input, options)?;
     let header: Vec<String> = if options.has_header {
         if records.is_empty() {
             return Err(TableError::NoColumns);
         }
-        records.remove(0)
+        records.remove(0).fields
     } else {
-        let width = records.first().map_or(0, |r| r.len());
+        let width = records.first().map_or(0, |r| r.fields.len());
         (0..width).map(|i| format!("col{i}")).collect()
     };
+    if header.is_empty() {
+        return Err(TableError::NoColumns);
+    }
+    // Validate widths here, where source line numbers are still known
+    // (Table::from_rows only sees row indices).
+    for (i, rec) in records.iter().enumerate() {
+        if rec.fields.len() != header.len() {
+            return Err(TableError::RaggedRow {
+                row: i,
+                expected: header.len(),
+                got: rec.fields.len(),
+                line: Some(rec.line),
+            });
+        }
+    }
     let header_refs: Vec<&str> = header.iter().map(|s| s.as_str()).collect();
-    Table::from_rows(name, &header_refs, &records)
+    let rows: Vec<Vec<String>> = records.into_iter().map(|r| r.fields).collect();
+    Table::from_rows(name, &header_refs, &rows)
 }
 
 /// Reads a CSV file into a [`Table`], named after the file stem.
@@ -212,10 +285,52 @@ mod tests {
     }
 
     #[test]
+    fn unterminated_quote_reports_the_opening_line() {
+        // The quote opens on line 2; the field then swallows the rest of
+        // the input. The error must point at line 2, not at EOF.
+        let err =
+            table_from_csv("t", "a\n\"oops\nmore\nlines\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            TableError::Csv { line, message } => {
+                assert_eq!(line, 2, "expected the quote-open line");
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
     fn crlf_terminators() {
         let t = table_from_csv("t", "a,b\r\n1,2\r\n", &CsvOptions::default()).unwrap();
         assert_eq!(t.num_rows(), 1);
         assert_eq!(t.row(0), vec![Some("1"), Some("2")]);
+    }
+
+    #[test]
+    fn lone_carriage_return_terminates_the_record() {
+        // Classic-Mac line endings: "a,b\r1,2\r" is two records, not one
+        // record with glued fields (a regression the fuzzer caught: the
+        // old parser swallowed the '\r' and merged adjacent lines).
+        let t = table_from_csv("t", "a,b\r1,2\r3,4", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.column_names(), vec!["a", "b"]);
+        assert_eq!(t.row(0), vec![Some("1"), Some("2")]);
+        assert_eq!(t.row(1), vec![Some("3"), Some("4")]);
+        // And a ragged record after lone-\r terminators reports the right
+        // line.
+        let err = table_from_csv("t", "a,b\r1,2\r3,4,5\r", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { row: 1, got: 3, line: Some(3), .. }));
+    }
+
+    #[test]
+    fn trailing_delimiter_is_a_ragged_row_with_line_number() {
+        // "1,2," parses as three fields (the last one empty/NULL); against
+        // a two-column header that is a ragged row on line 3.
+        let err = table_from_csv("t", "a,b\n1,2\n3,4,\n", &CsvOptions::default()).unwrap_err();
+        assert!(matches!(
+            err,
+            TableError::RaggedRow { row: 1, expected: 2, got: 3, line: Some(3) }
+        ));
     }
 
     #[test]
@@ -255,7 +370,16 @@ mod tests {
     #[test]
     fn ragged_rows_rejected_with_row_number() {
         let err = table_from_csv("t", "a,b\n1,2\n1,2,3\n", &CsvOptions::default()).unwrap_err();
-        assert!(matches!(err, TableError::RaggedRow { row: 1, .. }));
+        assert!(matches!(err, TableError::RaggedRow { row: 1, line: Some(3), .. }));
+    }
+
+    #[test]
+    fn ragged_row_after_multiline_quoted_field_reports_record_start_line() {
+        // The second data record starts on line 3 but its quoted field
+        // spans through line 5; the ragged third record starts on line 6.
+        let input = "a,b\n1,2\n\"x\ny\nz\",3\n4,5,6\n";
+        let err = table_from_csv("t", input, &CsvOptions::default()).unwrap_err();
+        assert!(matches!(err, TableError::RaggedRow { row: 2, got: 3, line: Some(6), .. }));
     }
 
     #[test]

@@ -7,8 +7,10 @@ use std::fmt;
 pub enum TableError {
     /// The input has more columns than the profiling lattice supports.
     TooManyColumns { got: usize, max: usize },
-    /// A row's field count differs from the header's.
-    RaggedRow { row: usize, expected: usize, got: usize },
+    /// A row's field count differs from the header's. `line` is the
+    /// 1-based source line the record starts on, when the row came from
+    /// CSV text (`None` for rows built programmatically).
+    RaggedRow { row: usize, expected: usize, got: usize, line: Option<usize> },
     /// Two columns share a name.
     DuplicateColumnName(String),
     /// The input declares no columns at all.
@@ -25,7 +27,10 @@ impl fmt::Display for TableError {
             TableError::TooManyColumns { got, max } => {
                 write!(f, "table has {got} columns; the profiler supports at most {max}")
             }
-            TableError::RaggedRow { row, expected, got } => {
+            TableError::RaggedRow { row, expected, got, line: Some(line) } => {
+                write!(f, "row {row} (line {line}) has {got} fields, expected {expected}")
+            }
+            TableError::RaggedRow { row, expected, got, line: None } => {
                 write!(f, "row {row} has {got} fields, expected {expected}")
             }
             TableError::DuplicateColumnName(name) => {
@@ -61,8 +66,10 @@ mod tests {
     fn display_messages_are_informative() {
         let e = TableError::TooManyColumns { got: 300, max: 256 };
         assert!(e.to_string().contains("300"));
-        let e = TableError::RaggedRow { row: 7, expected: 3, got: 5 };
+        let e = TableError::RaggedRow { row: 7, expected: 3, got: 5, line: None };
         assert!(e.to_string().contains("row 7"));
+        let e = TableError::RaggedRow { row: 7, expected: 3, got: 5, line: Some(9) };
+        assert!(e.to_string().contains("line 9"));
         let e = TableError::Csv { line: 2, message: "unterminated quote".into() };
         assert!(e.to_string().contains("line 2"));
     }

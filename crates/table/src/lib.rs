@@ -14,7 +14,8 @@ mod table;
 
 pub use column::Column;
 pub use csv::{
-    parse_csv, table_from_csv, table_from_csv_file, table_to_csv, table_to_csv_file, CsvOptions,
+    parse_csv, parse_csv_records, table_from_csv, table_from_csv_file, table_to_csv,
+    table_to_csv_file, CsvOptions, CsvRecord,
 };
 pub use error::TableError;
 pub use table::{Table, MAX_COLUMNS};

@@ -28,14 +28,15 @@ impl Table {
     /// `rows` must all have exactly `column_names.len()` fields; empty
     /// fields are NULL. Columns are dictionary-encoded independently, in
     /// parallel (schema order of the result is unaffected).
+    ///
+    /// A zero-column table is permitted (it also arises from
+    /// [`Table::take_columns`]`(0)`); every profiling algorithm returns
+    /// well-defined (empty) metadata for it.
     pub fn from_rows<S: AsRef<str> + Sync>(
         name: impl Into<String>,
         column_names: &[&str],
         rows: &[Vec<S>],
     ) -> Result<Self, TableError> {
-        if column_names.is_empty() {
-            return Err(TableError::NoColumns);
-        }
         if column_names.len() > MAX_COLUMNS {
             return Err(TableError::TooManyColumns { got: column_names.len(), max: MAX_COLUMNS });
         }
@@ -51,6 +52,7 @@ impl Table {
                     row: i,
                     expected: column_names.len(),
                     got: row.len(),
+                    line: None,
                 });
             }
         }
@@ -197,7 +199,7 @@ mod tests {
     #[test]
     fn ragged_row_rejected() {
         let err = Table::from_rows("t", &["a", "b"], &[vec!["1"]]).unwrap_err();
-        assert!(matches!(err, TableError::RaggedRow { row: 0, expected: 2, got: 1 }));
+        assert!(matches!(err, TableError::RaggedRow { row: 0, expected: 2, got: 1, line: None }));
     }
 
     #[test]
@@ -207,10 +209,19 @@ mod tests {
     }
 
     #[test]
-    fn no_columns_rejected() {
+    fn zero_columns_allowed() {
+        // take_columns(0) produces such tables too; the profiling pipelines
+        // must accept them, so construction does as well.
         let rows: Vec<Vec<&str>> = vec![];
-        let err = Table::from_rows("t", &[], &rows).unwrap_err();
-        assert!(matches!(err, TableError::NoColumns));
+        let t = Table::from_rows("t", &[], &rows).unwrap();
+        assert_eq!(t.num_columns(), 0);
+        assert_eq!(t.num_rows(), 0);
+        let t = simple().take_columns(0);
+        assert_eq!(t.num_columns(), 0);
+        assert_eq!(t.num_rows(), 4);
+        // All zero-width rows are equal, so dedup collapses to one row.
+        assert!(t.has_duplicate_rows());
+        assert_eq!(t.dedup_rows().num_rows(), 1);
     }
 
     #[test]

@@ -1,0 +1,125 @@
+//! Degenerate-input pin tests: the exact metadata every pipeline must
+//! produce on empty, single-row, zero-column, single-cell, and all-NULL
+//! relations. These shapes historically panicked or diverged (see
+//! DESIGN.md §9); the fuzzer's `degenerate` strategy keeps probing them
+//! randomly, and this file pins the agreed-upon semantics explicitly.
+
+use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_lattice::ColumnSet;
+use muds_table::Table;
+
+fn cs(cols: &[usize]) -> ColumnSet {
+    ColumnSet::from_indices(cols.iter().copied())
+}
+
+/// Profiles `table` with every pipeline, asserts they all agree, and
+/// returns the common result (from the MUDS run).
+fn agreed(table: &Table) -> muds_core::ProfileResult {
+    let cfg = ProfilerConfig::default();
+    let reference = profile(table, Algorithm::Muds, &cfg);
+    for &alg in &Algorithm::ALL {
+        let run = profile(table, alg, &cfg);
+        assert_eq!(
+            run.fds.to_sorted_vec(),
+            reference.fds.to_sorted_vec(),
+            "{} FDs on {}",
+            alg.name(),
+            table.name()
+        );
+        assert_eq!(
+            run.minimal_uccs,
+            reference.minimal_uccs,
+            "{} UCCs on {}",
+            alg.name(),
+            table.name()
+        );
+        assert_eq!(run.inds, reference.inds, "{} INDs on {}", alg.name(), table.name());
+    }
+    reference
+}
+
+#[test]
+fn zero_rows() {
+    let rows: &[Vec<&str>] = &[];
+    let table = Table::from_rows("empty", &["a", "b"], rows).unwrap();
+    let r = agreed(&table);
+    // No two rows can collide: the empty set is the unique minimal UCC,
+    // and the empty set determines every column.
+    assert_eq!(r.minimal_uccs, vec![ColumnSet::empty()]);
+    let fds = r.fds.to_sorted_vec();
+    assert_eq!(fds.len(), 2);
+    assert!(fds.iter().all(|fd| fd.lhs.is_empty()));
+    // Both value sets are empty, so inclusion holds in both directions.
+    assert_eq!(r.inds.len(), 2);
+}
+
+#[test]
+fn one_row() {
+    let table = Table::from_rows("one", &["a", "b", "c"], &[vec!["x", "y", "x"]]).unwrap();
+    let r = agreed(&table);
+    assert_eq!(r.minimal_uccs, vec![ColumnSet::empty()]);
+    // Every column is constant: ∅ determines everything.
+    let fds = r.fds.to_sorted_vec();
+    assert_eq!(fds.len(), 3);
+    assert!(fds.iter().all(|fd| fd.lhs.is_empty()));
+    // a and c share the single value "x"; b has "y".
+    let pairs: Vec<(usize, usize)> =
+        r.inds.iter().map(|ind| (ind.dependent, ind.referenced)).collect();
+    assert_eq!(pairs, vec![(0, 2), (2, 0)]);
+}
+
+#[test]
+fn zero_columns() {
+    let table = Table::from_rows("twocol", &["a", "b"], &[vec!["1", "2"], vec!["3", "4"]])
+        .unwrap()
+        .take_columns(0);
+    assert_eq!(table.num_columns(), 0);
+    let r = agreed(&table);
+    assert!(r.fds.to_sorted_vec().is_empty());
+    assert!(r.inds.is_empty());
+    // With no columns there are ≥2 indistinguishable rows, so no column
+    // set — not even the empty one — is unique.
+    assert!(r.minimal_uccs.is_empty());
+}
+
+#[test]
+fn single_cell() {
+    let table = Table::from_rows("cell", &["a"], &[vec!["x"]]).unwrap();
+    let r = agreed(&table);
+    assert_eq!(r.minimal_uccs, vec![ColumnSet::empty()]);
+    let fds = r.fds.to_sorted_vec();
+    assert_eq!(fds.len(), 1);
+    assert!(fds[0].lhs.is_empty());
+    assert_eq!(fds[0].rhs, 0);
+    assert!(r.inds.is_empty(), "unary INDs need two distinct columns");
+}
+
+#[test]
+fn all_null() {
+    // NULLs (empty strings) are values like any other under the paper's
+    // null-equals semantics: an all-NULL relation behaves like a constant
+    // relation with duplicate rows.
+    let table = Table::from_rows("nulls", &["a", "b"], &[vec!["", ""], vec!["", ""]]).unwrap();
+    assert!(table.has_duplicate_rows());
+    let deduped = table.dedup_rows();
+    let r = agreed(&deduped);
+    assert_eq!(deduped.num_rows(), 1);
+    assert_eq!(r.minimal_uccs, vec![ColumnSet::empty()]);
+    assert_eq!(r.inds.len(), 2, "both all-NULL value sets include each other");
+}
+
+#[test]
+fn constant_and_key_mix_is_exact() {
+    // A two-row shape mixing a key, a constant, and a NULL column: the
+    // smallest table where every family (UCC, FD, IND) is non-trivial.
+    let table =
+        Table::from_rows("mix", &["id", "k", "n"], &[vec!["1", "c", ""], vec!["2", "c", ""]])
+            .unwrap();
+    let r = agreed(&table);
+    assert_eq!(r.minimal_uccs, vec![cs(&[0])]);
+    let fds = r.fds.to_sorted_vec();
+    // ∅ → k and ∅ → n (constants); id → nothing new beyond the key FDs.
+    assert!(fds.iter().any(|fd| fd.lhs.is_empty() && fd.rhs == 1));
+    assert!(fds.iter().any(|fd| fd.lhs.is_empty() && fd.rhs == 2));
+    assert!(!fds.iter().any(|fd| fd.rhs == 0), "nothing determines the key");
+}

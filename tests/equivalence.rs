@@ -90,3 +90,65 @@ fn ground_truth_check_on_narrow_tables() {
         );
     }
 }
+
+/// Every shrunken repro the fuzzer has ever banked must stay fixed: all
+/// four pipelines agree, and on narrow repros the exponential naive
+/// oracles confirm the agreed answer is the *right* one. New corpus files
+/// are picked up automatically — `mudsprof fuzz --corpus tests/corpus`
+/// writes them in exactly this format.
+#[test]
+fn corpus_repros_stay_fixed() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    let Ok(entries) = std::fs::read_dir(&dir) else {
+        // No corpus yet: nothing banked, nothing to replay.
+        return;
+    };
+    let mut paths: Vec<_> = entries
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+        .collect();
+    paths.sort();
+    for path in paths {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let table = muds_table::table_from_csv_file(&path, &muds_table::CsvOptions::default())
+            .unwrap_or_else(|e| panic!("corpus file {name} is unreadable: {e}"));
+        // Repros are replayed exactly as banked — including duplicate rows
+        // or NULL floods — because the original disagreement may need them.
+        assert_all_agree(&table);
+        if table.num_columns() <= 8 && table.num_rows() <= 64 {
+            let result = profile(&table, Algorithm::Muds, &ProfilerConfig::default());
+            assert_eq!(
+                result.fds.to_sorted_vec(),
+                muds_fd::naive_minimal_fds(&table).to_sorted_vec(),
+                "MUDS vs naive FDs on corpus repro {name}"
+            );
+            assert_eq!(
+                result.minimal_uccs,
+                muds_ucc::naive_minimal_uccs(&table),
+                "MUDS vs naive UCCs on corpus repro {name}"
+            );
+            assert_eq!(
+                result.inds,
+                muds_ind::naive_inds(&table),
+                "MUDS vs naive INDs on corpus repro {name}"
+            );
+        }
+    }
+}
+
+/// The 256-column `ColumnSet` capacity is a typed error with an actionable
+/// message all the way through the CSV entry point, not a panic.
+#[test]
+fn over_wide_csv_is_a_typed_error() {
+    let header: Vec<String> = (0..257).map(|i| format!("c{i}")).collect();
+    let row: Vec<String> = (0..257).map(|i| i.to_string()).collect();
+    let csv = format!("{}\n{}\n", header.join(","), row.join(","));
+    let err = muds_table::table_from_csv("wide", &csv, &muds_table::CsvOptions::default())
+        .expect_err("257 columns must be rejected");
+    assert!(
+        matches!(err, muds_table::TableError::TooManyColumns { got: 257, max: 256 }),
+        "unexpected error: {err:?}"
+    );
+    let message = err.to_string();
+    assert!(message.contains("257") && message.contains("256"), "unhelpful message: {message}");
+}
