@@ -7,7 +7,9 @@
 
 use std::collections::BTreeSet;
 
-use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_core::{
+    profile, profile_from_json, profile_to_json, Algorithm, ProfilePayload, ProfilerConfig,
+};
 use muds_fd::{approximate_fds, g3_error, holds, Fd};
 use muds_ind::{naive_inds, nary_ind_holds, nary_inds, Ind};
 use muds_lattice::{complement_family, minimal_hitting_sets, ColumnSet};
@@ -110,6 +112,7 @@ impl CheckSuite {
             .or_else(|| self.check_ucc_duality(table))
             .or_else(|| self.check_ind_projection_closure(table))
             .or_else(|| self.check_g3(table))
+            .or_else(|| self.check_json_roundtrip(table))
     }
 
     fn narrow(&self, table: &Table) -> bool {
@@ -365,6 +368,34 @@ impl CheckSuite {
         None
     }
 
+    /// The JSON wire format (shared by `profile --format json` and the
+    /// serve daemon) round-trips: serializing a profile result and parsing
+    /// it back reproduces the canonical payload exactly.
+    fn check_json_roundtrip(&self, table: &Table) -> Option<FailureDetail> {
+        let metrics = Metrics::new();
+        let _guard = metrics.install();
+        let result = profile(table, Algorithm::Muds, &self.profiler);
+        let names = table.column_names();
+        let json = profile_to_json(&result, table.name(), &names);
+        let parsed = match profile_from_json(&json) {
+            Ok(p) => p,
+            Err(e) => {
+                return Some(FailureDetail {
+                    invariant: "json-roundtrip",
+                    detail: format!("serialized profile does not parse back: {e}; json: {json}"),
+                });
+            }
+        };
+        let expected = ProfilePayload::from_result(&result, table.name(), &names);
+        if parsed != expected {
+            return Some(FailureDetail {
+                invariant: "json-roundtrip",
+                detail: format!("payload changed across the wire: {parsed:?} != {expected:?}"),
+            });
+        }
+        None
+    }
+
     /// g₃ is monotonically non-increasing in the lhs, and zero exactly for
     /// FDs that hold.
     fn check_g3(&self, table: &Table) -> Option<FailureDetail> {
@@ -439,5 +470,23 @@ pub fn check_overwide_rejection(width: usize) -> Option<FailureDetail> {
             invariant: "overwide-csv",
             detail: format!("table_from_csv({width} cols) returned {other:?}"),
         }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The wire-format round-trip must survive dataset and column names
+    /// that need JSON escaping (quotes, backslashes, control characters,
+    /// non-ASCII).
+    #[test]
+    fn json_roundtrip_survives_hostile_names() {
+        let cols = ["a\"quote", "b\\slash", "c\tcontrol", "déjà"];
+        let rows =
+            vec![vec!["1", "x", "p", "m"], vec!["2", "x", "q", "m"], vec!["3", "y", "q", "n"]];
+        let table = Table::from_rows("na\"me\n", &cols, &rows).unwrap();
+        let suite = CheckSuite::default();
+        assert_eq!(suite.check_json_roundtrip(&table), None);
     }
 }

@@ -11,6 +11,18 @@ pub enum MetricsFormat {
     Json,
 }
 
+/// Output format of `profile`'s discovered dependencies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OutputFormat {
+    /// Column names, one dependency per line (the classic report).
+    #[default]
+    Human,
+    /// The canonical `ProfileResult` wire document (same shape the
+    /// `muds-serve` daemon returns); diagnostics move to stderr so stdout
+    /// carries exactly one JSON object.
+    Json,
+}
+
 /// Parsed command line.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Command {
@@ -26,6 +38,11 @@ pub enum Command {
         /// Worker threads for the parallel execution layer (`None` = all
         /// cores; `Some(1)` reproduces the sequential execution exactly).
         threads: Option<usize>,
+        /// Dependency output format.
+        format: OutputFormat,
+        /// Write the dependency document here instead of stdout
+        /// (requires `--format json`).
+        out: Option<String>,
     },
     /// Run all four algorithms on a CSV file and compare runtimes.
     Compare {
@@ -50,6 +67,22 @@ pub enum Command {
         /// Directory for shrunken repro CSVs (`None` = don't write).
         corpus: Option<String>,
         metrics: Option<MetricsFormat>,
+    },
+    /// Run the profiling daemon.
+    Serve {
+        /// Bind address (`host:port`; port 0 picks an ephemeral port).
+        addr: String,
+        /// Worker threads for the intra-job parallel execution layer.
+        threads: Option<usize>,
+        /// Scheduler worker threads (concurrent profiling jobs;
+        /// 0 = derived from available parallelism).
+        workers: usize,
+        /// Result-cache byte budget.
+        cache_capacity: usize,
+        /// Bounded job-queue capacity (overflow answers 429).
+        queue_capacity: usize,
+        /// Default `POST /profile` wait before answering 202, in ms.
+        timeout_ms: u64,
     },
     /// Print usage.
     Help,
@@ -90,6 +123,37 @@ fn metrics_format(value: &str) -> Result<MetricsFormat, ArgError> {
     }
 }
 
+fn output_format(value: &str) -> Result<OutputFormat, ArgError> {
+    match value.to_ascii_lowercase().as_str() {
+        "human" => Ok(OutputFormat::Human),
+        "json" => Ok(OutputFormat::Json),
+        other => Err(ArgError(format!("--format must be human or json, got {other:?}"))),
+    }
+}
+
+/// Parses a byte count with an optional `k`/`m`/`g` suffix (powers of
+/// 1024), e.g. `64m`.
+fn byte_count(value: &str, flag: &str) -> Result<usize, ArgError> {
+    let lower = value.to_ascii_lowercase();
+    let (digits, shift) = match lower.strip_suffix(['k', 'm', 'g']) {
+        Some(d) => {
+            let shift = match lower.as_bytes()[lower.len() - 1] {
+                b'k' => 10,
+                b'm' => 20,
+                _ => 30,
+            };
+            (d, shift)
+        }
+        None => (lower.as_str(), 0),
+    };
+    let base: usize = digits
+        .parse()
+        .map_err(|_| ArgError(format!("{flag} must be a byte count (e.g. 8388608 or 64m)")))?;
+    base.checked_shl(shift)
+        .filter(|v| (*v >> shift) == base)
+        .ok_or_else(|| ArgError(format!("{flag} overflows")))
+}
+
 /// Parses `argv[1..]`.
 pub fn parse(args: &[String]) -> Result<Command, ArgError> {
     let Some(cmd) = args.first() else {
@@ -106,9 +170,17 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut metrics: Option<MetricsFormat> = None;
             let mut trace: Option<String> = None;
             let mut threads: Option<usize> = None;
+            let mut format = OutputFormat::Human;
+            let mut out: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--format" | "-f" if cmd == "profile" => {
+                        format = output_format(take_value(args, &mut i, "--format")?)?
+                    }
+                    "--out" | "-o" if cmd == "profile" => {
+                        out = Some(take_value(args, &mut i, "--out")?.to_string())
+                    }
                     "--threads" | "-t" => {
                         let v: usize = take_value(args, &mut i, "--threads")?
                             .parse()
@@ -144,6 +216,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 i += 1;
             }
             let path = path.ok_or_else(|| ArgError(format!("{cmd} needs a CSV file path")))?;
+            if out.is_some() && format != OutputFormat::Json {
+                return Err(ArgError("--out requires --format json".into()));
+            }
             if cmd == "compare" {
                 Ok(Command::Compare { path, delimiter, has_header, metrics, trace, threads })
             } else {
@@ -156,6 +231,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     metrics,
                     trace,
                     threads,
+                    format,
+                    out,
                 })
             }
         }
@@ -234,6 +311,67 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             })?;
             Ok(Command::Generate { dataset, rows, cols, output })
         }
+        "serve" => {
+            let mut addr = "127.0.0.1:7171".to_string();
+            let mut threads: Option<usize> = None;
+            let mut workers = 0usize;
+            let mut cache_capacity = 64 << 20;
+            let mut queue_capacity = 128usize;
+            let mut timeout_ms = 30_000u64;
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--addr" => addr = take_value(args, &mut i, "--addr")?.to_string(),
+                    "--threads" | "-t" => {
+                        let v: usize = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| ArgError("--threads must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(v);
+                    }
+                    "--workers" => {
+                        workers = take_value(args, &mut i, "--workers")?
+                            .parse()
+                            .map_err(|_| ArgError("--workers must be an integer".into()))?;
+                    }
+                    "--cache-capacity" => {
+                        cache_capacity = byte_count(
+                            take_value(args, &mut i, "--cache-capacity")?,
+                            "--cache-capacity",
+                        )?;
+                    }
+                    "--queue-capacity" => {
+                        let v: usize = take_value(args, &mut i, "--queue-capacity")?
+                            .parse()
+                            .map_err(|_| ArgError("--queue-capacity must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--queue-capacity must be at least 1".into()));
+                        }
+                        queue_capacity = v;
+                    }
+                    "--timeout-ms" => {
+                        timeout_ms = take_value(args, &mut i, "--timeout-ms")?
+                            .parse()
+                            .map_err(|_| ArgError("--timeout-ms must be an integer".into()))?;
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ArgError(format!("unknown flag {flag:?}")));
+                    }
+                    extra => return Err(ArgError(format!("unexpected argument {extra:?}"))),
+                }
+                i += 1;
+            }
+            Ok(Command::Serve {
+                addr,
+                threads,
+                workers,
+                cache_capacity,
+                queue_capacity,
+                timeout_ms,
+            })
+        }
         other => Err(ArgError(format!("unknown command {other:?}; try `mudsprof help`"))),
     }
 }
@@ -245,13 +383,35 @@ mudsprof — holistic data profiling (MUDS, EDBT 2016 reproduction)
 USAGE:
   mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
                    [--no-header] [--paper-faithful] [--threads N]
+                   [--format human|json] [--out <file.json>]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof compare <file.csv> [-d <delim>] [--no-header] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof generate <dataset> [--rows N] [--cols N] [-o out.csv]
   mudsprof fuzz [--seed S] [--iters N] [--threads T] [--corpus DIR]
                 [--metrics pretty|json]
+  mudsprof serve [--addr HOST:PORT] [--threads N] [--workers N]
+                 [--cache-capacity BYTES] [--queue-capacity N]
+                 [--timeout-ms MS]
   mudsprof help
+
+OUTPUT:
+  --format json      emit the discovered dependencies as one canonical JSON
+                     document (the same wire format the serve daemon
+                     returns) on stdout; diagnostics move to stderr
+  --out <file>       write that JSON document to a file instead of stdout
+
+SERVING:
+  serve runs a long-lived profiling daemon: POST /datasets registers CSV
+  data (by server-side path or uploaded body) content-addressed by
+  fingerprint, POST /profile runs any algorithm with results cached under
+  (fingerprint, algorithm, config) and concurrent identical requests
+  coalesced into one run, GET /jobs/:id reports job status, GET /metrics
+  exposes server counters. --addr binds (port 0 = ephemeral), --workers
+  sizes the job pool, --cache-capacity bounds the result cache in bytes
+  (k/m/g suffixes allowed), --queue-capacity bounds the job queue (429 on
+  overflow), --timeout-ms is the default wait before a request parks as a
+  202 job. SIGTERM or POST /shutdown drains in-flight work and exits.
 
 PARALLELISM:
   --threads N        worker threads for PLI construction, lattice-level
@@ -300,8 +460,79 @@ mod tests {
                 metrics: None,
                 trace: None,
                 threads: None,
+                format: OutputFormat::Human,
+                out: None,
             }
         );
+    }
+
+    #[test]
+    fn format_and_out_flags() {
+        let cmd = parse(&argv("profile x.csv --format json --out deps.json")).unwrap();
+        match cmd {
+            Command::Profile { format, out, .. } => {
+                assert_eq!(format, OutputFormat::Json);
+                assert_eq!(out.as_deref(), Some("deps.json"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let cmd = parse(&argv("profile x.csv -f json")).unwrap();
+        assert!(matches!(cmd, Command::Profile { format: OutputFormat::Json, out: None, .. }));
+        assert!(parse(&argv("profile x.csv --format yaml"))
+            .unwrap_err()
+            .0
+            .contains("human or json"));
+        assert!(parse(&argv("profile x.csv --out d.json"))
+            .unwrap_err()
+            .0
+            .contains("--format json"));
+        // --format belongs to profile, not compare.
+        assert!(parse(&argv("compare x.csv --format json")).is_err());
+    }
+
+    #[test]
+    fn serve_defaults_and_flags() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:7171".into(),
+                threads: None,
+                workers: 0,
+                cache_capacity: 64 << 20,
+                queue_capacity: 128,
+                timeout_ms: 30_000,
+            }
+        );
+        let cmd = parse(&argv(
+            "serve --addr 0.0.0.0:9000 -t 2 --workers 3 --cache-capacity 16m --queue-capacity 8 --timeout-ms 500",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Serve {
+                addr: "0.0.0.0:9000".into(),
+                threads: Some(2),
+                workers: 3,
+                cache_capacity: 16 << 20,
+                queue_capacity: 8,
+                timeout_ms: 500,
+            }
+        );
+        assert!(parse(&argv("serve --cache-capacity lots")).is_err());
+        assert!(parse(&argv("serve --queue-capacity 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("serve --threads 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("serve stray")).is_err());
+    }
+
+    #[test]
+    fn byte_counts_accept_suffixes() {
+        assert_eq!(byte_count("4096", "--x").unwrap(), 4096);
+        assert_eq!(byte_count("8k", "--x").unwrap(), 8 << 10);
+        assert_eq!(byte_count("64M", "--x").unwrap(), 64 << 20);
+        assert_eq!(byte_count("2g", "--x").unwrap(), 2 << 30);
+        assert!(byte_count("", "--x").is_err());
+        assert!(byte_count("k", "--x").is_err());
+        assert!(byte_count("12q", "--x").is_err());
     }
 
     #[test]

@@ -8,10 +8,11 @@ mod args;
 
 use std::process::ExitCode;
 
-use args::{parse, Command, MetricsFormat, USAGE};
-use muds_core::{profile_csv, Algorithm, Phase, ProfilerConfig};
+use args::{parse, Command, MetricsFormat, OutputFormat, USAGE};
+use muds_core::{profile_csv, profile_to_json, Algorithm, Phase, ProfilerConfig};
 use muds_datagen as datagen;
 use muds_obs::{JsonlSink, Metrics};
+use muds_serve::{ServeConfig, Server};
 use muds_table::{table_from_csv_file, table_to_csv, CsvOptions};
 
 fn main() -> ExitCode {
@@ -58,10 +59,18 @@ fn configure_threads(threads: Option<usize>) -> Result<(), String> {
     Ok(())
 }
 
-fn print_phase_tree(phases: &[Phase], indent: usize) {
+fn write_phase_tree(out: &mut String, phases: &[Phase], indent: usize) {
+    use std::fmt::Write;
     for phase in phases {
-        println!("  {:indent$}{:<28} {:?}", "", phase.name, phase.duration, indent = indent);
-        print_phase_tree(&phase.children, indent + 2);
+        let _ = writeln!(
+            out,
+            "  {:indent$}{:<28} {:?}",
+            "",
+            phase.name,
+            phase.duration,
+            indent = indent
+        );
+        write_phase_tree(out, &phase.children, indent + 2);
     }
 }
 
@@ -80,7 +89,10 @@ fn run(command: Command) -> Result<(), String> {
             metrics,
             trace,
             threads,
+            format,
+            out,
         } => {
+            use std::fmt::Write;
             configure_threads(threads)?;
             let options = CsvOptions { delimiter, has_header };
             let table = table_from_csv_file(&path, &options).map_err(|e| e.to_string())?;
@@ -99,42 +111,67 @@ fn run(command: Command) -> Result<(), String> {
             let result = profile_csv(table.name(), &csv, &options, algorithm, &config)
                 .map_err(|e| e.to_string())?;
 
+            // The human report is built once and routed by --format: in
+            // human mode it *is* the data and goes to stdout; in json mode
+            // the JSON document owns stdout and the report becomes a
+            // diagnostic on stderr.
             let names = table.column_names();
-            println!(
+            let mut report = String::new();
+            let _ = writeln!(
+                report,
                 "{}: {} rows x {} columns, algorithm {}",
                 table.name(),
                 table.num_rows(),
                 table.num_columns(),
                 algorithm.name()
             );
-            println!("\ninclusion dependencies ({}):", result.inds.len());
+            let _ = writeln!(report, "\ninclusion dependencies ({}):", result.inds.len());
             for ind in &result.inds {
-                println!("  {} ⊆ {}", names[ind.dependent], names[ind.referenced]);
+                let _ = writeln!(report, "  {} ⊆ {}", names[ind.dependent], names[ind.referenced]);
             }
-            println!("\nminimal unique column combinations ({}):", result.minimal_uccs.len());
+            let _ = writeln!(
+                report,
+                "\nminimal unique column combinations ({}):",
+                result.minimal_uccs.len()
+            );
             for ucc in &result.minimal_uccs {
                 let cols: Vec<&str> = ucc.iter().map(|c| names[c]).collect();
-                println!("  {{{}}}", cols.join(", "));
+                let _ = writeln!(report, "  {{{}}}", cols.join(", "));
             }
-            println!("\nminimal functional dependencies ({}):", result.fds.len());
+            let _ = writeln!(report, "\nminimal functional dependencies ({}):", result.fds.len());
             for fd in result.fds.to_sorted_vec() {
                 let lhs: Vec<&str> = fd.lhs.iter().map(|c| names[c]).collect();
-                println!("  {{{}}} → {}", lhs.join(", "), names[fd.rhs]);
+                let _ = writeln!(report, "  {{{}}} → {}", lhs.join(", "), names[fd.rhs]);
             }
             match metrics {
                 // render_pretty already includes the span tree, so the
                 // plain phase list would be redundant.
                 Some(MetricsFormat::Pretty) => {
-                    println!("\n{}", result.metrics.render_pretty());
+                    let _ = writeln!(report, "\n{}", result.metrics.render_pretty());
                 }
                 Some(MetricsFormat::Json) => {
-                    println!("\nphases:");
-                    print_phase_tree(&result.phases, 0);
-                    println!("\n{}", result.metrics.to_json());
+                    let _ = writeln!(report, "\nphases:");
+                    write_phase_tree(&mut report, &result.phases, 0);
+                    let _ = writeln!(report, "\n{}", result.metrics.to_json());
                 }
                 None => {
-                    println!("\nphases:");
-                    print_phase_tree(&result.phases, 0);
+                    let _ = writeln!(report, "\nphases:");
+                    write_phase_tree(&mut report, &result.phases, 0);
+                }
+            }
+            match format {
+                OutputFormat::Human => print!("{report}"),
+                OutputFormat::Json => {
+                    eprint!("{report}");
+                    let json = profile_to_json(&result, table.name(), &names);
+                    match out {
+                        Some(path) => {
+                            std::fs::write(&path, format!("{json}\n"))
+                                .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+                            eprintln!("\nwrote {path}");
+                        }
+                        None => println!("{json}"),
+                    }
                 }
             }
             Ok(())
@@ -253,6 +290,28 @@ fn run(command: Command) -> Result<(), String> {
                 }
                 None => print!("{csv}"),
             }
+            Ok(())
+        }
+        Command::Serve { addr, threads, workers, cache_capacity, queue_capacity, timeout_ms } => {
+            // --threads sizes the *intra-job* pool (same knob as the batch
+            // commands); --workers sizes the scheduler's job pool.
+            configure_threads(threads)?;
+            let config = ServeConfig {
+                addr,
+                workers,
+                queue_capacity,
+                cache_capacity,
+                default_timeout: std::time::Duration::from_millis(timeout_ms),
+                ..ServeConfig::default()
+            };
+            let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;
+            let addr = server.local_addr().map_err(|e| e.to_string())?;
+            eprintln!("mudsprof serve: listening on http://{addr}");
+            eprintln!(
+                "  POST /datasets  GET /datasets  POST /profile  GET /jobs/:id  GET /metrics"
+            );
+            server.run().map_err(|e| format!("server error: {e}"))?;
+            eprintln!("mudsprof serve: shut down cleanly");
             Ok(())
         }
     }

@@ -47,6 +47,20 @@ impl Algorithm {
             Algorithm::Tane => "TANE",
         }
     }
+
+    /// Inverse of [`Algorithm::name`], case-insensitive, accepting the CLI
+    /// aliases too (`hfun`/`holistic-fun`, `baseline`/`sequential`). This
+    /// is the parser for every wire surface that names an algorithm: the
+    /// JSON result document, serve request bodies, and CLI flags.
+    pub fn from_name(name: &str) -> Option<Algorithm> {
+        match name.to_ascii_lowercase().as_str() {
+            "muds" => Some(Algorithm::Muds),
+            "hfun" | "holistic-fun" => Some(Algorithm::HolisticFun),
+            "baseline" | "sequential" => Some(Algorithm::Baseline),
+            "tane" => Some(Algorithm::Tane),
+            _ => None,
+        }
+    }
 }
 
 /// Profiler configuration.
@@ -61,6 +75,28 @@ pub struct ProfilerConfig {
 impl Default for ProfilerConfig {
     fn default() -> Self {
         ProfilerConfig { seed: 42, muds: MudsConfig::default() }
+    }
+}
+
+impl ProfilerConfig {
+    /// Canonical key string covering every knob that can change a
+    /// profiling *result* (not its timings). Two configurations with equal
+    /// keys are guaranteed to produce identical dependency sets on the
+    /// same input, which is what makes the string safe to use as the
+    /// config component of a content-addressed result-cache key.
+    pub fn cache_key(&self) -> String {
+        let shadow = match self.muds.shadow_lookup {
+            crate::muds::ShadowLookup::Faithful => "faithful",
+            crate::muds::ShadowLookup::Generous => "generous",
+        };
+        format!(
+            "seed={};muds_seed={};pruning={};shadow={};sweep={}",
+            self.seed,
+            self.muds.seed,
+            self.muds.use_known_fd_pruning,
+            shadow,
+            self.muds.completion_sweep
+        )
     }
 }
 
@@ -302,6 +338,28 @@ mod tests {
             assert_eq!(r1.fds.to_sorted_vec(), r2.fds.to_sorted_vec(), "{}", alg.name());
             assert_eq!(r1.minimal_uccs, r2.minimal_uccs);
         }
+    }
+
+    #[test]
+    fn algorithm_names_round_trip() {
+        for &alg in &Algorithm::ALL {
+            assert_eq!(Algorithm::from_name(alg.name()), Some(alg));
+        }
+        assert_eq!(Algorithm::from_name("holistic-fun"), Some(Algorithm::HolisticFun));
+        assert_eq!(Algorithm::from_name("SEQUENTIAL"), Some(Algorithm::Baseline));
+        assert_eq!(Algorithm::from_name("nope"), None);
+    }
+
+    #[test]
+    fn cache_key_tracks_result_affecting_knobs() {
+        let base = ProfilerConfig::default();
+        let mut other = ProfilerConfig::default();
+        assert_eq!(base.cache_key(), other.cache_key());
+        other.seed = 43;
+        assert_ne!(base.cache_key(), other.cache_key());
+        let mut other = ProfilerConfig::default();
+        other.muds.completion_sweep = false;
+        assert_ne!(base.cache_key(), other.cache_key());
     }
 
     #[test]

@@ -1,0 +1,278 @@
+//! Wire format for profiling results.
+//!
+//! One canonical JSON shape serves three consumers: `mudsprof profile
+//! --format json` (machine-readable discovery output), the `muds-serve`
+//! daemon's `POST /profile` responses, and the differential fuzzer's
+//! round-trip invariant. The dependency payload is serialized in canonical
+//! sorted order, so two runs that discovered the same metadata — e.g. the
+//! same `(dataset, algorithm)` at different `--threads` — produce
+//! byte-identical documents.
+//!
+//! ```json
+//! {
+//!   "dataset": "uniprot",
+//!   "algorithm": "MUDS",
+//!   "columns": ["id", "name"],
+//!   "inds": [{"dependent": 0, "referenced": 1}],
+//!   "uccs": [[0], [1, 2]],
+//!   "fds": [{"lhs": [0], "rhs": 1}],
+//!   "metrics": { ... muds-obs MetricsSnapshot ... }
+//! }
+//! ```
+//!
+//! [`profile_from_json`] parses the document back into a
+//! [`ProfilePayload`]; `metrics` is emission-only (counters are an
+//! observability sidecar, not part of the dependency payload contract).
+
+use muds_fd::FdSet;
+use muds_ind::Ind;
+use muds_lattice::ColumnSet;
+
+use crate::json::{parse_json, JsonValue};
+use crate::profiler::{Algorithm, ProfileResult};
+
+/// The dependency payload of one profiling run — everything a downstream
+/// consumer of discovered metadata needs, detached from timings and
+/// counters. This is the unit the round-trip invariant compares.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProfilePayload {
+    /// Dataset identifier (registry name or table name).
+    pub dataset: String,
+    /// Algorithm that produced the payload.
+    pub algorithm: Algorithm,
+    /// Column names, in schema order (IND/UCC/FD indices refer to these).
+    pub columns: Vec<String>,
+    /// Unary INDs, sorted.
+    pub inds: Vec<Ind>,
+    /// Minimal UCCs, sorted.
+    pub uccs: Vec<ColumnSet>,
+    /// Minimal FDs.
+    pub fds: FdSet,
+}
+
+impl ProfilePayload {
+    /// Extracts the canonical payload from a [`ProfileResult`].
+    pub fn from_result(result: &ProfileResult, dataset: &str, columns: &[&str]) -> Self {
+        let mut inds = result.inds.clone();
+        inds.sort();
+        let mut uccs = result.minimal_uccs.clone();
+        uccs.sort();
+        ProfilePayload {
+            dataset: dataset.to_string(),
+            algorithm: result.algorithm,
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            inds,
+            uccs,
+            fds: result.fds.clone(),
+        }
+    }
+}
+
+use crate::json::write_json_string as write_string;
+
+fn write_column_set(out: &mut String, set: &ColumnSet) {
+    out.push('[');
+    for (i, col) in set.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&col.to_string());
+    }
+    out.push(']');
+}
+
+/// Serializes the dependency payload (sorted, canonical) plus the result's
+/// metrics snapshot into the wire document described in the module docs.
+pub fn profile_to_json(result: &ProfileResult, dataset: &str, columns: &[&str]) -> String {
+    let payload = ProfilePayload::from_result(result, dataset, columns);
+    let mut out = String::with_capacity(1024);
+    out.push_str("{\"dataset\":");
+    write_string(&mut out, &payload.dataset);
+    out.push_str(",\"algorithm\":");
+    write_string(&mut out, payload.algorithm.name());
+    out.push_str(",\"columns\":[");
+    for (i, name) in payload.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_string(&mut out, name);
+    }
+    out.push_str("],\"inds\":[");
+    for (i, ind) in payload.inds.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"dependent\":{},\"referenced\":{}}}",
+            ind.dependent, ind.referenced
+        ));
+    }
+    out.push_str("],\"uccs\":[");
+    for (i, ucc) in payload.uccs.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_column_set(&mut out, ucc);
+    }
+    out.push_str("],\"fds\":[");
+    for (i, fd) in payload.fds.to_sorted_vec().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"lhs\":");
+        write_column_set(&mut out, &fd.lhs);
+        out.push_str(&format!(",\"rhs\":{}}}", fd.rhs));
+    }
+    out.push_str("],\"metrics\":");
+    out.push_str(&result.metrics.to_json());
+    out.push('}');
+    out
+}
+
+fn column_set_from_json(value: &JsonValue, what: &str) -> Result<ColumnSet, String> {
+    let items = value.as_array().ok_or_else(|| format!("{what} must be an array"))?;
+    let mut set = ColumnSet::empty();
+    for item in items {
+        let col = item.as_usize().ok_or_else(|| format!("{what} entries must be indices"))?;
+        if col >= muds_table::MAX_COLUMNS {
+            return Err(format!("{what} index {col} out of range"));
+        }
+        set.insert(col);
+    }
+    Ok(set)
+}
+
+/// Parses a wire document produced by [`profile_to_json`] back into its
+/// dependency payload. `metrics` (and any unknown keys) are ignored.
+pub fn profile_from_json(json: &str) -> Result<ProfilePayload, String> {
+    let doc = parse_json(json).map_err(|e| e.to_string())?;
+    let dataset = doc
+        .get("dataset")
+        .and_then(|v| v.as_str())
+        .ok_or("missing \"dataset\" string")?
+        .to_string();
+    let algorithm_name =
+        doc.get("algorithm").and_then(|v| v.as_str()).ok_or("missing \"algorithm\" string")?;
+    let algorithm = Algorithm::from_name(algorithm_name)
+        .ok_or_else(|| format!("unknown algorithm {algorithm_name:?}"))?;
+    let columns = doc
+        .get("columns")
+        .and_then(|v| v.as_array())
+        .ok_or("missing \"columns\" array")?
+        .iter()
+        .map(|c| c.as_str().map(|s| s.to_string()).ok_or("column names must be strings"))
+        .collect::<Result<Vec<_>, _>>()?;
+    let mut inds = Vec::new();
+    for entry in doc.get("inds").and_then(|v| v.as_array()).ok_or("missing \"inds\" array")? {
+        let dependent =
+            entry.get("dependent").and_then(|v| v.as_usize()).ok_or("IND missing \"dependent\"")?;
+        let referenced = entry
+            .get("referenced")
+            .and_then(|v| v.as_usize())
+            .ok_or("IND missing \"referenced\"")?;
+        inds.push(Ind::new(dependent, referenced));
+    }
+    let mut uccs = Vec::new();
+    for entry in doc.get("uccs").and_then(|v| v.as_array()).ok_or("missing \"uccs\" array")? {
+        uccs.push(column_set_from_json(entry, "ucc")?);
+    }
+    let mut fds = FdSet::new();
+    for entry in doc.get("fds").and_then(|v| v.as_array()).ok_or("missing \"fds\" array")? {
+        let lhs = column_set_from_json(entry.get("lhs").ok_or("FD missing \"lhs\"")?, "fd lhs")?;
+        let rhs = entry.get("rhs").and_then(|v| v.as_usize()).ok_or("FD missing \"rhs\"")?;
+        fds.insert(lhs, rhs);
+    }
+    Ok(ProfilePayload { dataset, algorithm, columns, inds, uccs, fds })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiler::{profile, ProfilerConfig};
+    use muds_table::Table;
+
+    fn sample() -> Table {
+        Table::from_rows(
+            "sample",
+            &["id", "grp", "val", "cpy"],
+            &[
+                vec!["1", "a", "x", "1"],
+                vec!["2", "a", "x", "2"],
+                vec!["3", "b", "y", "3"],
+                vec!["4", "b", "y", "4"],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn round_trip_preserves_the_dependency_payload() {
+        let t = sample();
+        for &alg in &Algorithm::ALL {
+            let result = profile(&t, alg, &ProfilerConfig::default());
+            let names = t.column_names();
+            let json = profile_to_json(&result, t.name(), &names);
+            let parsed = profile_from_json(&json).expect("wire document parses back");
+            assert_eq!(parsed, ProfilePayload::from_result(&result, t.name(), &names));
+            assert!(!parsed.inds.is_empty(), "sample has INDs");
+            assert!(!parsed.fds.is_empty(), "sample has FDs");
+        }
+    }
+
+    #[test]
+    fn serialization_is_canonical_in_input_order() {
+        let t = sample();
+        let cfg = ProfilerConfig::default();
+        let a = profile(&t, Algorithm::Muds, &cfg);
+        let b = profile(&t, Algorithm::Muds, &cfg);
+        let names = t.column_names();
+        // Strip metrics (timings differ) and compare the payload prefix.
+        let ja = profile_to_json(&a, t.name(), &names);
+        let jb = profile_to_json(&b, t.name(), &names);
+        let prefix = |s: &str| s.split(",\"metrics\":").next().unwrap().to_string();
+        assert_eq!(prefix(&ja), prefix(&jb));
+    }
+
+    #[test]
+    fn metrics_ride_along_but_are_not_required_for_parse_back() {
+        let t = sample();
+        let result = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        let names = t.column_names();
+        let json = profile_to_json(&result, t.name(), &names);
+        assert!(json.contains("\"metrics\":{\"counters\""));
+        // A document without metrics still parses.
+        let stripped = format!("{}}}", json.split(",\"metrics\":").next().unwrap());
+        assert!(profile_from_json(&stripped).is_ok());
+    }
+
+    #[test]
+    fn parse_back_rejects_malformed_documents() {
+        assert!(profile_from_json("not json").is_err());
+        assert!(profile_from_json("{}").unwrap_err().contains("dataset"));
+        assert!(profile_from_json(r#"{"dataset":"x"}"#).unwrap_err().contains("algorithm"));
+        let bad_alg =
+            r#"{"dataset":"x","algorithm":"nope","columns":[],"inds":[],"uccs":[],"fds":[]}"#;
+        assert!(profile_from_json(bad_alg).unwrap_err().contains("unknown algorithm"));
+        let bad_ucc =
+            r#"{"dataset":"x","algorithm":"MUDS","columns":[],"inds":[],"uccs":[[999]],"fds":[]}"#;
+        assert!(profile_from_json(bad_ucc).unwrap_err().contains("out of range"));
+        let bad_ind = r#"{"dataset":"x","algorithm":"MUDS","columns":[],"inds":[{"dependent":0}],"uccs":[],"fds":[]}"#;
+        assert!(profile_from_json(bad_ind).unwrap_err().contains("referenced"));
+    }
+
+    #[test]
+    fn escaped_names_survive_the_round_trip() {
+        let t = Table::from_rows(
+            "data\"set\n",
+            &["col\"one", "col\\two"],
+            &[vec!["1", "2"], vec!["2", "1"]],
+        )
+        .unwrap();
+        let result = profile(&t, Algorithm::Baseline, &ProfilerConfig::default());
+        let names = t.column_names();
+        let json = profile_to_json(&result, t.name(), &names);
+        let parsed = profile_from_json(&json).unwrap();
+        assert_eq!(parsed.dataset, "data\"set\n");
+        assert_eq!(parsed.columns, vec!["col\"one", "col\\two"]);
+    }
+}

@@ -55,7 +55,7 @@ mod sink;
 mod snapshot;
 
 pub use sink::{Event, EventSink, JsonlSink, MemorySink, NullSink};
-pub use snapshot::{MetricsSnapshot, SpanNode};
+pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SpanNode};
 
 /// Number of shards per counter. Eight padded lines bound the memory cost
 /// per counter while spreading writers enough for the profiler's depth-1
@@ -146,8 +146,93 @@ impl Gauge {
         self.0.fetch_max(value, Ordering::Relaxed);
     }
 
+    /// Adjusts the gauge by `delta` atomically — for up/down quantities
+    /// maintained from several threads (e.g. jobs currently running),
+    /// where racing `set(get() ± 1)` pairs would lose updates.
+    #[inline]
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
     pub fn get(&self) -> i64 {
         self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of power-of-two histogram buckets. Bucket 0 counts zero values;
+/// bucket `i` (i ≥ 1) counts values in `[2^(i-1), 2^i)`; the top bucket
+/// absorbs everything beyond.
+const HISTOGRAM_BUCKETS: usize = 64;
+
+#[derive(Debug)]
+struct HistogramInner {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for HistogramInner {
+    fn default() -> Self {
+        HistogramInner {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+/// Log₂-bucketed value histogram — the latency-distribution counterpart of
+/// [`Counter`]. Cloning shares the underlying buckets; recording is safe
+/// from any thread. Quantiles come out of the drained
+/// [`HistogramSnapshot`], resolved to the upper edge of the bucket the
+/// quantile falls in (a ≤2× over-estimate by construction, which is the
+/// right bias for latency SLO reporting).
+#[derive(Debug, Clone, Default)]
+pub struct Histogram(Arc<HistogramInner>);
+
+impl Histogram {
+    /// Fresh histogram detached from any registry (recordings vanish when
+    /// the buckets are never read).
+    pub fn detached() -> Self {
+        Self::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        if value == 0 { 0 } else { (u64::BITS - value.leading_zeros()) as usize }
+            .min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Records one observation (for latency: in nanoseconds).
+    #[inline]
+    pub fn record(&self, value: u64) {
+        self.0.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.0.count.fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Records a [`Duration`] in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        self.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Copies the current state out. Exact once writers are quiescent.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count: self.0.count.load(Ordering::Relaxed),
+            sum: self.0.sum.load(Ordering::Relaxed),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+
+    /// Zeroes everything (drain path; callers ensure writers are
+    /// quiescent).
+    fn reset(&self) {
+        for b in self.0.buckets.iter() {
+            b.store(0, Ordering::Relaxed);
+        }
+        self.0.count.store(0, Ordering::Relaxed);
+        self.0.sum.store(0, Ordering::Relaxed);
     }
 }
 
@@ -161,6 +246,7 @@ struct OpenSpan {
 struct MetricsInner {
     counters: Mutex<BTreeMap<String, Counter>>,
     gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
     /// LIFO stack of currently open spans; index 0 is the outermost.
     open: Mutex<Vec<OpenSpan>>,
     /// Completed top-level spans.
@@ -189,6 +275,7 @@ impl Metrics {
             inner: Arc::new(MetricsInner {
                 counters: Mutex::new(BTreeMap::new()),
                 gauges: Mutex::new(BTreeMap::new()),
+                histograms: Mutex::new(BTreeMap::new()),
                 open: Mutex::new(Vec::new()),
                 roots: Mutex::new(Vec::new()),
                 sink: Mutex::new(None),
@@ -216,6 +303,17 @@ impl Metrics {
         let g = Gauge::default();
         gauges.insert(name.to_string(), g.clone());
         g
+    }
+
+    /// Returns the named histogram, creating it (empty) on first use.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        let mut histograms = lock(&self.inner.histograms);
+        if let Some(h) = histograms.get(name) {
+            return h.clone();
+        }
+        let h = Histogram::default();
+        histograms.insert(name.to_string(), h.clone());
+        h
     }
 
     /// Adds `delta` to the named counter and publishes the bulk add to the
@@ -334,6 +432,10 @@ impl Metrics {
             snapshot.gauges.insert(name.clone(), gauge.get());
             gauge.set(0);
         }
+        for (name, histogram) in lock(&self.inner.histograms).iter() {
+            snapshot.histograms.insert(name.clone(), histogram.snapshot());
+            histogram.reset();
+        }
         snapshot.spans = std::mem::take(&mut *lock(&self.inner.roots));
         self.emit(&Event::Snapshot { snapshot: &snapshot });
         if let Some(sink) = lock(&self.inner.sink).as_mut() {
@@ -440,6 +542,15 @@ pub fn gauge(name: &str) -> Gauge {
     }
 }
 
+/// Handle to `name` in the ambient registry, or a detached histogram
+/// whose recordings vanish when none is installed.
+pub fn histogram(name: &str) -> Histogram {
+    match Metrics::current() {
+        Some(m) => m.histogram(name),
+        None => Histogram::detached(),
+    }
+}
+
 /// Bulk-adds `delta` to the ambient counter `name` (no-op without an
 /// ambient registry). This is the end-of-phase flush entry point.
 pub fn add(name: &str, delta: u64) {
@@ -537,6 +648,49 @@ mod tests {
             }
         });
         assert_eq!(g.get(), 80);
+    }
+
+    #[test]
+    fn histograms_record_and_drain() {
+        let metrics = Metrics::new();
+        let h = metrics.histogram("job.latency");
+        h.record(0);
+        h.record(3);
+        h.record(1000);
+        metrics.histogram("job.latency").record_duration(Duration::from_nanos(5));
+        let snap = metrics.drain_snapshot();
+        let hs = snap.histogram("job.latency");
+        assert_eq!(hs.count, 4);
+        assert_eq!(hs.sum, 1008);
+        assert!(hs.p99() >= 512, "1000ns value lands in the [512,1024) bucket");
+        // Drained: next snapshot is empty.
+        assert_eq!(metrics.drain_snapshot().histogram("job.latency").count, 0);
+        // Missing histogram is the empty default.
+        assert_eq!(snap.histogram("nope"), HistogramSnapshot::default());
+    }
+
+    #[test]
+    fn histograms_aggregate_across_threads() {
+        let metrics = Metrics::new();
+        let h = metrics.histogram("shared");
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let handle = h.clone();
+                s.spawn(move || {
+                    for v in 0..100u64 {
+                        handle.record(v);
+                    }
+                });
+            }
+        });
+        let snap = metrics.drain_snapshot();
+        assert_eq!(snap.histogram("shared").count, 400);
+        // Ambient free function resolves like counters do.
+        let _guard = metrics.install();
+        histogram("ambient").record(7);
+        assert_eq!(metrics.drain_snapshot().histogram("ambient").count, 1);
+        // Detached histogram drops recordings silently.
+        Histogram::detached().record(1);
     }
 
     #[test]

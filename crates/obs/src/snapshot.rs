@@ -41,14 +41,76 @@ impl SpanNode {
     }
 }
 
-/// Point-in-time copy of every counter, gauge, and finished span.
+/// Drained copy of one [`crate::Histogram`]: total count and sum plus the
+/// power-of-two bucket populations (bucket 0 = zero values, bucket `i` =
+/// `[2^(i-1), 2^i)`).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Value at quantile `q` (0.0–1.0), resolved to the upper edge of the
+    /// bucket the quantile falls in (0 for an empty histogram).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut cumulative = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= rank {
+                return if i == 0 { 0 } else { (1u64 << i).saturating_sub(1) };
+            }
+        }
+        u64::MAX
+    }
+
+    /// Median (bucket-resolved; see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th percentile (bucket-resolved).
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Arithmetic mean of all recorded values (0 for an empty histogram).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    fn write_json(&self, out: &mut String) {
+        out.push('{');
+        write_key(out, "count");
+        out.push_str(&self.count.to_string());
+        out.push(',');
+        write_key(out, "sum");
+        out.push_str(&self.sum.to_string());
+        out.push(',');
+        write_key(out, "p50");
+        out.push_str(&self.p50().to_string());
+        out.push(',');
+        write_key(out, "p99");
+        out.push_str(&self.p99().to_string());
+        out.push('}');
+    }
+}
+
+/// Point-in-time copy of every counter, gauge, histogram, and finished
+/// span.
 ///
-/// Counter/gauge maps are `BTreeMap`s so iteration (and therefore JSON
-/// output) is deterministic.
+/// Counter/gauge/histogram maps are `BTreeMap`s so iteration (and
+/// therefore JSON output) is deterministic.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct MetricsSnapshot {
     pub counters: BTreeMap<String, u64>,
     pub gauges: BTreeMap<String, i64>,
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
     pub spans: Vec<SpanNode>,
 }
 
@@ -63,6 +125,11 @@ impl MetricsSnapshot {
         self.gauges.get(name).copied().unwrap_or(0)
     }
 
+    /// Snapshot of a histogram, empty when never recorded to.
+    pub fn histogram(&self, name: &str) -> HistogramSnapshot {
+        self.histograms.get(name).cloned().unwrap_or_default()
+    }
+
     /// Compact single-line JSON object:
     /// `{"counters":{...},"gauges":{...},"spans":[...]}`.
     pub fn to_json(&self) -> String {
@@ -73,6 +140,17 @@ impl MetricsSnapshot {
         out.push(',');
         write_key(&mut out, "gauges");
         write_i64_map(&mut out, self.gauges.iter());
+        out.push(',');
+        write_key(&mut out, "histograms");
+        out.push('{');
+        for (i, (name, histogram)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            write_key(&mut out, name);
+            histogram.write_json(&mut out);
+        }
+        out.push('}');
         out.push(',');
         write_key(&mut out, "spans");
         out.push('[');
@@ -108,6 +186,19 @@ impl MetricsSnapshot {
             let width = self.gauges.keys().map(|k| k.len()).max().unwrap_or(0);
             for (name, value) in &self.gauges {
                 out.push_str(&format!("  {name:<width$}  {value}\n"));
+            }
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("histograms:\n");
+            let width = self.histograms.keys().map(|k| k.len()).max().unwrap_or(0);
+            for (name, h) in &self.histograms {
+                out.push_str(&format!(
+                    "  {name:<width$}  count={} mean={}ns p50={}ns p99={}ns\n",
+                    h.count,
+                    h.mean(),
+                    h.p50(),
+                    h.p99()
+                ));
             }
         }
         out
@@ -146,9 +237,42 @@ mod tests {
             json,
             "{\"counters\":{\"pli.hits\":7,\"pli.misses\":3},\
              \"gauges\":{\"walk.depth\":-2},\
+             \"histograms\":{},\
              \"spans\":[{\"name\":\"MUDS\",\"duration_ns\":100,\"children\":\
              [{\"name\":\"SPIDER\",\"duration_ns\":40,\"children\":[]}]}]}"
         );
+    }
+
+    #[test]
+    fn histogram_json_reports_quantiles() {
+        let mut snap = sample();
+        let mut h = HistogramSnapshot { count: 0, sum: 0, buckets: vec![0; 64] };
+        // 99 values of ~1000ns (bucket 10: [512, 1024)), 1 of ~1e6ns.
+        h.buckets[10] = 99;
+        h.buckets[20] = 1;
+        h.count = 100;
+        h.sum = 99 * 1000 + 1_000_000;
+        snap.histograms.insert("lat".into(), h);
+        let json = snap.to_json();
+        assert!(json.contains("\"lat\":{\"count\":100,\"sum\":1099000,\"p50\":1023,\"p99\":1023}"));
+        let pretty = snap.render_pretty();
+        assert!(pretty.contains("histograms:"), "{pretty}");
+        assert!(pretty.contains("count=100"), "{pretty}");
+    }
+
+    #[test]
+    fn histogram_quantiles_resolve_bucket_edges() {
+        let empty = HistogramSnapshot::default();
+        assert_eq!(empty.p50(), 0);
+        assert_eq!(empty.mean(), 0);
+        let mut h = HistogramSnapshot { count: 10, sum: 10, buckets: vec![0; 64] };
+        h.buckets[0] = 5; // five zeros
+        h.buckets[1] = 5; // five ones
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.p50(), 0, "5th of 10 values is still a zero");
+        assert_eq!(h.quantile(0.6), 1);
+        assert_eq!(h.p99(), 1);
+        assert_eq!(h.mean(), 1);
     }
 
     #[test]

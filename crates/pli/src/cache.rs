@@ -82,6 +82,12 @@ pub struct PliCache<'a> {
     /// PLIs) a per-insert scan turns every miss into O(capacity).
     lru: BTreeMap<u64, ColumnSet>,
     capacity: usize,
+    /// Optional ceiling on the *estimated* byte footprint of the LRU
+    /// region (pinned singletons excluded — they are the working set every
+    /// algorithm needs). `None` = entry-count bound only.
+    byte_budget: Option<usize>,
+    /// Running estimated byte footprint of the LRU region.
+    lru_bytes: usize,
     tick: u64,
     stats: PliCacheStats,
     meters: PliMeters,
@@ -111,9 +117,51 @@ impl<'a> PliCache<'a> {
             entries: HashMap::new(),
             lru: BTreeMap::new(),
             capacity: capacity.max(1),
+            byte_budget: None,
+            lru_bytes: 0,
             tick: 0,
             stats: PliCacheStats::default(),
             meters: PliMeters::bind(),
+        }
+    }
+
+    /// Caps the estimated byte footprint of the LRU region, evicting (LRU
+    /// order) whenever an insert pushes past the budget. This is how a
+    /// serving layer enforces a per-job memory ceiling on top of the
+    /// entry-count bound. Setting a budget below the current footprint
+    /// evicts immediately.
+    pub fn set_byte_budget(&mut self, budget: Option<usize>) {
+        self.byte_budget = budget;
+        self.evict_over_budget();
+    }
+
+    /// Approximate heap footprint of everything the cache holds: the
+    /// pinned singleton PLIs plus the LRU region. An accounting estimate
+    /// (see [`Pli::estimated_bytes`]), suitable for budget enforcement and
+    /// metrics, not heap profiling.
+    pub fn estimated_bytes(&self) -> usize {
+        let pinned: usize = self.singles.iter().map(|p| p.estimated_bytes()).sum::<usize>()
+            + self.empty.estimated_bytes();
+        pinned + self.lru_bytes
+    }
+
+    fn evict_lru_one(&mut self) -> bool {
+        if let Some((&oldest, &victim)) = self.lru.iter().next() {
+            self.lru.remove(&oldest);
+            if let Some((pli, _)) = self.entries.remove(&victim) {
+                self.lru_bytes = self.lru_bytes.saturating_sub(pli.estimated_bytes());
+            }
+            self.stats.evictions += 1;
+            self.meters.evictions.inc();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn evict_over_budget(&mut self) {
+        if let Some(budget) = self.byte_budget {
+            while self.lru_bytes > budget && self.evict_lru_one() {}
         }
     }
 
@@ -252,17 +300,18 @@ impl<'a> PliCache<'a> {
             // Evict the least recently used entry. Stamps are unique (every
             // multi-column request advances the tick), so the victim — and
             // therefore the whole eviction sequence — is deterministic.
-            if let Some((&oldest, &victim)) = self.lru.iter().next() {
-                self.lru.remove(&oldest);
-                self.entries.remove(&victim);
-                self.stats.evictions += 1;
-                self.meters.evictions.inc();
-            }
+            self.evict_lru_one();
         }
-        if let Some((_, old_stamp)) = self.entries.insert(set, (pli, stamp)) {
+        self.lru_bytes += pli.estimated_bytes();
+        if let Some((old_pli, old_stamp)) = self.entries.insert(set, (pli, stamp)) {
             self.lru.remove(&old_stamp);
+            self.lru_bytes = self.lru_bytes.saturating_sub(old_pli.estimated_bytes());
         }
         self.lru.insert(stamp, set);
+        // The byte budget may demand more than the one-entry eviction the
+        // count bound performed — including, for a pathologically large
+        // PLI, the entry just inserted (the returned Arc stays valid).
+        self.evict_over_budget();
     }
 
     /// Column count beyond which validity checks stream their intersection
@@ -587,5 +636,72 @@ mod tests {
         let before = cache.stats().misses;
         let _ = cache.get(&cs(&[0, 1])); // still cached → hit
         assert_eq!(cache.stats().misses, before);
+    }
+
+    #[test]
+    fn byte_accounting_tracks_inserts_and_evictions() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let pinned = cache.estimated_bytes();
+        assert!(pinned > 0, "pinned singletons have a footprint");
+        let ab = cache.get(&cs(&[0, 1]));
+        assert_eq!(cache.estimated_bytes(), pinned + ab.estimated_bytes());
+        let ac = cache.get(&cs(&[0, 2]));
+        assert_eq!(cache.estimated_bytes(), pinned + ab.estimated_bytes() + ac.estimated_bytes());
+        // Re-requesting a cached set must not double-count.
+        let _ = cache.get(&cs(&[0, 1]));
+        assert_eq!(cache.estimated_bytes(), pinned + ab.estimated_bytes() + ac.estimated_bytes());
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_lru_region() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let pinned = cache.estimated_bytes();
+        let one = cache.get(&cs(&[0, 1])).estimated_bytes();
+        // Budget for roughly one multi-column entry: every further insert
+        // must evict back down to the budget.
+        cache.set_byte_budget(Some(one));
+        for sets in [[0, 2], [1, 2], [0, 3], [1, 3]] {
+            let _ = cache.get(&cs(&sets));
+            assert!(cache.estimated_bytes() - pinned <= one);
+            assert!(cache.cached_entries() <= 1);
+        }
+        assert!(cache.stats().evictions >= 4);
+    }
+
+    #[test]
+    fn zero_byte_budget_still_serves_correct_plis() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        cache.set_byte_budget(Some(0));
+        // Nothing multi-column can be retained, but results stay correct
+        // (the returned Arc outlives its eviction).
+        let ab = cache.get(&cs(&[0, 1]));
+        assert!(ab.is_unique());
+        assert_eq!(cache.cached_entries(), 0);
+        assert!(cache.determines(&cs(&[0, 1]), 2));
+    }
+
+    #[test]
+    fn lowering_the_budget_evicts_immediately() {
+        let t = table();
+        let mut cache = PliCache::new(&t);
+        let _ = cache.get(&cs(&[0, 1]));
+        let _ = cache.get(&cs(&[0, 2]));
+        assert_eq!(cache.cached_entries(), 2);
+        cache.set_byte_budget(Some(0));
+        assert_eq!(cache.cached_entries(), 0);
+        assert_eq!(cache.stats().evictions, 2);
+        // Oldest-first: with a budget of one entry, {0,1} (older) goes first.
+        let mut cache = PliCache::new(&t);
+        let _ = cache.get(&cs(&[0, 1]));
+        let two = cache.get(&cs(&[0, 2])).estimated_bytes();
+        cache.set_byte_budget(Some(two));
+        let before = cache.stats().misses;
+        let _ = cache.get(&cs(&[0, 2])); // survivor → hit
+        assert_eq!(cache.stats().misses, before);
+        let _ = cache.get(&cs(&[0, 1])); // evicted → miss
+        assert_eq!(cache.stats().misses, before + 1);
     }
 }

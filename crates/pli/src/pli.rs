@@ -165,6 +165,16 @@ impl Pli {
     /// per-row `codes` is constant within every cluster — i.e. the
     /// combination this PLI represents functionally determines that column.
     ///
+    /// Approximate heap footprint of this PLI in bytes: row-id payload
+    /// plus per-cluster `Vec` headers. Used by `PliCache`'s byte budget —
+    /// an accounting estimate (allocator slack ignored), not an exact
+    /// measurement.
+    pub fn estimated_bytes(&self) -> usize {
+        self.size * std::mem::size_of::<RowId>()
+            + self.clusters.len() * std::mem::size_of::<Vec<RowId>>()
+            + std::mem::size_of::<Pli>()
+    }
+
     /// Strictly cheaper than building the intersected PLI: it short-circuits
     /// on the first violating cluster.
     pub fn refines(&self, codes: &[u32]) -> bool {

@@ -1,0 +1,394 @@
+//! Content-addressed result cache with single-flight computation dedup.
+//!
+//! Results are keyed by `(dataset fingerprint, algorithm, config)` — the
+//! full identity of a profiling run. Because the fingerprint addresses
+//! *content*, two datasets registered under different names but identical
+//! bytes share cache entries, and re-registering a dataset never invalidates
+//! anything.
+//!
+//! The cache is also the daemon's computation-dedup point: the first
+//! request for a missing key becomes the *leader* and is handed a
+//! [`Flight`]; every concurrent request for the same key becomes a
+//! *follower* that waits on the same flight. N identical concurrent
+//! requests therefore cost exactly one profiling run, however they
+//! interleave.
+//!
+//! Ready entries live in an LRU bounded by a byte budget over the stored
+//! JSON documents. In-flight entries are never evicted (they hold no
+//! payload), and a just-completed entry survives its own insertion even if
+//! it alone exceeds the budget — the next completion will evict it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use muds_core::Algorithm;
+use muds_table::Fingerprint;
+
+use crate::metrics::ServeMetrics;
+
+/// Identity of one profiling computation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content fingerprint of the (deduplicated) input table.
+    pub fingerprint: Fingerprint,
+    /// Algorithm that runs.
+    pub algorithm: Algorithm,
+    /// Canonical encoding of every result-affecting config knob
+    /// ([`muds_core::ProfilerConfig::cache_key`]).
+    pub config: String,
+}
+
+/// A computation in progress. Followers block on this (not on the cache
+/// map), so an entry being evicted or replaced can never strand a waiter.
+pub struct Flight {
+    state: Mutex<FlightState>,
+    done: Condvar,
+    /// Scheduler job id, published by the leader after submission so
+    /// followers can point clients at `GET /jobs/:id`. Zero = not yet
+    /// submitted.
+    job_id: std::sync::atomic::AtomicU64,
+}
+
+#[derive(Clone)]
+enum FlightState {
+    Pending,
+    Done(Result<Arc<String>, Arc<String>>),
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            state: Mutex::new(FlightState::Pending),
+            done: Condvar::new(),
+            job_id: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Publishes the scheduler job id executing this flight.
+    pub fn set_job_id(&self, id: u64) {
+        self.job_id.store(id, std::sync::atomic::Ordering::Release);
+    }
+
+    /// Job id executing this flight (`None` until the leader submitted).
+    pub fn job_id(&self) -> Option<u64> {
+        match self.job_id.load(std::sync::atomic::Ordering::Acquire) {
+            0 => None,
+            id => Some(id),
+        }
+    }
+
+    /// Blocks until the flight resolves or `timeout` elapses. `None` means
+    /// timeout — the computation keeps running and will land in the cache.
+    pub fn wait(&self, timeout: Duration) -> Option<Result<Arc<String>, Arc<String>>> {
+        let deadline = Instant::now() + timeout;
+        let mut state = self.state.lock().expect("flight lock");
+        loop {
+            if let FlightState::Done(outcome) = &*state {
+                return Some(outcome.clone());
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, timed_out) =
+                self.done.wait_timeout(state, deadline - now).expect("flight lock");
+            state = next;
+            if timed_out.timed_out() {
+                if let FlightState::Done(outcome) = &*state {
+                    return Some(outcome.clone());
+                }
+                return None;
+            }
+        }
+    }
+
+    fn resolve(&self, outcome: Result<Arc<String>, Arc<String>>) {
+        let mut state = self.state.lock().expect("flight lock");
+        *state = FlightState::Done(outcome);
+        self.done.notify_all();
+    }
+}
+
+enum Slot {
+    /// Computation running; requests coalesce onto the flight.
+    InFlight(Arc<Flight>),
+    /// Result cached. `stamp` is the LRU recency key.
+    Ready { json: Arc<String>, stamp: u64 },
+}
+
+struct CacheInner {
+    entries: HashMap<CacheKey, Slot>,
+    /// Recency-ordered mirror of the Ready entries (stamps are unique).
+    lru: BTreeMap<u64, CacheKey>,
+    bytes: usize,
+    tick: u64,
+}
+
+/// Outcome of [`ResultCache::begin`].
+pub enum Begin {
+    /// Cached result, served immediately.
+    Hit(Arc<String>),
+    /// Nothing cached or running: the caller owns the computation and must
+    /// resolve the flight via [`ResultCache::complete`] or
+    /// [`ResultCache::abort`] — on every path, or followers stall until
+    /// their timeouts.
+    Leader(Arc<Flight>),
+    /// Someone else is computing this key; wait on the flight.
+    Follower(Arc<Flight>),
+}
+
+/// The shared result cache. All methods are `&self`; one mutex guards the
+/// map (held only for bookkeeping, never during computation or waits).
+pub struct ResultCache {
+    inner: Mutex<CacheInner>,
+    capacity_bytes: usize,
+    metrics: Arc<ServeMetrics>,
+}
+
+impl ResultCache {
+    pub fn new(capacity_bytes: usize, metrics: Arc<ServeMetrics>) -> Self {
+        ResultCache {
+            inner: Mutex::new(CacheInner {
+                entries: HashMap::new(),
+                lru: BTreeMap::new(),
+                bytes: 0,
+                tick: 0,
+            }),
+            capacity_bytes,
+            metrics,
+        }
+    }
+
+    /// Looks up `key`, claiming leadership of the computation on a miss.
+    pub fn begin(&self, key: &CacheKey) -> Begin {
+        let mut inner = self.inner.lock().expect("cache lock");
+        let inner = &mut *inner;
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.entries.get_mut(key) {
+            Some(Slot::Ready { json, stamp }) => {
+                let json = Arc::clone(json);
+                let old = *stamp;
+                *stamp = tick;
+                inner.lru.remove(&old);
+                inner.lru.insert(tick, key.clone());
+                self.metrics.cache_hits.inc();
+                Begin::Hit(json)
+            }
+            Some(Slot::InFlight(flight)) => {
+                self.metrics.cache_coalesced.inc();
+                Begin::Follower(Arc::clone(flight))
+            }
+            None => {
+                let flight = Flight::new();
+                inner.entries.insert(key.clone(), Slot::InFlight(Arc::clone(&flight)));
+                self.metrics.cache_misses.inc();
+                self.metrics.cache_entries.set(inner.entries.len() as i64);
+                Begin::Leader(flight)
+            }
+        }
+    }
+
+    /// Resolves a flight with a computed result and caches it.
+    pub fn complete(&self, key: &CacheKey, flight: &Arc<Flight>, json: Arc<String>) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            let inner = &mut *inner;
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.bytes += json.len();
+            inner.entries.insert(key.clone(), Slot::Ready { json: Arc::clone(&json), stamp: tick });
+            inner.lru.insert(tick, key.clone());
+            // Evict oldest Ready entries while over budget; never the entry
+            // just inserted (its stamp is the newest).
+            while inner.bytes > self.capacity_bytes {
+                let victim = inner
+                    .lru
+                    .iter()
+                    .map(|(s, k)| (*s, k.clone()))
+                    .find(|(stamp, _)| *stamp != tick);
+                match victim {
+                    Some((stamp, victim_key)) => {
+                        inner.lru.remove(&stamp);
+                        if let Some(Slot::Ready { json, .. }) = inner.entries.remove(&victim_key) {
+                            inner.bytes -= json.len();
+                        }
+                        self.metrics.cache_evictions.inc();
+                    }
+                    None => break,
+                }
+            }
+            self.metrics.cache_bytes.set(inner.bytes as i64);
+            self.metrics.cache_entries.set(inner.entries.len() as i64);
+        }
+        flight.resolve(Ok(json));
+    }
+
+    /// Resolves a flight with an error; nothing is cached (the next request
+    /// for the key becomes a fresh leader).
+    pub fn abort(&self, key: &CacheKey, flight: &Arc<Flight>, error: &str) {
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            // Only remove the slot if it is still this flight (a later
+            // completion may have replaced it).
+            if let Some(Slot::InFlight(current)) = inner.entries.get(key) {
+                if Arc::ptr_eq(current, flight) {
+                    inner.entries.remove(key);
+                    self.metrics.cache_entries.set(inner.entries.len() as i64);
+                }
+            }
+        }
+        flight.resolve(Err(Arc::new(error.to_string())));
+    }
+
+    /// Number of entries (Ready + in flight).
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Bytes of cached JSON currently held.
+    pub fn bytes(&self) -> usize {
+        self.inner.lock().expect("cache lock").bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Barrier;
+
+    fn key(tag: u128) -> CacheKey {
+        CacheKey { fingerprint: Fingerprint(tag), algorithm: Algorithm::Muds, config: "cfg".into() }
+    }
+
+    fn metrics() -> Arc<ServeMetrics> {
+        Arc::new(ServeMetrics::new())
+    }
+
+    fn fill(cache: &ResultCache, k: &CacheKey, payload: &str) {
+        match cache.begin(k) {
+            Begin::Leader(flight) => cache.complete(k, &flight, Arc::new(payload.to_string())),
+            _ => panic!("expected leadership for fresh key"),
+        }
+    }
+
+    #[test]
+    fn leader_computes_followers_share_hits_follow() {
+        let m = metrics();
+        let cache = ResultCache::new(1 << 20, Arc::clone(&m));
+        let k = key(1);
+        fill(&cache, &k, "result");
+        match cache.begin(&k) {
+            Begin::Hit(json) => assert_eq!(*json, "result"),
+            _ => panic!("expected hit"),
+        }
+        assert_eq!(m.cache_misses.get(), 1);
+        assert_eq!(m.cache_hits.get(), 1);
+    }
+
+    #[test]
+    fn concurrent_identical_requests_coalesce_to_one_computation() {
+        let m = metrics();
+        let cache = Arc::new(ResultCache::new(1 << 20, Arc::clone(&m)));
+        let k = key(7);
+        let computations = AtomicUsize::new(0);
+        const THREADS: usize = 16;
+        let barrier = Barrier::new(THREADS);
+        std::thread::scope(|s| {
+            for _ in 0..THREADS {
+                s.spawn(|| {
+                    barrier.wait();
+                    match cache.begin(&k) {
+                        Begin::Leader(flight) => {
+                            computations.fetch_add(1, Ordering::SeqCst);
+                            // Linger so the other threads arrive mid-flight.
+                            std::thread::sleep(Duration::from_millis(30));
+                            cache.complete(&k, &flight, Arc::new("r".to_string()));
+                        }
+                        Begin::Follower(flight) => {
+                            let got = flight
+                                .wait(Duration::from_secs(10))
+                                .expect("flight resolves")
+                                .expect("flight succeeds");
+                            assert_eq!(*got, "r");
+                        }
+                        Begin::Hit(json) => assert_eq!(*json, "r"),
+                    }
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::SeqCst), 1, "exactly one computation ran");
+        assert_eq!(m.cache_misses.get(), 1);
+        assert_eq!(m.cache_hits.get() + m.cache_coalesced.get(), (THREADS - 1) as u64);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_ready_entries_when_over_budget() {
+        let m = metrics();
+        // Budget fits two 10-byte payloads.
+        let cache = ResultCache::new(20, Arc::clone(&m));
+        let (a, b, c) = (key(1), key(2), key(3));
+        fill(&cache, &a, "aaaaaaaaaa");
+        fill(&cache, &b, "bbbbbbbbbb");
+        // Touch `a` so `b` becomes the oldest.
+        assert!(matches!(cache.begin(&a), Begin::Hit(_)));
+        fill(&cache, &c, "cccccccccc");
+        assert_eq!(m.cache_evictions.get(), 1);
+        assert!(matches!(cache.begin(&a), Begin::Hit(_)), "recently used survives");
+        assert!(matches!(cache.begin(&c), Begin::Hit(_)), "newest survives");
+        assert!(matches!(cache.begin(&b), Begin::Leader(_)), "oldest was evicted");
+        assert!(cache.bytes() <= 20 + 10, "budget respected (modulo the in-flight b)");
+    }
+
+    #[test]
+    fn oversized_entry_survives_its_own_insertion() {
+        let m = metrics();
+        let cache = ResultCache::new(4, Arc::clone(&m));
+        let k = key(9);
+        fill(&cache, &k, "way-over-budget");
+        assert!(matches!(cache.begin(&k), Begin::Hit(_)));
+        // The next completion evicts it.
+        let k2 = key(10);
+        fill(&cache, &k2, "also-big");
+        assert!(matches!(cache.begin(&k), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn aborted_flights_propagate_the_error_and_cache_nothing() {
+        let m = metrics();
+        let cache = Arc::new(ResultCache::new(1 << 20, m));
+        let k = key(5);
+        let flight = match cache.begin(&k) {
+            Begin::Leader(f) => f,
+            _ => panic!("leader expected"),
+        };
+        let follower = match cache.begin(&k) {
+            Begin::Follower(f) => f,
+            _ => panic!("follower expected"),
+        };
+        cache.abort(&k, &flight, "boom");
+        let err = follower.wait(Duration::from_secs(1)).expect("resolved").unwrap_err();
+        assert_eq!(*err, "boom");
+        // The failure was not cached: a fresh request leads again.
+        assert!(matches!(cache.begin(&k), Begin::Leader(_)));
+    }
+
+    #[test]
+    fn wait_times_out_while_pending() {
+        let cache = ResultCache::new(1 << 20, metrics());
+        let k = key(6);
+        let flight = match cache.begin(&k) {
+            Begin::Leader(f) => f,
+            _ => panic!("leader expected"),
+        };
+        assert!(flight.wait(Duration::from_millis(20)).is_none());
+        cache.complete(&k, &flight, Arc::new("late".to_string()));
+        assert!(flight.wait(Duration::from_millis(1)).is_some());
+    }
+}

@@ -1,0 +1,164 @@
+//! Server-level counters for `GET /metrics`.
+//!
+//! These are `muds-obs` instruments held as *detached* handles: the server
+//! reads them cumulatively with `get()`/`snapshot()`, so scraping never
+//! resets anything — unlike the per-job registries, which drain into each
+//! `ProfileResult`'s metrics snapshot. Per-job profiling counters never mix
+//! into these: scheduler workers carry no ambient registry, so every
+//! `profile()` call installs its own.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+use muds_obs::{Counter, Gauge, Histogram};
+
+/// All instruments the daemon exposes. One instance per server, shared by
+/// the connection handlers, the cache, and the scheduler.
+pub struct ServeMetrics {
+    start: Instant,
+    /// Requests accepted (connections that produced a parseable request).
+    pub requests: Counter,
+    /// Responses by status class.
+    pub responses_2xx: Counter,
+    pub responses_4xx: Counter,
+    pub responses_5xx: Counter,
+    /// Result-cache traffic.
+    pub cache_hits: Counter,
+    pub cache_misses: Counter,
+    /// Requests that joined an in-flight computation instead of starting
+    /// their own (the single-flight dedup at work).
+    pub cache_coalesced: Counter,
+    pub cache_evictions: Counter,
+    pub cache_bytes: Gauge,
+    pub cache_entries: Gauge,
+    /// Scheduler traffic.
+    pub jobs_submitted: Counter,
+    pub jobs_completed: Counter,
+    pub jobs_failed: Counter,
+    pub jobs_expired: Counter,
+    /// Jobs refused with 429 because the queue was full.
+    pub jobs_rejected: Counter,
+    pub queue_depth: Gauge,
+    pub jobs_running: Gauge,
+    pub datasets: Gauge,
+    /// End-to-end job execution latency in microseconds (run only, not
+    /// queue wait).
+    pub job_latency_us: Histogram,
+    /// In-flight HTTP connections (for drain on shutdown).
+    pub connections_active: AtomicU64,
+}
+
+impl Default for ServeMetrics {
+    fn default() -> Self {
+        ServeMetrics {
+            start: Instant::now(),
+            requests: Counter::detached(),
+            responses_2xx: Counter::detached(),
+            responses_4xx: Counter::detached(),
+            responses_5xx: Counter::detached(),
+            cache_hits: Counter::detached(),
+            cache_misses: Counter::detached(),
+            cache_coalesced: Counter::detached(),
+            cache_evictions: Counter::detached(),
+            cache_bytes: Gauge::detached(),
+            cache_entries: Gauge::detached(),
+            jobs_submitted: Counter::detached(),
+            jobs_completed: Counter::detached(),
+            jobs_failed: Counter::detached(),
+            jobs_expired: Counter::detached(),
+            jobs_rejected: Counter::detached(),
+            queue_depth: Gauge::detached(),
+            jobs_running: Gauge::detached(),
+            datasets: Gauge::detached(),
+            job_latency_us: Histogram::detached(),
+            connections_active: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeMetrics {
+    pub fn new() -> Self {
+        ServeMetrics::default()
+    }
+
+    /// Records a response's status class.
+    pub fn count_response(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            500..=599 => self.responses_5xx.inc(),
+            _ => {}
+        }
+    }
+
+    /// The `GET /metrics` document. Flat keys, deterministic order.
+    pub fn to_json(&self) -> String {
+        let lat = self.job_latency_us.snapshot();
+        let mut out = String::with_capacity(512);
+        out.push('{');
+        let mut field = |name: &str, value: String| {
+            if !out.ends_with('{') {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{name}\":{value}"));
+        };
+        field("uptime_ms", self.start.elapsed().as_millis().to_string());
+        field("requests", self.requests.get().to_string());
+        field("responses_2xx", self.responses_2xx.get().to_string());
+        field("responses_4xx", self.responses_4xx.get().to_string());
+        field("responses_5xx", self.responses_5xx.get().to_string());
+        field("cache_hits", self.cache_hits.get().to_string());
+        field("cache_misses", self.cache_misses.get().to_string());
+        field("cache_coalesced", self.cache_coalesced.get().to_string());
+        field("cache_evictions", self.cache_evictions.get().to_string());
+        field("cache_bytes", self.cache_bytes.get().to_string());
+        field("cache_entries", self.cache_entries.get().to_string());
+        field("jobs_submitted", self.jobs_submitted.get().to_string());
+        field("jobs_completed", self.jobs_completed.get().to_string());
+        field("jobs_failed", self.jobs_failed.get().to_string());
+        field("jobs_expired", self.jobs_expired.get().to_string());
+        field("jobs_rejected", self.jobs_rejected.get().to_string());
+        field("queue_depth", self.queue_depth.get().to_string());
+        field("jobs_running", self.jobs_running.get().to_string());
+        field("datasets", self.datasets.get().to_string());
+        field("connections_active", self.connections_active.load(Ordering::Relaxed).to_string());
+        field(
+            "job_latency_us",
+            format!(
+                "{{\"count\":{},\"sum\":{},\"p50\":{},\"p99\":{}}}",
+                lat.count,
+                lat.sum,
+                lat.p50(),
+                lat.p99()
+            ),
+        );
+        out.push('}');
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_core::json::parse_json;
+
+    #[test]
+    fn metrics_json_is_parseable_and_cumulative() {
+        let m = ServeMetrics::new();
+        m.requests.inc();
+        m.count_response(200);
+        m.count_response(404);
+        m.count_response(500);
+        m.job_latency_us.record(1000);
+        let doc = parse_json(&m.to_json()).expect("metrics document parses");
+        assert_eq!(doc.get("requests").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("responses_2xx").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("responses_4xx").and_then(|v| v.as_u64()), Some(1));
+        assert_eq!(doc.get("responses_5xx").and_then(|v| v.as_u64()), Some(1));
+        let lat = doc.get("job_latency_us").expect("latency object");
+        assert_eq!(lat.get("count").and_then(|v| v.as_u64()), Some(1));
+        // Reading twice does not reset (cumulative, unlike drain_snapshot).
+        let doc2 = parse_json(&m.to_json()).unwrap();
+        assert_eq!(doc2.get("requests").and_then(|v| v.as_u64()), Some(1));
+    }
+}

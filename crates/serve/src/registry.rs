@@ -1,0 +1,205 @@
+//! Content-addressed dataset registry.
+//!
+//! Datasets register under a client-chosen name, but are *stored* under
+//! their content [`Fingerprint`] (schema + dictionaries + codes, see
+//! `muds_table::fingerprint`): registering the same data twice — under one
+//! name or many, from a file path or an uploaded body, through any
+//! row-order-preserving CSV round trip — lands on the same `Arc<Table>` and
+//! the same cache identity. Tables are row-deduplicated on ingest (the
+//! paper's §3 precondition), so the fingerprint describes the relation the
+//! profilers actually see.
+
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, Mutex};
+
+use muds_table::{
+    fingerprint, table_from_csv_bytes, table_from_csv_file, CsvOptions, Fingerprint, Table,
+    TableError,
+};
+
+/// What a registration returned — enough for the `POST /datasets` response.
+#[derive(Debug, Clone)]
+pub struct DatasetInfo {
+    /// Registered name.
+    pub name: String,
+    /// Content fingerprint (the cache identity).
+    pub fingerprint: Fingerprint,
+    /// Column names in schema order.
+    pub columns: Vec<String>,
+    /// Row count after deduplication.
+    pub rows: usize,
+    /// Duplicate rows dropped on ingest.
+    pub rows_deduplicated: usize,
+    /// True when identical content was already stored (under any name):
+    /// the registry reused the existing table instead of storing a copy.
+    pub already_registered: bool,
+}
+
+#[derive(Default)]
+struct RegistryInner {
+    /// Content-addressed store: one `Arc<Table>` per distinct content.
+    tables: HashMap<Fingerprint, Arc<Table>>,
+    /// Name bindings (sorted for stable listings). Re-registering a name
+    /// rebinds it; unreferenced content stays resident until shutdown.
+    names: BTreeMap<String, Fingerprint>,
+}
+
+/// Thread-safe dataset registry shared by all connection handlers.
+#[derive(Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers an already-built table under `name`.
+    pub fn register_table(&self, name: &str, table: Table) -> DatasetInfo {
+        let before = table.num_rows();
+        let table = if table.has_duplicate_rows() { table.dedup_rows() } else { table };
+        let fp = fingerprint(&table);
+        let rows = table.num_rows();
+        let columns: Vec<String> = table.column_names().iter().map(|c| c.to_string()).collect();
+        let mut inner = self.inner.lock().expect("registry lock");
+        let already_registered = inner.tables.contains_key(&fp);
+        if !already_registered {
+            inner.tables.insert(fp, Arc::new(table));
+        }
+        inner.names.insert(name.to_string(), fp);
+        DatasetInfo {
+            name: name.to_string(),
+            fingerprint: fp,
+            columns,
+            rows,
+            rows_deduplicated: before - rows,
+            already_registered,
+        }
+    }
+
+    /// Registers a dataset from raw CSV bytes (an uploaded body).
+    pub fn register_csv_bytes(
+        &self,
+        name: &str,
+        bytes: &[u8],
+        options: &CsvOptions,
+    ) -> Result<DatasetInfo, TableError> {
+        let table = table_from_csv_bytes(name, bytes, options)?;
+        Ok(self.register_table(name, table))
+    }
+
+    /// Registers a dataset from a CSV file on the server's filesystem.
+    pub fn register_csv_path(
+        &self,
+        name: &str,
+        path: &str,
+        options: &CsvOptions,
+    ) -> Result<DatasetInfo, TableError> {
+        let table = table_from_csv_file(path, options)?;
+        Ok(self.register_table(name, table))
+    }
+
+    /// Resolves `key` — a registered name, or a 32-hex-digit fingerprint —
+    /// to the stored table.
+    pub fn resolve(&self, key: &str) -> Option<(Fingerprint, Arc<Table>)> {
+        let inner = self.inner.lock().expect("registry lock");
+        if let Some(fp) = inner.names.get(key) {
+            return inner.tables.get(fp).map(|t| (*fp, Arc::clone(t)));
+        }
+        let fp: Fingerprint = key.parse().ok()?;
+        inner.tables.get(&fp).map(|t| (fp, Arc::clone(t)))
+    }
+
+    /// Name bindings in sorted order: `(name, fingerprint, rows, columns)`.
+    pub fn list(&self) -> Vec<(String, Fingerprint, usize, usize)> {
+        let inner = self.inner.lock().expect("registry lock");
+        inner
+            .names
+            .iter()
+            .map(|(name, fp)| {
+                let t = &inner.tables[fp];
+                (name.clone(), *fp, t.num_rows(), t.num_columns())
+            })
+            .collect()
+    }
+
+    /// Number of registered names.
+    pub fn names_len(&self) -> usize {
+        self.inner.lock().expect("registry lock").names.len()
+    }
+
+    /// Number of distinct contents stored.
+    pub fn contents_len(&self) -> usize {
+        self.inner.lock().expect("registry lock").tables.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use muds_table::table_to_csv;
+
+    const CSV: &str = "a,b\n1,x\n2,y\n2,y\n";
+
+    #[test]
+    fn identical_content_is_stored_once() {
+        let reg = Registry::new();
+        let first = reg.register_csv_bytes("one", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        let second = reg.register_csv_bytes("two", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        assert!(!first.already_registered);
+        assert!(second.already_registered);
+        assert_eq!(first.fingerprint, second.fingerprint);
+        assert_eq!(reg.names_len(), 2);
+        assert_eq!(reg.contents_len(), 1);
+        let (fa, ta) = reg.resolve("one").unwrap();
+        let (fb, tb) = reg.resolve("two").unwrap();
+        assert_eq!(fa, fb);
+        assert!(Arc::ptr_eq(&ta, &tb), "same content shares one table");
+    }
+
+    #[test]
+    fn rows_are_deduplicated_on_ingest() {
+        let reg = Registry::new();
+        let info = reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(info.rows, 2);
+        assert_eq!(info.rows_deduplicated, 1);
+        assert_eq!(info.columns, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn fingerprint_is_stable_across_row_order_preserving_reloads() {
+        let reg = Registry::new();
+        let info = reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        // Round-trip the stored table through CSV (quoting and duplicate
+        // removal may change the bytes) and re-register: same fingerprint.
+        let (_, table) = reg.resolve("d").unwrap();
+        let rewritten = table_to_csv(&table, &CsvOptions::default());
+        assert_ne!(rewritten.as_bytes(), CSV.as_bytes());
+        let again =
+            reg.register_csv_bytes("d2", rewritten.as_bytes(), &CsvOptions::default()).unwrap();
+        assert_eq!(info.fingerprint, again.fingerprint);
+        assert!(again.already_registered);
+    }
+
+    #[test]
+    fn resolve_accepts_fingerprints_and_rejects_unknowns() {
+        let reg = Registry::new();
+        let info = reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        assert!(reg.resolve(&info.fingerprint.to_string()).is_some());
+        assert!(reg.resolve("missing").is_none());
+        assert!(reg.resolve(&"0".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn rebinding_a_name_points_at_the_new_content() {
+        let reg = Registry::new();
+        reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        let other = "a,b\n9,z\n8,w\n";
+        let info = reg.register_csv_bytes("d", other.as_bytes(), &CsvOptions::default()).unwrap();
+        let (fp, table) = reg.resolve("d").unwrap();
+        assert_eq!(fp, info.fingerprint);
+        assert_eq!(table.num_rows(), 2);
+        assert_eq!(reg.contents_len(), 2);
+    }
+}

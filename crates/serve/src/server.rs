@@ -1,0 +1,629 @@
+//! The daemon: TCP accept loop, request routing, and graceful shutdown.
+//!
+//! # Endpoints
+//!
+//! | Method | Path          | Purpose |
+//! |--------|---------------|---------|
+//! | POST   | `/datasets`   | Register a dataset (JSON `{"name","path"}` or an uploaded CSV body with `?name=`) |
+//! | GET    | `/datasets`   | List registered datasets |
+//! | POST   | `/profile`    | Run (or fetch) a profiling job: `{"dataset","algorithm","timeout_ms"?}` |
+//! | GET    | `/jobs/:id`   | Job status |
+//! | GET    | `/metrics`    | Cumulative server counters |
+//! | GET    | `/healthz`    | Liveness |
+//! | POST   | `/shutdown`   | Graceful shutdown (same path SIGTERM takes) |
+//!
+//! `POST /profile` semantics: cache hit → `200` immediately (`X-Cache:
+//! hit`); miss → the request waits up to its timeout for the job, then
+//! either `200` (`X-Cache: miss` for the leader, `coalesced` for requests
+//! that joined an in-flight run) or `202` with the job id; full queue →
+//! `429` with `Retry-After`.
+//!
+//! Shutdown (SIGTERM, or `POST /shutdown`) stops the accept loop, lets
+//! in-flight connections finish, then drains the job queue and joins the
+//! scheduler workers before `run()` returns.
+
+use std::io::Write;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use muds_core::json::{json_string, parse_json, JsonValue};
+use muds_core::{Algorithm, ProfilerConfig};
+use muds_table::CsvOptions;
+
+use crate::cache::{Begin, CacheKey, ResultCache};
+use crate::http::{read_request, HttpError, Request, Response};
+use crate::metrics::ServeMetrics;
+use crate::registry::{DatasetInfo, Registry};
+use crate::scheduler::{JobSpec, JobStatus, Scheduler};
+
+/// Server tunables. `ServeConfig::default()` matches the CLI defaults.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `127.0.0.1:7171` (port 0 picks an ephemeral one).
+    pub addr: String,
+    /// Scheduler worker threads (0 = available parallelism, capped at 4).
+    pub workers: usize,
+    /// Bounded job-queue capacity; overflow answers 429.
+    pub queue_capacity: usize,
+    /// Result-cache byte budget over the stored JSON documents.
+    pub cache_capacity: usize,
+    /// How long `POST /profile` waits for a result before answering 202.
+    /// Also the queued-job expiry deadline. Overridable per request.
+    pub default_timeout: Duration,
+    /// Largest accepted request body (CSV uploads).
+    pub max_body: usize,
+    /// Concurrent connection cap; overflow answers 503.
+    pub max_connections: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7171".to_string(),
+            workers: 0,
+            queue_capacity: 128,
+            cache_capacity: 64 << 20,
+            default_timeout: Duration::from_secs(30),
+            max_body: 64 << 20,
+            max_connections: 256,
+        }
+    }
+}
+
+/// Shared state behind every connection handler.
+pub struct ServerState {
+    pub registry: Registry,
+    pub cache: Arc<ResultCache>,
+    pub scheduler: Scheduler,
+    pub metrics: Arc<ServeMetrics>,
+    config: ServeConfig,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Requests shutdown: the accept loop exits on its next poll tick.
+    pub fn request_shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.shutdown.load(Ordering::Acquire) || sigterm_received()
+    }
+}
+
+/// Process-wide SIGTERM/SIGINT latch. A signal handler may only touch
+/// static atomics, so this cannot live in per-server state; the accept
+/// loop ORs it with the server's own flag.
+static TERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+fn sigterm_received() -> bool {
+    TERM_FLAG.load(Ordering::Acquire)
+}
+
+/// Installs SIGTERM/SIGINT handlers that set [`TERM_FLAG`]. std already
+/// links libc on unix, so the two symbols are declared directly instead of
+/// pulling in a crate.
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_term(_signum: i32) {
+        TERM_FLAG.store(true, Ordering::Release);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_term);
+        signal(SIGINT, on_term);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+/// A bound, not-yet-running server.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+}
+
+impl Server {
+    /// Binds the listener and spins up the scheduler; `run()` starts
+    /// serving.
+    pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let metrics = Arc::new(ServeMetrics::new());
+        let cache = Arc::new(ResultCache::new(config.cache_capacity, Arc::clone(&metrics)));
+        let workers = if config.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4)
+        } else {
+            config.workers
+        };
+        let scheduler = Scheduler::new(
+            workers,
+            config.queue_capacity,
+            Arc::clone(&cache),
+            Arc::clone(&metrics),
+        );
+        let state = Arc::new(ServerState {
+            registry: Registry::new(),
+            cache,
+            scheduler,
+            metrics,
+            config,
+            shutdown: AtomicBool::new(false),
+        });
+        Ok(Server { listener, state })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Shared state handle — lets embedders (tests, the CLI) request
+    /// shutdown or read metrics while `run()` owns the server.
+    pub fn state(&self) -> Arc<ServerState> {
+        Arc::clone(&self.state)
+    }
+
+    /// Serves until shutdown is requested (SIGTERM, SIGINT, `POST
+    /// /shutdown`, or [`ServerState::request_shutdown`]), then drains:
+    /// in-flight connections get 5 s to finish, queued jobs run to
+    /// completion, workers are joined.
+    pub fn run(self) -> std::io::Result<()> {
+        install_signal_handlers();
+        // Non-blocking accept so the loop can poll the shutdown flags; a
+        // signal handler cannot wake a blocking accept portably.
+        self.listener.set_nonblocking(true)?;
+        while !self.state.shutting_down() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let active =
+                        self.state.metrics.connections_active.fetch_add(1, Ordering::AcqRel) + 1;
+                    if active as usize > self.state.config.max_connections {
+                        self.state.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+                        let _ =
+                            Response::error(503, "connection limit reached").write_to(&mut &stream);
+                        self.state.metrics.count_response(503);
+                        continue;
+                    }
+                    let state = Arc::clone(&self.state);
+                    let spawned = std::thread::Builder::new()
+                        .name("muds-serve-conn".to_string())
+                        .spawn(move || {
+                            handle_connection(&state, stream);
+                            state.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+                        });
+                    if spawned.is_err() {
+                        self.state.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: connections first (they may still enqueue responses), then
+        // the job queue.
+        let drain_deadline = Instant::now() + Duration::from_secs(5);
+        while self.state.metrics.connections_active.load(Ordering::Acquire) > 0
+            && Instant::now() < drain_deadline
+        {
+            std::thread::sleep(Duration::from_millis(10));
+        }
+        self.state.scheduler.shutdown();
+        Ok(())
+    }
+}
+
+fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+    let request = match read_request(&mut stream, state.config.max_body) {
+        Ok(request) => request,
+        Err(HttpError::Closed) => return,
+        Err(e) => {
+            let status = match e {
+                HttpError::TooLarge(_) => 413,
+                HttpError::Io(_) => 408,
+                _ => 400,
+            };
+            let response = Response::error(status, &e.to_string());
+            state.metrics.count_response(response.status);
+            let _ = response.write_to(&mut stream);
+            return;
+        }
+    };
+    state.metrics.requests.inc();
+    let response = route(state, &request);
+    state.metrics.count_response(response.status);
+    let _ = response.write_to(&mut stream);
+    let _ = stream.flush();
+}
+
+fn route(state: &ServerState, request: &Request) -> Response {
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
+        ("GET", "/metrics") => Response::json(200, state.metrics.to_json()),
+        ("GET", "/datasets") => list_datasets(state),
+        ("POST", "/datasets") => register_dataset(state, request),
+        ("POST", "/profile") => profile_endpoint(state, request),
+        ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
+        ("POST", "/shutdown") => {
+            state.request_shutdown();
+            Response::json(200, "{\"status\":\"shutting down\"}".to_string())
+        }
+        ("GET" | "POST", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn dataset_info_json(info: &DatasetInfo) -> String {
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"name\":");
+    out.push_str(&json_string(&info.name));
+    out.push_str(&format!(",\"fingerprint\":\"{}\"", info.fingerprint));
+    out.push_str(",\"columns\":[");
+    for (i, c) in info.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&json_string(c));
+    }
+    out.push_str(&format!(
+        "],\"rows\":{},\"rows_deduplicated\":{},\"already_registered\":{}}}",
+        info.rows, info.rows_deduplicated, info.already_registered
+    ));
+    out
+}
+
+fn list_datasets(state: &ServerState) -> Response {
+    let mut out = String::from("{\"datasets\":[");
+    for (i, (name, fp, rows, columns)) in state.registry.list().iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"name\":{},\"fingerprint\":\"{}\",\"rows\":{},\"columns\":{}}}",
+            json_string(name),
+            fp,
+            rows,
+            columns
+        ));
+    }
+    out.push_str("]}");
+    Response::json(200, out)
+}
+
+fn register_dataset(state: &ServerState, request: &Request) -> Response {
+    let content_type = request.header("content-type").unwrap_or("");
+    let registered = if content_type.starts_with("application/json") {
+        // {"name": ..., "path": ...}: load a CSV file server-side.
+        let body = match std::str::from_utf8(&request.body) {
+            Ok(body) => body,
+            Err(_) => return Response::error(400, "request body is not UTF-8"),
+        };
+        let doc = match parse_json(body) {
+            Ok(doc) => doc,
+            Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+        };
+        let Some(path) = doc.get("path").and_then(JsonValue::as_str) else {
+            return Response::error(400, "JSON registration requires a \"path\" string");
+        };
+        let name =
+            doc.get("name").and_then(JsonValue::as_str).map(|s| s.to_string()).unwrap_or_else(
+                || {
+                    std::path::Path::new(path)
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .unwrap_or("dataset")
+                        .to_string()
+                },
+            );
+        state.registry.register_csv_path(&name, path, &CsvOptions::default())
+    } else {
+        // Anything else is an uploaded CSV body; name comes from the query.
+        let Some(name) = request.query_param("name").map(|s| s.to_string()) else {
+            return Response::error(400, "CSV upload requires ?name=<dataset-name>");
+        };
+        if name.is_empty() {
+            return Response::error(400, "dataset name must not be empty");
+        }
+        state.registry.register_csv_bytes(&name, &request.body, &CsvOptions::default())
+    };
+    match registered {
+        Ok(info) => {
+            state.metrics.datasets.set(state.registry.names_len() as i64);
+            Response::json(201, dataset_info_json(&info))
+        }
+        Err(e) => Response::error(400, &format!("registration failed: {e}")),
+    }
+}
+
+fn job_status(state: &ServerState, id: &str) -> Response {
+    let Ok(id) = id.parse::<u64>() else {
+        return Response::error(400, "job id must be an integer");
+    };
+    match state.scheduler.status(id) {
+        Some(record) => {
+            let mut out = format!(
+                "{{\"id\":{},\"dataset\":{},\"algorithm\":\"{}\",\"status\":\"{}\"",
+                record.id,
+                json_string(&record.dataset),
+                record.algorithm.name(),
+                record.status.name()
+            );
+            if let JobStatus::Failed(reason) = &record.status {
+                out.push_str(&format!(",\"error\":{}", json_string(reason)));
+            }
+            out.push('}');
+            Response::json(200, out)
+        }
+        None => Response::error(404, "unknown or expired job id"),
+    }
+}
+
+fn profile_endpoint(state: &ServerState, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let doc = match parse_json(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(dataset) = doc.get("dataset").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing \"dataset\" (a registered name or fingerprint)");
+    };
+    let Some(algorithm_name) = doc.get("algorithm").and_then(JsonValue::as_str) else {
+        return Response::error(400, "missing \"algorithm\" (muds|holistic-fun|baseline|tane)");
+    };
+    let Some(algorithm) = Algorithm::from_name(algorithm_name) else {
+        return Response::error(400, &format!("unknown algorithm {algorithm_name:?}"));
+    };
+    let timeout = doc
+        .get("timeout_ms")
+        .and_then(JsonValue::as_u64)
+        .map(Duration::from_millis)
+        .unwrap_or(state.config.default_timeout);
+    let Some((fingerprint, table)) = state.registry.resolve(dataset) else {
+        return Response::error(404, &format!("dataset {dataset:?} is not registered"));
+    };
+
+    let mut config = ProfilerConfig::default();
+    if let Some(seed) = doc.get("seed").and_then(JsonValue::as_u64) {
+        config.seed = seed;
+    }
+    let key = CacheKey { fingerprint, algorithm, config: config.cache_key() };
+
+    match state.cache.begin(&key) {
+        Begin::Hit(json) => Response::json(200, (*json).clone()).with_header("X-Cache", "hit"),
+        Begin::Follower(flight) => wait_for_flight(&flight, timeout, "coalesced"),
+        Begin::Leader(flight) => {
+            let spec = JobSpec {
+                dataset: dataset.to_string(),
+                table,
+                algorithm,
+                config,
+                key: key.clone(),
+            };
+            // Queued jobs expire if nothing could start them within the
+            // request timeout — nobody is left waiting by then.
+            let deadline = Some(Instant::now() + timeout);
+            match state.scheduler.submit(spec, Arc::clone(&flight), deadline) {
+                Ok(_id) => wait_for_flight(&flight, timeout, "miss"),
+                Err(_full) => {
+                    state.cache.abort(&key, &flight, "job queue full");
+                    Response::error(429, "job queue full, retry shortly")
+                        .with_header("Retry-After", "1")
+                }
+            }
+        }
+    }
+}
+
+fn wait_for_flight(
+    flight: &Arc<crate::cache::Flight>,
+    timeout: Duration,
+    cache_disposition: &str,
+) -> Response {
+    match flight.wait(timeout) {
+        Some(Ok(json)) => {
+            Response::json(200, (*json).clone()).with_header("X-Cache", cache_disposition)
+        }
+        Some(Err(error)) => Response::error(500, &error),
+        None => {
+            let job = flight.job_id().map(|id| id.to_string()).unwrap_or_else(|| "null".into());
+            Response::json(
+                202,
+                format!("{{\"status\":\"pending\",\"job\":{job},\"retry_ms\":250}}"),
+            )
+            .with_header("Retry-After", "1")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+
+    /// Drives one request against a running server over a real socket.
+    pub(crate) fn http(
+        addr: SocketAddr,
+        method: &str,
+        path: &str,
+        headers: &[(&str, &str)],
+        body: &[u8],
+    ) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut stream = TcpStream::connect(addr).expect("connect");
+        stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+        for (name, value) in headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(body).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).expect("read response");
+        parse_response(&raw)
+    }
+
+    fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response head");
+        let head = std::str::from_utf8(&raw[..head_end]).expect("utf-8 head");
+        let mut lines = head.split("\r\n");
+        let status_line = lines.next().unwrap();
+        let status: u16 = status_line.split(' ').nth(1).expect("status code").parse().unwrap();
+        let headers = lines
+            .filter_map(|l| l.split_once(':'))
+            .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+            .collect();
+        (status, headers, raw[head_end + 4..].to_vec())
+    }
+
+    pub(crate) fn start_server(
+        config: ServeConfig,
+    ) -> (SocketAddr, Arc<ServerState>, std::thread::JoinHandle<()>) {
+        let server = Server::bind(config).expect("bind");
+        let addr = server.local_addr().unwrap();
+        let state = server.state();
+        let handle = std::thread::spawn(move || server.run().expect("server run"));
+        (addr, state, handle)
+    }
+
+    fn test_config() -> ServeConfig {
+        ServeConfig { addr: "127.0.0.1:0".to_string(), workers: 2, ..ServeConfig::default() }
+    }
+
+    const CSV: &str = "id,grp,val\n1,a,x\n2,a,x\n3,b,y\n4,b,z\n";
+
+    #[test]
+    fn end_to_end_register_profile_and_hit() {
+        let (addr, state, handle) = start_server(test_config());
+
+        let (status, _, body) =
+            http(addr, "POST", "/datasets?name=t", &[("Content-Type", "text/csv")], CSV.as_bytes());
+        assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+        let info = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(info.get("rows").and_then(JsonValue::as_u64), Some(4));
+
+        let req = b"{\"dataset\":\"t\",\"algorithm\":\"muds\"}";
+        let (status, headers, body) =
+            http(addr, "POST", "/profile", &[("Content-Type", "application/json")], req);
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        assert_eq!(header(&headers, "x-cache"), Some("miss"));
+        let payload =
+            muds_core::profile_from_json(std::str::from_utf8(&body).unwrap()).expect("wire parses");
+        assert_eq!(payload.dataset, "t");
+        assert!(!payload.fds.is_empty());
+
+        // Same request again: a hit with a byte-identical payload.
+        let (status, headers, body2) =
+            http(addr, "POST", "/profile", &[("Content-Type", "application/json")], req);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "x-cache"), Some("hit"));
+        assert_eq!(body, body2, "hits serve the exact cached document");
+        assert_eq!(state.metrics.cache_hits.get(), 1);
+        assert_eq!(state.metrics.jobs_completed.get(), 1);
+
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn profile_validates_input_and_unknown_datasets() {
+        let (addr, state, handle) = start_server(test_config());
+        let post = |body: &str| {
+            http(addr, "POST", "/profile", &[("Content-Type", "application/json")], body.as_bytes())
+                .0
+        };
+        assert_eq!(post("not json"), 400);
+        assert_eq!(post("{\"algorithm\":\"muds\"}"), 400);
+        assert_eq!(post("{\"dataset\":\"x\",\"algorithm\":\"nope\"}"), 400);
+        assert_eq!(post("{\"dataset\":\"ghost\",\"algorithm\":\"muds\"}"), 404);
+        let (status, _, _) = http(addr, "GET", "/nope", &[], b"");
+        assert_eq!(status, 404);
+        let (status, _, _) = http(addr, "DELETE", "/datasets", &[], b"");
+        assert_eq!(status, 405);
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn register_by_path_and_by_body_share_content() {
+        let (addr, state, handle) = start_server(test_config());
+        let dir = std::env::temp_dir().join(format!("muds-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("upload.csv");
+        std::fs::write(&path, CSV).unwrap();
+
+        let body =
+            format!("{{\"name\":\"from-path\",\"path\":{}}}", json_string(path.to_str().unwrap()));
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            "/datasets",
+            &[("Content-Type", "application/json")],
+            body.as_bytes(),
+        );
+        assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+        let first = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            "/datasets?name=from-body",
+            &[("Content-Type", "text/csv")],
+            CSV.as_bytes(),
+        );
+        assert_eq!(status, 201);
+        let second = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(
+            first.get("fingerprint").and_then(JsonValue::as_str),
+            second.get("fingerprint").and_then(JsonValue::as_str),
+            "path and body registrations of the same CSV share a fingerprint"
+        );
+        assert_eq!(second.get("already_registered"), Some(&JsonValue::Bool(true)));
+
+        let (status, _, listing) = http(addr, "GET", "/datasets", &[], b"");
+        assert_eq!(status, 200);
+        let listing = parse_json(std::str::from_utf8(&listing).unwrap()).unwrap();
+        assert_eq!(listing.get("datasets").and_then(|d| d.as_array()).map(|a| a.len()), Some(2));
+
+        std::fs::remove_dir_all(&dir).ok();
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn shutdown_endpoint_stops_the_server() {
+        let (addr, _state, handle) = start_server(test_config());
+        let (status, _, _) = http(addr, "POST", "/shutdown", &[], b"");
+        assert_eq!(status, 200);
+        handle.join().unwrap();
+        // The listener is gone; connecting now fails (possibly after the
+        // OS drains the backlog, so allow a few attempts).
+        let mut attempts = 0;
+        loop {
+            match TcpStream::connect(addr) {
+                Err(_) => break,
+                Ok(_) if attempts > 50 => panic!("server still accepting after shutdown"),
+                Ok(_) => {
+                    attempts += 1;
+                    std::thread::sleep(Duration::from_millis(20));
+                }
+            }
+        }
+    }
+
+    pub(crate) fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+        headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+}

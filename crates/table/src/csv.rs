@@ -184,6 +184,25 @@ pub fn table_from_csv(name: &str, input: &str, options: &CsvOptions) -> Result<T
     Table::from_rows(name, &header_refs, &rows)
 }
 
+/// Parses raw CSV bytes (e.g. an uploaded request body) into a [`Table`].
+///
+/// The bytes must be UTF-8; a malformed sequence is reported as a CSV
+/// error pointing at the line containing the first invalid byte.
+pub fn table_from_csv_bytes(
+    name: &str,
+    bytes: &[u8],
+    options: &CsvOptions,
+) -> Result<Table, TableError> {
+    let input = std::str::from_utf8(bytes).map_err(|e| {
+        let line = 1 + bytes[..e.valid_up_to()].iter().filter(|&&b| b == b'\n').count();
+        TableError::Csv {
+            line,
+            message: format!("invalid UTF-8 at byte offset {}", e.valid_up_to()),
+        }
+    })?;
+    table_from_csv(name, input, options)
+}
+
 /// Reads a CSV file into a [`Table`], named after the file stem.
 pub fn table_from_csv_file(
     path: impl AsRef<Path>,
@@ -409,6 +428,21 @@ mod tests {
         assert_eq!(t2.name(), "roundtrip");
         assert_eq!(t2.num_rows(), 1);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn bytes_entry_point_parses_and_validates_utf8() {
+        let t = table_from_csv_bytes("t", b"a,b\n1,2\n", &CsvOptions::default()).unwrap();
+        assert_eq!(t.num_rows(), 1);
+        // Invalid UTF-8 on line 2 is reported with that line number.
+        let err = table_from_csv_bytes("t", b"a,b\n1,\xff\n", &CsvOptions::default()).unwrap_err();
+        match err {
+            TableError::Csv { line, message } => {
+                assert_eq!(line, 2);
+                assert!(message.contains("UTF-8"), "{message}");
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
     }
 
     #[test]

@@ -1,0 +1,182 @@
+//! Content fingerprinting for [`Table`]s.
+//!
+//! The serving layer stores datasets and caches profiling results by
+//! *content*, not by name or path: two registrations of byte-identical (or
+//! merely value-identical) data must collapse onto one registry entry and
+//! one cache lineage. The fingerprint therefore hashes the table's
+//! *canonical decoded content* — schema, row count, dictionaries, and the
+//! dictionary-encoded cell codes — rather than raw CSV bytes, so a table
+//! survives a CSV round-trip (quoting differences, `\r\n` vs `\n`, quoted
+//! empty vs bare empty) with its fingerprint intact as long as row and
+//! column order are preserved.
+//!
+//! The hash is FNV-1a/128 with length-prefixed framing (no separator
+//! ambiguity between adjacent variable-length fields). 128 bits keeps
+//! accidental collisions out of reach for any realistic registry size;
+//! this is an identifier, not a cryptographic commitment.
+
+use std::fmt;
+use std::str::FromStr;
+
+use crate::table::Table;
+
+const FNV128_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV128_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Streaming FNV-1a/128 hasher over framed byte fields.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV128_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u128;
+            self.0 = self.0.wrapping_mul(FNV128_PRIME);
+        }
+    }
+
+    /// Writes a length-prefixed field, so `["ab","c"]` and `["a","bc"]`
+    /// hash differently.
+    fn write_framed(&mut self, bytes: &[u8]) {
+        self.write(&(bytes.len() as u64).to_le_bytes());
+        self.write(bytes);
+    }
+
+    fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+}
+
+/// A 128-bit content hash of one table. Renders as (and parses from) 32
+/// lowercase hex digits — the wire form used in registry and cache keys.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Fingerprint(pub u128);
+
+impl fmt::Display for Fingerprint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+impl FromStr for Fingerprint {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.len() != 32 {
+            return Err(format!("fingerprint must be 32 hex digits, got {}", s.len()));
+        }
+        u128::from_str_radix(s, 16)
+            .map(Fingerprint)
+            .map_err(|_| "fingerprint must be 32 hex digits".to_string())
+    }
+}
+
+/// Content hash of `table`'s canonical decoded form.
+///
+/// Covers: column count and names (in schema order), row count, each
+/// column's sorted value dictionary, and each column's code sequence. Two
+/// tables get the same fingerprint iff they have identical schemas and
+/// identical cell values (NULLs included) in identical row order — the
+/// dictionary encoding is deterministic in the values, so code sequences
+/// are comparable across independently loaded copies.
+pub fn fingerprint(table: &Table) -> Fingerprint {
+    let mut h = Fnv128::new();
+    h.write_u64(table.num_columns() as u64);
+    h.write_u64(table.num_rows() as u64);
+    for column in table.columns() {
+        h.write_framed(column.name().as_bytes());
+        // The dictionary pins what each code means; null_code pins which
+        // code (if any) is NULL.
+        h.write_u64(column.sorted_distinct_values().len() as u64);
+        for value in column.sorted_distinct_values() {
+            h.write_framed(value.as_bytes());
+        }
+        h.write_u64(column.null_code() as u64);
+        for &code in column.codes() {
+            h.write(&code.to_le_bytes());
+        }
+    }
+    Fingerprint(h.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csv::{table_from_csv, table_to_csv, CsvOptions};
+
+    fn simple() -> Table {
+        Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["2", ""], vec!["1", "y"]])
+            .unwrap()
+    }
+
+    #[test]
+    fn identical_content_same_fingerprint_regardless_of_name() {
+        let a = simple();
+        let b = Table::from_rows(
+            "other-name",
+            &["a", "b"],
+            &[vec!["1", "x"], vec!["2", ""], vec!["1", "y"]],
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&a), fingerprint(&b), "table name must not affect content hash");
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_fingerprint() {
+        let t = Table::from_rows(
+            "t",
+            &["a", "b"],
+            &[vec!["x,1", "he said \"hi\""], vec!["", "multi\nline"]],
+        )
+        .unwrap();
+        let csv = table_to_csv(&t, &CsvOptions::default());
+        let reloaded = table_from_csv("t2", &csv, &CsvOptions::default()).unwrap();
+        assert_eq!(fingerprint(&t), fingerprint(&reloaded));
+    }
+
+    #[test]
+    fn any_content_difference_changes_fingerprint() {
+        let base = fingerprint(&simple());
+        // Different cell value.
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["2", ""], vec!["1", "z"]])
+                .unwrap();
+        assert_ne!(fingerprint(&t), base);
+        // NULL vs value.
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "x"], vec!["2", "q"], vec!["1", "y"]])
+                .unwrap();
+        assert_ne!(fingerprint(&t), base);
+        // Different column name.
+        let t =
+            Table::from_rows("t", &["a", "c"], &[vec!["1", "x"], vec!["2", ""], vec!["1", "y"]])
+                .unwrap();
+        assert_ne!(fingerprint(&t), base);
+        // Row order matters.
+        let t =
+            Table::from_rows("t", &["a", "b"], &[vec!["1", "y"], vec!["2", ""], vec!["1", "x"]])
+                .unwrap();
+        assert_ne!(fingerprint(&t), base);
+    }
+
+    #[test]
+    fn framing_distinguishes_shifted_values() {
+        // Same concatenation of dictionary bytes, different splits.
+        let a = Table::from_rows("t", &["c"], &[vec!["ab"], vec!["c"]]).unwrap();
+        let b = Table::from_rows("t", &["c"], &[vec!["a"], vec!["bc"]]).unwrap();
+        assert_ne!(fingerprint(&a), fingerprint(&b));
+    }
+
+    #[test]
+    fn display_and_parse_round_trip() {
+        let fp = fingerprint(&simple());
+        let text = fp.to_string();
+        assert_eq!(text.len(), 32);
+        assert_eq!(text.parse::<Fingerprint>().unwrap(), fp);
+        assert!("xyz".parse::<Fingerprint>().is_err());
+        assert!("g".repeat(32).parse::<Fingerprint>().is_err());
+    }
+}

@@ -10,12 +10,14 @@
 mod column;
 mod csv;
 mod error;
+mod fingerprint;
 mod table;
 
 pub use column::Column;
 pub use csv::{
-    parse_csv, parse_csv_records, table_from_csv, table_from_csv_file, table_to_csv,
-    table_to_csv_file, CsvOptions, CsvRecord,
+    parse_csv, parse_csv_records, table_from_csv, table_from_csv_bytes, table_from_csv_file,
+    table_to_csv, table_to_csv_file, CsvOptions, CsvRecord,
 };
 pub use error::TableError;
+pub use fingerprint::{fingerprint, Fingerprint};
 pub use table::{Table, MAX_COLUMNS};
