@@ -49,6 +49,9 @@ pub fn measure(
         .iter()
         .map(|&algorithm| {
             let t0 = Instant::now();
+            // lint:allow(panic): the CSV was serialized from an
+            // already-validated Table one line up; a parse failure here is
+            // a bench-harness bug and should abort the experiment loudly.
             let result = profile_csv(table.name(), &csv, &CsvOptions::default(), algorithm, config)
                 .expect("generated CSV is valid");
             let elapsed = t0.elapsed();
@@ -61,19 +64,20 @@ pub fn measure(
 /// experiment doubles as a correctness check.
 pub fn assert_consistent(measurements: &[Measurement]) {
     for pair in measurements.windows(2) {
+        let [a, b] = pair else { continue };
         assert_eq!(
-            pair[0].result.fds.to_sorted_vec(),
-            pair[1].result.fds.to_sorted_vec(),
+            a.result.fds.to_sorted_vec(),
+            b.result.fds.to_sorted_vec(),
             "{} and {} disagree on FDs",
-            pair[0].algorithm.name(),
-            pair[1].algorithm.name()
+            a.algorithm.name(),
+            b.algorithm.name()
         );
         assert_eq!(
-            pair[0].result.minimal_uccs,
-            pair[1].result.minimal_uccs,
+            a.result.minimal_uccs,
+            b.result.minimal_uccs,
             "{} and {} disagree on UCCs",
-            pair[0].algorithm.name(),
-            pair[1].algorithm.name()
+            a.algorithm.name(),
+            b.algorithm.name()
         );
     }
 }

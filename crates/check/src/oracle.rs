@@ -124,8 +124,7 @@ impl CheckSuite {
         let runs: Vec<(Algorithm, Fingerprint)> =
             Algorithm::ALL.iter().map(|&a| (a, fingerprint(table, a, &self.profiler))).collect();
         for pair in runs.windows(2) {
-            let (a, fa) = &pair[0];
-            let (b, fb) = &pair[1];
+            let [(a, fa), (b, fb)] = pair else { continue };
             if fa.fds != fb.fds {
                 return Some(FailureDetail {
                     invariant: "pipelines-fd",
@@ -175,6 +174,9 @@ impl CheckSuite {
         'outer: for &algorithm in &Algorithm::ALL {
             let mut reference: Option<(usize, Fingerprint)> = None;
             for &n in &self.thread_matrix {
+                // lint:allow(panic): the fuzz harness owns the process;
+                // if the vendored pool refuses to reconfigure, aborting the
+                // campaign loudly beats fuzzing with the wrong thread count.
                 rayon::ThreadPoolBuilder::new()
                     .num_threads(n)
                     .build_global()
@@ -197,6 +199,8 @@ impl CheckSuite {
                 }
             }
         }
+        // lint:allow(panic): same as above — restoring the ambient pool
+        // must not fail silently mid-campaign.
         rayon::ThreadPoolBuilder::new()
             .num_threads(self.restore_threads)
             .build_global()

@@ -84,6 +84,10 @@ pub enum Command {
         /// Default `POST /profile` wait before answering 202, in ms.
         timeout_ms: u64,
     },
+    /// Workspace static analysis (muds-lint); arguments pass through
+    /// to the lint runner (`--root`, `--format`, `--baseline`,
+    /// `--write-baseline`).
+    Lint { args: Vec<String> },
     /// Print usage.
     Help,
 }
@@ -372,6 +376,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 timeout_ms,
             })
         }
+        "lint" => Ok(Command::Lint { args: args[1..].to_vec() }),
         other => Err(ArgError(format!("unknown command {other:?}; try `mudsprof help`"))),
     }
 }
@@ -393,6 +398,8 @@ USAGE:
   mudsprof serve [--addr HOST:PORT] [--threads N] [--workers N]
                  [--cache-capacity BYTES] [--queue-capacity N]
                  [--timeout-ms MS]
+  mudsprof lint [--root DIR] [--format human|json] [--baseline FILE]
+                [--write-baseline]
   mudsprof help
 
 OUTPUT:

@@ -24,6 +24,11 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // The lint runner owns its exit-code convention (0 clean, 1 new
+    // findings, 2 error), so it bypasses `run`'s Ok/Err mapping.
+    if let Command::Lint { args } = command {
+        return ExitCode::from(muds_lint::run_cli(&args, &mut std::io::stdout()) as u8);
+    }
     match run(command) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
@@ -292,6 +297,7 @@ fn run(command: Command) -> Result<(), String> {
             }
             Ok(())
         }
+        Command::Lint { .. } => unreachable!("handled in main before dispatch"),
         Command::Serve { addr, threads, workers, cache_capacity, queue_capacity, timeout_ms } => {
             // --threads sizes the *intra-job* pool (same knob as the batch
             // commands); --workers sizes the scheduler's job pool.

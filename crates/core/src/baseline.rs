@@ -49,6 +49,9 @@ pub fn baseline(table: &Table, seed: u64) -> BaselineReport {
     let rows: Vec<Vec<String>> = (0..table.num_rows())
         .map(|r| table.row(r).iter().map(|v| v.unwrap_or("").to_string()).collect())
         .collect();
+    // lint:allow(panic): the rows were just read out of an
+    // already-validated Table, so re-encoding them cannot produce a shape
+    // error; a failure is an internal bug worth a loud abort.
     let rescan = || Table::from_rows(table.name(), &names, &rows).expect("re-encoding valid table");
     run_baseline(rescan, seed)
 }
@@ -56,6 +59,8 @@ pub fn baseline(table: &Table, seed: u64) -> BaselineReport {
 /// Runs the sequential baseline on CSV text, re-parsing it for every task —
 /// the honest analogue of the paper's three independent file reads.
 pub fn baseline_csv(name: &str, csv: &str, options: &CsvOptions, seed: u64) -> BaselineReport {
+    // lint:allow(panic): profile_csv parses this exact CSV before
+    // dispatching here, so the re-parse per task cannot fail differently.
     let rescan = || table_from_csv(name, csv, options).expect("valid csv");
     run_baseline(rescan, seed)
 }

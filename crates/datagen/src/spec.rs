@@ -182,6 +182,9 @@ impl DatasetSpec {
             })
             .collect();
 
+        // lint:allow(panic): the generator emits one value per (row,
+        // column) of its own grid, so the shape checks hold by
+        // construction; failure is a datagen bug worth a loud abort.
         Table::from_rows(self.name.clone(), &names, &rows)
             .expect("spec produces a valid table")
             .dedup_rows()

@@ -84,6 +84,9 @@ impl Fun<'_, '_> {
             return c;
         }
         self.stats.cards_inferred += 1;
+        // lint:allow(panic): direct_subsets() of a non-empty set is
+        // non-empty, and the empty set's cardinality is seeded at
+        // construction, so recursion never reaches an empty iterator.
         let max = set
             .direct_subsets()
             .map(|s| self.cardinality(&s))

@@ -86,11 +86,16 @@ impl FdSet {
 
     /// Iterates `(lhs, rhs-set)` entries in arbitrary order.
     pub fn iter_entries(&self) -> impl Iterator<Item = (&ColumnSet, &ColumnSet)> {
+        // lint:allow(hash-order): documented as arbitrary order; every
+        // ordered consumer goes through to_sorted_vec or minimize, which
+        // canonicalize (pinned by the tests/determinism.rs matrix).
         self.by_lhs.iter().filter(|(_, r)| !r.is_empty())
     }
 
     /// Flattens into sorted canonical `Fd`s.
     pub fn to_sorted_vec(&self) -> Vec<Fd> {
+        // lint:allow(hash-order): the flattened vec is fully sorted on
+        // the line below, erasing map iteration order from the result.
         let mut out: Vec<Fd> = self
             .by_lhs
             .iter()
@@ -113,6 +118,10 @@ impl FdSet {
             }
         }
         let mut out = FdSet::new();
+        // lint:allow(hash-order): rhs groups are independent — each group
+        // writes only its own rhs bit into `out`, and within a group the
+        // (cardinality, set) sort below fully canonicalizes trie growth;
+        // covered by the tests/determinism.rs matrix.
         for (a, mut lhss) in per_rhs {
             // Insert in ascending cardinality; a trie catches dominated sets.
             // Ties break on the set itself: `by_lhs` iterates in hash order,

@@ -33,6 +33,10 @@ pub fn inverted_index_inds(table: &Table) -> Vec<Ind> {
 
     let all = ColumnSet::full(n);
     let mut refs: Vec<ColumnSet> = (0..n).map(|i| all.without(i)).collect();
+    // lint:allow(hash-order): per-column refs accumulate via set
+    // intersection, which is commutative and associative, so the final
+    // refs are independent of value-group order; covered by the
+    // tests/determinism.rs matrix.
     for group in index.values() {
         for col in group.iter() {
             refs[col] = refs[col].intersection(group).without(col);

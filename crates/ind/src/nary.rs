@@ -86,6 +86,8 @@ pub fn nary_inds(table: &Table, max_arity: usize) -> Vec<NaryInd> {
         for base in &current {
             for u in &unary {
                 // Canonical order: append only larger dependent columns.
+                // lint:allow(panic): every NaryInd starts from a unary IND,
+                // so the dependent side always has at least one column.
                 let last_dep = *base.dependent.last().expect("non-empty");
                 if u.dependent <= last_dep {
                     continue;

@@ -198,6 +198,8 @@ impl ColumnSet {
     /// Iterates the column indices in ascending order.
     #[inline]
     pub fn iter(&self) -> ColumnIter {
+        // lint:allow(panic): words is the fixed-size [u64; WORDS] backing
+        // array, so index 0 always exists.
         ColumnIter { words: self.words, word_idx: 0, current: self.words[0] }
     }
 

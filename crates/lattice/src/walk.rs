@@ -270,6 +270,8 @@ impl<'a, O: MonotoneOracle> Search<'a, O> {
         self.exclude_derivable(frame);
         while !frame.remaining.is_empty() {
             let k = self.rng.gen_range(0..frame.remaining.cardinality());
+            // lint:allow(panic): k is drawn from 0..cardinality() of this
+            // exact set on the previous line, so nth(k) always yields.
             let c = frame.remaining.iter().nth(k).expect("k < cardinality");
             frame.remaining = frame.remaining.without(c);
             let candidate = if frame.positive { frame.set.without(c) } else { frame.set.with(c) };

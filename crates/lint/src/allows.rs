@@ -1,0 +1,120 @@
+//! Inline allow-comment parsing.
+//!
+//! Syntax: `// lint:allow(<key>): <justification>` where `<key>` is one of
+//! the keys in [`crate::rules::ALLOW_KEYS`] and the justification is
+//! mandatory free text explaining *why* the finding is acceptable. An
+//! allow suppresses matching findings on its own line or the few lines
+//! directly below it, so the excuse always sits next to the code it
+//! excuses. Malformed allows (unknown key, missing justification) are
+//! themselves findings (L000) — a broken allow silently stops working.
+
+use crate::rules::ALLOW_KEYS;
+
+/// A successfully parsed allow comment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AllowSite {
+    /// 1-based line of the comment.
+    pub line: usize,
+    /// The allow key, e.g. `hash-order`.
+    pub key: String,
+    /// The justification text after the colon.
+    pub justification: String,
+}
+
+/// Returns the allow key for `key` if it is recognised.
+pub fn allow_key(key: &str) -> Option<&'static str> {
+    ALLOW_KEYS.iter().copied().find(|k| *k == key)
+}
+
+/// Parses every `lint:allow` marker inside one comment's text. Returns
+/// `Ok(site)` per valid marker and `Err(message)` per malformed one.
+///
+/// Only plain `//` / `/*` comments whose body *starts* with `lint:allow`
+/// carry allows; doc comments (`///`, `//!`, `/**`, `/*!`) are prose and
+/// may mention the syntax without invoking it.
+pub fn parse_allow_comments(text: &str, line: usize) -> Vec<Result<AllowSite, String>> {
+    let mut out = Vec::new();
+    let body = text.strip_prefix("//").or_else(|| text.strip_prefix("/*")).unwrap_or(text);
+    if body.starts_with('/') || body.starts_with('!') || body.starts_with('*') {
+        return out; // doc comment
+    }
+    if !body.trim_start().starts_with("lint:allow") {
+        return out;
+    }
+    let mut rest = text;
+    while let Some(at) = rest.find("lint:allow") {
+        rest = &rest[at + "lint:allow".len()..];
+        let Some(after_open) = rest.strip_prefix('(') else {
+            out.push(Err(
+                "malformed allow: expected `lint:allow(<key>): <justification>`".to_string()
+            ));
+            continue;
+        };
+        let Some(close) = after_open.find(')') else {
+            out.push(Err("malformed allow: missing `)` after allow key".to_string()));
+            rest = after_open;
+            continue;
+        };
+        let key = after_open[..close].trim();
+        let tail = &after_open[close + 1..];
+        rest = tail;
+        if allow_key(key).is_none() {
+            out.push(Err(format!(
+                "unknown allow key {key:?}: expected one of {}",
+                ALLOW_KEYS.join(", ")
+            )));
+            continue;
+        }
+        let Some(after_colon) = tail.trim_start().strip_prefix(':') else {
+            out.push(Err(format!(
+                "allow for {key:?} is missing its justification: write \
+                 `lint:allow({key}): <why this is sound>`"
+            )));
+            continue;
+        };
+        let justification = after_colon.trim();
+        if justification.len() < 8 {
+            out.push(Err(format!(
+                "allow for {key:?} needs a real justification (at least a sentence), got \
+                 {justification:?}"
+            )));
+            continue;
+        }
+        out.push(Ok(AllowSite {
+            line,
+            key: key.to_string(),
+            justification: justification.to_string(),
+        }));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_valid_allow() {
+        let parsed = parse_allow_comments("// lint:allow(hash-order): sums are commutative", 7);
+        assert_eq!(parsed.len(), 1);
+        let site = parsed[0].as_ref().expect("valid allow");
+        assert_eq!(site.line, 7);
+        assert_eq!(site.key, "hash-order");
+        assert_eq!(site.justification, "sums are commutative");
+    }
+
+    #[test]
+    fn rejects_unknown_key_and_missing_justification() {
+        let unknown = parse_allow_comments("// lint:allow(nonsense): text here", 1);
+        assert!(unknown[0].as_ref().is_err_and(|m| m.contains("unknown allow key")));
+        let missing = parse_allow_comments("// lint:allow(panic)", 1);
+        assert!(missing[0].as_ref().is_err_and(|m| m.contains("missing its justification")));
+        let short = parse_allow_comments("// lint:allow(panic): ok", 1);
+        assert!(short[0].as_ref().is_err_and(|m| m.contains("real justification")));
+    }
+
+    #[test]
+    fn plain_comments_produce_nothing() {
+        assert!(parse_allow_comments("// nothing to see", 1).is_empty());
+    }
+}

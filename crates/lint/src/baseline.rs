@@ -1,0 +1,220 @@
+//! Count-based baseline: grandfathered findings fail the build only when
+//! their count grows.
+//!
+//! The baseline file is a tiny JSON object mapping `"RULE:file"` to the
+//! number of findings of that rule in that file at the time the baseline
+//! was written. Comparing counts (not spans) keeps the file stable across
+//! unrelated edits that shift line numbers, while still catching every
+//! *new* finding: any key whose current count exceeds its baselined count
+//! — including keys absent from the baseline — fails the run. Counts that
+//! shrink are reported as stale so the baseline can be tightened with
+//! `--write-baseline`.
+
+use crate::rules::Diagnostic;
+use std::collections::BTreeMap;
+
+/// Parsed baseline: `"RULE:file"` → grandfathered finding count.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Baseline {
+    pub counts: BTreeMap<String, usize>,
+}
+
+/// Outcome of comparing current findings against a baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Comparison {
+    /// Findings in keys whose count exceeds the baseline (all findings of
+    /// that key are listed, since spans aren't tracked per-finding).
+    pub new_findings: Vec<Diagnostic>,
+    /// Keys whose current count is below the baseline (candidates for
+    /// `--write-baseline` tightening): `(key, baselined, current)`.
+    pub stale: Vec<(String, usize, usize)>,
+    /// Total findings covered by the baseline.
+    pub suppressed: usize,
+}
+
+pub fn key_of(diag: &Diagnostic) -> String {
+    format!("{}:{}", diag.rule.id(), diag.file)
+}
+
+/// Groups findings by key and compares counts against the baseline.
+pub fn compare(diagnostics: &[Diagnostic], baseline: &Baseline) -> Comparison {
+    let mut by_key: BTreeMap<String, Vec<&Diagnostic>> = BTreeMap::new();
+    for diag in diagnostics {
+        by_key.entry(key_of(diag)).or_default().push(diag);
+    }
+    let mut comparison = Comparison::default();
+    for (key, found) in &by_key {
+        let allowed = baseline.counts.get(key).copied().unwrap_or(0);
+        if found.len() > allowed {
+            comparison.new_findings.extend(found.iter().map(|d| (*d).clone()));
+        } else {
+            comparison.suppressed += found.len();
+            if found.len() < allowed {
+                comparison.stale.push((key.clone(), allowed, found.len()));
+            }
+        }
+    }
+    for (key, allowed) in &baseline.counts {
+        if !by_key.contains_key(key) && *allowed > 0 {
+            comparison.stale.push((key.clone(), *allowed, 0));
+        }
+    }
+    comparison.stale.sort();
+    comparison
+}
+
+/// Builds a fresh baseline from the current findings.
+pub fn from_diagnostics(diagnostics: &[Diagnostic]) -> Baseline {
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    for diag in diagnostics {
+        *counts.entry(key_of(diag)).or_insert(0) += 1;
+    }
+    Baseline { counts }
+}
+
+/// Serialises the baseline as pretty-printed JSON (sorted keys, so diffs
+/// are stable).
+pub fn to_json(baseline: &Baseline) -> String {
+    let mut out = String::from("{\n");
+    let mut first = true;
+    for (key, count) in &baseline.counts {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&format!("  \"{}\": {}", escape(key), count));
+    }
+    out.push_str("\n}\n");
+    if baseline.counts.is_empty() {
+        return "{}\n".to_string();
+    }
+    out
+}
+
+/// Parses the baseline JSON. The format is a flat string→number object;
+/// anything else is an error so a corrupted baseline can't silently allow
+/// regressions.
+pub fn parse_json(text: &str) -> Result<Baseline, String> {
+    let mut counts = BTreeMap::new();
+    let mut chars = text.char_indices().peekable();
+    skip_ws(&mut chars);
+    expect(&mut chars, '{')?;
+    skip_ws(&mut chars);
+    if chars.peek().map(|(_, c)| *c) == Some('}') {
+        chars.next();
+        return Ok(Baseline { counts });
+    }
+    loop {
+        skip_ws(&mut chars);
+        let key = parse_string(&mut chars, text)?;
+        skip_ws(&mut chars);
+        expect(&mut chars, ':')?;
+        skip_ws(&mut chars);
+        let count = parse_number(&mut chars)?;
+        counts.insert(key, count);
+        skip_ws(&mut chars);
+        match chars.next().map(|(_, c)| c) {
+            Some(',') => continue,
+            Some('}') => break,
+            other => return Err(format!("baseline: expected `,` or `}}`, got {other:?}")),
+        }
+    }
+    Ok(Baseline { counts })
+}
+
+type Chars<'a> = std::iter::Peekable<std::str::CharIndices<'a>>;
+
+fn skip_ws(chars: &mut Chars<'_>) {
+    while chars.peek().is_some_and(|(_, c)| c.is_whitespace()) {
+        chars.next();
+    }
+}
+
+fn expect(chars: &mut Chars<'_>, want: char) -> Result<(), String> {
+    match chars.next().map(|(_, c)| c) {
+        Some(c) if c == want => Ok(()),
+        other => Err(format!("baseline: expected {want:?}, got {other:?}")),
+    }
+}
+
+fn parse_string(chars: &mut Chars<'_>, text: &str) -> Result<String, String> {
+    expect(chars, '"')?;
+    let start = chars.peek().map(|(i, _)| *i).unwrap_or(text.len());
+    for (i, c) in chars.by_ref() {
+        if c == '\\' {
+            return Err("baseline: escape sequences in keys are not supported".to_string());
+        }
+        if c == '"' {
+            return Ok(text[start..i].to_string());
+        }
+    }
+    Err("baseline: unterminated string".to_string())
+}
+
+fn parse_number(chars: &mut Chars<'_>) -> Result<usize, String> {
+    let mut value: usize = 0;
+    let mut seen = false;
+    while let Some((_, c)) = chars.peek() {
+        if let Some(digit) = c.to_digit(10) {
+            value = value.saturating_mul(10).saturating_add(digit as usize);
+            seen = true;
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    if seen {
+        Ok(value)
+    } else {
+        Err("baseline: expected a count".to_string())
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::Rule;
+
+    fn diag(rule: Rule, file: &str, line: usize) -> Diagnostic {
+        Diagnostic { rule, file: file.to_string(), line, col: 1, message: String::new() }
+    }
+
+    #[test]
+    fn roundtrips_through_json() {
+        let diags =
+            [diag(Rule::L002, "a.rs", 1), diag(Rule::L002, "a.rs", 2), diag(Rule::L004, "b.rs", 9)];
+        let baseline = from_diagnostics(&diags);
+        let parsed = parse_json(&to_json(&baseline)).expect("parse");
+        assert_eq!(parsed, baseline);
+        assert_eq!(parsed.counts.get("L002:a.rs"), Some(&2));
+    }
+
+    #[test]
+    fn growth_fails_shrink_is_stale() {
+        let baseline = parse_json("{\"L002:a.rs\": 2, \"L004:b.rs\": 1}").expect("parse");
+        // Same counts: all suppressed.
+        let same = [diag(Rule::L002, "a.rs", 1), diag(Rule::L002, "a.rs", 5)];
+        let cmp = compare(&same, &baseline);
+        assert!(cmp.new_findings.is_empty());
+        assert_eq!(cmp.suppressed, 2);
+        assert_eq!(cmp.stale, vec![("L004:b.rs".to_string(), 1, 0)]);
+        // One more L002: the whole key fails.
+        let grown =
+            [diag(Rule::L002, "a.rs", 1), diag(Rule::L002, "a.rs", 5), diag(Rule::L002, "a.rs", 9)];
+        assert_eq!(compare(&grown, &baseline).new_findings.len(), 3);
+        // A rule/file pair absent from the baseline always fails.
+        let fresh = [diag(Rule::L006, "c.rs", 3)];
+        assert_eq!(compare(&fresh, &baseline).new_findings.len(), 1);
+    }
+
+    #[test]
+    fn empty_baseline_serialises_cleanly() {
+        assert_eq!(to_json(&Baseline::default()), "{}\n");
+        assert!(parse_json("{}").expect("parse").counts.is_empty());
+        assert!(parse_json("[]").is_err());
+    }
+}

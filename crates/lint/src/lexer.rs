@@ -1,0 +1,413 @@
+//! A lightweight, span-accurate Rust tokenizer.
+//!
+//! This is not a full Rust lexer — it knows exactly enough to drive the
+//! rule engine safely: identifiers, punctuation, and literals come out as
+//! tokens with `line:col` spans, while comments (line, block, nested
+//! block) and every string-literal flavour (plain, raw `r#"…"#`, byte,
+//! raw byte, char, lifetimes) are recognized so that rule patterns never
+//! fire on text inside a string or a comment. Doc comments are comments.
+//!
+//! Columns are 1-based byte offsets within the line, matching what
+//! editors and `rustc` print for ASCII source (the workspace is ASCII
+//! outside string literals, where spans never point).
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `unsafe`, `HashMap`, …).
+    Ident,
+    /// One punctuation byte (`.`, `{`, `!`, …). Multi-byte operators come
+    /// out as consecutive tokens; rules only ever match single glyphs.
+    Punct,
+    /// String / raw-string / byte-string literal. `text` is the *decoded
+    /// quote-free content is not needed* — it keeps the raw source slice.
+    Str,
+    /// Char literal (`'a'`, `'\n'`).
+    Char,
+    /// Numeric literal (`42`, `0xFF`, `1_000`, `2.5e3`).
+    Number,
+    /// Lifetime (`'a`) — kept distinct so it never looks like a char.
+    Lifetime,
+}
+
+/// One token with its source span.
+#[derive(Debug, Clone)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Raw source text of the token (including quotes for literals).
+    pub text: String,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column (byte offset within the line).
+    pub col: usize,
+}
+
+/// One comment with the line it starts on. Block comments keep their full
+/// text (newlines included).
+#[derive(Debug, Clone)]
+pub struct Comment {
+    pub text: String,
+    pub line: usize,
+}
+
+/// Tokenizer output: the token stream plus every comment encountered.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// All comments that start on `line`.
+    pub fn comments_on(&self, line: usize) -> impl Iterator<Item = &Comment> {
+        self.comments.iter().filter(move |c| c.line == line)
+    }
+}
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: usize,
+    col: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Tokenizes `source`. Unterminated constructs (string, block comment) are
+/// consumed to end-of-file rather than reported — the compiler owns syntax
+/// errors; the linter only needs to never mis-classify what follows.
+pub fn lex(source: &str) -> Lexed {
+    let mut cur = Cursor { bytes: source.as_bytes(), pos: 0, line: 1, col: 1 };
+    let mut out = Lexed::default();
+
+    while let Some(b) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        match b {
+            b' ' | b'\t' | b'\r' | b'\n' => {
+                cur.bump();
+            }
+            b'/' if cur.peek_at(1) == Some(b'/') => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| c != b'\n') {
+                    cur.bump();
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'/' if cur.peek_at(1) == Some(b'*') => {
+                let start = cur.pos;
+                cur.bump();
+                cur.bump();
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (cur.peek(), cur.peek_at(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            cur.bump();
+                            cur.bump();
+                        }
+                        (Some(_), _) => {
+                            cur.bump();
+                        }
+                        (None, _) => break,
+                    }
+                }
+                out.comments.push(Comment {
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                });
+            }
+            b'r' | b'b' if raw_string_hashes(&cur).is_some() => {
+                let hashes = raw_string_hashes(&cur).unwrap_or(0);
+                let start = cur.pos;
+                // Consume the prefix (`r`, `br`, `b`), hashes, and quote.
+                while cur.peek() != Some(b'"') {
+                    cur.bump();
+                }
+                cur.bump(); // opening quote
+                let closer: Vec<u8> =
+                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+                loop {
+                    if cur.peek().is_none() {
+                        break;
+                    }
+                    if cur.bytes[cur.pos..].starts_with(&closer) {
+                        for _ in 0..closer.len() {
+                            cur.bump();
+                        }
+                        break;
+                    }
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            b'b' if cur.peek_at(1) == Some(b'"') => {
+                cur.bump();
+                let text = lex_quoted(&mut cur, b'"');
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+            }
+            b'b' if cur.peek_at(1) == Some(b'\'') => {
+                cur.bump();
+                let text = lex_quoted(&mut cur, b'\'');
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text: format!("b{text}"),
+                    line,
+                    col,
+                });
+            }
+            b'"' => {
+                let text = lex_quoted(&mut cur, b'"');
+                out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
+            }
+            b'\'' => {
+                // Lifetime (`'a`, `'static`) vs char literal (`'a'`,
+                // `'\n'`): a lifetime is `'` + ident with no closing quote.
+                if cur.peek_at(1).is_some_and(is_ident_start) && cur.peek_at(2) != Some(b'\'') {
+                    cur.bump();
+                    let start = cur.pos;
+                    while cur.peek().is_some_and(is_ident_continue) {
+                        cur.bump();
+                    }
+                    out.tokens.push(Token {
+                        kind: TokenKind::Lifetime,
+                        text: format!("'{}", String::from_utf8_lossy(&cur.bytes[start..cur.pos])),
+                        line,
+                        col,
+                    });
+                } else {
+                    let text = lex_quoted(&mut cur, b'\'');
+                    out.tokens.push(Token { kind: TokenKind::Char, text, line, col });
+                }
+            }
+            b if b.is_ascii_digit() => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(|c| {
+                    c.is_ascii_alphanumeric()
+                        || c == b'_'
+                        || c == b'.' && {
+                            // `1..n` is a range, not a float: only eat `.` when
+                            // followed by a digit.
+                            cur.peek_at(1).is_some_and(|d| d.is_ascii_digit())
+                        }
+                }) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Number,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            b if is_ident_start(b) => {
+                let start = cur.pos;
+                while cur.peek().is_some_and(is_ident_continue) {
+                    cur.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
+                    line,
+                    col,
+                });
+            }
+            _ => {
+                cur.bump();
+                out.tokens.push(Token {
+                    kind: TokenKind::Punct,
+                    text: (b as char).to_string(),
+                    line,
+                    col,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// Does the cursor sit on a raw-string opener (`r"`, `r#"`, `br##"`, …)?
+/// Returns the hash count when it does.
+fn raw_string_hashes(cur: &Cursor<'_>) -> Option<usize> {
+    let mut offset = 1;
+    if cur.peek() == Some(b'b') {
+        if cur.peek_at(1) != Some(b'r') {
+            return None;
+        }
+        offset = 2;
+    } else if cur.peek() != Some(b'r') {
+        return None;
+    }
+    let mut hashes = 0;
+    while cur.peek_at(offset + hashes) == Some(b'#') {
+        hashes += 1;
+    }
+    (cur.peek_at(offset + hashes) == Some(b'"')).then_some(hashes)
+}
+
+/// Consumes a `quote`-delimited literal with `\` escapes, returning its raw
+/// text including the quotes.
+fn lex_quoted(cur: &mut Cursor<'_>, quote: u8) -> String {
+    let start = cur.pos;
+    cur.bump(); // opening quote
+    while let Some(b) = cur.peek() {
+        if b == b'\\' {
+            cur.bump();
+            cur.bump();
+        } else if b == quote {
+            cur.bump();
+            break;
+        } else {
+            cur.bump();
+        }
+    }
+    String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src).tokens.into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_puncts_numbers() {
+        let toks = kinds("let x = 42;");
+        assert_eq!(
+            toks,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Number, "42".into()),
+                (TokenKind::Punct, ";".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn spans_are_line_col_accurate() {
+        let lexed = lex("fn a() {\n    x.unwrap();\n}\n");
+        let unwrap = lexed.tokens.iter().find(|t| t.text == "unwrap").unwrap();
+        assert_eq!((unwrap.line, unwrap.col), (2, 7));
+    }
+
+    #[test]
+    fn strings_hide_their_content_from_the_stream() {
+        let toks = kinds(r#"emit("fake .unwrap() inside")"#);
+        assert_eq!(toks.len(), 4, "{toks:?}"); // emit ( "…" )
+        assert_eq!(toks[2].0, TokenKind::Str);
+        assert!(toks.iter().all(|(_, text)| text != "unwrap" || text.starts_with('"')));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let toks = kinds(r###"let s = r#"quote " inside"#; x"###);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, r###"r#"quote " inside"#"###);
+        assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn byte_and_char_literals() {
+        let toks = kinds(r#"(b"bytes", b'\n', 'c', '\'')"#);
+        let kinds_only: Vec<TokenKind> = toks.iter().map(|(k, _)| *k).collect();
+        assert_eq!(
+            kinds_only,
+            vec![
+                TokenKind::Punct,
+                TokenKind::Str,
+                TokenKind::Punct,
+                TokenKind::Char,
+                TokenKind::Punct,
+                TokenKind::Char,
+                TokenKind::Punct,
+                TokenKind::Char,
+                TokenKind::Punct,
+            ]
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let toks = kinds("fn f<'a>(x: &'a str) {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Lifetime && t == "'a"));
+        assert!(toks.iter().all(|(k, _)| *k != TokenKind::Char));
+    }
+
+    #[test]
+    fn comments_are_captured_not_tokenized() {
+        let lexed = lex("x; // trailing .unwrap()\n/* block\nspanning */ y;");
+        assert_eq!(lexed.tokens.iter().filter(|t| t.text == "unwrap").count(), 0);
+        assert_eq!(lexed.comments.len(), 2);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert_eq!(lexed.comments[1].line, 2);
+        assert!(lexed.comments[1].text.contains("spanning"));
+        let y = lexed.tokens.iter().find(|t| t.text == "y").unwrap();
+        assert_eq!(y.line, 3);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let lexed = lex("/* outer /* inner */ still comment */ token");
+        assert_eq!(lexed.tokens.len(), 1);
+        assert_eq!(lexed.tokens[0].text, "token");
+    }
+
+    #[test]
+    fn ranges_do_not_become_floats() {
+        let toks = kinds("for i in 0..10 {}");
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "0"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Number && t == "10"));
+        assert!(toks.iter().any(|(k, t)| *k == TokenKind::Punct && t == "."));
+        let floats = kinds("let f = 2.5e3;");
+        assert!(floats.iter().any(|(k, t)| *k == TokenKind::Number && t == "2.5e3"));
+    }
+}

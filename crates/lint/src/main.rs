@@ -1,0 +1,9 @@
+//! `muds-lint` binary: lints the workspace against the project rule
+//! catalogue (DESIGN.md §11). Exit codes: 0 clean/baseline-stable,
+//! 1 new findings, 2 usage or I/O error.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut stdout = std::io::stdout();
+    std::process::exit(muds_lint::run_cli(&args, &mut stdout));
+}

@@ -1,0 +1,5 @@
+// lint:allow(hash-order)
+pub fn missing_justification() {}
+
+// lint:allow(mystery): unknown keys must be rejected loudly.
+pub fn unknown_key() {}

@@ -1,0 +1,3 @@
+/// Mentioning `lint:allow(hash-order)` in a doc comment is fine; doc
+/// text documents the syntax, it does not use it.
+pub fn documented() {}

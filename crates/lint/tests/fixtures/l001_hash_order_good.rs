@@ -1,0 +1,13 @@
+use std::collections::HashMap;
+
+pub fn total(counts: &HashMap<u32, usize>) -> usize {
+    counts.values().sum()
+}
+
+pub fn sorted_keys(counts: &HashMap<u32, usize>) -> Vec<u32> {
+    // lint:allow(hash-order): fully sorted on the next line, so storage
+    // order cannot reach the caller.
+    let mut keys: Vec<u32> = counts.keys().copied().collect();
+    keys.sort();
+    keys
+}

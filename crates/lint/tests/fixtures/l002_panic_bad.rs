@@ -1,0 +1,15 @@
+pub fn first_line(text: &str) -> String {
+    let line = text.lines().next().unwrap();
+    line.to_string()
+}
+
+pub fn port() -> String {
+    std::env::var("PORT").expect("PORT must be set")
+}
+
+pub fn head(v: &[u8]) -> u8 {
+    if v.is_empty() {
+        panic!("empty input");
+    }
+    v[0]
+}

@@ -1,0 +1,15 @@
+pub fn first_line(text: &str) -> Option<String> {
+    text.lines().next().map(str::to_string)
+}
+
+pub fn head(v: &[u8]) -> Option<u8> {
+    v.first().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn unwrap_is_fine_in_tests() {
+        assert_eq!(super::head(&[7]).unwrap(), 7);
+    }
+}

@@ -1,0 +1,3 @@
+pub fn reinterpret(bytes: &[u8; 4]) -> u32 {
+    unsafe { std::mem::transmute(*bytes) }
+}

@@ -1,0 +1,5 @@
+pub fn reinterpret(bytes: &[u8; 4]) -> u32 {
+    // SAFETY: any 4-byte value is a valid u32; alignment is irrelevant
+    // because transmute copies by value.
+    unsafe { std::mem::transmute(*bytes) }
+}

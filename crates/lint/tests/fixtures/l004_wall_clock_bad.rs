@@ -1,0 +1,7 @@
+use std::time::Instant;
+
+pub fn elapsed_ms(work: impl Fn()) -> u128 {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_millis()
+}

@@ -1,0 +1,5 @@
+pub fn stamp() -> std::time::SystemTime {
+    // lint:allow(wall-clock): fixture for a justified clock read; the
+    // timestamp is attached to log output and never reaches results.
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,4 @@
+pub fn record(metrics: &muds_obs::Metrics) {
+    metrics.add("pli.requests", 1);
+    metrics.add("pli.bogus", 1);
+}

@@ -1,0 +1,6 @@
+pub fn record(metrics: &muds_obs::Metrics) {
+    metrics.add("pli.requests", 1);
+    // lint:allow(counter-name): fixture-local scratch metric, not part
+    // of the paper's catalogue.
+    metrics.add("scratch.probe", 1);
+}

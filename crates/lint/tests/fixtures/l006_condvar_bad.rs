@@ -1,0 +1,6 @@
+use std::sync::{Condvar, Mutex};
+
+pub fn wait_once(lock: &Mutex<bool>, cond: &Condvar) {
+    let guard = lock.lock().unwrap_or_else(|p| p.into_inner());
+    let _guard = cond.wait(guard).unwrap_or_else(|p| p.into_inner());
+}

@@ -1,0 +1,8 @@
+use std::sync::{Condvar, Mutex};
+
+pub fn wait_until_ready(lock: &Mutex<bool>, cond: &Condvar) {
+    let mut ready = lock.lock().unwrap_or_else(|p| p.into_inner());
+    while !*ready {
+        ready = cond.wait(ready).unwrap_or_else(|p| p.into_inner());
+    }
+}

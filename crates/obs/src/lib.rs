@@ -63,6 +63,13 @@ pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SpanNode};
 const COUNTER_SHARDS: usize = 8;
 
 /// One cache-line padded counter shard.
+///
+/// Shard atomics use `Ordering::Relaxed` throughout: each shard is an
+/// independent monotonic sum and no other data is published through it,
+/// so cross-variable ordering buys nothing. [`Counter::get`] is exact
+/// only once writers are quiescent — the pool join that ends a profiling
+/// phase provides the happens-before edge that flushes all shard writes
+/// before the drain reads them.
 #[repr(align(64))]
 #[derive(Debug, Default)]
 struct CounterShard(AtomicU64);
@@ -382,7 +389,7 @@ impl Metrics {
                     return elapsed; // already closed (defensive; shouldn't happen)
                 }
                 let straggler = open.len() - 1 > depth;
-                let mut span = open.pop().expect("non-empty checked above");
+                let Some(mut span) = open.pop() else { return elapsed };
                 let duration = if straggler { span.start.elapsed() } else { elapsed };
                 let node = SpanNode {
                     name: std::mem::take(&mut span.name),

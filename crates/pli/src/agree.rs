@@ -41,6 +41,9 @@ pub fn agree_sets(table: &Table) -> Vec<ColumnSet> {
     }
 
     let mut sets: HashSet<ColumnSet> = HashSet::new();
+    // lint:allow(hash-order): each pair contributes one agree set to a
+    // set union — a commutative accumulation — and the result vec is
+    // sorted before returning; covered by the tests/determinism.rs matrix.
     for (a, b) in pairs {
         let mut agree = ColumnSet::empty();
         for (c, col_codes) in codes.iter().enumerate().take(n) {
@@ -59,6 +62,9 @@ pub fn agree_sets(table: &Table) -> Vec<ColumnSet> {
 
 /// Keeps only the maximal sets of `sets` (no stored superset).
 pub fn maximal_sets(sets: &[ColumnSet]) -> Vec<ColumnSet> {
+    // lint:allow(hash-order): `sets` is this function's &[ColumnSet]
+    // parameter (the lint matches the HashSet of the same name above);
+    // the output is sorted below regardless.
     let mut maximal: Vec<ColumnSet> =
         sets.iter().copied().filter(|s| !sets.iter().any(|o| s.is_proper_subset_of(o))).collect();
     maximal.sort();

@@ -52,6 +52,7 @@ impl Pli {
         // Buckets fill in row order (rows ascending within each cluster),
         // but bucket order is code order; sort by first row to canonicalize.
         let mut clusters: Vec<Vec<RowId>> = buckets.into_iter().filter(|b| b.len() >= 2).collect();
+        // lint:allow(panic): clusters were just filtered to len() >= 2.
         clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows: codes.len(), size }
@@ -77,6 +78,9 @@ impl Pli {
         for cluster in &mut clusters {
             cluster.sort_unstable();
         }
+        // lint:allow(panic): from_clusters rejects clusters shorter than 2
+        // entries via the debug_assert contract above; stripped clusters
+        // are never empty.
         clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows, size }
@@ -144,6 +148,10 @@ impl Pli {
                     groups.entry(p).or_default().push(row);
                 }
             }
+            // lint:allow(hash-order): drain order only permutes the
+            // intermediate clusters vec, which is canonicalized by the
+            // sort-by-first-row below before the Pli is built; covered by
+            // the tests/determinism.rs matrix.
             for (_, rows) in groups.drain() {
                 if rows.len() >= 2 {
                     clusters.push(rows);
@@ -156,6 +164,8 @@ impl Pli {
         // invariant, so sorting by first row id fully canonicalizes —
         // making the result independent of operand order (which operand
         // played "small") and of hash-map history.
+        // lint:allow(panic): intersection emits only clusters with >= 2
+        // rows, so every cluster has a first element.
         clusters.sort_unstable_by_key(|c| c[0]);
         let size = clusters.iter().map(|c| c.len()).sum();
         Pli { clusters, num_rows: self.num_rows, size }
@@ -180,6 +190,7 @@ impl Pli {
     pub fn refines(&self, codes: &[u32]) -> bool {
         debug_assert_eq!(codes.len(), self.num_rows);
         for cluster in &self.clusters {
+            // lint:allow(panic): PLI clusters always hold >= 2 rows.
             let first = codes[cluster[0] as usize];
             if cluster[1..].iter().any(|&r| codes[r as usize] != first) {
                 return false;

@@ -26,6 +26,7 @@ use muds_core::Algorithm;
 use muds_table::Fingerprint;
 
 use crate::metrics::ServeMetrics;
+use crate::sync::{cond_wait_timeout, lock};
 
 /// Identity of one profiling computation.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -82,7 +83,7 @@ impl Flight {
     /// timeout — the computation keeps running and will land in the cache.
     pub fn wait(&self, timeout: Duration) -> Option<Result<Arc<String>, Arc<String>>> {
         let deadline = Instant::now() + timeout;
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = lock(&self.state);
         loop {
             if let FlightState::Done(outcome) = &*state {
                 return Some(outcome.clone());
@@ -91,8 +92,7 @@ impl Flight {
             if now >= deadline {
                 return None;
             }
-            let (next, timed_out) =
-                self.done.wait_timeout(state, deadline - now).expect("flight lock");
+            let (next, timed_out) = cond_wait_timeout(&self.done, state, deadline - now);
             state = next;
             if timed_out.timed_out() {
                 if let FlightState::Done(outcome) = &*state {
@@ -104,7 +104,7 @@ impl Flight {
     }
 
     fn resolve(&self, outcome: Result<Arc<String>, Arc<String>>) {
-        let mut state = self.state.lock().expect("flight lock");
+        let mut state = lock(&self.state);
         *state = FlightState::Done(outcome);
         self.done.notify_all();
     }
@@ -162,7 +162,7 @@ impl ResultCache {
 
     /// Looks up `key`, claiming leadership of the computation on a miss.
     pub fn begin(&self, key: &CacheKey) -> Begin {
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = lock(&self.inner);
         let inner = &mut *inner;
         inner.tick += 1;
         let tick = inner.tick;
@@ -193,7 +193,7 @@ impl ResultCache {
     /// Resolves a flight with a computed result and caches it.
     pub fn complete(&self, key: &CacheKey, flight: &Arc<Flight>, json: Arc<String>) {
         {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = lock(&self.inner);
             let inner = &mut *inner;
             inner.tick += 1;
             let tick = inner.tick;
@@ -229,7 +229,7 @@ impl ResultCache {
     /// for the key becomes a fresh leader).
     pub fn abort(&self, key: &CacheKey, flight: &Arc<Flight>, error: &str) {
         {
-            let mut inner = self.inner.lock().expect("cache lock");
+            let mut inner = lock(&self.inner);
             // Only remove the slot if it is still this flight (a later
             // completion may have replaced it).
             if let Some(Slot::InFlight(current)) = inner.entries.get(key) {
@@ -244,7 +244,7 @@ impl ResultCache {
 
     /// Number of entries (Ready + in flight).
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("cache lock").entries.len()
+        lock(&self.inner).entries.len()
     }
 
     pub fn is_empty(&self) -> bool {
@@ -253,7 +253,7 @@ impl ResultCache {
 
     /// Bytes of cached JSON currently held.
     pub fn bytes(&self) -> usize {
-        self.inner.lock().expect("cache lock").bytes
+        lock(&self.inner).bytes
     }
 }
 

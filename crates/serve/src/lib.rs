@@ -33,6 +33,7 @@ pub mod metrics;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
+mod sync;
 
 pub use cache::{Begin, CacheKey, Flight, ResultCache};
 pub use metrics::ServeMetrics;

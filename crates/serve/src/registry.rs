@@ -17,6 +17,8 @@ use muds_table::{
     TableError,
 };
 
+use crate::sync::lock;
+
 /// What a registration returned — enough for the `POST /datasets` response.
 #[derive(Debug, Clone)]
 pub struct DatasetInfo {
@@ -62,7 +64,7 @@ impl Registry {
         let fp = fingerprint(&table);
         let rows = table.num_rows();
         let columns: Vec<String> = table.column_names().iter().map(|c| c.to_string()).collect();
-        let mut inner = self.inner.lock().expect("registry lock");
+        let mut inner = lock(&self.inner);
         let already_registered = inner.tables.contains_key(&fp);
         if !already_registered {
             inner.tables.insert(fp, Arc::new(table));
@@ -103,7 +105,7 @@ impl Registry {
     /// Resolves `key` — a registered name, or a 32-hex-digit fingerprint —
     /// to the stored table.
     pub fn resolve(&self, key: &str) -> Option<(Fingerprint, Arc<Table>)> {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock(&self.inner);
         if let Some(fp) = inner.names.get(key) {
             return inner.tables.get(fp).map(|t| (*fp, Arc::clone(t)));
         }
@@ -113,7 +115,7 @@ impl Registry {
 
     /// Name bindings in sorted order: `(name, fingerprint, rows, columns)`.
     pub fn list(&self) -> Vec<(String, Fingerprint, usize, usize)> {
-        let inner = self.inner.lock().expect("registry lock");
+        let inner = lock(&self.inner);
         inner
             .names
             .iter()
@@ -126,12 +128,12 @@ impl Registry {
 
     /// Number of registered names.
     pub fn names_len(&self) -> usize {
-        self.inner.lock().expect("registry lock").names.len()
+        lock(&self.inner).names.len()
     }
 
     /// Number of distinct contents stored.
     pub fn contents_len(&self) -> usize {
-        self.inner.lock().expect("registry lock").tables.len()
+        lock(&self.inner).tables.len()
     }
 }
 

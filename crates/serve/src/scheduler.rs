@@ -27,6 +27,7 @@ use muds_table::Table;
 
 use crate::cache::{CacheKey, Flight, ResultCache};
 use crate::metrics::ServeMetrics;
+use crate::sync::{cond_wait, lock};
 
 /// Everything a worker needs to run one profiling job.
 pub struct JobSpec {
@@ -110,12 +111,14 @@ pub struct Scheduler {
 
 impl Scheduler {
     /// Spawns `workers` worker threads over a queue of `queue_capacity`.
+    /// Fails with the OS error if a worker thread cannot be spawned;
+    /// already-spawned workers are shut down before returning.
     pub fn new(
         workers: usize,
         queue_capacity: usize,
         cache: Arc<ResultCache>,
         metrics: Arc<ServeMetrics>,
-    ) -> Scheduler {
+    ) -> std::io::Result<Scheduler> {
         let shared = Arc::new(Shared {
             inner: Mutex::new(Inner {
                 queue: VecDeque::new(),
@@ -129,16 +132,25 @@ impl Scheduler {
             cache,
             metrics,
         });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("muds-serve-worker-{i}"))
-                    .spawn(move || worker_loop(shared))
-                    .expect("spawn scheduler worker")
-            })
-            .collect();
-        Scheduler { shared, workers: Mutex::new(handles) }
+        let mut handles = Vec::with_capacity(workers.max(1));
+        for i in 0..workers.max(1) {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = std::thread::Builder::new()
+                .name(format!("muds-serve-worker-{i}"))
+                .spawn(move || worker_loop(worker_shared));
+            match spawned {
+                Ok(handle) => handles.push(handle),
+                Err(e) => {
+                    shared.shutdown.store(true, Ordering::Release);
+                    shared.wake.notify_all();
+                    for handle in handles {
+                        let _ = handle.join();
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        Ok(Scheduler { shared, workers: Mutex::new(handles) })
     }
 
     /// Enqueues a job. Fails with [`QueueFull`] (→ 429) when the queue is
@@ -153,7 +165,7 @@ impl Scheduler {
             self.shared.metrics.jobs_rejected.inc();
             return Err(QueueFull);
         }
-        let mut inner = self.shared.inner.lock().expect("scheduler lock");
+        let mut inner = lock(&self.shared.inner);
         if inner.queue.len() >= self.shared.queue_capacity {
             self.shared.metrics.jobs_rejected.inc();
             return Err(QueueFull);
@@ -180,12 +192,12 @@ impl Scheduler {
 
     /// Bookkeeping for a job id, if still retained.
     pub fn status(&self, id: u64) -> Option<JobRecord> {
-        self.shared.inner.lock().expect("scheduler lock").jobs.get(&id).cloned()
+        lock(&self.shared.inner).jobs.get(&id).cloned()
     }
 
     /// Jobs currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.shared.inner.lock().expect("scheduler lock").queue.len()
+        lock(&self.shared.inner).queue.len()
     }
 
     /// Stops accepting new jobs, drains everything already queued, and
@@ -193,7 +205,7 @@ impl Scheduler {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake.notify_all();
-        let handles: Vec<_> = self.workers.lock().expect("worker handles").drain(..).collect();
+        let handles: Vec<_> = lock(&self.workers).drain(..).collect();
         for handle in handles {
             let _ = handle.join();
         }
@@ -203,7 +215,7 @@ impl Scheduler {
 fn worker_loop(shared: Arc<Shared>) {
     loop {
         let job = {
-            let mut inner = shared.inner.lock().expect("scheduler lock");
+            let mut inner = lock(&shared.inner);
             loop {
                 if let Some(job) = inner.queue.pop_front() {
                     shared.metrics.queue_depth.set(inner.queue.len() as i64);
@@ -212,7 +224,7 @@ fn worker_loop(shared: Arc<Shared>) {
                 if shared.shutdown.load(Ordering::Acquire) {
                     return;
                 }
-                inner = shared.wake.wait(inner).expect("scheduler lock");
+                inner = cond_wait(&shared.wake, inner);
             }
         };
         run_job(&shared, job);
@@ -220,7 +232,7 @@ fn worker_loop(shared: Arc<Shared>) {
 }
 
 fn finish(shared: &Shared, id: u64, status: JobStatus) {
-    let mut inner = shared.inner.lock().expect("scheduler lock");
+    let mut inner = lock(&shared.inner);
     if let Some(record) = inner.jobs.get_mut(&id) {
         record.status = status;
     }
@@ -245,7 +257,7 @@ fn run_job(shared: &Shared, job: Job) {
         }
     }
     {
-        let mut inner = shared.inner.lock().expect("scheduler lock");
+        let mut inner = lock(&shared.inner);
         if let Some(record) = inner.jobs.get_mut(&id) {
             record.status = JobStatus::Running;
         }
@@ -327,7 +339,8 @@ mod tests {
     fn harness(workers: usize, queue: usize) -> (Scheduler, Arc<ResultCache>, Arc<ServeMetrics>) {
         let metrics = Arc::new(ServeMetrics::new());
         let cache = Arc::new(ResultCache::new(1 << 20, Arc::clone(&metrics)));
-        let scheduler = Scheduler::new(workers, queue, Arc::clone(&cache), Arc::clone(&metrics));
+        let scheduler = Scheduler::new(workers, queue, Arc::clone(&cache), Arc::clone(&metrics))
+            .expect("spawn workers");
         (scheduler, cache, metrics)
     }
 

@@ -1,0 +1,35 @@
+//! Poison-tolerant locking helpers.
+//!
+//! A worker that panics mid-run is already contained by the scheduler's
+//! `catch_unwind`; the only way a serve mutex gets poisoned is a panic in
+//! a *test* or a bug elsewhere. Every critical section in this crate
+//! leaves its structures consistent before calling anything that can
+//! panic, so recovering the guard is sound — and it keeps one wedged
+//! request from turning the whole daemon into a cascade of lock panics.
+
+use std::sync::{Condvar, Mutex, MutexGuard, PoisonError, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `mutex`, recovering the guard from a poisoned lock.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the same poison recovery as [`lock`].
+pub(crate) fn cond_wait<'a, T>(cond: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    // lint:allow(condvar-loop): this helper is the wait primitive itself;
+    // every caller re-checks its predicate in a loop (which this same
+    // lint enforces at those call sites).
+    cond.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] with the same poison recovery as [`lock`].
+pub(crate) fn cond_wait_timeout<'a, T>(
+    cond: &Condvar,
+    guard: MutexGuard<'a, T>,
+    timeout: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    // lint:allow(condvar-loop): wait primitive; predicate loops live at
+    // the call sites, where this lint checks them.
+    cond.wait_timeout(guard, timeout).unwrap_or_else(PoisonError::into_inner)
+}

@@ -55,6 +55,9 @@ impl Column {
         dictionary.dedup();
         let null_code = dictionary.len() as u32;
         let mut null_count = 0;
+        // lint:allow(panic): the dictionary was built from these same
+        // values two lines up, so every non-empty value binary-searches to
+        // a hit; a miss is an encoder bug worth a loud abort.
         let codes = values
             .iter()
             .map(|v| {

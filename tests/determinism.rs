@@ -68,6 +68,14 @@ fn set_threads(n: usize) {
         .expect("vendored rayon pool is reconfigurable");
 }
 
+/// Crates whose hash-order allow sites are exercised by the matrix below:
+/// `Algorithm::ALL` over the three stand-in datasets drives PLI
+/// construction and intersection, FD/UCC/IND discovery, and the lattice
+/// walk end to end, so a hash-order leak in any of these crates would
+/// change a fingerprint between thread counts.
+const MATRIX_COVERED_CRATES: [&str; 6] =
+    ["crates/core", "crates/fd", "crates/ind", "crates/lattice", "crates/pli", "crates/ucc"];
+
 #[test]
 fn results_and_counters_are_identical_for_any_thread_count() {
     let datasets: Vec<Table> = vec![uniprot_like(200, 6), ncvoter_like(150, 8), ionosphere_like(8)];
@@ -98,4 +106,67 @@ fn results_and_counters_are_identical_for_any_thread_count() {
 
     // Restore the default (all cores) for anything else in this process.
     set_threads(0);
+}
+
+/// Cross-references the lint pass with this matrix: every
+/// `lint:allow(hash-order)` site in an algorithm crate must live in a
+/// crate the matrix exercises ([`MATRIX_COVERED_CRATES`]). An allow in an
+/// uncovered crate means someone suppressed the hash-order lint without a
+/// determinism test standing behind the justification — add the crate to
+/// the matrix (and the list above) or remove the allow.
+#[test]
+fn every_hash_order_allow_is_backed_by_a_matrix_case() {
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR"));
+    let sites = muds_lint::collect_allow_sites(root).expect("scan workspace allows");
+    let hash_allows: Vec<&(String, muds_lint::AllowSite)> =
+        sites.iter().filter(|(_, site)| site.key == "hash-order").collect();
+    assert!(
+        !hash_allows.is_empty(),
+        "no hash-order allow sites found — the cross-reference is vacuous; \
+         if they were all removed, delete this test's allow-list too"
+    );
+    for (file, site) in &hash_allows {
+        // Non-algorithm layers (lint itself, serve, obs, cli, vendor, the
+        // bench harness) don't feed profile results, so hash order there
+        // can't reach a fingerprint; the matrix contract is about
+        // algorithm crates only.
+        let algorithm_crate = MATRIX_COVERED_CRATES
+            .iter()
+            .chain(["crates/datagen", "crates/table"].iter())
+            .any(|c| file.starts_with(c));
+        let exempt_layer = [
+            "crates/lint",
+            "crates/obs",
+            "crates/serve",
+            "crates/cli",
+            "crates/bench",
+            "crates/check",
+            "vendor/",
+            "tests/",
+            "src/",
+        ]
+        .iter()
+        .any(|p| file.starts_with(p));
+        assert!(
+            algorithm_crate || exempt_layer,
+            "{file}:{}: hash-order allow in unrecognised crate — classify it in \
+             tests/determinism.rs (matrix-covered or exempt layer)",
+            site.line
+        );
+        if algorithm_crate {
+            assert!(
+                MATRIX_COVERED_CRATES.iter().any(|c| file.starts_with(c)),
+                "{file}:{}: hash-order allow ({:?}) in an algorithm crate the \
+                 determinism matrix does not exercise — add a matrix case and \
+                 list the crate in MATRIX_COVERED_CRATES",
+                site.line,
+                site.justification
+            );
+            assert!(
+                site.justification.len() >= 8,
+                "{file}:{}: hash-order justification too thin",
+                site.line
+            );
+        }
+    }
 }

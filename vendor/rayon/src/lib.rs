@@ -44,6 +44,13 @@ pub mod prelude {
 }
 
 /// Configured global thread count; 0 means "use available parallelism".
+///
+/// All accesses use `Ordering::Relaxed`: the count is a self-contained
+/// scalar — no other memory is published through it, so no acquire/release
+/// pairing is needed. A configuration racing with an in-flight `join`/
+/// `scope` can only make that call read the old or the new count, both of
+/// which are valid (the data handed to workers is synchronized separately
+/// by `thread::scope`'s spawn/join edges).
 static CONFIGURED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 thread_local! {
