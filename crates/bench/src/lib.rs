@@ -15,6 +15,9 @@ use muds_core::{profile_csv, Algorithm, ProfileResult, ProfilerConfig};
 use muds_obs::MetricsSnapshot;
 use muds_table::{table_to_csv, CsvOptions, Table};
 
+pub mod report;
+pub mod scenarios;
+
 /// Formats a duration as fractional seconds with sensible precision.
 pub fn secs(d: Duration) -> String {
     let s = d.as_secs_f64();
@@ -149,6 +152,9 @@ pub fn arg_flag(name: &str) -> bool {
 /// binary exit.
 pub struct MetricsSidecar {
     path: String,
+    /// Scenario key embedded in the envelope — the binary's name, matching
+    /// the `scenario` field of `BENCH_*.json` reports.
+    scenario: String,
     entries: Vec<String>,
 }
 
@@ -169,7 +175,7 @@ impl MetricsSidecar {
     /// `--metrics-out <path>`.
     pub fn for_bin(bin: &str) -> MetricsSidecar {
         let path = arg_str("--metrics-out").unwrap_or_else(|| format!("{bin}_metrics.json"));
-        MetricsSidecar { path, entries: Vec::new() }
+        MetricsSidecar { path, scenario: bin.to_string(), entries: Vec::new() }
     }
 
     /// Records one labelled snapshot, e.g. `("rows=50000", "MUDS", …)`.
@@ -189,9 +195,16 @@ impl MetricsSidecar {
         }
     }
 
-    /// The sidecar content: a JSON array, one element per recorded snapshot.
+    /// The sidecar content: the same schema-versioned envelope as
+    /// `BENCH_*.json` (so tooling can key both by `schema_version` +
+    /// `scenario`), with one `entries` element per recorded snapshot.
     pub fn to_json(&self) -> String {
-        format!("[\n  {}\n]\n", self.entries.join(",\n  "))
+        format!(
+            "{{\n\"schema_version\": {},\n\"scenario\": \"{}\",\n\"entries\": [\n  {}\n]\n}}\n",
+            report::SCHEMA_VERSION,
+            json_escape(&self.scenario),
+            self.entries.join(",\n  ")
+        )
     }
 
     /// Writes the sidecar, reporting the path (or the error) on stderr.
@@ -220,10 +233,16 @@ mod tests {
     fn sidecar_json_shape() {
         let t = uniprot_like(100, 5);
         let ms = measure(&t, &[Algorithm::Muds], &ProfilerConfig::default());
-        let mut sidecar = MetricsSidecar { path: "unused".into(), entries: Vec::new() };
+        let mut sidecar = MetricsSidecar::for_bin("fig6");
         sidecar.record_all("rows=100", &ms);
         let json = sidecar.to_json();
-        assert!(json.starts_with("[\n"));
+        let doc = muds_core::json::parse_json(&json).expect("sidecar envelope parses");
+        assert_eq!(
+            doc.get("schema_version").and_then(|v| v.as_u64()),
+            Some(report::SCHEMA_VERSION),
+            "sidecar shares the BENCH_*.json schema version"
+        );
+        assert_eq!(doc.get("scenario").and_then(|v| v.as_str()), Some("fig6"));
         assert!(json.contains("\"label\":\"rows=100\""));
         assert!(json.contains("\"algorithm\":\"MUDS\""));
         assert!(json.contains("\"pli.intersects\""));

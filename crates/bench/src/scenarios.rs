@@ -1,0 +1,541 @@
+//! The fixed scenario matrix behind `mudsprof bench`.
+//!
+//! Five profiling scenarios (3 datagen shapes × 4 algorithms, each entry
+//! tagged holistic vs sequential) plus one serve round-trip scenario that
+//! boots a real `muds-serve` daemon on an ephemeral port and measures
+//! register/miss/hit latencies over actual sockets. Scenario names are
+//! stable identifiers: they key `BENCH_<scenario>.json` files and the CI
+//! regression diff, so renaming one orphans its committed baseline.
+//!
+//! Timing discipline (enforced by lint rule L007): scenario code never
+//! reads the wall clock directly. Profile wall times come from the span
+//! tree the profiler itself records (`ProfileResult::total_time`), and
+//! serve-stage times from spans opened on a local `muds-obs` registry —
+//! so the numbers in the report are exactly the numbers the observability
+//! layer saw.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+use muds_core::json::parse_json;
+use muds_core::{profile_csv, Algorithm, ProfilerConfig};
+use muds_datagen::{ionosphere_like, ncvoter_like, uniprot_like};
+use muds_obs::{flatten_phases, Metrics, RssSampler};
+use muds_serve::{ServeConfig, Server};
+use muds_table::{table_to_csv, CsvOptions, Table};
+
+use crate::report::{BenchEntry, BenchReport, PhaseRow};
+
+/// What a scenario exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScenarioKind {
+    /// In-process `profile_csv` over all four algorithms.
+    Profile,
+    /// HTTP round-trips against an embedded `muds-serve` daemon.
+    Serve,
+}
+
+impl ScenarioKind {
+    pub fn name(&self) -> &'static str {
+        match self {
+            ScenarioKind::Profile => "profile",
+            ScenarioKind::Serve => "serve",
+        }
+    }
+}
+
+/// One row of the scenario matrix.
+#[derive(Debug, Clone, Copy)]
+pub struct ScenarioSpec {
+    /// Stable identifier: keys the `BENCH_<name>.json` file.
+    pub name: &'static str,
+    pub kind: ScenarioKind,
+    /// Datagen shape (`uniprot` | `ncvoter` | `ionosphere`).
+    pub shape: &'static str,
+    /// Rows at full size (0 = the shape fixes its own row count).
+    pub rows: usize,
+    pub cols: usize,
+    /// Which paper figure this configuration maps to (EXPERIMENTS.md).
+    pub figure: &'static str,
+}
+
+/// The full matrix, cheapest first. `ionosphere_wide` and `uniprot_10k`
+/// are the two CI smoke scenarios (see `.github/workflows/ci.yml`).
+pub const SCENARIOS: [ScenarioSpec; 6] = [
+    ScenarioSpec {
+        name: "ionosphere_wide",
+        kind: ScenarioKind::Profile,
+        shape: "ionosphere",
+        rows: 0,
+        // 14 columns: wide enough that the lattice dominates (Figure 7's
+        // regime) while the whole four-algorithm run stays ~1s; FD counts
+        // explode exponentially past ~16 columns.
+        cols: 14,
+        figure: "Figure 7 (column scalability, 351 rows)",
+    },
+    ScenarioSpec {
+        name: "uniprot_10k",
+        kind: ScenarioKind::Profile,
+        shape: "uniprot",
+        rows: 10_000,
+        cols: 8,
+        figure: "Figure 6 (row scalability, small point)",
+    },
+    ScenarioSpec {
+        name: "ncvoter_10k",
+        kind: ScenarioKind::Profile,
+        shape: "ncvoter",
+        rows: 10_000,
+        cols: 8,
+        figure: "Figure 6 (row scalability, small point)",
+    },
+    ScenarioSpec {
+        name: "serve_roundtrip",
+        kind: ScenarioKind::Serve,
+        shape: "ncvoter",
+        rows: 2_000,
+        cols: 8,
+        figure: "daemon overhead on a Figure 6 workload",
+    },
+    ScenarioSpec {
+        name: "uniprot_50k",
+        kind: ScenarioKind::Profile,
+        shape: "uniprot",
+        rows: 50_000,
+        cols: 10,
+        figure: "Figure 6/8 (row scalability + phase breakdown)",
+    },
+    ScenarioSpec {
+        name: "ncvoter_50k",
+        kind: ScenarioKind::Profile,
+        shape: "ncvoter",
+        rows: 50_000,
+        cols: 10,
+        figure: "Figure 6 (row scalability)",
+    },
+];
+
+/// Looks a scenario up by name.
+pub fn find(name: &str) -> Option<&'static ScenarioSpec> {
+    SCENARIOS.iter().find(|s| s.name == name)
+}
+
+/// Knobs shared by every scenario run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Worker threads requested via `--threads` (0 = pool default). Only
+    /// recorded — the global pool is configured once by the caller.
+    pub threads: usize,
+    /// Runs per entry; the best (minimum-wall) run is reported.
+    pub repeat: usize,
+    /// Divides row counts (min 200 rows) so tests can exercise the full
+    /// matrix in milliseconds. 1 = full size; committed baselines use 1.
+    pub scale: usize,
+    /// RSS sampler poll interval.
+    pub rss_interval: Duration,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        RunOptions { threads: 0, repeat: 3, scale: 1, rss_interval: Duration::from_millis(2) }
+    }
+}
+
+impl RunOptions {
+    fn scaled_rows(&self, rows: usize) -> usize {
+        (rows / self.scale.max(1)).max(200)
+    }
+}
+
+/// How the paper buckets each algorithm: the holistic contenders share
+/// one input scan; the sequential ones pay per-task scans.
+pub fn mode_of(algorithm: Algorithm) -> &'static str {
+    match algorithm {
+        Algorithm::Muds | Algorithm::HolisticFun => "holistic",
+        Algorithm::Baseline | Algorithm::Tane => "sequential",
+    }
+}
+
+fn generate(spec: &ScenarioSpec, opts: &RunOptions) -> Table {
+    match spec.shape {
+        "uniprot" => uniprot_like(opts.scaled_rows(spec.rows), spec.cols),
+        "ncvoter" => ncvoter_like(opts.scaled_rows(spec.rows), spec.cols),
+        _ => ionosphere_like(spec.cols),
+    }
+}
+
+/// Runs one scenario to a full report. Errors (not panics) on harness
+/// failures — a broken scenario must fail `bench` with a message, not
+/// take the process down mid-matrix.
+pub fn run_scenario(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, String> {
+    match spec.kind {
+        ScenarioKind::Profile => run_profile(spec, opts),
+        ScenarioKind::Serve => run_serve(spec, opts),
+    }
+}
+
+fn run_profile(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, String> {
+    let table = generate(spec, opts);
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    let config = ProfilerConfig::default();
+    let mut entries = Vec::with_capacity(Algorithm::ALL.len());
+    let mut report_peak = 0u64;
+    for algorithm in Algorithm::ALL {
+        let sampler = RssSampler::start(opts.rss_interval);
+        let mut best: Option<BenchEntry> = None;
+        for _ in 0..opts.repeat.max(1) {
+            // A fresh registry per run: the profiler drains it into the
+            // result, so counters and spans cover exactly this run even
+            // if the caller has its own ambient registry installed.
+            let registry = Metrics::new();
+            let alloc_before = muds_obs::alloc::allocated_bytes();
+            let result = {
+                let _guard = registry.install();
+                profile_csv(table.name(), &csv, &CsvOptions::default(), algorithm, &config)
+                    .map_err(|e| format!("{}: generated CSV failed to parse: {e}", spec.name))?
+            };
+            let alloc_bytes = muds_obs::alloc::allocated_bytes().saturating_sub(alloc_before);
+            let wall_ns = u64::try_from(result.total_time().as_nanos()).unwrap_or(u64::MAX);
+            if best.as_ref().is_none_or(|b| wall_ns < b.wall_ns) {
+                let rows = table.num_rows() as f64;
+                best = Some(BenchEntry {
+                    algorithm: algorithm.name().to_string(),
+                    mode: mode_of(algorithm).to_string(),
+                    wall_ns,
+                    rows_per_sec: rows / (wall_ns.max(1) as f64 / 1e9),
+                    peak_rss_bytes: 0, // filled below, once the window closes
+                    alloc_bytes,
+                    counters: result.metrics.counters.clone(),
+                    phases: phase_rows(&result.metrics.spans),
+                });
+            }
+        }
+        let window = sampler.stop();
+        report_peak = report_peak.max(window.peak_bytes);
+        let mut entry = best.ok_or_else(|| format!("{}: no runs executed", spec.name))?;
+        entry.peak_rss_bytes = window.peak_bytes;
+        entries.push(entry);
+    }
+    Ok(BenchReport {
+        scenario: spec.name.to_string(),
+        kind: spec.kind.name().to_string(),
+        shape: spec.shape.to_string(),
+        rows: table.num_rows() as u64,
+        columns: table.num_columns() as u64,
+        threads: opts.threads as u64,
+        repeat: opts.repeat.max(1) as u64,
+        alloc_tracking: muds_obs::alloc::tracking_enabled(),
+        peak_rss_bytes: report_peak,
+        entries,
+    })
+}
+
+fn phase_rows(spans: &[muds_obs::SpanNode]) -> Vec<PhaseRow> {
+    flatten_phases(spans).into_iter().map(|(name, total_ns)| PhaseRow { name, total_ns }).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Serve round-trip scenario: a real daemon, real sockets.
+// ---------------------------------------------------------------------------
+
+/// Cache hits measured per bench run (the steady-state number).
+const HIT_REQUESTS: usize = 16;
+
+fn run_serve(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, String> {
+    let table = generate(spec, opts);
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    let rows = table.num_rows() as f64;
+    let columns = table.num_columns() as u64;
+    let sampler = RssSampler::start(opts.rss_interval);
+
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("{}: cannot bind bench server: {e}", spec.name))?;
+    let addr = server.local_addr().map_err(|e| format!("{}: no local addr: {e}", spec.name))?;
+    let state = server.state();
+    let server_thread = std::thread::spawn(move || server.run());
+
+    // Everything below talks to the daemon; on any error, still shut the
+    // server down before returning.
+    let outcome = drive_roundtrips(spec, opts, addr, rows, columns, &csv);
+    let _ = http_call(addr, "POST", "/shutdown", &[], b"");
+    state.request_shutdown();
+    let join = server_thread.join();
+    let window = sampler.stop();
+    let mut report = outcome?;
+    join.map_err(|_| "bench server thread panicked".to_string())?
+        .map_err(|e| format!("bench server failed: {e}"))?;
+    report.peak_rss_bytes = window.peak_bytes;
+    for entry in &mut report.entries {
+        entry.peak_rss_bytes = window.peak_bytes;
+    }
+    Ok(report)
+}
+
+fn drive_roundtrips(
+    spec: &ScenarioSpec,
+    opts: &RunOptions,
+    addr: SocketAddr,
+    rows: f64,
+    columns: u64,
+    csv: &str,
+) -> Result<BenchReport, String> {
+    let registry = Metrics::new();
+    let trace = format!("bench-{}", spec.name);
+    let mut entries = Vec::with_capacity(3);
+
+    // Stage 1: dataset registration (CSV upload + dedup + fingerprint).
+    let timer = registry.span("register");
+    let (status, headers, body) = http_call(
+        addr,
+        "POST",
+        "/datasets?name=bench_rt",
+        &[("Content-Type", "text/csv"), ("X-Muds-Trace", &trace)],
+        csv.as_bytes(),
+    )?;
+    let register_ns = duration_ns(timer.stop());
+    if status != 201 {
+        return Err(format!("register returned {status}: {}", String::from_utf8_lossy(&body)));
+    }
+    if header(&headers, "x-muds-trace") != Some(trace.as_str()) {
+        return Err("server did not echo the propagated X-Muds-Trace id".to_string());
+    }
+    entries.push(stage_entry("register", register_ns, rows, BTreeMap::new()));
+
+    // Stage 2: the cache-miss profile run (queued job + full MUDS run).
+    let profile_body = b"{\"dataset\":\"bench_rt\",\"algorithm\":\"muds\"}";
+    let timer = registry.span("profile_miss");
+    let (status, headers, body) = http_call(
+        addr,
+        "POST",
+        "/profile",
+        &[("Content-Type", "application/json"), ("X-Muds-Trace", &trace)],
+        profile_body,
+    )?;
+    let miss_ns = duration_ns(timer.stop());
+    if status != 200 {
+        return Err(format!("profile miss returned {status}: {}", String::from_utf8_lossy(&body)));
+    }
+    if header(&headers, "x-cache") != Some("miss") {
+        return Err("first profile request was not a cache miss".to_string());
+    }
+    entries.push(stage_entry("profile_miss", miss_ns, rows, BTreeMap::new()));
+
+    // Stage 3: steady-state cache hits; report the best round-trip and
+    // keep the latency distribution as counters.
+    let latency = registry.histogram("hit_latency");
+    let mut best_hit_ns = u64::MAX;
+    for _ in 0..HIT_REQUESTS.max(opts.repeat) {
+        let timer = registry.span("profile_hit");
+        let (status, headers, _) = http_call(
+            addr,
+            "POST",
+            "/profile",
+            &[("Content-Type", "application/json"), ("X-Muds-Trace", &trace)],
+            profile_body,
+        )?;
+        let d = timer.stop();
+        if status != 200 || header(&headers, "x-cache") != Some("hit") {
+            return Err(format!("hit request degraded (status {status})"));
+        }
+        latency.record_duration(d);
+        best_hit_ns = best_hit_ns.min(duration_ns(d));
+    }
+    let hits = latency.snapshot();
+    let mut counters = BTreeMap::from([
+        ("requests".to_string(), hits.count),
+        ("latency_p50_ns".to_string(), hits.p50()),
+        ("latency_p99_ns".to_string(), hits.p99()),
+    ]);
+
+    // Fold the daemon's own counters in, prefixed, so the report carries
+    // both sides of the conversation.
+    let (status, _, body) = http_call(addr, "GET", "/metrics", &[], b"")?;
+    if status == 200 {
+        if let Ok(doc) = parse_json(&String::from_utf8_lossy(&body)) {
+            if let Some(map) = doc.as_object() {
+                for (name, value) in map {
+                    if let Some(v) = value.as_u64() {
+                        counters.insert(format!("serve.{name}"), v);
+                    }
+                }
+            }
+        }
+    }
+    entries.push(stage_entry("profile_hit", best_hit_ns, rows, counters));
+
+    Ok(BenchReport {
+        scenario: spec.name.to_string(),
+        kind: spec.kind.name().to_string(),
+        shape: spec.shape.to_string(),
+        rows: rows as u64,
+        columns,
+        threads: opts.threads as u64,
+        repeat: opts.repeat.max(1) as u64,
+        alloc_tracking: muds_obs::alloc::tracking_enabled(),
+        peak_rss_bytes: 0, // window closes in run_serve
+        entries,
+    })
+}
+
+fn stage_entry(
+    stage: &str,
+    wall_ns: u64,
+    rows: f64,
+    counters: BTreeMap<String, u64>,
+) -> BenchEntry {
+    BenchEntry {
+        algorithm: stage.to_string(),
+        mode: "roundtrip".to_string(),
+        wall_ns,
+        rows_per_sec: rows / (wall_ns.max(1) as f64 / 1e9),
+        peak_rss_bytes: 0,
+        alloc_bytes: 0,
+        counters,
+        phases: vec![PhaseRow { name: stage.to_string(), total_ns: wall_ns }],
+    }
+}
+
+fn duration_ns(d: Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Status, lower-cased headers, body.
+type HttpResponse = (u16, Vec<(String, String)>, Vec<u8>);
+
+/// One blocking HTTP/1.1 request over a fresh connection (the daemon is
+/// `Connection: close`).
+fn http_call(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: &[u8],
+) -> Result<HttpResponse, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| format!("set timeout: {e}"))?;
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
+    for (name, value) in headers {
+        head.push_str(&format!("{name}: {value}\r\n"));
+    }
+    head.push_str(&format!("Content-Length: {}\r\n\r\n", body.len()));
+    stream.write_all(head.as_bytes()).map_err(|e| format!("write head: {e}"))?;
+    stream.write_all(body).map_err(|e| format!("write body: {e}"))?;
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).map_err(|e| format!("read response: {e}"))?;
+    let head_end = raw
+        .windows(4)
+        .position(|w| w == b"\r\n\r\n")
+        .ok_or_else(|| "response without head terminator".to_string())?;
+    let head = std::str::from_utf8(&raw[..head_end]).map_err(|_| "non-UTF-8 head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| "malformed status line".to_string())?;
+    let parsed_headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    Ok((status, parsed_headers, raw[head_end + 4..].to_vec()))
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_opts() -> RunOptions {
+        RunOptions { repeat: 1, scale: 40, ..RunOptions::default() }
+    }
+
+    #[test]
+    fn profile_scenario_produces_a_full_report() {
+        let spec = find("uniprot_10k").unwrap();
+        let report = run_scenario(spec, &fast_opts()).expect("scenario runs");
+        assert_eq!(report.scenario, "uniprot_10k");
+        assert_eq!(report.kind, "profile");
+        assert_eq!(report.entries.len(), 4, "one entry per algorithm");
+        let modes: Vec<&str> = report.entries.iter().map(|e| e.mode.as_str()).collect();
+        assert!(modes.contains(&"holistic") && modes.contains(&"sequential"));
+        for entry in &report.entries {
+            assert!(entry.wall_ns > 0, "{}: span-derived wall time", entry.algorithm);
+            assert!(entry.rows_per_sec > 0.0);
+            assert!(!entry.phases.is_empty(), "{}: phases from the span tree", entry.algorithm);
+            assert!(!entry.counters.is_empty(), "{}: counter deltas", entry.algorithm);
+        }
+        // The report round-trips through its own JSON schema.
+        let parsed = BenchReport::from_json(&report.to_json()).expect("schema-valid");
+        assert_eq!(parsed, report_with_rounded_rates(&report));
+    }
+
+    /// `rows_per_sec` is serialized at 3 decimals; normalize for equality.
+    fn report_with_rounded_rates(report: &BenchReport) -> BenchReport {
+        let mut r = report.clone();
+        for e in &mut r.entries {
+            e.rows_per_sec = (e.rows_per_sec * 1000.0).round() / 1000.0;
+        }
+        r
+    }
+
+    #[test]
+    fn serve_scenario_measures_register_miss_and_hit() {
+        let spec = find("serve_roundtrip").unwrap();
+        let report = run_scenario(spec, &fast_opts()).expect("serve scenario runs");
+        assert_eq!(report.kind, "serve");
+        let stages: Vec<&str> = report.entries.iter().map(|e| e.algorithm.as_str()).collect();
+        assert_eq!(stages, ["register", "profile_miss", "profile_hit"]);
+        let hit = &report.entries[2];
+        assert!(hit.counters["requests"] >= HIT_REQUESTS as u64);
+        assert!(hit.counters.contains_key("serve.cache_hits"));
+        assert!(hit.counters["serve.trace_ids_propagated"] >= 2);
+        assert!(hit.wall_ns <= report.entries[1].wall_ns, "hits are no slower than the miss");
+        if cfg!(target_os = "linux") {
+            assert!(report.peak_rss_bytes > 0, "sampled peak RSS");
+        }
+    }
+
+    /// The `bench --all` contract: every scenario in the matrix emits a
+    /// report that round-trips through the strict schema parser under its
+    /// stable file name. Scaled way down so the whole matrix (including
+    /// the serve daemon boot) stays test-suite friendly; `ionosphere_wide`
+    /// ignores scale (fixed 351-row dataset) and dominates the runtime.
+    #[test]
+    fn every_scenario_emits_schema_valid_json() {
+        let opts = RunOptions { repeat: 1, scale: 200, ..RunOptions::default() };
+        for spec in &SCENARIOS {
+            let report = run_scenario(spec, &opts).unwrap_or_else(|e| panic!("{}: {e}", spec.name));
+            assert_eq!(report.scenario, spec.name);
+            assert_eq!(report.kind, spec.kind.name());
+            assert!(!report.entries.is_empty(), "{}: entries", spec.name);
+            assert_eq!(BenchReport::file_name(spec.name), format!("BENCH_{}.json", spec.name));
+            let parsed = BenchReport::from_json(&report.to_json())
+                .unwrap_or_else(|e| panic!("{}: schema round-trip: {e}", spec.name));
+            assert_eq!(parsed.scenario, spec.name);
+            assert_eq!(parsed.entries.len(), report.entries.len());
+        }
+    }
+
+    #[test]
+    fn scenario_matrix_is_well_formed() {
+        assert_eq!(SCENARIOS.len(), 6);
+        let mut names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 6, "scenario names are unique");
+        assert!(find("ionosphere_wide").is_some());
+        assert!(find("nope").is_none());
+        assert_eq!(SCENARIOS.iter().filter(|s| s.kind == ScenarioKind::Serve).count(), 1);
+    }
+}

@@ -24,7 +24,7 @@ pub enum OutputFormat {
 }
 
 /// Parsed command line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)] // not Eq: Bench carries f64 tolerances
 pub enum Command {
     /// Profile a CSV file with one algorithm.
     Profile {
@@ -83,6 +83,29 @@ pub enum Command {
         queue_capacity: usize,
         /// Default `POST /profile` wait before answering 202, in ms.
         timeout_ms: u64,
+    },
+    /// Run the fixed benchmark scenario matrix and emit machine-readable
+    /// `BENCH_<scenario>.json` reports (optionally diffed against a
+    /// baseline directory).
+    Bench {
+        /// Scenario names to run (`--scenario`, repeatable). Empty +
+        /// `all = false` is a parse error.
+        scenarios: Vec<String>,
+        /// Run the whole matrix.
+        all: bool,
+        /// Worker threads for the parallel execution layer.
+        threads: Option<usize>,
+        /// Output directory for `BENCH_*.json` (default `.`).
+        out: String,
+        /// Runs per entry; the best run is reported.
+        repeat: usize,
+        /// Baseline directory: diff instead of silently overwriting, exit
+        /// non-zero on regressions beyond tolerance.
+        check: Option<String>,
+        /// Wall-time regression tolerance as a fraction (default 0.25).
+        wall_tolerance: Option<f64>,
+        /// Peak-RSS regression tolerance as a fraction (default 0.30).
+        rss_tolerance: Option<f64>,
     },
     /// Workspace static analysis (muds-lint); arguments pass through
     /// to the lint runner (`--root`, `--format`, `--baseline`,
@@ -376,6 +399,88 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 timeout_ms,
             })
         }
+        "bench" => {
+            let mut scenarios: Vec<String> = Vec::new();
+            let mut all = false;
+            let mut threads: Option<usize> = None;
+            let mut out = ".".to_string();
+            let mut repeat = 3usize;
+            let mut check: Option<String> = None;
+            let mut wall_tolerance: Option<f64> = None;
+            let mut rss_tolerance: Option<f64> = None;
+            let tolerance = |value: &str, flag: &str| -> Result<f64, ArgError> {
+                value.parse::<f64>().ok().filter(|v| v.is_finite() && *v >= 0.0).ok_or_else(|| {
+                    ArgError(format!("{flag} must be a non-negative fraction (e.g. 0.25)"))
+                })
+            };
+            let mut i = 1;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--scenario" | "-s" => {
+                        scenarios.push(take_value(args, &mut i, "--scenario")?.to_string())
+                    }
+                    "--all" => all = true,
+                    "--threads" | "-t" => {
+                        let v: usize = take_value(args, &mut i, "--threads")?
+                            .parse()
+                            .map_err(|_| ArgError("--threads must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--threads must be at least 1".into()));
+                        }
+                        threads = Some(v);
+                    }
+                    "--out" | "-o" => out = take_value(args, &mut i, "--out")?.to_string(),
+                    "--repeat" | "-r" => {
+                        let v: usize = take_value(args, &mut i, "--repeat")?
+                            .parse()
+                            .map_err(|_| ArgError("--repeat must be an integer".into()))?;
+                        if v == 0 {
+                            return Err(ArgError("--repeat must be at least 1".into()));
+                        }
+                        repeat = v;
+                    }
+                    "--check" => check = Some(take_value(args, &mut i, "--check")?.to_string()),
+                    "--wall-tolerance" => {
+                        wall_tolerance = Some(tolerance(
+                            take_value(args, &mut i, "--wall-tolerance")?,
+                            "--wall-tolerance",
+                        )?)
+                    }
+                    "--rss-tolerance" => {
+                        rss_tolerance = Some(tolerance(
+                            take_value(args, &mut i, "--rss-tolerance")?,
+                            "--rss-tolerance",
+                        )?)
+                    }
+                    flag if flag.starts_with('-') => {
+                        return Err(ArgError(format!("unknown flag {flag:?}")));
+                    }
+                    // Bare scenario names read naturally too: `bench uniprot_10k`.
+                    name => scenarios.push(name.to_string()),
+                }
+                i += 1;
+            }
+            if scenarios.is_empty() && !all {
+                return Err(ArgError(
+                    "bench needs --scenario <name> (repeatable) or --all; \
+                     `mudsprof help` lists the matrix"
+                        .into(),
+                ));
+            }
+            if !scenarios.is_empty() && all {
+                return Err(ArgError("--all and --scenario are mutually exclusive".into()));
+            }
+            Ok(Command::Bench {
+                scenarios,
+                all,
+                threads,
+                out,
+                repeat,
+                check,
+                wall_tolerance,
+                rss_tolerance,
+            })
+        }
         "lint" => Ok(Command::Lint { args: args[1..].to_vec() }),
         other => Err(ArgError(format!("unknown command {other:?}; try `mudsprof help`"))),
     }
@@ -398,6 +503,10 @@ USAGE:
   mudsprof serve [--addr HOST:PORT] [--threads N] [--workers N]
                  [--cache-capacity BYTES] [--queue-capacity N]
                  [--timeout-ms MS]
+  mudsprof bench --scenario <name> [--scenario <name> ...] | --all
+                 [--threads N] [--out DIR] [--repeat K]
+                 [--check BASELINE_DIR] [--wall-tolerance F]
+                 [--rss-tolerance F]
   mudsprof lint [--root DIR] [--format human|json] [--baseline FILE]
                 [--write-baseline]
   mudsprof help
@@ -431,6 +540,18 @@ OBSERVABILITY:
                      lattice walks, SPIDER merge, per-phase FD checks)
   --metrics json     emit the same as one JSON object per algorithm run
   --trace <file>     stream span/counter events as JSON Lines while running
+
+BENCHMARKING:
+  bench runs a fixed scenario matrix (uniprot_10k, uniprot_50k, ncvoter_10k,
+  ncvoter_50k, ionosphere_wide profile scenarios × four algorithms, plus a
+  serve_roundtrip daemon scenario) and writes one machine-readable
+  BENCH_<scenario>.json per scenario into --out: rows/s, span-tree wall and
+  per-phase times, work-counter deltas, sampled peak RSS, and (when built
+  with --features bench-alloc) allocated bytes. --repeat K reports each
+  entry's best of K runs. With --check DIR the fresh numbers are diffed
+  against the baseline reports in DIR and the exit status is non-zero when
+  wall time regresses more than --wall-tolerance (default 0.25) or peak RSS
+  more than --rss-tolerance (default 0.30); schema drift always fails.
 
 FUZZING:
   fuzz generates adversarial tables (NULL-heavy, constant, near-unique,
@@ -640,6 +761,52 @@ mod tests {
         assert!(parse(&argv("fuzz --iters")).is_err());
         assert!(parse(&argv("fuzz --threads 0")).unwrap_err().0.contains("at least 1"));
         assert!(parse(&argv("fuzz stray")).is_err());
+    }
+
+    #[test]
+    fn bench_flags() {
+        assert_eq!(
+            parse(&argv("bench --all")).unwrap(),
+            Command::Bench {
+                scenarios: vec![],
+                all: true,
+                threads: None,
+                out: ".".into(),
+                repeat: 3,
+                check: None,
+                wall_tolerance: None,
+                rss_tolerance: None,
+            }
+        );
+        let cmd = parse(&argv(
+            "bench -s uniprot_10k --scenario ionosphere_wide -t 4 -o target/bench -r 5 \
+             --check baselines --wall-tolerance 0.5 --rss-tolerance 0.6",
+        ))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Bench {
+                scenarios: vec!["uniprot_10k".into(), "ionosphere_wide".into()],
+                all: false,
+                threads: Some(4),
+                out: "target/bench".into(),
+                repeat: 5,
+                check: Some("baselines".into()),
+                wall_tolerance: Some(0.5),
+                rss_tolerance: Some(0.6),
+            }
+        );
+        // Bare names work as positional scenarios.
+        let cmd = parse(&argv("bench uniprot_10k")).unwrap();
+        assert!(
+            matches!(cmd, Command::Bench { ref scenarios, .. } if scenarios == &["uniprot_10k"])
+        );
+        assert!(parse(&argv("bench")).unwrap_err().0.contains("--scenario"));
+        assert!(parse(&argv("bench --all -s x")).unwrap_err().0.contains("mutually exclusive"));
+        assert!(parse(&argv("bench --all --repeat 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("bench --all --wall-tolerance -1")).is_err());
+        assert!(parse(&argv("bench --all --rss-tolerance nan")).is_err());
+        assert!(parse(&argv("bench --all --threads 0")).is_err());
     }
 
     #[test]

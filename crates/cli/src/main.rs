@@ -79,6 +79,92 @@ fn write_phase_tree(out: &mut String, phases: &[Phase], indent: usize) {
     }
 }
 
+/// `mudsprof bench`: run the scenario matrix, write `BENCH_*.json`
+/// reports, optionally diff against a baseline directory.
+#[allow(clippy::too_many_arguments)]
+fn run_bench(
+    scenarios: Vec<String>,
+    all: bool,
+    threads: Option<usize>,
+    out: &str,
+    repeat: usize,
+    check: Option<String>,
+    wall_tolerance: Option<f64>,
+    rss_tolerance: Option<f64>,
+) -> Result<(), String> {
+    use muds_bench::report::{diff, BenchReport, Tolerance};
+    use muds_bench::scenarios::{find, RunOptions, SCENARIOS};
+
+    let specs: Vec<&muds_bench::scenarios::ScenarioSpec> = if all {
+        SCENARIOS.iter().collect()
+    } else {
+        scenarios
+            .iter()
+            .map(|name| {
+                find(name).ok_or_else(|| {
+                    let known: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
+                    format!("unknown scenario {name:?}; known: {}", known.join(", "))
+                })
+            })
+            .collect::<Result<_, _>>()?
+    };
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out:?}: {e}"))?;
+    let opts = RunOptions { threads: threads.unwrap_or(0), repeat, ..RunOptions::default() };
+    let mut tol = Tolerance::default();
+    if let Some(w) = wall_tolerance {
+        tol.wall_frac = w;
+    }
+    if let Some(r) = rss_tolerance {
+        tol.rss_frac = r;
+    }
+
+    let mut failures = Vec::new();
+    for spec in specs {
+        eprintln!(
+            "bench: {} ({}, {} cols{}) ...",
+            spec.name,
+            spec.shape,
+            spec.cols,
+            if spec.rows > 0 { format!(", {} rows", spec.rows) } else { String::new() }
+        );
+        let report = muds_bench::scenarios::run_scenario(spec, &opts)?;
+        let file = format!("{}/{}", out.trim_end_matches('/'), BenchReport::file_name(spec.name));
+        std::fs::write(&file, report.to_json())
+            .map_err(|e| format!("cannot write {file:?}: {e}"))?;
+        for entry in &report.entries {
+            eprintln!(
+                "  {:<10} {:>14.0} rows/s  wall {:>10}ns  rss {:>10}",
+                entry.algorithm, entry.rows_per_sec, entry.wall_ns, entry.peak_rss_bytes
+            );
+        }
+        eprintln!("  wrote {file}");
+
+        if let Some(dir) = &check {
+            let base_path =
+                format!("{}/{}", dir.trim_end_matches('/'), BenchReport::file_name(spec.name));
+            let text = std::fs::read_to_string(&base_path)
+                .map_err(|e| format!("cannot read baseline {base_path:?}: {e}"))?;
+            let baseline = BenchReport::from_json(&text)
+                .map_err(|e| format!("baseline {base_path:?}: {e}"))?;
+            let verdict = diff(&report, &baseline, &tol);
+            for note in &verdict.notes {
+                eprintln!("  note: {note}");
+            }
+            for violation in &verdict.violations {
+                eprintln!("  REGRESSION: {violation}");
+            }
+            if !verdict.ok() {
+                failures.push(spec.name.to_string());
+            }
+        }
+    }
+    if failures.is_empty() {
+        Ok(())
+    } else {
+        Err(format!("bench regressions in: {}", failures.join(", ")))
+    }
+}
+
 fn run(command: Command) -> Result<(), String> {
     match command {
         Command::Help => {
@@ -296,6 +382,19 @@ fn run(command: Command) -> Result<(), String> {
                 None => print!("{csv}"),
             }
             Ok(())
+        }
+        Command::Bench {
+            scenarios,
+            all,
+            threads,
+            out,
+            repeat,
+            check,
+            wall_tolerance,
+            rss_tolerance,
+        } => {
+            configure_threads(threads)?;
+            run_bench(scenarios, all, threads, &out, repeat, check, wall_tolerance, rss_tolerance)
         }
         Command::Lint { .. } => unreachable!("handled in main before dispatch"),
         Command::Serve { addr, threads, workers, cache_capacity, queue_capacity, timeout_ms } => {

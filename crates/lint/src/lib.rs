@@ -147,7 +147,11 @@ pub fn file_options(rel: &str, catalogue: &BTreeSet<String>) -> FileOptions {
     // crates/obs defines the metric API itself (docs and tests register
     // free-form names); everything else must match the catalogue.
     let catalogue = if rel.starts_with("crates/obs") { None } else { Some(catalogue.clone()) };
-    FileOptions { is_test_file, clock_allowed, panic_allowed, catalogue }
+    // Scenario code publishes BENCH_*.json numbers and must take them from
+    // the muds-obs timing APIs even though the bench crate may otherwise
+    // read clocks (L007).
+    let bench_scenario = rel.starts_with("crates/bench/src/scenarios") && !is_test_file;
+    FileOptions { is_test_file, clock_allowed, panic_allowed, catalogue, bench_scenario }
 }
 
 /// Parses the DESIGN.md §7 counter-catalogue table into the set of legal
@@ -446,6 +450,11 @@ mod tests {
         assert!(test.is_test_file);
         let serve = file_options("crates/serve/src/server.rs", &catalogue);
         assert!(serve.clock_allowed && !serve.is_test_file);
+        // Bench crate reads clocks freely — except scenario code (L007).
+        let bench = file_options("crates/bench/src/lib.rs", &catalogue);
+        assert!(bench.clock_allowed && !bench.bench_scenario);
+        let scenario = file_options("crates/bench/src/scenarios.rs", &catalogue);
+        assert!(scenario.clock_allowed && scenario.bench_scenario);
     }
 
     #[test]

@@ -16,15 +16,19 @@ fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
 }
 
-/// The options every fixture is linted under: strictest profile, with a
+/// The options a fixture is linted under: strictest profile, with a
 /// catalogue containing only `pli.requests` (so `pli.bogus` drifts).
-fn fixture_options() -> FileOptions {
+/// L007 fixtures model bench scenario files, where the crate-level clock
+/// exemption holds (no L004) but scenario discipline applies (L007).
+fn fixture_options(stem: &str) -> FileOptions {
     let catalogue: BTreeSet<String> = ["pli.requests".to_string()].into_iter().collect();
+    let bench_scenario = stem.starts_with("l007");
     FileOptions {
         is_test_file: false,
         panic_allowed: false,
-        clock_allowed: false,
+        clock_allowed: bench_scenario,
         catalogue: Some(catalogue),
+        bench_scenario,
     }
 }
 
@@ -52,10 +56,11 @@ fn every_fixture_matches_its_expected_diagnostics() {
         let expected_path = fixture.with_extension("expected");
         assert!(expected_path.exists(), "{} has no paired .expected file", fixture.display());
         let source = read(&fixture);
+        let stem = fixture.file_stem().unwrap().to_string_lossy().into_owned();
         let diags = lint_source(
             &fixture.file_name().unwrap().to_string_lossy(),
             &source,
-            &fixture_options(),
+            &fixture_options(&stem),
         );
         let actual: Vec<String> =
             diags.iter().map(|d| format!("{}:{} {}", d.line, d.col, d.rule.id())).collect();
@@ -70,8 +75,8 @@ fn every_fixture_matches_its_expected_diagnostics() {
         );
         checked += 1;
     }
-    // One good + one bad fixture per rule L000–L006.
-    assert!(checked >= 14, "expected at least 14 fixtures, saw {checked}");
+    // One good + one bad fixture per rule L000–L007.
+    assert!(checked >= 16, "expected at least 16 fixtures, saw {checked}");
 }
 
 #[test]

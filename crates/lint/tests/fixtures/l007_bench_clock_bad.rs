@@ -1,0 +1,10 @@
+//! Scenario that times an entry with raw clock reads: the reported wall
+//! time can drift from the span-tree phases in the same report.
+
+use std::time::Instant;
+
+pub fn run_entry(work: impl Fn()) -> u64 {
+    let t0 = Instant::now();
+    work();
+    t0.elapsed().as_nanos() as u64
+}

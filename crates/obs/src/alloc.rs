@@ -1,0 +1,133 @@
+//! Byte-count allocation tracking behind the `bench-alloc` feature.
+//!
+//! When the feature is on, a global counting allocator wraps the system
+//! allocator and keeps two process-wide relaxed counters: cumulative bytes
+//! allocated and cumulative bytes freed. The bench harness reads the
+//! *allocated* counter before and after a run and reports the delta as
+//! `alloc_bytes`. With the feature off (the default — nothing in the
+//! workspace enables it, so normal builds keep the stock allocator), every
+//! probe returns 0 and [`tracking_enabled`] returns `false`, which the
+//! BENCH JSON schema carries as `alloc_tracking: false` so baseline diffs
+//! never compare tracked numbers against untracked zeros.
+//!
+//! The counters deliberately count *requested* layout sizes, not
+//! allocator-internal rounding — the number answers "how many bytes did
+//! the algorithm ask for", which is stable across allocator versions.
+
+/// Whether the counting allocator is compiled in.
+pub fn tracking_enabled() -> bool {
+    cfg!(feature = "bench-alloc")
+}
+
+/// Cumulative bytes requested from the allocator since process start
+/// (0 when tracking is off).
+pub fn allocated_bytes() -> u64 {
+    #[cfg(feature = "bench-alloc")]
+    {
+        counting::ALLOCATED.load(core::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        0
+    }
+}
+
+/// Cumulative bytes returned to the allocator since process start
+/// (0 when tracking is off).
+pub fn deallocated_bytes() -> u64 {
+    #[cfg(feature = "bench-alloc")]
+    {
+        counting::DEALLOCATED.load(core::sync::atomic::Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "bench-alloc"))]
+    {
+        0
+    }
+}
+
+/// Bytes currently live according to the counters (saturating: transient
+/// reorderings between the two relaxed counters never underflow).
+pub fn live_bytes() -> u64 {
+    allocated_bytes().saturating_sub(deallocated_bytes())
+}
+
+#[cfg(feature = "bench-alloc")]
+mod counting {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub(super) static ALLOCATED: AtomicU64 = AtomicU64::new(0);
+    pub(super) static DEALLOCATED: AtomicU64 = AtomicU64::new(0);
+
+    /// System allocator wrapper that tallies requested bytes. The counter
+    /// updates are relaxed: they are independent monotonic sums, read only
+    /// at bench-run boundaries where the run's own joins provide the
+    /// happens-before edges.
+    struct CountingAllocator;
+
+    // SAFETY: every method delegates verbatim to `System`, which upholds
+    // the GlobalAlloc contract; the counter updates touch no allocator
+    // state and cannot allocate (atomics only), so there is no reentrancy.
+    unsafe impl GlobalAlloc for CountingAllocator {
+        // SAFETY: unsafe-by-signature (trait contract); body only counts
+        // and delegates to `System`.
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // SAFETY: caller's layout obligations are forwarded unchanged.
+            unsafe { System.alloc(layout) }
+        }
+
+        // SAFETY: unsafe-by-signature (trait contract); body only counts
+        // and delegates to `System`.
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // SAFETY: caller's layout obligations are forwarded unchanged.
+            unsafe { System.alloc_zeroed(layout) }
+        }
+
+        // SAFETY: unsafe-by-signature (trait contract); body only counts
+        // and delegates to `System`.
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            DEALLOCATED.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            // SAFETY: ptr/layout came from this allocator, i.e. `System`.
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        // SAFETY: unsafe-by-signature (trait contract); body only counts
+        // and delegates to `System`.
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            // A grow allocates the delta; a shrink frees it.
+            if new_size >= layout.size() {
+                ALLOCATED.fetch_add((new_size - layout.size()) as u64, Ordering::Relaxed);
+            } else {
+                DEALLOCATED.fetch_add((layout.size() - new_size) as u64, Ordering::Relaxed);
+            }
+            // SAFETY: ptr/layout came from this allocator; new_size
+            // obligations are the caller's, forwarded unchanged.
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn probes_agree_with_the_feature_flag() {
+        if tracking_enabled() {
+            let before = allocated_bytes();
+            let block = vec![0u8; 1 << 16];
+            std::hint::black_box(&block);
+            assert!(allocated_bytes() >= before + (1 << 16));
+            assert!(live_bytes() <= allocated_bytes());
+        } else {
+            assert_eq!(allocated_bytes(), 0);
+            assert_eq!(deallocated_bytes(), 0);
+            assert_eq!(live_bytes(), 0);
+        }
+    }
+}

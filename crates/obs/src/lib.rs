@@ -50,12 +50,15 @@ use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::time::{Duration, Instant};
 
+pub mod alloc;
 mod json;
+pub mod rss;
 mod sink;
 mod snapshot;
 
+pub use rss::{RssSample, RssSampler};
 pub use sink::{Event, EventSink, JsonlSink, MemorySink, NullSink};
-pub use snapshot::{HistogramSnapshot, MetricsSnapshot, SpanNode};
+pub use snapshot::{flatten_phases, HistogramSnapshot, MetricsSnapshot, SpanNode};
 
 /// Number of shards per counter. Eight padded lines bound the memory cost
 /// per counter while spreading writers enough for the profiler's depth-1

@@ -1,0 +1,211 @@
+//! Peak-RSS self-sampling for the bench harness.
+//!
+//! Linux exposes a process's resident set in `/proc/self/status` (`VmRSS`,
+//! with the kernel-maintained lifetime high-water mark in `VmHWM`). The
+//! kernel's `VmHWM` is useless for *per-scenario* peaks — it never goes
+//! back down — so [`RssSampler`] runs its own sampler thread that polls
+//! `VmRSS` at a fixed interval and keeps the maximum seen inside the
+//! sampled window. On platforms without procfs every probe returns `None`
+//! and the sampler degrades to a no-op that reports a zero peak; callers
+//! surface that as `peak_rss_bytes: 0` rather than failing.
+//!
+//! The peak is an atomic high-water mark (`fetch_max`), so concurrent
+//! readers calling [`RssSampler::peak_bytes`] observe a monotone
+//! non-decreasing sequence even while the sampler thread is still
+//! running.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Reads one field of `/proc/self/status` given its `Vm*:` label, in
+/// bytes. The file reports kB.
+#[cfg(target_os = "linux")]
+fn proc_status_bytes(label: &str) -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    for line in status.lines() {
+        let Some(rest) = line.strip_prefix(label) else { continue };
+        let rest = rest.strip_prefix(':')?;
+        let kb: u64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+        return Some(kb * 1024);
+    }
+    None
+}
+
+/// Current resident set size in bytes, if the platform exposes it.
+pub fn current_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_bytes("VmRSS")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Process-lifetime peak RSS in bytes (`VmHWM`), if the platform exposes
+/// it. Prefer an [`RssSampler`] window when attributing memory to one
+/// measured region.
+pub fn lifetime_peak_rss_bytes() -> Option<u64> {
+    #[cfg(target_os = "linux")]
+    {
+        proc_status_bytes("VmHWM")
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        None
+    }
+}
+
+/// Final report of one sampling window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RssSample {
+    /// Highest `VmRSS` observed in the window (0 when the platform has no
+    /// probe).
+    pub peak_bytes: u64,
+    /// How many probes the window took (at least 1 on platforms with a
+    /// probe: start and stop both sample synchronously).
+    pub samples: u64,
+}
+
+/// Background sampler tracking the peak RSS over one measurement window.
+///
+/// `start` probes once synchronously (so even a window shorter than the
+/// interval reports a real peak), then spawns a thread probing every
+/// `interval` until [`RssSampler::stop`] joins it with a final probe.
+pub struct RssSampler {
+    stop: Arc<AtomicBool>,
+    peak: Arc<AtomicU64>,
+    samples: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl RssSampler {
+    pub fn start(interval: Duration) -> RssSampler {
+        let stop = Arc::new(AtomicBool::new(false));
+        let peak = Arc::new(AtomicU64::new(0));
+        let samples = Arc::new(AtomicU64::new(0));
+        probe(&peak, &samples);
+        let handle = {
+            let stop = Arc::clone(&stop);
+            let peak = Arc::clone(&peak);
+            let samples = Arc::clone(&samples);
+            thread::Builder::new()
+                .name("muds-rss-sampler".into())
+                .spawn(move || {
+                    while !stop.load(Ordering::Acquire) {
+                        // park_timeout may wake spuriously or early via
+                        // unpark; the loop re-checks the flag either way.
+                        thread::park_timeout(interval);
+                        probe(&peak, &samples);
+                    }
+                })
+                .ok()
+        };
+        RssSampler { stop, peak, samples, handle }
+    }
+
+    /// Highest RSS observed so far in this window. Monotone non-decreasing
+    /// across calls; 0 on platforms without a probe.
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak.load(Ordering::Acquire)
+    }
+
+    /// Stops the sampler thread, takes one final probe, and returns the
+    /// window's report.
+    pub fn stop(mut self) -> RssSample {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+        probe(&self.peak, &self.samples);
+        RssSample {
+            peak_bytes: self.peak.load(Ordering::Acquire),
+            samples: self.samples.load(Ordering::Acquire),
+        }
+    }
+}
+
+impl Drop for RssSampler {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(handle) = self.handle.take() {
+            handle.thread().unpark();
+            let _ = handle.join();
+        }
+    }
+}
+
+fn probe(peak: &AtomicU64, samples: &AtomicU64) {
+    if let Some(rss) = current_rss_bytes() {
+        peak.fetch_max(rss, Ordering::AcqRel);
+        samples.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sampler_reports_a_window_peak() {
+        let sampler = RssSampler::start(Duration::from_millis(1));
+        // Touch enough pages that the RSS probe has something to see.
+        let ballast: Vec<u8> = (0..8 * 1024 * 1024).map(|i| (i % 251) as u8).collect();
+        let mid = sampler.peak_bytes();
+        let report = sampler.stop();
+        assert!(ballast.iter().map(|&b| b as u64).sum::<u64>() > 0);
+        if cfg!(target_os = "linux") {
+            assert!(report.samples >= 2, "start + stop probes at minimum");
+            assert!(report.peak_bytes > 0);
+            assert!(report.peak_bytes >= mid, "stop never lowers the peak");
+            assert!(
+                report.peak_bytes >= current_rss_bytes().unwrap_or(0) / 4,
+                "window peak is in the ballpark of the live RSS"
+            );
+        } else {
+            assert_eq!(report.peak_bytes, 0, "no-op fallback reports zero");
+        }
+    }
+
+    #[test]
+    fn peaks_are_monotone_under_concurrent_load() {
+        let sampler = RssSampler::start(Duration::from_millis(1));
+        let observed = std::thread::scope(|s| {
+            // Writer threads grow and drop allocations while a reader
+            // polls the peak; the high-water mark must never move down.
+            for t in 0..2 {
+                s.spawn(move || {
+                    for round in 1..=8usize {
+                        let block = vec![(t + round) as u8; round * 512 * 1024];
+                        std::hint::black_box(&block);
+                    }
+                });
+            }
+            let reader = s.spawn(|| {
+                let mut seen = Vec::with_capacity(64);
+                for _ in 0..50 {
+                    seen.push(sampler.peak_bytes());
+                    thread::yield_now();
+                }
+                seen
+            });
+            reader.join().expect("reader thread")
+        });
+        assert!(observed.windows(2).all(|w| w[0] <= w[1]), "peaks regressed: {observed:?}");
+        let report = sampler.stop();
+        assert!(report.peak_bytes >= *observed.last().unwrap());
+    }
+
+    #[test]
+    fn lifetime_peak_is_at_least_the_current_rss() {
+        match (current_rss_bytes(), lifetime_peak_rss_bytes()) {
+            (Some(now), Some(hwm)) => assert!(hwm >= now / 2, "hwm={hwm} now={now}"),
+            (None, None) => {} // portable fallback
+            other => panic!("probes disagree about platform support: {other:?}"),
+        }
+    }
+}

@@ -21,6 +21,11 @@ impl SpanNode {
         SpanNode { name: name.into(), duration, children: Vec::new() }
     }
 
+    /// Depth of the subtree rooted here (a leaf has depth 1).
+    pub fn depth(&self) -> usize {
+        1 + self.children.iter().map(SpanNode::depth).max().unwrap_or(0)
+    }
+
     fn write_json(&self, out: &mut String) {
         out.push('{');
         write_key(out, "name");
@@ -130,6 +135,12 @@ impl MetricsSnapshot {
         self.histograms.get(name).cloned().unwrap_or_default()
     }
 
+    /// Flattens the span tree into `(path, total_ns)` rows. See
+    /// [`flatten_phases`].
+    pub fn flatten_phases(&self) -> Vec<(String, u64)> {
+        flatten_phases(&self.spans)
+    }
+
     /// Compact single-line JSON object:
     /// `{"counters":{...},"gauges":{...},"spans":[...]}`.
     pub fn to_json(&self) -> String {
@@ -205,6 +216,32 @@ impl MetricsSnapshot {
     }
 }
 
+/// Flattens a span forest into `(path, total_ns)` rows in pre-order,
+/// joining nesting levels with `/` (`"MUDS/walk lattice"`). Repeated paths
+/// — e.g. the per-task spans of a parallel phase — are summed into the
+/// first occurrence, so the output is one row per distinct path and its
+/// order is deterministic for any interleaving that preserves tree shape.
+/// This is the phase table the bench writer embeds in `BENCH_*.json`.
+pub fn flatten_phases(spans: &[SpanNode]) -> Vec<(String, u64)> {
+    fn walk(out: &mut Vec<(String, u64)>, prefix: &str, span: &SpanNode) {
+        let path =
+            if prefix.is_empty() { span.name.clone() } else { format!("{prefix}/{}", span.name) };
+        let ns = u64::try_from(span.duration.as_nanos()).unwrap_or(u64::MAX);
+        match out.iter_mut().find(|(p, _)| *p == path) {
+            Some((_, total)) => *total = total.saturating_add(ns),
+            None => out.push((path.clone(), ns)),
+        }
+        for child in &span.children {
+            walk(out, &path, child);
+        }
+    }
+    let mut out = Vec::new();
+    for span in spans {
+        walk(&mut out, "", span);
+    }
+    out
+}
+
 fn render_span(out: &mut String, span: &SpanNode, depth: usize) {
     let indent = "  ".repeat(depth);
     out.push_str(&format!("{indent}{:<32} {:>12.3?}\n", span.name, span.duration));
@@ -273,6 +310,85 @@ mod tests {
         assert_eq!(h.quantile(0.6), 1);
         assert_eq!(h.p99(), 1);
         assert_eq!(h.mean(), 1);
+    }
+
+    #[test]
+    fn empty_histogram_quantiles_are_zero_at_every_q() {
+        let empty = HistogramSnapshot::default();
+        for q in [0.0, 0.25, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), 0, "q={q}");
+        }
+        assert_eq!(empty.p99(), 0);
+        assert_eq!(empty.mean(), 0);
+    }
+
+    #[test]
+    fn single_value_histogram_puts_every_quantile_in_its_bucket() {
+        let h = crate::Histogram::detached();
+        h.record(7); // bucket 3: [4, 8) → upper edge 7
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 7, "q={q}");
+        }
+        assert_eq!(snap.mean(), 7);
+        // Out-of-range q clamps rather than panicking or escaping.
+        assert_eq!(snap.quantile(-1.0), 7);
+        assert_eq!(snap.quantile(2.0), 7);
+    }
+
+    #[test]
+    fn saturating_values_land_in_the_top_bucket() {
+        let h = crate::Histogram::detached();
+        h.record(u64::MAX); // would index bucket 64; clamps to 63
+        h.record(1u64 << 63);
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.buckets[63], 2);
+        // Top bucket resolves to its (saturated) upper edge, not u64::MAX.
+        assert_eq!(snap.p99(), (1u64 << 63).wrapping_sub(1));
+        // Sum saturates bucket math but still counts both observations.
+        assert_eq!(snap.sum, u64::MAX.wrapping_add(1u64 << 63));
+    }
+
+    #[test]
+    fn truncated_bucket_vector_degrades_to_max_sentinel() {
+        // Defensive path: a snapshot whose cumulative bucket mass never
+        // reaches the rank (can only happen to hand-built snapshots)
+        // reports the "beyond every bucket" sentinel instead of looping.
+        let h = HistogramSnapshot { count: 10, sum: 0, buckets: vec![1, 2] };
+        assert_eq!(h.quantile(0.99), u64::MAX);
+        assert_eq!(h.quantile(0.1), 0, "rank 1 still resolves inside bucket 0");
+    }
+
+    #[test]
+    fn flatten_phases_joins_paths_and_merges_repeats() {
+        let mut snap = MetricsSnapshot::default();
+        snap.spans.push(SpanNode {
+            name: "MUDS".into(),
+            duration: Duration::from_nanos(100),
+            children: vec![
+                SpanNode::leaf("walk", Duration::from_nanos(30)),
+                SpanNode {
+                    name: "spider".into(),
+                    duration: Duration::from_nanos(40),
+                    children: vec![SpanNode::leaf("walk", Duration::from_nanos(5))],
+                },
+                SpanNode::leaf("walk", Duration::from_nanos(12)),
+            ],
+        });
+        snap.spans.push(SpanNode::leaf("report", Duration::from_nanos(9)));
+        assert_eq!(
+            snap.flatten_phases(),
+            vec![
+                ("MUDS".to_string(), 100),
+                ("MUDS/walk".to_string(), 42), // 30 + 12, repeats merged
+                ("MUDS/spider".to_string(), 40),
+                ("MUDS/spider/walk".to_string(), 5),
+                ("report".to_string(), 9),
+            ]
+        );
+        assert_eq!(snap.spans[0].depth(), 3);
+        assert_eq!(flatten_phases(&[]), Vec::new());
     }
 
     #[test]

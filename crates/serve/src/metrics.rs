@@ -41,6 +41,10 @@ pub struct ServeMetrics {
     pub queue_depth: Gauge,
     pub jobs_running: Gauge,
     pub datasets: Gauge,
+    /// Per-request trace ids: minted fresh by this server vs accepted from
+    /// an `X-Muds-Trace` request header.
+    pub trace_ids_generated: Counter,
+    pub trace_ids_propagated: Counter,
     /// End-to-end job execution latency in microseconds (run only, not
     /// queue wait).
     pub job_latency_us: Histogram,
@@ -70,6 +74,8 @@ impl Default for ServeMetrics {
             queue_depth: Gauge::detached(),
             jobs_running: Gauge::detached(),
             datasets: Gauge::detached(),
+            trace_ids_generated: Counter::detached(),
+            trace_ids_propagated: Counter::detached(),
             job_latency_us: Histogram::detached(),
             connections_active: AtomicU64::new(0),
         }
@@ -121,6 +127,8 @@ impl ServeMetrics {
         field("queue_depth", self.queue_depth.get().to_string());
         field("jobs_running", self.jobs_running.get().to_string());
         field("datasets", self.datasets.get().to_string());
+        field("trace_ids_generated", self.trace_ids_generated.get().to_string());
+        field("trace_ids_propagated", self.trace_ids_propagated.get().to_string());
         field("connections_active", self.connections_active.load(Ordering::Relaxed).to_string());
         field(
             "job_latency_us",
@@ -133,6 +141,55 @@ impl ServeMetrics {
             ),
         );
         out.push('}');
+        out
+    }
+
+    /// Prometheus text exposition (`GET /metrics?format=prom`): version
+    /// 0.0.4 format, one `# TYPE` line per family, `muds_`-prefixed names.
+    /// The latency histogram is exported as a summary (bucket-resolved
+    /// quantiles) because the underlying buckets are log2, not cumulative
+    /// `le` buckets.
+    pub fn to_prometheus(&self) -> String {
+        let lat = self.job_latency_us.snapshot();
+        let mut out = String::with_capacity(2048);
+        let mut family = |name: &str, kind: &str, value: String| {
+            out.push_str(&format!("# TYPE muds_{name} {kind}\nmuds_{name} {value}\n"));
+        };
+        family("uptime_ms", "gauge", self.start.elapsed().as_millis().to_string());
+        family("requests_total", "counter", self.requests.get().to_string());
+        family("responses_2xx_total", "counter", self.responses_2xx.get().to_string());
+        family("responses_4xx_total", "counter", self.responses_4xx.get().to_string());
+        family("responses_5xx_total", "counter", self.responses_5xx.get().to_string());
+        family("cache_hits_total", "counter", self.cache_hits.get().to_string());
+        family("cache_misses_total", "counter", self.cache_misses.get().to_string());
+        family("cache_coalesced_total", "counter", self.cache_coalesced.get().to_string());
+        family("cache_evictions_total", "counter", self.cache_evictions.get().to_string());
+        family("cache_bytes", "gauge", self.cache_bytes.get().to_string());
+        family("cache_entries", "gauge", self.cache_entries.get().to_string());
+        family("jobs_submitted_total", "counter", self.jobs_submitted.get().to_string());
+        family("jobs_completed_total", "counter", self.jobs_completed.get().to_string());
+        family("jobs_failed_total", "counter", self.jobs_failed.get().to_string());
+        family("jobs_expired_total", "counter", self.jobs_expired.get().to_string());
+        family("jobs_rejected_total", "counter", self.jobs_rejected.get().to_string());
+        family("queue_depth", "gauge", self.queue_depth.get().to_string());
+        family("jobs_running", "gauge", self.jobs_running.get().to_string());
+        family("datasets", "gauge", self.datasets.get().to_string());
+        family("trace_ids_generated_total", "counter", self.trace_ids_generated.get().to_string());
+        family(
+            "trace_ids_propagated_total",
+            "counter",
+            self.trace_ids_propagated.get().to_string(),
+        );
+        family(
+            "connections_active",
+            "gauge",
+            self.connections_active.load(Ordering::Relaxed).to_string(),
+        );
+        out.push_str("# TYPE muds_job_latency_us summary\n");
+        out.push_str(&format!("muds_job_latency_us{{quantile=\"0.5\"}} {}\n", lat.p50()));
+        out.push_str(&format!("muds_job_latency_us{{quantile=\"0.99\"}} {}\n", lat.p99()));
+        out.push_str(&format!("muds_job_latency_us_sum {}\n", lat.sum));
+        out.push_str(&format!("muds_job_latency_us_count {}\n", lat.count));
         out
     }
 }
@@ -160,5 +217,66 @@ mod tests {
         // Reading twice does not reset (cumulative, unlike drain_snapshot).
         let doc2 = parse_json(&m.to_json()).unwrap();
         assert_eq!(doc2.get("requests").and_then(|v| v.as_u64()), Some(1));
+    }
+
+    /// Validates one line of Prometheus text exposition: either a comment
+    /// or `name[{labels}] value` with a legal metric name and float value.
+    fn scrape_line_ok(line: &str) -> bool {
+        if line.starts_with('#') {
+            let mut words = line.split_whitespace();
+            return words.next() == Some("#")
+                && words.next() == Some("TYPE")
+                && words.next().is_some_and(|n| n.starts_with("muds_"))
+                && matches!(words.next(), Some("counter" | "gauge" | "summary"))
+                && words.next().is_none();
+        }
+        let (series, value) = match line.rsplit_once(' ') {
+            Some(parts) => parts,
+            None => return false,
+        };
+        if value.parse::<f64>().is_err() {
+            return false;
+        }
+        let name = series.split('{').next().unwrap_or("");
+        if !name.starts_with("muds_")
+            || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return false;
+        }
+        match series.split_once('{') {
+            None => true,
+            Some((_, labels)) => {
+                let Some(labels) = labels.strip_suffix('}') else { return false };
+                labels.split(',').all(|kv| {
+                    kv.split_once('=').is_some_and(|(k, v)| {
+                        !k.is_empty() && v.starts_with('"') && v.ends_with('"') && v.len() >= 2
+                    })
+                })
+            }
+        }
+    }
+
+    #[test]
+    fn prometheus_exposition_parses_under_scrape_rules() {
+        let m = ServeMetrics::new();
+        m.requests.inc();
+        m.count_response(200);
+        m.trace_ids_generated.inc();
+        m.trace_ids_propagated.inc();
+        m.job_latency_us.record(1000);
+        let text = m.to_prometheus();
+        assert!(text.ends_with('\n'), "exposition ends with a newline");
+        for line in text.lines() {
+            assert!(scrape_line_ok(line), "unparseable scrape line: {line:?}");
+        }
+        assert!(text.contains("# TYPE muds_requests_total counter\nmuds_requests_total 1\n"));
+        assert!(text.contains("# TYPE muds_job_latency_us summary\n"));
+        assert!(text.contains("muds_job_latency_us{quantile=\"0.5\"} 1023\n"));
+        assert!(text.contains("muds_job_latency_us_sum 1000\n"));
+        assert!(text.contains("muds_job_latency_us_count 1\n"));
+        assert!(text.contains("muds_trace_ids_generated_total 1\n"));
+        // Every family appears exactly once.
+        let families = text.lines().filter(|l| l.starts_with("# TYPE")).count();
+        assert_eq!(families, 23);
     }
 }

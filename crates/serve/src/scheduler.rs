@@ -37,6 +37,9 @@ pub struct JobSpec {
     pub algorithm: Algorithm,
     pub config: ProfilerConfig,
     pub key: CacheKey,
+    /// Trace id of the request that submitted this job (propagated
+    /// `X-Muds-Trace` or server-minted), surfaced by `GET /jobs/:id`.
+    pub trace: String,
 }
 
 /// Lifecycle of a job, as reported by `GET /jobs/:id`.
@@ -69,6 +72,8 @@ pub struct JobRecord {
     pub dataset: String,
     pub algorithm: Algorithm,
     pub status: JobStatus,
+    /// Trace id of the submitting request.
+    pub trace: String,
 }
 
 struct Job {
@@ -180,6 +185,7 @@ impl Scheduler {
                 dataset: spec.dataset.clone(),
                 algorithm: spec.algorithm,
                 status: JobStatus::Queued,
+                trace: spec.trace.clone(),
             },
         );
         inner.queue.push_back(Job { id, spec, flight, deadline });
@@ -333,6 +339,7 @@ mod tests {
                 algorithm,
                 config: config.cache_key(),
             },
+            trace: "t-test".into(),
         }
     }
 
@@ -358,7 +365,9 @@ mod tests {
         let json = flight.wait(Duration::from_secs(30)).expect("completes").expect("succeeds");
         assert!(json.contains("\"algorithm\":\"MUDS\""));
         assert!(matches!(cache.begin(&key), Begin::Hit(_)));
-        assert_eq!(scheduler.status(id).unwrap().status, JobStatus::Done);
+        let record = scheduler.status(id).unwrap();
+        assert_eq!(record.status, JobStatus::Done);
+        assert_eq!(record.trace, "t-test", "job record keeps the submitting trace id");
         assert_eq!(metrics.jobs_completed.get(), 1);
         assert_eq!(metrics.job_latency_us.snapshot().count, 1);
         scheduler.shutdown();

@@ -24,7 +24,7 @@
 
 use std::io::Write;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -80,9 +80,29 @@ pub struct ServerState {
     pub metrics: Arc<ServeMetrics>,
     config: ServeConfig,
     shutdown: AtomicBool,
+    /// Sequence for server-minted trace ids.
+    trace_seq: AtomicU64,
 }
 
 impl ServerState {
+    /// The trace id for one request: a sanitized `X-Muds-Trace` header if
+    /// the client sent one (distributed callers propagate their own ids),
+    /// otherwise a fresh `muds-<n>` id. Every response echoes it back.
+    fn trace_for(&self, request: &Request) -> String {
+        let propagated =
+            request.header("x-muds-trace").map(sanitize_trace_id).filter(|t| !t.is_empty());
+        match propagated {
+            Some(trace) => {
+                self.metrics.trace_ids_propagated.inc();
+                trace
+            }
+            None => {
+                self.metrics.trace_ids_generated.inc();
+                let seq = self.trace_seq.fetch_add(1, Ordering::Relaxed) + 1;
+                format!("muds-{seq:08x}")
+            }
+        }
+    }
     /// Requests shutdown: the accept loop exits on its next poll tick.
     pub fn request_shutdown(&self) {
         self.shutdown.store(true, Ordering::Release);
@@ -161,6 +181,7 @@ impl Server {
             metrics,
             config,
             shutdown: AtomicBool::new(false),
+            trace_seq: AtomicU64::new(0),
         });
         Ok(Server { listener, state })
     }
@@ -246,19 +267,39 @@ fn handle_connection(state: &ServerState, mut stream: TcpStream) {
         }
     };
     state.metrics.requests.inc();
-    let response = route(state, &request);
+    let trace = state.trace_for(&request);
+    let response = route(state, &request, &trace).with_header("X-Muds-Trace", &trace);
     state.metrics.count_response(response.status);
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
 }
 
-fn route(state: &ServerState, request: &Request) -> Response {
+/// Keeps a client-supplied trace id header-safe: visible ASCII from a
+/// conservative alphabet, capped at 64 chars. Everything else is dropped
+/// (an all-hostile header degenerates to empty → a server-minted id).
+fn sanitize_trace_id(raw: &str) -> String {
+    raw.chars()
+        .filter(|c| c.is_ascii_alphanumeric() || matches!(c, '-' | '_' | '.' | ':'))
+        .take(64)
+        .collect()
+}
+
+fn route(state: &ServerState, request: &Request, trace: &str) -> Response {
     match (request.method.as_str(), request.path.as_str()) {
         ("GET", "/healthz") => Response::json(200, "{\"status\":\"ok\"}".to_string()),
-        ("GET", "/metrics") => Response::json(200, state.metrics.to_json()),
+        ("GET", "/metrics") => match request.query_param("format") {
+            Some("prom") => Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                headers: Vec::new(),
+                body: state.metrics.to_prometheus().into_bytes(),
+            },
+            Some(other) => Response::error(400, &format!("unknown metrics format {other:?}")),
+            None => Response::json(200, state.metrics.to_json()),
+        },
         ("GET", "/datasets") => list_datasets(state),
         ("POST", "/datasets") => register_dataset(state, request),
-        ("POST", "/profile") => profile_endpoint(state, request),
+        ("POST", "/profile") => profile_endpoint(state, request, trace),
         ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
         ("POST", "/shutdown") => {
             state.request_shutdown();
@@ -358,11 +399,12 @@ fn job_status(state: &ServerState, id: &str) -> Response {
     match state.scheduler.status(id) {
         Some(record) => {
             let mut out = format!(
-                "{{\"id\":{},\"dataset\":{},\"algorithm\":\"{}\",\"status\":\"{}\"",
+                "{{\"id\":{},\"dataset\":{},\"algorithm\":\"{}\",\"status\":\"{}\",\"trace\":{}",
                 record.id,
                 json_string(&record.dataset),
                 record.algorithm.name(),
-                record.status.name()
+                record.status.name(),
+                json_string(&record.trace)
             );
             if let JobStatus::Failed(reason) = &record.status {
                 out.push_str(&format!(",\"error\":{}", json_string(reason)));
@@ -374,7 +416,7 @@ fn job_status(state: &ServerState, id: &str) -> Response {
     }
 }
 
-fn profile_endpoint(state: &ServerState, request: &Request) -> Response {
+fn profile_endpoint(state: &ServerState, request: &Request, trace: &str) -> Response {
     let body = match std::str::from_utf8(&request.body) {
         Ok(body) => body,
         Err(_) => return Response::error(400, "request body is not UTF-8"),
@@ -417,6 +459,7 @@ fn profile_endpoint(state: &ServerState, request: &Request) -> Response {
                 algorithm,
                 config,
                 key: key.clone(),
+                trace: trace.to_string(),
             };
             // Queued jobs expire if nothing could start them within the
             // request timeout — nobody is left waiting by then.
@@ -607,6 +650,74 @@ mod tests {
         assert_eq!(listing.get("datasets").and_then(|d| d.as_array()).map(|a| a.len()), Some(2));
 
         std::fs::remove_dir_all(&dir).ok();
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn trace_ids_are_minted_echoed_and_propagated() {
+        let (addr, state, handle) = start_server(test_config());
+
+        // No header: the server mints an id and echoes it.
+        let (status, headers, _) = http(addr, "GET", "/healthz", &[], b"");
+        assert_eq!(status, 200);
+        let minted = header(&headers, "x-muds-trace").expect("trace echoed").to_string();
+        assert!(minted.starts_with("muds-"), "minted id: {minted}");
+        let (_, headers2, _) = http(addr, "GET", "/healthz", &[], b"");
+        assert_ne!(minted, header(&headers2, "x-muds-trace").unwrap(), "ids are distinct");
+        assert_eq!(state.metrics.trace_ids_generated.get(), 2);
+
+        // Client-supplied header: propagated verbatim (it is header-safe).
+        let (status, _, _) =
+            http(addr, "POST", "/datasets?name=t", &[("Content-Type", "text/csv")], CSV.as_bytes());
+        assert_eq!(status, 201);
+        let req = b"{\"dataset\":\"t\",\"algorithm\":\"tane\"}";
+        let (status, headers, _) = http(
+            addr,
+            "POST",
+            "/profile",
+            &[("Content-Type", "application/json"), ("X-Muds-Trace", "cli-abc.123")],
+            req,
+        );
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "x-muds-trace"), Some("cli-abc.123"));
+        assert_eq!(state.metrics.trace_ids_propagated.get(), 1);
+
+        // The job record carries the trace id into /jobs/:id.
+        let (status, _, body) = http(addr, "GET", "/jobs/1", &[], b"");
+        assert_eq!(status, 200);
+        let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(doc.get("trace").and_then(JsonValue::as_str), Some("cli-abc.123"));
+
+        // A hostile header sanitizes down; an all-hostile one is replaced.
+        let (_, headers, _) =
+            http(addr, "GET", "/healthz", &[("X-Muds-Trace", "a\tb<script>%0d%0a")], b"");
+        let echoed = header(&headers, "x-muds-trace").unwrap();
+        assert_eq!(echoed, "abscript0d0a");
+
+        // /metrics (JSON flavor) reports both counters.
+        let (_, _, body) = http(addr, "GET", "/metrics", &[], b"");
+        let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert!(doc.get("trace_ids_generated").and_then(JsonValue::as_u64).unwrap() >= 3);
+        // 2: the real propagated id plus the sanitized hostile one.
+        assert_eq!(doc.get("trace_ids_propagated").and_then(JsonValue::as_u64), Some(2));
+
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn metrics_prom_format_is_scrapeable_over_http() {
+        let (addr, state, handle) = start_server(test_config());
+        let (status, headers, body) = http(addr, "GET", "/metrics?format=prom", &[], b"");
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "content-type"), Some("text/plain; version=0.0.4"));
+        let text = std::str::from_utf8(&body).expect("utf-8 exposition");
+        assert!(text.contains("# TYPE muds_requests_total counter"));
+        assert!(text.contains("muds_requests_total 1"));
+        // Unknown formats are a client error, not silent JSON.
+        let (status, _, _) = http(addr, "GET", "/metrics?format=xml", &[], b"");
+        assert_eq!(status, 400);
         state.request_shutdown();
         handle.join().unwrap();
     }
