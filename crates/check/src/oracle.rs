@@ -8,15 +8,18 @@
 use std::collections::BTreeSet;
 
 use muds_core::{
-    profile, profile_from_json, profile_to_json, Algorithm, ProfilePayload, ProfilerConfig,
+    apply_incremental, profile, profile_from_json, profile_to_json, Algorithm, ProfilePayload,
+    ProfilerConfig,
 };
 use muds_fd::{approximate_fds, g3_error, holds, Fd};
 use muds_ind::{naive_inds, nary_ind_holds, nary_inds, Ind};
 use muds_lattice::{complement_family, minimal_hitting_sets, ColumnSet};
 use muds_obs::Metrics;
 use muds_pli::PliCache;
-use muds_table::{Table, TableError, MAX_COLUMNS};
+use muds_table::{Table, TableDelta, TableError, MAX_COLUMNS};
 use muds_ucc::{ducc, is_unique, naive_minimal_uccs, DuccConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// One invariant violation.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +83,14 @@ pub struct CheckSuite {
     pub thread_matrix: Vec<usize>,
     /// Thread count to restore after the matrix (0 = all cores).
     pub restore_threads: usize,
+    /// Deltas per table for the incremental ≡ from-scratch invariant
+    /// (0 disables it). Deltas are derived deterministically from the
+    /// table fingerprint and [`CheckSuite::delta_seed`], so a banked
+    /// corpus CSV regenerates the exact failing delta on replay — no
+    /// separate delta file is needed.
+    pub incremental_deltas: usize,
+    /// Seed folded into the table fingerprint when deriving deltas.
+    pub delta_seed: u64,
     /// Test hook for the shrinker self-test: deliberately drop the first
     /// FD from the MUDS result before comparing against the naive oracle,
     /// manufacturing a reproducible "missed FD" disagreement.
@@ -95,6 +106,8 @@ impl Default for CheckSuite {
             nary_arity: 3,
             thread_matrix: vec![1, 2],
             restore_threads: 0,
+            incremental_deltas: 2,
+            delta_seed: 0xD1FA,
             sabotage_drop_first_fd: false,
         }
     }
@@ -113,6 +126,7 @@ impl CheckSuite {
             .or_else(|| self.check_ind_projection_closure(table))
             .or_else(|| self.check_g3(table))
             .or_else(|| self.check_json_roundtrip(table))
+            .or_else(|| self.check_incremental(table))
     }
 
     fn narrow(&self, table: &Table) -> bool {
@@ -400,6 +414,73 @@ impl CheckSuite {
         None
     }
 
+    /// Incremental ≡ from-scratch: for every algorithm and a handful of
+    /// deterministically derived deltas, patching a cached profile through
+    /// [`apply_incremental`] must reproduce exactly the dependencies of
+    /// profiling the patched table from scratch.
+    fn check_incremental(&self, table: &Table) -> Option<FailureDetail> {
+        if self.incremental_deltas == 0 || !self.narrow(table) || table.num_columns() == 0 {
+            return None;
+        }
+        let fp = muds_table::fingerprint(table).0;
+        let mut rng = StdRng::seed_from_u64(fp as u64 ^ (fp >> 64) as u64 ^ self.delta_seed);
+        for _ in 0..self.incremental_deltas {
+            let delta = random_delta(&mut rng, table);
+            for &algorithm in &Algorithm::ALL {
+                let metrics = Metrics::new();
+                let _guard = metrics.install();
+                let old = profile(table, algorithm, &self.profiler);
+                let inc = match apply_incremental(&old, table, &delta) {
+                    Ok(out) => out,
+                    Err(e) => {
+                        return Some(FailureDetail {
+                            invariant: "incremental-apply",
+                            detail: format!(
+                                "{}: apply_incremental failed on {delta:?}: {e}",
+                                algorithm.name()
+                            ),
+                        });
+                    }
+                };
+                let scratch = profile(&inc.table, algorithm, &self.profiler);
+                if inc.result.fds.to_sorted_vec() != scratch.fds.to_sorted_vec() {
+                    return Some(FailureDetail {
+                        invariant: "incremental-fd",
+                        detail: format!(
+                            "{}: incremental FDs {:?} != from-scratch {:?} after {delta:?}",
+                            algorithm.name(),
+                            inc.result.fds.to_sorted_vec(),
+                            scratch.fds.to_sorted_vec()
+                        ),
+                    });
+                }
+                if inc.result.minimal_uccs != scratch.minimal_uccs {
+                    return Some(FailureDetail {
+                        invariant: "incremental-ucc",
+                        detail: format!(
+                            "{}: incremental UCCs {:?} != from-scratch {:?} after {delta:?}",
+                            algorithm.name(),
+                            inc.result.minimal_uccs,
+                            scratch.minimal_uccs
+                        ),
+                    });
+                }
+                if inc.result.inds != scratch.inds {
+                    return Some(FailureDetail {
+                        invariant: "incremental-ind",
+                        detail: format!(
+                            "{}: incremental INDs {:?} != from-scratch {:?} after {delta:?}",
+                            algorithm.name(),
+                            inc.result.inds,
+                            scratch.inds
+                        ),
+                    });
+                }
+            }
+        }
+        None
+    }
+
     /// g₃ is monotonically non-increasing in the lhs, and zero exactly for
     /// FDs that hold.
     fn check_g3(&self, table: &Table) -> Option<FailureDetail> {
@@ -439,6 +520,39 @@ impl CheckSuite {
             }
         }
         None
+    }
+}
+
+/// One adversarial delta: a small batch of appended rows mixing existing
+/// values (to create collisions), fresh values, and NULLs — or a small
+/// row-deletion batch (possibly with duplicate ids, which `apply_delta`
+/// must tolerate).
+fn random_delta(rng: &mut StdRng, table: &Table) -> TableDelta {
+    let rows = table.num_rows();
+    let cols = table.num_columns();
+    if rows > 0 && rng.gen_bool(0.5) {
+        let k = rng.gen_range(1..=rows.min(3));
+        let dels: Vec<usize> = (0..k).map(|_| rng.gen_range(0..rows)).collect();
+        TableDelta::Delete { rows: dels }
+    } else {
+        let k = rng.gen_range(1..=3usize);
+        let appended = (0..k)
+            .map(|_| {
+                (0..cols)
+                    .map(|c| {
+                        if rows > 0 && rng.gen_bool(0.5) {
+                            let source = rng.gen_range(0..rows);
+                            table.row(source)[c].unwrap_or("").to_string()
+                        } else if rng.gen_bool(0.25) {
+                            String::new()
+                        } else {
+                            format!("δ{}", rng.gen_range(0..4u32))
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+        TableDelta::Append { rows: appended }
     }
 }
 
@@ -484,6 +598,28 @@ mod tests {
     /// The wire-format round-trip must survive dataset and column names
     /// that need JSON escaping (quotes, backslashes, control characters,
     /// non-ASCII).
+    /// Delta derivation is a pure function of table content: the same
+    /// table (e.g. re-read from a corpus CSV) always yields the same
+    /// deltas, so a banked repro regenerates its failing delta exactly.
+    #[test]
+    fn incremental_deltas_are_determined_by_table_content() {
+        let rows = vec![vec!["1", "x"], vec!["2", "x"], vec!["3", "y"]];
+        let a = Table::from_rows("t", &["p", "q"], &rows).unwrap();
+        let b = Table::from_rows("t", &["p", "q"], &rows).unwrap();
+        let suite = CheckSuite::default();
+        let fp = muds_table::fingerprint(&a).0;
+        let seed = fp as u64 ^ (fp >> 64) as u64 ^ suite.delta_seed;
+        let mut ra = StdRng::seed_from_u64(seed);
+        let mut rb = StdRng::seed_from_u64(seed);
+        for _ in 0..4 {
+            assert_eq!(
+                format!("{:?}", random_delta(&mut ra, &a)),
+                format!("{:?}", random_delta(&mut rb, &b))
+            );
+        }
+        assert_eq!(suite.check_incremental(&a), None);
+    }
+
     #[test]
     fn json_roundtrip_survives_hostile_names() {
         let cols = ["a\"quote", "b\\slash", "c\tcontrol", "déjà"];

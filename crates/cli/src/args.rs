@@ -43,6 +43,10 @@ pub enum Command {
         /// Write the dependency document here instead of stdout
         /// (requires `--format json`).
         out: Option<String>,
+        /// CSV file (same schema) appended *after* the initial profile via
+        /// the incremental delta path; the report then covers the patched
+        /// table plus the `delta.revalidated` / `delta.skipped` work split.
+        append: Option<String>,
     },
     /// Run all four algorithms on a CSV file and compare runtimes.
     Compare {
@@ -199,6 +203,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut threads: Option<usize> = None;
             let mut format = OutputFormat::Human;
             let mut out: Option<String> = None;
+            let mut append: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -207,6 +212,9 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     }
                     "--out" | "-o" if cmd == "profile" => {
                         out = Some(take_value(args, &mut i, "--out")?.to_string())
+                    }
+                    "--append" if cmd == "profile" => {
+                        append = Some(take_value(args, &mut i, "--append")?.to_string())
                     }
                     "--threads" | "-t" => {
                         let v: usize = take_value(args, &mut i, "--threads")?
@@ -260,6 +268,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     threads,
                     format,
                     out,
+                    append,
                 })
             }
         }
@@ -494,6 +503,7 @@ USAGE:
   mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
                    [--no-header] [--paper-faithful] [--threads N]
                    [--format human|json] [--out <file.json>]
+                   [--append <delta.csv>]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof compare <file.csv> [-d <delim>] [--no-header] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
@@ -516,6 +526,16 @@ OUTPUT:
                      document (the same wire format the serve daemon
                      returns) on stdout; diagnostics move to stderr
   --out <file>       write that JSON document to a file instead of stdout
+
+INCREMENTAL:
+  --append <file>    profile the base table, then append the rows of <file>
+                     (same schema) through the incremental delta path
+                     instead of re-profiling from scratch: appends can only
+                     *break* UCCs/FDs, so only dependencies whose columns
+                     meet the changed clusters are revalidated. The report
+                     covers the patched table and states how many
+                     dependency checks ran (delta.revalidated) versus were
+                     carried over untouched (delta.skipped).
 
 SERVING:
   serve runs a long-lived profiling daemon: POST /datasets registers CSV
@@ -590,8 +610,21 @@ mod tests {
                 threads: None,
                 format: OutputFormat::Human,
                 out: None,
+                append: None,
             }
         );
+    }
+
+    #[test]
+    fn append_flag() {
+        let cmd = parse(&argv("profile x.csv --append delta.csv")).unwrap();
+        match cmd {
+            Command::Profile { append, .. } => assert_eq!(append.as_deref(), Some("delta.csv")),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(parse(&argv("profile x.csv --append")).unwrap_err().0.contains("needs a value"));
+        // --append belongs to profile, not compare.
+        assert!(parse(&argv("compare x.csv --append delta.csv")).is_err());
     }
 
     #[test]

@@ -9,11 +9,13 @@ mod args;
 use std::process::ExitCode;
 
 use args::{parse, Command, MetricsFormat, OutputFormat, USAGE};
-use muds_core::{profile_csv, profile_to_json, Algorithm, Phase, ProfilerConfig};
+use muds_core::{
+    apply_incremental, profile_csv, profile_to_json, Algorithm, Phase, ProfilerConfig,
+};
 use muds_datagen as datagen;
 use muds_obs::{JsonlSink, Metrics};
 use muds_serve::{ServeConfig, Server};
-use muds_table::{table_from_csv_file, table_to_csv, CsvOptions};
+use muds_table::{table_from_csv_file, table_to_csv, CsvOptions, TableDelta};
 
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -182,6 +184,7 @@ fn run(command: Command) -> Result<(), String> {
             threads,
             format,
             out,
+            append,
         } => {
             use std::fmt::Write;
             configure_threads(threads)?;
@@ -202,6 +205,47 @@ fn run(command: Command) -> Result<(), String> {
             let result = profile_csv(table.name(), &csv, &options, algorithm, &config)
                 .map_err(|e| e.to_string())?;
 
+            // --append rides the incremental delta path: the base profile
+            // above is patched in place and only the dependencies whose
+            // columns meet the changed clusters are revalidated. The report
+            // below then describes the *patched* table.
+            let (table, result, delta_note) = match append {
+                Some(append_path) => {
+                    let appended =
+                        table_from_csv_file(&append_path, &options).map_err(|e| e.to_string())?;
+                    if appended.column_names() != table.column_names() {
+                        return Err(format!(
+                            "--append {:?} columns {:?} do not match {:?} columns {:?}",
+                            append_path,
+                            appended.column_names(),
+                            path,
+                            table.column_names()
+                        ));
+                    }
+                    let rows: Vec<Vec<String>> = (0..appended.num_rows())
+                        .map(|r| {
+                            appended
+                                .row(r)
+                                .into_iter()
+                                .map(|v| v.unwrap_or("").to_string())
+                                .collect()
+                        })
+                        .collect();
+                    let outcome = apply_incremental(&result, &table, &TableDelta::Append { rows })
+                        .map_err(|e| e.to_string())?;
+                    let note = format!(
+                        "delta: appended {} row(s) ({} dropped as duplicates); \
+                         {} dependency check(s) revalidated, {} carried over unchanged\n",
+                        outcome.appended_rows,
+                        outcome.rows_deduplicated,
+                        outcome.revalidated,
+                        outcome.skipped
+                    );
+                    (outcome.table, outcome.result, note)
+                }
+                None => (table, result, String::new()),
+            };
+
             // The human report is built once and routed by --format: in
             // human mode it *is* the data and goes to stdout; in json mode
             // the JSON document owns stdout and the report becomes a
@@ -216,6 +260,7 @@ fn run(command: Command) -> Result<(), String> {
                 table.num_columns(),
                 algorithm.name()
             );
+            report.push_str(&delta_note);
             let _ = writeln!(report, "\ninclusion dependencies ({}):", result.inds.len());
             for ind in &result.inds {
                 let _ = writeln!(report, "  {} ⊆ {}", names[ind.dependent], names[ind.referenced]);

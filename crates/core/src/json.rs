@@ -380,6 +380,40 @@ mod tests {
         assert!(parse_json(r#""\q""#).is_err(), "unknown escape rejected");
     }
 
+    /// Surrogate-escape edge cases: a high surrogate at end-of-string,
+    /// followed by a non-`\u` escape, or standing alone must all produce a
+    /// typed [`JsonError`] carrying the failure offset — never a panic,
+    /// never a silent U+FFFD. A well-formed split pair round-trips to the
+    /// astral scalar it encodes.
+    #[test]
+    fn surrogate_escapes_fail_typed_or_round_trip() {
+        // Lone high surrogate, string ends right after it.
+        let err = parse_json(r#""\uD800""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        assert!(err.offset > 0, "error carries a position: {err}");
+        // High surrogate at hard EOF (unterminated string).
+        let err = parse_json(r#""\uD800"#).unwrap_err();
+        assert!(err.message.contains("surrogate") || err.message.contains("unterminated"), "{err}");
+        // High surrogate followed by a non-\u escape.
+        let err = parse_json(r#""\uD800\n""#).unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        // High surrogate followed by a \u escape that is not a low half.
+        let err = parse_json("\"\\uD800\\u0041\"").unwrap_err();
+        assert!(err.message.contains("invalid low surrogate"), "{err}");
+        // High surrogate followed by a plain character.
+        let err = parse_json("\"\\uD800A\"").unwrap_err();
+        assert!(err.message.contains("unpaired high surrogate"), "{err}");
+        // Lone low surrogate.
+        let err = parse_json(r#""\uDC00""#).unwrap_err();
+        assert!(err.message.contains("unpaired surrogate"), "{err}");
+        // A proper split pair decodes to the astral scalar and survives a
+        // serialize → parse round trip.
+        let v = parse_json(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        let reserialized = json_string(v.as_str().unwrap());
+        assert_eq!(parse_json(&reserialized).unwrap().as_str(), Some("😀"));
+    }
+
     #[test]
     fn rejects_malformed_documents() {
         for bad in ["", "{", "[1,", "{\"a\"}", "{\"a\":1,}", "[1 2]", "tru", "1 2", "{1:2}"] {

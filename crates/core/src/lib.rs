@@ -40,6 +40,7 @@
 
 mod baseline;
 mod holistic_fun;
+mod incremental;
 pub mod json;
 pub mod muds;
 mod profiler;
@@ -47,6 +48,7 @@ mod serialize;
 
 pub use baseline::{baseline, baseline_csv, BaselineReport, BaselineTimings};
 pub use holistic_fun::{holistic_fun, HolisticFunReport, HolisticFunTimings};
+pub use incremental::{apply_incremental, IncrementalOutcome};
 pub use muds::{muds, MudsConfig, MudsPhaseTimings, MudsReport, MudsStats, ShadowLookup};
 pub use profiler::{profile, profile_csv, Algorithm, Phase, ProfileResult, ProfilerConfig};
 pub use serialize::{profile_from_json, profile_to_json, ProfilePayload};

@@ -154,7 +154,7 @@ impl ProfileResult {
 /// The ambient metrics registry if one is installed (the CLI installs one
 /// to attach a trace sink), else a fresh registry installed for the scope
 /// of the returned guard.
-fn ensure_ambient() -> (Metrics, Option<muds_obs::AmbientGuard>) {
+pub(crate) fn ensure_ambient() -> (Metrics, Option<muds_obs::AmbientGuard>) {
     match Metrics::current() {
         Some(m) => (m, None),
         None => {
@@ -167,7 +167,7 @@ fn ensure_ambient() -> (Metrics, Option<muds_obs::AmbientGuard>) {
 
 /// Drains the run's metrics out of `metrics` and assembles the uniform
 /// result, deriving the phase list from the recorded span tree.
-fn finish(
+pub(crate) fn finish(
     algorithm: Algorithm,
     inds: Vec<Ind>,
     minimal_uccs: Vec<ColumnSet>,

@@ -171,6 +171,98 @@ impl Pli {
         Pli { clusters, num_rows: self.num_rows, size }
     }
 
+    /// Incrementally extends this PLI across an append: `self` is the PLI
+    /// of the first `num_rows` entries of `codes`, the result is the PLI of
+    /// all of `codes`. Code *labels* may have been remapped by a dictionary
+    /// merge — cluster membership is row-id based, so remapping is free —
+    /// but the prefix rows' partition must be unchanged, which is exactly
+    /// what `Table::apply_delta` guarantees for an append.
+    ///
+    /// Cost: O(appended + clusters), plus one O(rows) scan for singleton
+    /// partners only when an appended value collides with a previously
+    /// unique row — cheaper than re-bucketing the column whenever appends
+    /// are small relative to the table.
+    pub fn apply_append(&self, codes: &[u32]) -> Pli {
+        let old_n = self.num_rows;
+        debug_assert!(codes.len() >= old_n, "append cannot shrink the table");
+        let mut clusters = self.clusters.clone();
+        // lint:allow(hash-order): cluster/pending maps only route appended
+        // rows to their cluster; the result is canonicalized by the
+        // sort-by-first-row below.
+        // lint:allow(panic): stripped clusters always hold at least two rows.
+        let mut by_code: std::collections::HashMap<u32, usize> =
+            clusters.iter().enumerate().map(|(i, c)| (codes[c[0] as usize], i)).collect();
+        let mut pending: std::collections::HashMap<u32, Vec<RowId>> =
+            std::collections::HashMap::new();
+        for (row, &code) in codes.iter().enumerate().skip(old_n) {
+            match by_code.get(&code) {
+                // Appended ids exceed all old ids and arrive ascending, so
+                // pushing keeps clusters in canonical ascending order.
+                Some(&i) => clusters[i].push(row as RowId),
+                None => pending.entry(code).or_default().push(row as RowId),
+            }
+        }
+        if !pending.is_empty() {
+            // Some appended value matched no existing cluster: it either
+            // pairs up with a previously unique old row or forms a cluster
+            // of appended rows only. One pass recovers the old singletons.
+            let probe = self.probe_vector();
+            let mut partner: std::collections::HashMap<u32, RowId> =
+                std::collections::HashMap::new();
+            for (row, &code) in codes.iter().enumerate().take(old_n) {
+                if probe[row] == 0 && pending.contains_key(&code) {
+                    partner.insert(code, row as RowId);
+                }
+            }
+            // lint:allow(hash-order): drain order only picks provisional
+            // cluster indexes; the sort-by-first-row below canonicalizes.
+            for (code, mut rows) in pending.drain() {
+                if let Some(&first) = partner.get(&code) {
+                    rows.insert(0, first);
+                }
+                if rows.len() >= 2 {
+                    let i = clusters.len();
+                    clusters.push(rows);
+                    by_code.insert(code, i);
+                }
+            }
+        }
+        // lint:allow(panic): every cluster holds at least two rows.
+        clusters.sort_unstable_by_key(|c| c[0]);
+        let size = clusters.iter().map(|c| c.len()).sum();
+        Pli { clusters, num_rows: codes.len(), size }
+    }
+
+    /// Incrementally shrinks this PLI across a deletion: `deleted` holds
+    /// the removed row ids (ascending, unique, pre-delete numbering).
+    /// Deletion only ever shrinks clusters — it can never merge rows that
+    /// disagreed — so the update touches nothing but the stripped clusters:
+    /// O(size + clusters·log(deleted)), independent of the table length.
+    pub fn apply_delete(&self, deleted: &[u32]) -> Pli {
+        // lint:allow(panic): windows(2) always yields two-element slices.
+        debug_assert!(deleted.windows(2).all(|w| w[0] < w[1]), "deleted ids sorted + unique");
+        debug_assert!(deleted.iter().all(|&r| (r as usize) < self.num_rows));
+        let num_rows = self.num_rows - deleted.len();
+        let mut clusters: Vec<Vec<RowId>> = self
+            .clusters
+            .iter()
+            .map(|cluster| {
+                cluster
+                    .iter()
+                    .filter(|&&r| deleted.binary_search(&r).is_err())
+                    .map(|&r| r - deleted.partition_point(|&d| d < r) as RowId)
+                    .collect::<Vec<RowId>>()
+            })
+            .filter(|c| c.len() >= 2)
+            .collect();
+        // Dropping a cluster's first row can reorder first ids; restore
+        // the canonical order.
+        // lint:allow(panic): clusters shorter than two rows were stripped.
+        clusters.sort_unstable_by_key(|c| c[0]);
+        let size = clusters.iter().map(|c| c.len()).sum();
+        Pli { clusters, num_rows, size }
+    }
+
     /// Partition-refinement FD check (Lemma 1): true iff the column with
     /// per-row `codes` is constant within every cluster — i.e. the
     /// combination this PLI represents functionally determines that column.
@@ -374,6 +466,101 @@ mod tests {
         assert_ne!(probe[0], 0);
         assert_eq!(probe[1], 0);
         assert_eq!(probe[3], 0);
+    }
+
+    #[test]
+    fn apply_append_joins_existing_clusters() {
+        let old = col(&["a", "b", "a"]);
+        let new = col(&["a", "b", "a", "a", "c"]);
+        let p = Pli::from_column(&old).apply_append(new.codes());
+        assert_eq!(p, Pli::from_column(&new));
+        assert_eq!(p.clusters(), &[vec![0, 2, 3]]);
+    }
+
+    #[test]
+    fn apply_append_pairs_with_old_singleton() {
+        let old = col(&["a", "b", "c"]);
+        let new = col(&["a", "b", "c", "b"]);
+        let p = Pli::from_column(&old).apply_append(new.codes());
+        assert_eq!(p, Pli::from_column(&new));
+        assert_eq!(p.clusters(), &[vec![1, 3]]);
+    }
+
+    #[test]
+    fn apply_append_clusters_of_new_rows_only() {
+        let old = col(&["a"]);
+        let new = col(&["a", "z", "z"]);
+        let p = Pli::from_column(&old).apply_append(new.codes());
+        assert_eq!(p, Pli::from_column(&new));
+        assert_eq!(p.clusters(), &[vec![1, 2]]);
+    }
+
+    #[test]
+    fn apply_append_handles_remapped_codes() {
+        // Appending "a" to ["b", "c", "b"] shifts every old code up by
+        // one; the cluster {0,2} must survive the remap untouched.
+        let old = col(&["b", "c", "b"]);
+        let new = col(&["b", "c", "b", "a"]);
+        let p = Pli::from_column(&old).apply_append(new.codes());
+        assert_eq!(p, Pli::from_column(&new));
+    }
+
+    #[test]
+    fn apply_delete_shrinks_and_restrips() {
+        let old = col(&["a", "a", "b", "b", "a"]);
+        // Delete rows 1 and 3: {0,1,4} loses 1 → {0,4}→remap {0,2};
+        // {2,3} loses 3 → singleton, stripped.
+        let p = Pli::from_column(&old).apply_delete(&[1, 3]);
+        let survivor = col(&["a", "b", "a"]);
+        assert_eq!(p, Pli::from_column(&survivor));
+        assert_eq!(p.clusters(), &[vec![0, 2]]);
+    }
+
+    #[test]
+    fn apply_delete_restores_canonical_order() {
+        // Deleting row 0 makes the second cluster's first id smallest.
+        let old = col(&["x", "y", "x", "y", "x"]);
+        let p = Pli::from_column(&old).apply_delete(&[0]);
+        assert_eq!(p, Pli::from_column(&col(&["y", "x", "y", "x"])));
+    }
+
+    #[test]
+    fn apply_delete_everything() {
+        let old = col(&["a", "a"]);
+        let p = Pli::from_column(&old).apply_delete(&[0, 1]);
+        assert_eq!(p.num_rows(), 0);
+        assert!(p.is_unique());
+    }
+
+    #[test]
+    fn random_deltas_match_from_codes() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..200 {
+            let n = rng.gen_range(0..30);
+            let extra = rng.gen_range(0..8);
+            let all: Vec<String> =
+                (0..n + extra).map(|_| rng.gen_range(0..6).to_string()).collect();
+            let old_col =
+                Column::from_values("c", &all[..n].iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            let new_col =
+                Column::from_values("c", &all.iter().map(|s| s.as_str()).collect::<Vec<_>>());
+            // The prefix partition is unchanged by appends, but the code
+            // labels differ between old_col and new_col — exactly the
+            // remap situation apply_append must tolerate.
+            let appended = Pli::from_column(&old_col).apply_append(new_col.codes());
+            assert_eq!(appended, Pli::from_column(&new_col));
+            if n > 0 {
+                let mut dels: Vec<u32> = (0..n as u32).filter(|_| rng.gen_bool(0.3)).collect();
+                dels.dedup();
+                let keep: Vec<&str> = (0..n)
+                    .filter(|&r| dels.binary_search(&(r as u32)).is_err())
+                    .map(|r| all[r].as_str())
+                    .collect();
+                let deleted = Pli::from_column(&old_col).apply_delete(&dels);
+                assert_eq!(deleted, Pli::from_column(&Column::from_values("c", &keep)));
+            }
+        }
     }
 
     #[test]

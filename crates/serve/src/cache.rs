@@ -242,6 +242,36 @@ impl ResultCache {
         flight.resolve(Err(Arc::new(error.to_string())));
     }
 
+    /// Surgically evicts every Ready entry for one dataset fingerprint —
+    /// all `(fingerprint, algorithm, config)` combinations of that content,
+    /// and nothing else. Entries for other fingerprints keep their LRU
+    /// position and bytes. In-flight entries are left alone: their result
+    /// is still correct for the old content (the cache is content-
+    /// addressed), and removing the slot would orphan coalesced waiters.
+    /// Returns the number of entries removed.
+    pub fn evict_fingerprint(&self, fingerprint: Fingerprint) -> usize {
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        // lint:allow(hash-order): victim order cannot leak — every victim
+        // is removed below, and counters/gauges are order-insensitive.
+        let victims: Vec<CacheKey> = inner
+            .entries
+            .iter()
+            .filter(|(k, slot)| k.fingerprint == fingerprint && matches!(slot, Slot::Ready { .. }))
+            .map(|(k, _)| k.clone())
+            .collect();
+        for key in &victims {
+            if let Some(Slot::Ready { json, stamp }) = inner.entries.remove(key) {
+                inner.bytes -= json.len();
+                inner.lru.remove(&stamp);
+                self.metrics.cache_invalidated.inc();
+            }
+        }
+        self.metrics.cache_bytes.set(inner.bytes as i64);
+        self.metrics.cache_entries.set(inner.entries.len() as i64);
+        victims.len()
+    }
+
     /// Number of entries (Ready + in flight).
     pub fn len(&self) -> usize {
         lock(&self.inner).entries.len()
@@ -357,6 +387,36 @@ mod tests {
         let k2 = key(10);
         fill(&cache, &k2, "also-big");
         assert!(matches!(cache.begin(&k), Begin::Leader(_)));
+    }
+
+    /// Eviction by fingerprint removes every algorithm/config variant of
+    /// that content and nothing else; in-flight slots survive.
+    #[test]
+    fn evict_fingerprint_is_surgical() {
+        let m = metrics();
+        let cache = ResultCache::new(1 << 20, Arc::clone(&m));
+        let mut stale_muds = key(1);
+        stale_muds.algorithm = Algorithm::Muds;
+        let mut stale_tane = key(1);
+        stale_tane.algorithm = Algorithm::Tane;
+        let other = key(2);
+        fill(&cache, &stale_muds, "m");
+        fill(&cache, &stale_tane, "t");
+        fill(&cache, &other, "other");
+        // An in-flight variant of the stale fingerprint.
+        let mut inflight = key(1);
+        inflight.config = "other-cfg".into();
+        let flight = match cache.begin(&inflight) {
+            Begin::Leader(f) => f,
+            _ => panic!("fresh key leads"),
+        };
+        assert_eq!(cache.evict_fingerprint(Fingerprint(1)), 2);
+        assert_eq!(m.cache_invalidated.get(), 2);
+        assert!(matches!(cache.begin(&stale_muds), Begin::Leader(_)), "stale muds gone");
+        assert!(matches!(cache.begin(&other), Begin::Hit(_)), "other fingerprint survives");
+        assert!(matches!(cache.begin(&inflight), Begin::Follower(_)), "in-flight survives");
+        cache.abort(&inflight, &flight, "cleanup");
+        assert_eq!(cache.bytes(), "other".len(), "bytes track the survivors");
     }
 
     #[test]

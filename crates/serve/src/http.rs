@@ -166,10 +166,19 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
     }
 
-    let content_length = match headers.iter().find(|(n, _)| n == "content-length") {
-        Some((_, v)) => v
-            .parse::<usize>()
-            .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?,
+    // Framing headers must be unambiguous: a request carrying more than
+    // one Content-Length is the classic request-smuggling shape (two
+    // parsers picking different values), so it is rejected outright — even
+    // when the duplicates agree.
+    let mut content_lengths = headers.iter().filter(|(n, _)| n == "content-length");
+    let content_length = match content_lengths.next() {
+        Some((_, v)) => {
+            if content_lengths.next().is_some() {
+                return Err(HttpError::BadRequest("multiple content-length headers".into()));
+            }
+            v.parse::<usize>()
+                .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?
+        }
         None => 0,
     };
     if content_length > max_body {
@@ -318,6 +327,36 @@ mod tests {
             req(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort"),
             Err(HttpError::BadRequest(_))
         ));
+    }
+
+    /// Duplicate Content-Length headers are the request-smuggling shape:
+    /// rejected whether the copies conflict or agree, instead of silently
+    /// trusting whichever one `find()` happens to see first.
+    #[test]
+    fn duplicate_content_length_headers_are_rejected() {
+        let conflicting = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 2\r\n\r\nbody";
+        assert!(
+            matches!(req(conflicting), Err(HttpError::BadRequest(m)) if m.contains("multiple"))
+        );
+        let agreeing = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nbody";
+        assert!(matches!(req(agreeing), Err(HttpError::BadRequest(_))));
+        // A single header still frames the body normally.
+        let single = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+        assert_eq!(req(single).unwrap().body, b"body");
+    }
+
+    /// A peer that closes the socket mid-body gets a clean BadRequest
+    /// (→ 400) immediately — the reader must not spin or wait for more
+    /// bytes that can never arrive.
+    #[test]
+    fn mid_body_close_is_a_clean_bad_request() {
+        let truncated = b"POST /x HTTP/1.1\r\nContent-Length: 100\r\n\r\nonly-a-few-bytes";
+        let start = std::time::Instant::now();
+        assert!(matches!(
+            req(truncated),
+            Err(HttpError::BadRequest(m)) if m.contains("truncated body")
+        ));
+        assert!(start.elapsed() < std::time::Duration::from_secs(1), "no blocking retry");
     }
 
     #[test]

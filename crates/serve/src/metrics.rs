@@ -29,6 +29,11 @@ pub struct ServeMetrics {
     /// their own (the single-flight dedup at work).
     pub cache_coalesced: Counter,
     pub cache_evictions: Counter,
+    /// Entries surgically removed because their dataset content changed
+    /// (`POST /datasets/:name/append|delete`), as opposed to LRU pressure.
+    pub cache_invalidated: Counter,
+    /// Append/delete deltas applied to registered datasets.
+    pub deltas_applied: Counter,
     pub cache_bytes: Gauge,
     pub cache_entries: Gauge,
     /// Scheduler traffic.
@@ -64,6 +69,8 @@ impl Default for ServeMetrics {
             cache_misses: Counter::detached(),
             cache_coalesced: Counter::detached(),
             cache_evictions: Counter::detached(),
+            cache_invalidated: Counter::detached(),
+            deltas_applied: Counter::detached(),
             cache_bytes: Gauge::detached(),
             cache_entries: Gauge::detached(),
             jobs_submitted: Counter::detached(),
@@ -117,6 +124,8 @@ impl ServeMetrics {
         field("cache_misses", self.cache_misses.get().to_string());
         field("cache_coalesced", self.cache_coalesced.get().to_string());
         field("cache_evictions", self.cache_evictions.get().to_string());
+        field("cache_invalidated", self.cache_invalidated.get().to_string());
+        field("deltas_applied", self.deltas_applied.get().to_string());
         field("cache_bytes", self.cache_bytes.get().to_string());
         field("cache_entries", self.cache_entries.get().to_string());
         field("jobs_submitted", self.jobs_submitted.get().to_string());
@@ -164,6 +173,8 @@ impl ServeMetrics {
         family("cache_misses_total", "counter", self.cache_misses.get().to_string());
         family("cache_coalesced_total", "counter", self.cache_coalesced.get().to_string());
         family("cache_evictions_total", "counter", self.cache_evictions.get().to_string());
+        family("cache_invalidated_total", "counter", self.cache_invalidated.get().to_string());
+        family("deltas_applied_total", "counter", self.deltas_applied.get().to_string());
         family("cache_bytes", "gauge", self.cache_bytes.get().to_string());
         family("cache_entries", "gauge", self.cache_entries.get().to_string());
         family("jobs_submitted_total", "counter", self.jobs_submitted.get().to_string());
@@ -277,6 +288,6 @@ mod tests {
         assert!(text.contains("muds_trace_ids_generated_total 1\n"));
         // Every family appears exactly once.
         let families = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(families, 23);
+        assert_eq!(families, 25);
     }
 }

@@ -14,7 +14,7 @@ use std::sync::{Arc, Mutex};
 
 use muds_table::{
     fingerprint, table_from_csv_bytes, table_from_csv_file, CsvOptions, Fingerprint, Table,
-    TableError,
+    TableDelta, TableError,
 };
 
 use crate::sync::lock;
@@ -35,6 +35,26 @@ pub struct DatasetInfo {
     /// True when identical content was already stored (under any name):
     /// the registry reused the existing table instead of storing a copy.
     pub already_registered: bool,
+}
+
+/// What [`Registry::apply_delta`] did — enough for the endpoint response
+/// and for the server's surgical cache eviction.
+#[derive(Debug, Clone)]
+pub struct DeltaApplied {
+    /// Fingerprint the name was bound to before the delta (the cache
+    /// identity whose entries are now stale for this name).
+    pub old_fingerprint: Fingerprint,
+    /// Rows appended (after deduplication against the existing table).
+    pub appended_rows: usize,
+    /// Rows removed.
+    pub deleted_rows: usize,
+    /// Appended rows dropped as duplicates of existing ones.
+    pub rows_deduplicated: usize,
+    /// Columns whose cluster structure could have changed (the monotone
+    /// invalidation frontier — see `muds_table::DeltaOutcome`).
+    pub affected_columns: Vec<usize>,
+    /// Registration info for the patched table (new fingerprint inside).
+    pub info: DatasetInfo,
 }
 
 #[derive(Default)]
@@ -100,6 +120,41 @@ impl Registry {
     ) -> Result<DatasetInfo, TableError> {
         let table = table_from_csv_file(path, options)?;
         Ok(self.register_table(name, table))
+    }
+
+    /// Applies `delta` to the dataset bound to `name`: builds the patched
+    /// table, stores it content-addressed, and rebinds the name to the new
+    /// fingerprint. The old content (and any other names bound to it) is
+    /// untouched. Returns `Ok(None)` for an unknown name.
+    ///
+    /// The delta is applied outside the registry lock — a large table may
+    /// take a while to patch, and readers of *other* datasets must not
+    /// stall behind it. The name is rebound afterwards, last writer wins,
+    /// exactly like re-registering.
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &TableDelta,
+    ) -> Result<Option<DeltaApplied>, TableError> {
+        let old = {
+            let inner = lock(&self.inner);
+            match inner.names.get(name) {
+                Some(fp) => Arc::clone(&inner.tables[fp]),
+                None => return Ok(None),
+            }
+        };
+        let old_fingerprint = fingerprint(&old);
+        let outcome = old.apply_delta(delta)?;
+        let deleted_rows = outcome.deleted_rows.len();
+        let info = self.register_table(name, outcome.table);
+        Ok(Some(DeltaApplied {
+            old_fingerprint,
+            appended_rows: outcome.appended_rows,
+            deleted_rows,
+            rows_deduplicated: outcome.rows_deduplicated,
+            affected_columns: outcome.affected_columns,
+            info,
+        }))
     }
 
     /// Resolves `key` — a registered name, or a 32-hex-digit fingerprint —
@@ -191,6 +246,38 @@ mod tests {
         assert!(reg.resolve(&info.fingerprint.to_string()).is_some());
         assert!(reg.resolve("missing").is_none());
         assert!(reg.resolve(&"0".repeat(32)).is_none());
+    }
+
+    #[test]
+    fn apply_delta_rebinds_the_name_and_keeps_old_content() {
+        let reg = Registry::new();
+        reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        let (old_fp, _) = reg.resolve("d").unwrap();
+        let applied = reg
+            .apply_delta("d", &TableDelta::Append { rows: vec![vec!["7".into(), "q".into()]] })
+            .unwrap()
+            .expect("name is registered");
+        assert_eq!(applied.old_fingerprint, old_fp);
+        assert_eq!(applied.appended_rows, 1);
+        assert_ne!(applied.info.fingerprint, old_fp, "content changed, fingerprint changed");
+        let (fp, table) = reg.resolve("d").unwrap();
+        assert_eq!(fp, applied.info.fingerprint);
+        assert_eq!(table.num_rows(), 3);
+        // The old content is still resolvable by fingerprint.
+        assert!(reg.resolve(&old_fp.to_string()).is_some());
+        assert_eq!(reg.contents_len(), 2);
+    }
+
+    #[test]
+    fn apply_delta_surfaces_unknown_names_and_bad_rows() {
+        let reg = Registry::new();
+        assert!(reg.apply_delta("ghost", &TableDelta::Delete { rows: vec![0] }).unwrap().is_none());
+        reg.register_csv_bytes("d", CSV.as_bytes(), &CsvOptions::default()).unwrap();
+        let err = reg.apply_delta("d", &TableDelta::Delete { rows: vec![99] }).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
+        // The failed delta changed nothing.
+        let (_, table) = reg.resolve("d").unwrap();
+        assert_eq!(table.num_rows(), 2);
     }
 
     #[test]

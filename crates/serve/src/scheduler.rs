@@ -206,6 +206,13 @@ impl Scheduler {
         lock(&self.shared.inner).queue.len()
     }
 
+    /// Earliest deadline among queued jobs — the moment the queue is next
+    /// guaranteed to free a slot (that job either starts or expires).
+    /// `None` when the queue is empty or holds only deadline-less jobs.
+    pub fn earliest_deadline(&self) -> Option<Instant> {
+        lock(&self.shared.inner).queue.iter().filter_map(|j| j.deadline).min()
+    }
+
     /// Stops accepting new jobs, drains everything already queued, and
     /// joins the workers. Idempotent.
     pub fn shutdown(&self) {
@@ -215,6 +222,19 @@ impl Scheduler {
         for handle in handles {
             let _ = handle.join();
         }
+    }
+}
+
+/// `Retry-After` seconds until `deadline`, clamped to at least 1.
+///
+/// Whole-second truncation means a deadline under a second away (or
+/// already past) would otherwise render as `Retry-After: 0`, which many
+/// clients treat as "retry immediately" — turning backpressure into a
+/// busy-loop against a full queue. The clamp keeps the header honest.
+pub fn retry_after_secs(deadline: Option<Instant>) -> u64 {
+    match deadline {
+        Some(deadline) => deadline.saturating_duration_since(Instant::now()).as_secs().max(1),
+        None => 1,
     }
 }
 
@@ -436,6 +456,48 @@ mod tests {
         assert_eq!(metrics.jobs_completed.get(), 0);
         // Nothing cached: the key leads again.
         assert!(matches!(cache.begin(&key), Begin::Leader(_)));
+        scheduler.shutdown();
+    }
+
+    /// The 0-second boundary: deadlines under a second away (including
+    /// ones already in the past) must clamp up to 1, never truncate to 0.
+    #[test]
+    fn retry_after_never_rounds_down_to_zero() {
+        let now = Instant::now();
+        assert_eq!(retry_after_secs(None), 1);
+        assert_eq!(retry_after_secs(Some(now - Duration::from_secs(5))), 1, "past deadline");
+        assert_eq!(retry_after_secs(Some(now)), 1, "deadline right now");
+        assert_eq!(retry_after_secs(Some(now + Duration::from_millis(300))), 1, "sub-second");
+        assert_eq!(retry_after_secs(Some(now + Duration::from_millis(999))), 1, "just under 1s");
+        let far = retry_after_secs(Some(now + Duration::from_secs(30)));
+        assert!((29..=30).contains(&far), "whole seconds for far deadlines, got {far}");
+    }
+
+    #[test]
+    fn earliest_deadline_tracks_the_queue_front() {
+        // One worker pinned on a running job, two queued behind it with
+        // staggered deadlines: the earlier one is reported.
+        let (scheduler, cache, _metrics) = harness(1, 8);
+        let table = sample_table();
+        let submit = |alg: Algorithm, tag: &str, deadline: Option<Instant>| {
+            let mut spec = spec_for(&table, alg);
+            spec.key.config = tag.to_string();
+            let flight = match cache.begin(&spec.key) {
+                Begin::Leader(f) => f,
+                _ => panic!("distinct keys lead"),
+            };
+            scheduler.submit(spec, flight, deadline).unwrap();
+        };
+        let near = Instant::now() + Duration::from_secs(60);
+        let far = Instant::now() + Duration::from_secs(120);
+        submit(Algorithm::Muds, "running", None);
+        submit(Algorithm::Baseline, "q-far", Some(far));
+        submit(Algorithm::Tane, "q-near", Some(near));
+        // Both deadline jobs may still be queued, or the worker may have
+        // drained some; the reported deadline is never later than `far`.
+        if let Some(d) = scheduler.earliest_deadline() {
+            assert!(d <= far);
+        }
         scheduler.shutdown();
     }
 

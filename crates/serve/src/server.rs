@@ -32,11 +32,13 @@ use muds_core::json::{json_string, parse_json, JsonValue};
 use muds_core::{Algorithm, ProfilerConfig};
 use muds_table::CsvOptions;
 
+use muds_table::TableDelta;
+
 use crate::cache::{Begin, CacheKey, ResultCache};
 use crate::http::{read_request, HttpError, Request, Response};
 use crate::metrics::ServeMetrics;
 use crate::registry::{DatasetInfo, Registry};
-use crate::scheduler::{JobSpec, JobStatus, Scheduler};
+use crate::scheduler::{retry_after_secs, JobSpec, JobStatus, Scheduler};
 
 /// Server tunables. `ServeConfig::default()` matches the CLI defaults.
 #[derive(Debug, Clone)]
@@ -299,6 +301,14 @@ fn route(state: &ServerState, request: &Request, trace: &str) -> Response {
         },
         ("GET", "/datasets") => list_datasets(state),
         ("POST", "/datasets") => register_dataset(state, request),
+        ("POST", path) if path.starts_with("/datasets/") && path.ends_with("/append") => {
+            let name = &path["/datasets/".len()..path.len() - "/append".len()];
+            append_dataset(state, name, request)
+        }
+        ("POST", path) if path.starts_with("/datasets/") && path.ends_with("/delete") => {
+            let name = &path["/datasets/".len()..path.len() - "/delete".len()];
+            delete_rows(state, name, request)
+        }
         ("POST", "/profile") => profile_endpoint(state, request, trace),
         ("GET", path) if path.starts_with("/jobs/") => job_status(state, &path["/jobs/".len()..]),
         ("POST", "/shutdown") => {
@@ -392,6 +402,94 @@ fn register_dataset(state: &ServerState, request: &Request) -> Response {
     }
 }
 
+/// Shared tail of the append/delete endpoints: apply the delta through the
+/// registry, then surgically evict exactly the stale cache identity — every
+/// `(old fingerprint, algorithm, config)` entry and nothing else. Results
+/// for other datasets (and other fingerprints of this one) stay cached.
+fn apply_dataset_delta(state: &ServerState, name: &str, delta: &TableDelta) -> Response {
+    let applied = match state.registry.apply_delta(name, delta) {
+        Ok(Some(applied)) => applied,
+        Ok(None) => return Response::error(404, &format!("dataset {name:?} is not registered")),
+        Err(e) => return Response::error(400, &format!("delta rejected: {e}")),
+    };
+    state.metrics.deltas_applied.inc();
+    // An identity delta (empty append, every appended row a duplicate)
+    // keeps the fingerprint, so nothing in the cache went stale.
+    let evicted = if applied.info.fingerprint == applied.old_fingerprint {
+        0
+    } else {
+        state.cache.evict_fingerprint(applied.old_fingerprint)
+    };
+    let mut out = String::with_capacity(256);
+    out.push_str("{\"dataset\":");
+    out.push_str(&json_string(&applied.info.name));
+    out.push_str(&format!(
+        ",\"fingerprint\":\"{}\",\"previous_fingerprint\":\"{}\"",
+        applied.info.fingerprint, applied.old_fingerprint
+    ));
+    out.push_str(&format!(
+        ",\"rows\":{},\"appended_rows\":{},\"deleted_rows\":{},\"rows_deduplicated\":{}",
+        applied.info.rows, applied.appended_rows, applied.deleted_rows, applied.rows_deduplicated
+    ));
+    out.push_str(&format!(
+        ",\"affected_columns\":[{}],\"cache_entries_evicted\":{}}}",
+        applied.affected_columns.iter().map(|c| c.to_string()).collect::<Vec<_>>().join(","),
+        evicted
+    ));
+    Response::json(200, out)
+}
+
+/// `POST /datasets/:name/append` — body is a CSV document whose header must
+/// match the dataset's columns; its rows are appended as a delta.
+fn append_dataset(state: &ServerState, name: &str, request: &Request) -> Response {
+    let Some((_, table)) = state.registry.resolve(name) else {
+        return Response::error(404, &format!("dataset {name:?} is not registered"));
+    };
+    let appended =
+        match muds_table::table_from_csv_bytes(name, &request.body, &CsvOptions::default()) {
+            Ok(t) => t,
+            Err(e) => return Response::error(400, &format!("append body is not valid CSV: {e}")),
+        };
+    if appended.column_names() != table.column_names() {
+        return Response::error(
+            400,
+            &format!(
+                "append columns {:?} do not match dataset columns {:?}",
+                appended.column_names(),
+                table.column_names()
+            ),
+        );
+    }
+    let rows: Vec<Vec<String>> = (0..appended.num_rows())
+        .map(|r| appended.row(r).into_iter().map(|v| v.unwrap_or("").to_string()).collect())
+        .collect();
+    apply_dataset_delta(state, name, &TableDelta::Append { rows })
+}
+
+/// `POST /datasets/:name/delete` — body is `{"rows":[id,...]}` with
+/// pre-delta row ids; duplicates are tolerated, out-of-range ids are a 400.
+fn delete_rows(state: &ServerState, name: &str, request: &Request) -> Response {
+    let body = match std::str::from_utf8(&request.body) {
+        Ok(body) => body,
+        Err(_) => return Response::error(400, "request body is not UTF-8"),
+    };
+    let doc = match parse_json(body) {
+        Ok(doc) => doc,
+        Err(e) => return Response::error(400, &format!("invalid JSON body: {e}")),
+    };
+    let Some(ids) = doc.get("rows").and_then(JsonValue::as_array) else {
+        return Response::error(400, "missing \"rows\" (an array of row ids)");
+    };
+    let mut rows = Vec::with_capacity(ids.len());
+    for id in ids {
+        match id.as_usize() {
+            Some(row) => rows.push(row),
+            None => return Response::error(400, "row ids must be non-negative integers"),
+        }
+    }
+    apply_dataset_delta(state, name, &TableDelta::Delete { rows })
+}
+
 fn job_status(state: &ServerState, id: &str) -> Response {
     let Ok(id) = id.parse::<u64>() else {
         return Response::error(400, "job id must be an integer");
@@ -468,8 +566,13 @@ fn profile_endpoint(state: &ServerState, request: &Request, trace: &str) -> Resp
                 Ok(_id) => wait_for_flight(&flight, timeout, "miss"),
                 Err(_full) => {
                     state.cache.abort(&key, &flight, "job queue full");
+                    // Retry once the earliest queued deadline passes — that
+                    // job has started or expired by then, freeing a slot.
+                    // Clamped ≥ 1 s: a sub-second deadline must not render
+                    // as `Retry-After: 0` (an immediate-retry busy loop).
+                    let retry = retry_after_secs(state.scheduler.earliest_deadline());
                     Response::error(429, "job queue full, retry shortly")
-                        .with_header("Retry-After", "1")
+                        .with_header("Retry-After", &retry.to_string())
                 }
             }
         }
@@ -495,7 +598,7 @@ fn wait_for_flight(
                 202,
                 format!("{{\"status\":\"pending\",\"job\":{job},\"retry_ms\":250}}"),
             )
-            .with_header("Retry-After", "1")
+            .with_header("Retry-After", &retry_after_secs(None).to_string())
         }
     }
 }
@@ -650,6 +753,160 @@ mod tests {
         assert_eq!(listing.get("datasets").and_then(|d| d.as_array()).map(|a| a.len()), Some(2));
 
         std::fs::remove_dir_all(&dir).ok();
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    /// The delta endpoints end-to-end: append re-fingerprints the dataset
+    /// and surgically evicts only the stale cache identity — a different
+    /// dataset's cached result must still hit afterwards.
+    #[test]
+    fn append_invalidates_only_the_affected_cache_entries() {
+        let (addr, state, handle) = start_server(test_config());
+        let (status, _, _) =
+            http(addr, "POST", "/datasets?name=t", &[("Content-Type", "text/csv")], CSV.as_bytes());
+        assert_eq!(status, 201);
+        let other_csv = "k,v\n1,p\n2,q\n";
+        let (status, _, _) = http(
+            addr,
+            "POST",
+            "/datasets?name=other",
+            &[("Content-Type", "text/csv")],
+            other_csv.as_bytes(),
+        );
+        assert_eq!(status, 201);
+
+        // Warm the cache: t+muds, t+tane, other+muds.
+        for req in [
+            &b"{\"dataset\":\"t\",\"algorithm\":\"muds\"}"[..],
+            &b"{\"dataset\":\"t\",\"algorithm\":\"tane\"}"[..],
+            &b"{\"dataset\":\"other\",\"algorithm\":\"muds\"}"[..],
+        ] {
+            let (status, _, _) =
+                http(addr, "POST", "/profile", &[("Content-Type", "application/json")], req);
+            assert_eq!(status, 200);
+        }
+
+        // Append one row to t (header must match).
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            "/datasets/t/append",
+            &[("Content-Type", "text/csv")],
+            b"id,grp,val\n5,c,w\n",
+        );
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(doc.get("appended_rows").and_then(JsonValue::as_u64), Some(1));
+        assert_eq!(doc.get("rows").and_then(JsonValue::as_u64), Some(5));
+        assert_ne!(
+            doc.get("fingerprint").and_then(JsonValue::as_str),
+            doc.get("previous_fingerprint").and_then(JsonValue::as_str),
+            "content changed, fingerprint changed"
+        );
+        // Both algorithm variants of t's old content were evicted; other's
+        // entry was not.
+        assert_eq!(doc.get("cache_entries_evicted").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(state.metrics.cache_invalidated.get(), 2);
+        assert_eq!(state.metrics.deltas_applied.get(), 1);
+
+        // Untouched dataset still hits the cache...
+        let hits_before = state.metrics.cache_hits.get();
+        let (status, headers, _) = http(
+            addr,
+            "POST",
+            "/profile",
+            &[("Content-Type", "application/json")],
+            b"{\"dataset\":\"other\",\"algorithm\":\"muds\"}",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "x-cache"), Some("hit"), "untouched dataset survives");
+        assert_eq!(state.metrics.cache_hits.get(), hits_before + 1);
+        // ...while the appended dataset re-profiles from scratch.
+        let (status, headers, body) = http(
+            addr,
+            "POST",
+            "/profile",
+            &[("Content-Type", "application/json")],
+            b"{\"dataset\":\"t\",\"algorithm\":\"muds\"}",
+        );
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "x-cache"), Some("miss"), "stale entry was evicted");
+        let payload =
+            muds_core::profile_from_json(std::str::from_utf8(&body).unwrap()).expect("wire parses");
+        assert_eq!(payload.dataset, "t", "fresh profile of the patched dataset");
+
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    /// `POST /datasets/:name/delete` removes rows by pre-delta id and
+    /// validates its input; mismatched append headers are rejected.
+    #[test]
+    fn delete_endpoint_removes_rows_and_validates() {
+        let (addr, state, handle) = start_server(test_config());
+        let (status, _, _) =
+            http(addr, "POST", "/datasets?name=t", &[("Content-Type", "text/csv")], CSV.as_bytes());
+        assert_eq!(status, 201);
+
+        let (status, _, body) = http(
+            addr,
+            "POST",
+            "/datasets/t/delete",
+            &[("Content-Type", "application/json")],
+            b"{\"rows\":[0,2]}",
+        );
+        assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+        let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+        assert_eq!(doc.get("deleted_rows").and_then(JsonValue::as_u64), Some(2));
+        assert_eq!(doc.get("rows").and_then(JsonValue::as_u64), Some(2));
+
+        // Out-of-range ids, bad bodies, unknown datasets, bad headers.
+        let post = |path: &str, ct: &str, body: &[u8]| {
+            http(addr, "POST", path, &[("Content-Type", ct)], body).0
+        };
+        assert_eq!(post("/datasets/t/delete", "application/json", b"{\"rows\":[99]}"), 400);
+        assert_eq!(post("/datasets/t/delete", "application/json", b"{\"rows\":[-1]}"), 400);
+        assert_eq!(post("/datasets/t/delete", "application/json", b"{}"), 400);
+        assert_eq!(post("/datasets/ghost/delete", "application/json", b"{\"rows\":[0]}"), 404);
+        assert_eq!(post("/datasets/ghost/append", "text/csv", b"id,grp,val\n9,z,z\n"), 404);
+        assert_eq!(post("/datasets/t/append", "text/csv", b"wrong,header\n1,2\n"), 400);
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    /// Socket-level pin of the http.rs framing fixes: duplicate
+    /// Content-Length headers answer 400, and a peer that closes mid-body
+    /// gets a prompt 400 instead of a blocked connection thread.
+    #[test]
+    fn framing_violations_answer_400_over_sockets() {
+        let (addr, state, handle) = start_server(test_config());
+
+        // Duplicate Content-Length: the smuggling shape.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream
+            .write_all(b"POST /profile HTTP/1.1\r\nHost: t\r\nContent-Length: 2\r\nContent-Length: 4\r\n\r\n{}")
+            .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let (status, _, _) = parse_response(&raw);
+        assert_eq!(status, 400);
+
+        // Mid-body close: write a short body, shut down the write half.
+        let start = Instant::now();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        stream
+            .write_all(b"POST /profile HTTP/1.1\r\nHost: t\r\nContent-Length: 64\r\n\r\nshort")
+            .unwrap();
+        stream.shutdown(std::net::Shutdown::Write).unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        let (status, _, _) = parse_response(&raw);
+        assert_eq!(status, 400, "mid-body close is a clean 400");
+        assert!(start.elapsed() < Duration::from_secs(5), "no blocking retry loop");
+
         state.request_shutdown();
         handle.join().unwrap();
     }

@@ -73,6 +73,27 @@ impl Column {
         Column { name: name.into(), codes, dictionary, null_count }
     }
 
+    /// Assembles a column from pre-encoded parts (delta maintenance, which
+    /// merges dictionaries and remaps codes instead of re-sorting raw
+    /// values). The caller guarantees the [`Column::from_values`]
+    /// invariants: `dictionary` sorted and duplicate-free, every code
+    /// `<= dictionary.len()`, `null_count` = occurrences of the NULL code.
+    pub(crate) fn from_parts(
+        name: String,
+        codes: Vec<u32>,
+        dictionary: Vec<String>,
+        null_count: usize,
+    ) -> Self {
+        // lint:allow(panic): windows(2) always yields two-element slices.
+        debug_assert!(dictionary.windows(2).all(|w| w[0] < w[1]), "dictionary sorted + deduped");
+        debug_assert!(codes.iter().all(|&c| (c as usize) <= dictionary.len()));
+        debug_assert_eq!(
+            null_count,
+            codes.iter().filter(|&&c| c as usize == dictionary.len()).count()
+        );
+        Column { name, codes, dictionary, null_count }
+    }
+
     /// Column name.
     pub fn name(&self) -> &str {
         &self.name

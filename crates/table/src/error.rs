@@ -13,6 +13,8 @@ pub enum TableError {
     RaggedRow { row: usize, expected: usize, got: usize, line: Option<usize> },
     /// Two columns share a name.
     DuplicateColumnName(String),
+    /// A delta names a row id the table does not have.
+    RowOutOfRange { row: usize, num_rows: usize },
     /// The input declares no columns at all.
     NoColumns,
     /// Malformed CSV (e.g. unterminated quoted field).
@@ -35,6 +37,9 @@ impl fmt::Display for TableError {
             }
             TableError::DuplicateColumnName(name) => {
                 write!(f, "duplicate column name {name:?}")
+            }
+            TableError::RowOutOfRange { row, num_rows } => {
+                write!(f, "row id {row} out of range for a table of {num_rows} rows")
             }
             TableError::NoColumns => write!(f, "table has no columns"),
             TableError::Csv { line, message } => write!(f, "CSV error at line {line}: {message}"),

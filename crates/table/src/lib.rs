@@ -9,6 +9,7 @@
 
 mod column;
 mod csv;
+mod delta;
 mod error;
 mod fingerprint;
 mod table;
@@ -18,6 +19,7 @@ pub use csv::{
     parse_csv, parse_csv_records, table_from_csv, table_from_csv_bytes, table_from_csv_file,
     table_to_csv, table_to_csv_file, CsvOptions, CsvRecord,
 };
+pub use delta::{DeltaOutcome, TableDelta};
 pub use error::TableError;
 pub use fingerprint::{fingerprint, Fingerprint};
 pub use table::{Table, MAX_COLUMNS};

@@ -66,6 +66,14 @@ impl Table {
         Ok(Table { name: name.into(), columns, num_rows: rows.len() })
     }
 
+    /// Assembles a table from pre-built columns (delta maintenance). The
+    /// caller guarantees every column has `num_rows` codes and that the
+    /// schema invariants of [`Table::from_rows`] hold.
+    pub(crate) fn from_parts(name: String, columns: Vec<Column>, num_rows: usize) -> Self {
+        debug_assert!(columns.iter().all(|c| c.len() == num_rows));
+        Table { name, columns, num_rows }
+    }
+
     /// Table name (dataset identifier in experiment output).
     pub fn name(&self) -> &str {
         &self.name

@@ -4,9 +4,9 @@
 //! DESIGN.md §9); the fuzzer's `degenerate` strategy keeps probing them
 //! randomly, and this file pins the agreed-upon semantics explicitly.
 
-use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_core::{apply_incremental, profile, Algorithm, ProfilerConfig};
 use muds_lattice::ColumnSet;
-use muds_table::Table;
+use muds_table::{fingerprint, Table, TableDelta};
 
 fn cs(cols: &[usize]) -> ColumnSet {
     ColumnSet::from_indices(cols.iter().copied())
@@ -122,4 +122,82 @@ fn constant_and_key_mix_is_exact() {
     assert!(fds.iter().any(|fd| fd.lhs.is_empty() && fd.rhs == 1));
     assert!(fds.iter().any(|fd| fd.lhs.is_empty() && fd.rhs == 2));
     assert!(!fds.iter().any(|fd| fd.rhs == 0), "nothing determines the key");
+}
+
+// --- degenerate deltas ---------------------------------------------------
+//
+// The incremental path must handle the delta shapes that do the least (and
+// the most): an empty append, deleting every row, and a round trip that
+// lands back on the starting relation.
+
+fn mix_table() -> Table {
+    Table::from_rows(
+        "mix",
+        &["id", "k", "n"],
+        &[vec!["1", "c", ""], vec!["2", "c", ""], vec!["3", "d", "q"]],
+    )
+    .unwrap()
+}
+
+#[test]
+fn empty_append_is_the_identity() {
+    let table = mix_table();
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let base = profile(&table, alg, &cfg);
+        let out = apply_incremental(&base, &table, &TableDelta::Append { rows: vec![] }).unwrap();
+        assert_eq!(out.appended_rows, 0, "{}", alg.name());
+        assert_eq!(out.revalidated, 0, "{}: nothing changed, nothing to revalidate", alg.name());
+        assert_eq!(fingerprint(&out.table), fingerprint(&table), "{}", alg.name());
+        assert_eq!(out.result.fds.to_sorted_vec(), base.fds.to_sorted_vec(), "{}", alg.name());
+        assert_eq!(out.result.minimal_uccs, base.minimal_uccs, "{}", alg.name());
+        assert_eq!(out.result.inds, base.inds, "{}", alg.name());
+    }
+}
+
+#[test]
+fn delete_all_rows_matches_the_empty_relation() {
+    let table = mix_table();
+    let cfg = ProfilerConfig::default();
+    for &alg in &Algorithm::ALL {
+        let base = profile(&table, alg, &cfg);
+        let out =
+            apply_incremental(&base, &table, &TableDelta::Delete { rows: vec![0, 1, 2] }).unwrap();
+        assert_eq!(out.table.num_rows(), 0, "{}", alg.name());
+        // The zero-row pins from `zero_rows` above, reached incrementally.
+        let scratch = profile(&out.table, alg, &cfg);
+        assert_eq!(out.result.minimal_uccs, vec![ColumnSet::empty()], "{}", alg.name());
+        assert_eq!(out.result.fds.to_sorted_vec(), scratch.fds.to_sorted_vec(), "{}", alg.name());
+        assert_eq!(out.result.minimal_uccs, scratch.minimal_uccs, "{}", alg.name());
+        assert_eq!(out.result.inds, scratch.inds, "{}", alg.name());
+    }
+}
+
+#[test]
+fn append_then_delete_the_appended_rows_is_the_identity() {
+    // Appends land at the end of the table, so deleting exactly the
+    // appended row ids restores the original relation — row order included,
+    // which makes even the fingerprint match.
+    let table = mix_table();
+    let cfg = ProfilerConfig::default();
+    let fresh = vec![
+        vec!["9".to_string(), "e".to_string(), "r".to_string()],
+        vec!["10".to_string(), "c".to_string(), String::new()],
+    ];
+    for &alg in &Algorithm::ALL {
+        let base = profile(&table, alg, &cfg);
+        let appended =
+            apply_incremental(&base, &table, &TableDelta::Append { rows: fresh.clone() }).unwrap();
+        assert_eq!(appended.appended_rows, 2, "{}", alg.name());
+        let back = apply_incremental(
+            &appended.result,
+            &appended.table,
+            &TableDelta::Delete { rows: vec![3, 4] },
+        )
+        .unwrap();
+        assert_eq!(fingerprint(&back.table), fingerprint(&table), "{}", alg.name());
+        assert_eq!(back.result.fds.to_sorted_vec(), base.fds.to_sorted_vec(), "{}", alg.name());
+        assert_eq!(back.result.minimal_uccs, base.minimal_uccs, "{}", alg.name());
+        assert_eq!(back.result.inds, base.inds, "{}", alg.name());
+    }
 }

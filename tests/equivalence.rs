@@ -3,9 +3,9 @@
 //! identical metadata. This is the end-to-end guarantee behind every
 //! benchmark comparison — the algorithms race only if they agree.
 
-use muds_core::{profile, Algorithm, ProfilerConfig};
+use muds_core::{apply_incremental, profile, Algorithm, ProfilerConfig};
 use muds_datagen::{ionosphere_like, ncvoter_like, uci_dataset, uniprot_like};
-use muds_table::Table;
+use muds_table::{Table, TableDelta};
 
 fn assert_all_agree(table: &Table) {
     let cfg = ProfilerConfig::default();
@@ -132,6 +132,87 @@ fn corpus_repros_stay_fixed() {
                 muds_ind::naive_inds(&table),
                 "MUDS vs naive INDs on corpus repro {name}"
             );
+        }
+    }
+}
+
+/// Replays incremental deltas against from-scratch profiling: for every
+/// algorithm, `profile(apply(table, delta))` and
+/// `apply_incremental(profile(table), delta)` must land on identical
+/// dependency sets. Runs over the experiment datasets and over every
+/// banked fuzzer repro (the corpus holds exactly the shapes where the
+/// monotone invalidation frontier is easiest to get wrong).
+#[test]
+fn incremental_deltas_match_from_scratch() {
+    let mut tables = vec![
+        uniprot_like(300, 7).dedup_rows(),
+        ncvoter_like(250, 8).dedup_rows(),
+        uci_dataset("bridges").dedup_rows(),
+    ];
+    let corpus = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/corpus");
+    if let Ok(entries) = std::fs::read_dir(&corpus) {
+        let mut paths: Vec<_> = entries
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "csv"))
+            .collect();
+        paths.sort();
+        for path in paths {
+            let table = muds_table::table_from_csv_file(&path, &muds_table::CsvOptions::default())
+                .unwrap()
+                .dedup_rows();
+            if table.num_columns() > 0 {
+                tables.push(table);
+            }
+        }
+    }
+    let cfg = ProfilerConfig::default();
+    for table in &tables {
+        // One delta of each kind: delete a spread of rows, and append one
+        // fresh row plus one duplicate of an existing row (which the delta
+        // path must drop — duplicate-free tables are the §3 precondition).
+        let mut deltas = Vec::new();
+        if table.num_rows() > 0 {
+            deltas.push(TableDelta::Delete {
+                rows: vec![0, table.num_rows() / 2, table.num_rows() - 1],
+            });
+            let copy: Vec<String> = (0..table.num_columns())
+                .map(|c| table.row(0)[c].unwrap_or("").to_string())
+                .collect();
+            let mut fresh = copy.clone();
+            fresh[0] = "δ-fresh".to_string();
+            deltas.push(TableDelta::Append { rows: vec![fresh, copy] });
+        } else {
+            deltas
+                .push(TableDelta::Append { rows: vec![vec![String::new(); table.num_columns()]] });
+        }
+        for delta in &deltas {
+            for &alg in &Algorithm::ALL {
+                let base = profile(table, alg, &cfg);
+                let inc = apply_incremental(&base, table, delta)
+                    .unwrap_or_else(|e| panic!("{} on {}: {e}", alg.name(), table.name()));
+                let scratch = profile(&inc.table, alg, &cfg);
+                assert_eq!(
+                    inc.result.fds.to_sorted_vec(),
+                    scratch.fds.to_sorted_vec(),
+                    "{} incremental vs scratch FDs on {}",
+                    alg.name(),
+                    table.name()
+                );
+                assert_eq!(
+                    inc.result.minimal_uccs,
+                    scratch.minimal_uccs,
+                    "{} incremental vs scratch UCCs on {}",
+                    alg.name(),
+                    table.name()
+                );
+                assert_eq!(
+                    inc.result.inds,
+                    scratch.inds,
+                    "{} incremental vs scratch INDs on {}",
+                    alg.name(),
+                    table.name()
+                );
+            }
         }
     }
 }
