@@ -447,4 +447,24 @@ mod tests {
         slow.entries[0].wall_ns = 10_000_000;
         assert!(diff(&slow, &baseline, &Tolerance::default()).ok());
     }
+
+    /// A 0 ns baseline wall (clock too coarse, or a hand-edited file) must
+    /// neither divide by zero nor fail `--check`: the ratio divisor clamps
+    /// to 1 and the noise floor makes the entry note-only.
+    #[test]
+    fn zero_ns_baseline_wall_never_divides_by_zero_or_fails() {
+        let mut baseline = sample();
+        baseline.entries[0].wall_ns = 0;
+        let mut current = baseline.clone();
+        current.entries[0].wall_ns = 10_000_000;
+        let d = diff(&current, &baseline, &Tolerance::default());
+        assert!(d.ok(), "0 ns baseline is below the noise floor: {:?}", d.violations);
+        for line in d.violations.iter().chain(d.notes.iter()) {
+            assert!(!line.contains("inf") && !line.contains("NaN"), "non-finite ratio: {line}");
+        }
+        // Both sides zero: a (harmless) finite improvement note, no panic.
+        let mut still = baseline.clone();
+        still.entries[0].wall_ns = 0;
+        assert!(diff(&still, &baseline, &Tolerance::default()).ok());
+    }
 }

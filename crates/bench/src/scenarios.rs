@@ -408,8 +408,9 @@ fn duration_ns(d: Duration) -> u64 {
 /// Status, lower-cased headers, body.
 type HttpResponse = (u16, Vec<(String, String)>, Vec<u8>);
 
-/// One blocking HTTP/1.1 request over a fresh connection (the daemon is
-/// `Connection: close`).
+/// One blocking HTTP/1.1 request over a fresh connection; sends
+/// `Connection: close` so `read_to_end` terminates (the daemon otherwise
+/// keeps connections open for reuse).
 fn http_call(
     addr: SocketAddr,
     method: &str,
@@ -421,7 +422,7 @@ fn http_call(
     stream
         .set_read_timeout(Some(Duration::from_secs(120)))
         .map_err(|e| format!("set timeout: {e}"))?;
-    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\n");
+    let mut head = format!("{method} {path} HTTP/1.1\r\nHost: bench\r\nConnection: close\r\n");
     for (name, value) in headers {
         head.push_str(&format!("{name}: {value}\r\n"));
     }

@@ -87,6 +87,11 @@ pub enum Command {
         queue_capacity: usize,
         /// Default `POST /profile` wait before answering 202, in ms.
         timeout_ms: u64,
+        /// Largest accepted request body in bytes (413 beyond it).
+        max_body_bytes: usize,
+        /// Persistence root: registry + result cache write through and
+        /// are replayed on restart. `None` = fully in-memory.
+        data_dir: Option<String>,
     },
     /// Run the fixed benchmark scenario matrix and emit machine-readable
     /// `BENCH_<scenario>.json` reports (optionally diffed against a
@@ -354,6 +359,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut cache_capacity = 64 << 20;
             let mut queue_capacity = 128usize;
             let mut timeout_ms = 30_000u64;
+            let mut max_body_bytes = 64 << 20;
+            let mut data_dir: Option<String> = None;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -392,6 +399,18 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                             .parse()
                             .map_err(|_| ArgError("--timeout-ms must be an integer".into()))?;
                     }
+                    "--max-body-bytes" => {
+                        max_body_bytes = byte_count(
+                            take_value(args, &mut i, "--max-body-bytes")?,
+                            "--max-body-bytes",
+                        )?;
+                        if max_body_bytes == 0 {
+                            return Err(ArgError("--max-body-bytes must be at least 1".into()));
+                        }
+                    }
+                    "--data-dir" => {
+                        data_dir = Some(take_value(args, &mut i, "--data-dir")?.to_string());
+                    }
                     flag if flag.starts_with('-') => {
                         return Err(ArgError(format!("unknown flag {flag:?}")));
                     }
@@ -406,6 +425,8 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                 cache_capacity,
                 queue_capacity,
                 timeout_ms,
+                max_body_bytes,
+                data_dir,
             })
         }
         "bench" => {
@@ -512,7 +533,8 @@ USAGE:
                 [--metrics pretty|json]
   mudsprof serve [--addr HOST:PORT] [--threads N] [--workers N]
                  [--cache-capacity BYTES] [--queue-capacity N]
-                 [--timeout-ms MS]
+                 [--timeout-ms MS] [--max-body-bytes BYTES]
+                 [--data-dir DIR]
   mudsprof bench --scenario <name> [--scenario <name> ...] | --all
                  [--threads N] [--out DIR] [--repeat K]
                  [--check BASELINE_DIR] [--wall-tolerance F]
@@ -547,7 +569,12 @@ SERVING:
   sizes the job pool, --cache-capacity bounds the result cache in bytes
   (k/m/g suffixes allowed), --queue-capacity bounds the job queue (429 on
   overflow), --timeout-ms is the default wait before a request parks as a
-  202 job. SIGTERM or POST /shutdown drains in-flight work and exits.
+  202 job, --max-body-bytes caps request bodies (default 64m; 413 beyond
+  it, k/m/g suffixes allowed). --data-dir makes the daemon restart-proof:
+  registered datasets and finished results write through to that
+  directory (content-addressed blobs + a manifest, atomic-rename writes)
+  and are replayed on the next boot; torn files are skipped and deleted.
+  SIGTERM or POST /shutdown drains in-flight work and exits.
 
 PARALLELISM:
   --threads N        worker threads for PLI construction, lattice-level
@@ -662,10 +689,12 @@ mod tests {
                 cache_capacity: 64 << 20,
                 queue_capacity: 128,
                 timeout_ms: 30_000,
+                max_body_bytes: 64 << 20,
+                data_dir: None,
             }
         );
         let cmd = parse(&argv(
-            "serve --addr 0.0.0.0:9000 -t 2 --workers 3 --cache-capacity 16m --queue-capacity 8 --timeout-ms 500",
+            "serve --addr 0.0.0.0:9000 -t 2 --workers 3 --cache-capacity 16m --queue-capacity 8 --timeout-ms 500 --max-body-bytes 1m --data-dir /tmp/muds-state",
         ))
         .unwrap();
         assert_eq!(
@@ -677,10 +706,15 @@ mod tests {
                 cache_capacity: 16 << 20,
                 queue_capacity: 8,
                 timeout_ms: 500,
+                max_body_bytes: 1 << 20,
+                data_dir: Some("/tmp/muds-state".into()),
             }
         );
         assert!(parse(&argv("serve --cache-capacity lots")).is_err());
         assert!(parse(&argv("serve --queue-capacity 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("serve --max-body-bytes 0")).unwrap_err().0.contains("at least 1"));
+        assert!(parse(&argv("serve --max-body-bytes big")).is_err());
+        assert!(parse(&argv("serve --data-dir")).is_err(), "--data-dir needs a value");
         assert!(parse(&argv("serve --threads 0")).unwrap_err().0.contains("at least 1"));
         assert!(parse(&argv("serve stray")).is_err());
     }

@@ -442,7 +442,16 @@ fn run(command: Command) -> Result<(), String> {
             run_bench(scenarios, all, threads, &out, repeat, check, wall_tolerance, rss_tolerance)
         }
         Command::Lint { .. } => unreachable!("handled in main before dispatch"),
-        Command::Serve { addr, threads, workers, cache_capacity, queue_capacity, timeout_ms } => {
+        Command::Serve {
+            addr,
+            threads,
+            workers,
+            cache_capacity,
+            queue_capacity,
+            timeout_ms,
+            max_body_bytes,
+            data_dir,
+        } => {
             // --threads sizes the *intra-job* pool (same knob as the batch
             // commands); --workers sizes the scheduler's job pool.
             configure_threads(threads)?;
@@ -452,6 +461,8 @@ fn run(command: Command) -> Result<(), String> {
                 queue_capacity,
                 cache_capacity,
                 default_timeout: std::time::Duration::from_millis(timeout_ms),
+                max_body: max_body_bytes,
+                data_dir: data_dir.map(std::path::PathBuf::from),
                 ..ServeConfig::default()
             };
             let server = Server::bind(config).map_err(|e| format!("cannot bind: {e}"))?;

@@ -336,6 +336,36 @@ mod tests {
         assert_eq!(snap.quantile(2.0), 7);
     }
 
+    /// Nearest-rank pin for the two-sample histogram: `rank =
+    /// max(1, ceil(q·2))`, so every q ≤ 0.5 resolves to the lower sample
+    /// and every q > 0.5 to the upper one. Guards the off-by-one where
+    /// p50 of two samples reads the *upper* value (rank 2) or p99 the
+    /// lower (rank 1).
+    #[test]
+    fn two_sample_histogram_rank_rounding_is_nearest_rank() {
+        let h = crate::Histogram::detached();
+        h.record(0); // bucket 0 → resolves to 0
+        h.record(100); // bucket 7: [64, 128) → upper edge 127
+        let snap = h.snapshot();
+        assert_eq!(snap.count, 2);
+        assert_eq!(snap.quantile(0.0), 0, "rank clamps up to 1");
+        assert_eq!(snap.quantile(0.49), 0, "ceil(0.98) = rank 1");
+        assert_eq!(snap.p50(), 0, "p50 of two samples is the lower one (rank ceil(1.0) = 1)");
+        assert_eq!(snap.quantile(0.51), 127, "ceil(1.02) = rank 2");
+        assert_eq!(snap.p99(), 127, "p99 of two samples is the upper one (rank ceil(1.98) = 2)");
+        assert_eq!(snap.quantile(1.0), 127);
+        assert_eq!(snap.mean(), 50);
+
+        // Two equal samples: every quantile lands in the shared bucket.
+        let h = crate::Histogram::detached();
+        h.record(5);
+        h.record(5); // both bucket 3: [4, 8) → upper edge 7
+        let snap = h.snapshot();
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), 7, "q={q}");
+        }
+    }
+
     #[test]
     fn saturating_values_land_in_the_top_bucket() {
         let h = crate::Histogram::detached();

@@ -26,6 +26,7 @@ use muds_core::Algorithm;
 use muds_table::Fingerprint;
 
 use crate::metrics::ServeMetrics;
+use crate::persist::Persist;
 use crate::sync::{cond_wait_timeout, lock};
 
 /// Identity of one profiling computation.
@@ -144,10 +145,22 @@ pub struct ResultCache {
     inner: Mutex<CacheInner>,
     capacity_bytes: usize,
     metrics: Arc<ServeMetrics>,
+    /// Write-through persistence (`--data-dir`); `None` = memory only.
+    persist: Option<Arc<Persist>>,
 }
 
 impl ResultCache {
     pub fn new(capacity_bytes: usize, metrics: Arc<ServeMetrics>) -> Self {
+        ResultCache::with_persist(capacity_bytes, metrics, None)
+    }
+
+    /// A cache that writes Ready entries through to disk and deletes their
+    /// files when they are evicted or invalidated.
+    pub fn with_persist(
+        capacity_bytes: usize,
+        metrics: Arc<ServeMetrics>,
+        persist: Option<Arc<Persist>>,
+    ) -> Self {
         ResultCache {
             inner: Mutex::new(CacheInner {
                 entries: HashMap::new(),
@@ -157,6 +170,7 @@ impl ResultCache {
             }),
             capacity_bytes,
             metrics,
+            persist,
         }
     }
 
@@ -190,39 +204,67 @@ impl ResultCache {
         }
     }
 
-    /// Resolves a flight with a computed result and caches it.
-    pub fn complete(&self, key: &CacheKey, flight: &Arc<Flight>, json: Arc<String>) {
-        {
-            let mut inner = lock(&self.inner);
-            let inner = &mut *inner;
-            inner.tick += 1;
-            let tick = inner.tick;
-            inner.bytes += json.len();
-            inner.entries.insert(key.clone(), Slot::Ready { json: Arc::clone(&json), stamp: tick });
-            inner.lru.insert(tick, key.clone());
-            // Evict oldest Ready entries while over budget; never the entry
-            // just inserted (its stamp is the newest).
-            while inner.bytes > self.capacity_bytes {
-                let victim = inner
-                    .lru
-                    .iter()
-                    .map(|(s, k)| (*s, k.clone()))
-                    .find(|(stamp, _)| *stamp != tick);
-                match victim {
-                    Some((stamp, victim_key)) => {
-                        inner.lru.remove(&stamp);
-                        if let Some(Slot::Ready { json, .. }) = inner.entries.remove(&victim_key) {
-                            inner.bytes -= json.len();
-                        }
-                        self.metrics.cache_evictions.inc();
+    /// Inserts a Ready entry and applies the LRU budget, returning the
+    /// victims (so the caller can delete their persisted files outside the
+    /// lock). Never evicts the entry just inserted — its stamp is the
+    /// newest.
+    fn insert_ready(&self, key: &CacheKey, json: &Arc<String>) -> Vec<CacheKey> {
+        let mut victims = Vec::new();
+        let mut inner = lock(&self.inner);
+        let inner = &mut *inner;
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.bytes += json.len();
+        inner.entries.insert(key.clone(), Slot::Ready { json: Arc::clone(json), stamp: tick });
+        inner.lru.insert(tick, key.clone());
+        while inner.bytes > self.capacity_bytes {
+            let victim =
+                inner.lru.iter().map(|(s, k)| (*s, k.clone())).find(|(stamp, _)| *stamp != tick);
+            match victim {
+                Some((stamp, victim_key)) => {
+                    inner.lru.remove(&stamp);
+                    if let Some(Slot::Ready { json, .. }) = inner.entries.remove(&victim_key) {
+                        inner.bytes -= json.len();
                     }
-                    None => break,
+                    self.metrics.cache_evictions.inc();
+                    victims.push(victim_key);
                 }
+                None => break,
             }
-            self.metrics.cache_bytes.set(inner.bytes as i64);
-            self.metrics.cache_entries.set(inner.entries.len() as i64);
+        }
+        self.metrics.cache_bytes.set(inner.bytes as i64);
+        self.metrics.cache_entries.set(inner.entries.len() as i64);
+        victims
+    }
+
+    /// Resolves a flight with a computed result and caches it. With
+    /// persistence, the result document lands on disk *before* the entry
+    /// becomes visible, so a crash right after completion still recovers
+    /// it.
+    pub fn complete(&self, key: &CacheKey, flight: &Arc<Flight>, json: Arc<String>) {
+        if let Some(persist) = &self.persist {
+            persist.store_result(key, &json);
+        }
+        let victims = self.insert_ready(key, &json);
+        if let Some(persist) = &self.persist {
+            for victim in &victims {
+                persist.remove_result(victim);
+            }
         }
         flight.resolve(Ok(json));
+    }
+
+    /// Re-inserts a recovered Ready entry without re-persisting it (its
+    /// file already exists). Budget reconciliation still applies: entries
+    /// that no longer fit are evicted and their files deleted.
+    pub fn restore(&self, key: &CacheKey, json: String) {
+        let json = Arc::new(json);
+        let victims = self.insert_ready(key, &json);
+        if let Some(persist) = &self.persist {
+            for victim in &victims {
+                persist.remove_result(victim);
+            }
+        }
     }
 
     /// Resolves a flight with an error; nothing is cached (the next request
@@ -250,25 +292,38 @@ impl ResultCache {
     /// addressed), and removing the slot would orphan coalesced waiters.
     /// Returns the number of entries removed.
     pub fn evict_fingerprint(&self, fingerprint: Fingerprint) -> usize {
-        let mut inner = lock(&self.inner);
-        let inner = &mut *inner;
-        // lint:allow(hash-order): victim order cannot leak — every victim
-        // is removed below, and counters/gauges are order-insensitive.
-        let victims: Vec<CacheKey> = inner
-            .entries
-            .iter()
-            .filter(|(k, slot)| k.fingerprint == fingerprint && matches!(slot, Slot::Ready { .. }))
-            .map(|(k, _)| k.clone())
-            .collect();
-        for key in &victims {
-            if let Some(Slot::Ready { json, stamp }) = inner.entries.remove(key) {
-                inner.bytes -= json.len();
-                inner.lru.remove(&stamp);
-                self.metrics.cache_invalidated.inc();
+        let victims = {
+            let mut inner = lock(&self.inner);
+            let inner = &mut *inner;
+            // lint:allow(hash-order): victim order cannot leak — every
+            // victim is removed below, and counters/gauges are
+            // order-insensitive.
+            let victims: Vec<CacheKey> = inner
+                .entries
+                .iter()
+                .filter(|(k, slot)| {
+                    k.fingerprint == fingerprint && matches!(slot, Slot::Ready { .. })
+                })
+                .map(|(k, _)| k.clone())
+                .collect();
+            for key in &victims {
+                if let Some(Slot::Ready { json, stamp }) = inner.entries.remove(key) {
+                    inner.bytes -= json.len();
+                    inner.lru.remove(&stamp);
+                    self.metrics.cache_invalidated.inc();
+                }
+            }
+            self.metrics.cache_bytes.set(inner.bytes as i64);
+            self.metrics.cache_entries.set(inner.entries.len() as i64);
+            victims
+        };
+        // File deletes outside the lock: surgical eviction on disk mirrors
+        // the in-memory semantics (only the stale fingerprint's entries).
+        if let Some(persist) = &self.persist {
+            for victim in &victims {
+                persist.remove_result(victim);
             }
         }
-        self.metrics.cache_bytes.set(inner.bytes as i64);
-        self.metrics.cache_entries.set(inner.entries.len() as i64);
         victims.len()
     }
 

@@ -1,10 +1,20 @@
 //! Minimal HTTP/1.1 framing — just enough protocol for the profiling
 //! daemon's JSON endpoints, with no dependencies beyond std.
 //!
-//! Scope: request line + headers + `Content-Length` bodies, one request per
-//! connection (`Connection: close` on every response). No chunked encoding,
-//! no keep-alive, no TLS. Requests are size-capped (header block and body
-//! independently) so a misbehaving client cannot balloon server memory.
+//! Scope: request line + headers + `Content-Length` bodies, with HTTP/1.1
+//! keep-alive (the epoll reactor serves many requests per connection; the
+//! legacy blocking path still answers `Connection: close`). No chunked
+//! encoding, no TLS. Requests are size-capped (header block and body
+//! independently) so a misbehaving client cannot balloon server memory:
+//! `Content-Length` is parsed as a full `u64` and checked against the cap
+//! *before* any buffer is reserved, so a hostile
+//! `Content-Length: 18446744073709551615` costs nothing but a 413.
+//!
+//! The core parser, [`parse_buffered`], is *incremental*: it looks at the
+//! bytes buffered so far and either produces one complete request (plus
+//! how many bytes it consumed, so pipelined successors stay in the
+//! buffer) or reports that more bytes are needed. The blocking
+//! [`read_request`] is a thin loop over it.
 
 use std::io::{self, Read, Write};
 
@@ -24,6 +34,10 @@ pub struct Request {
     pub headers: Vec<(String, String)>,
     /// Request body (empty when no `Content-Length`).
     pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one:
+    /// HTTP/1.1 unless `Connection: close`, HTTP/1.0 only with an explicit
+    /// `Connection: keep-alive`.
+    pub keep_alive: bool,
 }
 
 impl Request {
@@ -50,6 +64,17 @@ pub enum HttpError {
     Closed,
     /// Transport error (including read timeouts).
     Io(io::Error),
+}
+
+impl HttpError {
+    /// The response status this error maps to.
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::TooLarge(_) => 413,
+            HttpError::Io(_) => 408,
+            _ => 400,
+        }
+    }
 }
 
 impl std::fmt::Display for HttpError {
@@ -114,29 +139,29 @@ fn parse_target(target: &str) -> (String, Vec<(String, String)>) {
     (percent_decode(path), params)
 }
 
-/// Reads one request from `stream`. `max_body` caps the `Content-Length`
-/// the server is willing to buffer.
-pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
-    // Accumulate until the blank line that ends the head. Reads go through
-    // a small stack buffer; whatever arrives past the head start the body.
-    let mut buf: Vec<u8> = Vec::with_capacity(1024);
-    let mut chunk = [0u8; 4096];
-    let head_end = loop {
-        if let Some(pos) = find_head_end(&buf) {
-            break pos;
-        }
+/// Outcome of [`parse_buffered`] on the bytes seen so far.
+#[derive(Debug)]
+pub enum Framed {
+    /// The buffer does not yet hold a complete request; read more.
+    NeedMore,
+    /// One complete request. `consumed` is how many buffer bytes it spans;
+    /// anything after that offset is the start of a pipelined successor.
+    Complete { request: Request, consumed: usize },
+}
+
+/// Incremental request parser: frames at most one request out of `buf`.
+/// `max_body` caps the `Content-Length` the server is willing to buffer —
+/// checked against the *declared* length, before any allocation.
+pub fn parse_buffered(buf: &[u8], max_body: usize) -> Result<Framed, HttpError> {
+    let Some(head_end) = find_head_end(buf) else {
         if buf.len() > MAX_HEAD_BYTES {
             return Err(HttpError::TooLarge(format!("head exceeds {MAX_HEAD_BYTES} bytes")));
         }
-        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
-        if n == 0 {
-            if buf.is_empty() {
-                return Err(HttpError::Closed);
-            }
-            return Err(HttpError::BadRequest("truncated head".into()));
-        }
-        buf.extend_from_slice(&chunk[..n]);
+        return Ok(Framed::NeedMore);
     };
+    if head_end > MAX_HEAD_BYTES {
+        return Err(HttpError::TooLarge(format!("head exceeds {MAX_HEAD_BYTES} bytes")));
+    }
 
     let head = std::str::from_utf8(&buf[..head_end])
         .map_err(|_| HttpError::BadRequest("head is not valid UTF-8".into()))?;
@@ -150,10 +175,10 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
         .to_ascii_uppercase();
     let target =
         parts.next().ok_or_else(|| HttpError::BadRequest("request line has no target".into()))?;
-    match parts.next() {
-        Some(v) if v.starts_with("HTTP/1.") => {}
+    let http11 = match parts.next() {
+        Some(v) if v.starts_with("HTTP/1.") => v != "HTTP/1.0",
         _ => return Err(HttpError::BadRequest("expected an HTTP/1.x version".into())),
-    }
+    };
 
     let mut headers = Vec::new();
     for line in lines {
@@ -176,40 +201,67 @@ pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, 
             if content_lengths.next().is_some() {
                 return Err(HttpError::BadRequest("multiple content-length headers".into()));
             }
-            v.parse::<usize>()
+            // Full u64 so every syntactically valid length gets a verdict
+            // from the cap, not from usize overflow behavior.
+            v.parse::<u64>()
                 .map_err(|_| HttpError::BadRequest(format!("bad content-length {v:?}")))?
         }
         None => 0,
     };
-    if content_length > max_body {
+    if content_length > max_body as u64 {
         return Err(HttpError::TooLarge(format!(
             "body of {content_length} bytes (max {max_body})"
         )));
     }
+    let content_length = content_length as usize;
 
-    // Body: bytes already read past the head, then the remainder.
-    let mut body = buf[head_end + 4..].to_vec();
-    if body.len() > content_length {
-        return Err(HttpError::BadRequest("more body bytes than content-length".into()));
+    let body_start = head_end + 4;
+    if buf.len() - body_start < content_length {
+        return Ok(Framed::NeedMore);
     }
-    while body.len() < content_length {
-        let want = (content_length - body.len()).min(chunk.len());
-        let n = stream.read(&mut chunk[..want]).map_err(HttpError::Io)?;
-        if n == 0 {
-            return Err(HttpError::BadRequest("truncated body".into()));
-        }
-        body.extend_from_slice(&chunk[..n]);
-    }
+    let body = buf[body_start..body_start + content_length].to_vec();
+
+    let connection = headers
+        .iter()
+        .find(|(n, _)| n == "connection")
+        .map(|(_, v)| v.as_str())
+        .unwrap_or_default();
+    let token = |t: &str| connection.split(',').any(|c| c.trim().eq_ignore_ascii_case(t));
+    let keep_alive = if http11 { !token("close") } else { token("keep-alive") };
 
     let (path, query) = parse_target(target);
-    Ok(Request { method, path, query, headers, body })
+    Ok(Framed::Complete {
+        request: Request { method, path, query, headers, body, keep_alive },
+        consumed: body_start + content_length,
+    })
+}
+
+/// Reads one request from `stream` (blocking). `max_body` caps the
+/// `Content-Length` the server is willing to buffer.
+pub fn read_request(stream: &mut impl Read, max_body: usize) -> Result<Request, HttpError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        if let Framed::Complete { request, .. } = parse_buffered(&buf, max_body)? {
+            return Ok(request);
+        }
+        let n = stream.read(&mut chunk).map_err(HttpError::Io)?;
+        if n == 0 {
+            if buf.is_empty() {
+                return Err(HttpError::Closed);
+            }
+            let what = if find_head_end(&buf).is_some() { "body" } else { "head" };
+            return Err(HttpError::BadRequest(format!("truncated {what}")));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
 }
 
 fn find_head_end(buf: &[u8]) -> Option<usize> {
     buf.windows(4).position(|w| w == b"\r\n\r\n")
 }
 
-/// A response about to be written. All responses close the connection.
+/// A response about to be written.
 #[derive(Debug)]
 pub struct Response {
     pub status: u16,
@@ -248,23 +300,36 @@ impl Response {
         self
     }
 
-    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
-        let mut head = format!(
-            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
-            self.status,
-            reason(self.status),
-            self.content_type,
-            self.body.len()
+    /// Serializes the full response. `keep_alive` picks the `Connection`
+    /// header; callers that reuse the socket must pass `true`.
+    pub fn to_bytes(&self, keep_alive: bool) -> Vec<u8> {
+        let mut out = Vec::with_capacity(256 + self.body.len());
+        let connection = if keep_alive { "keep-alive" } else { "close" };
+        out.extend_from_slice(
+            format!(
+                "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: {connection}\r\n",
+                self.status,
+                reason(self.status),
+                self.content_type,
+                self.body.len()
+            )
+            .as_bytes(),
         );
         for (name, value) in &self.headers {
-            head.push_str(name);
-            head.push_str(": ");
-            head.push_str(value);
-            head.push_str("\r\n");
+            out.extend_from_slice(name.as_bytes());
+            out.extend_from_slice(b": ");
+            out.extend_from_slice(value.as_bytes());
+            out.extend_from_slice(b"\r\n");
         }
-        head.push_str("\r\n");
-        w.write_all(head.as_bytes())?;
-        w.write_all(&self.body)?;
+        out.extend_from_slice(b"\r\n");
+        out.extend_from_slice(&self.body);
+        out
+    }
+
+    /// Writes the response and closes the exchange (`Connection: close`) —
+    /// the legacy one-request-per-connection path.
+    pub fn write_to(&self, w: &mut impl Write) -> io::Result<()> {
+        w.write_all(&self.to_bytes(false))?;
         w.flush()
     }
 }
@@ -329,6 +394,29 @@ mod tests {
         ));
     }
 
+    /// The cap is enforced on the *declared* length as a full u64: the
+    /// hostile `18446744073709551615` (u64::MAX) and friends answer 413
+    /// without reserving a byte, overflowing digits are a 400, and the
+    /// boundary sits exactly at `max_body`.
+    #[test]
+    fn hostile_content_lengths_are_capped_before_allocation() {
+        let max = req(b"POST /x HTTP/1.1\r\nContent-Length: 18446744073709551615\r\n\r\n");
+        assert!(matches!(max, Err(HttpError::TooLarge(m)) if m.contains("18446744073709551615")));
+        // One past u64::MAX no longer parses: bad framing, not a cap hit.
+        let over = req(b"POST /x HTTP/1.1\r\nContent-Length: 18446744073709551616\r\n\r\n");
+        assert!(matches!(over, Err(HttpError::BadRequest(m)) if m.contains("content-length")));
+        assert!(matches!(
+            req(b"POST /x HTTP/1.1\r\nContent-Length: -1\r\n\r\n"),
+            Err(HttpError::BadRequest(_))
+        ));
+        // Exactly max_body passes; max_body + 1 is rejected.
+        let at =
+            format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n{}", 1024, "a".repeat(1024));
+        assert_eq!(req(at.as_bytes()).unwrap().body.len(), 1024);
+        let past = format!("POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n", 1025);
+        assert!(matches!(req(past.as_bytes()), Err(HttpError::TooLarge(_))));
+    }
+
     /// Duplicate Content-Length headers are the request-smuggling shape:
     /// rejected whether the copies conflict or agree, instead of silently
     /// trusting whichever one `find()` happens to see first.
@@ -359,6 +447,51 @@ mod tests {
         assert!(start.elapsed() < std::time::Duration::from_secs(1), "no blocking retry");
     }
 
+    /// The incremental parser frames exactly one request and reports the
+    /// bytes it consumed, leaving a pipelined successor in place.
+    #[test]
+    fn parse_buffered_is_incremental_and_pipelining_aware() {
+        let wire = b"POST /a HTTP/1.1\r\nContent-Length: 3\r\n\r\nabcGET /b HTTP/1.1\r\n\r\n";
+        // Every strict prefix of the first request needs more bytes.
+        let first_len = wire.len() - b"GET /b HTTP/1.1\r\n\r\n".len();
+        for cut in 0..first_len {
+            assert!(
+                matches!(parse_buffered(&wire[..cut], 1024).unwrap(), Framed::NeedMore),
+                "cut={cut}"
+            );
+        }
+        let Framed::Complete { request, consumed } = parse_buffered(wire, 1024).unwrap() else {
+            panic!("complete request expected");
+        };
+        assert_eq!(request.path, "/a");
+        assert_eq!(request.body, b"abc");
+        assert_eq!(consumed, first_len, "pipelined successor stays buffered");
+        let Framed::Complete { request, consumed } =
+            parse_buffered(&wire[consumed..], 1024).unwrap()
+        else {
+            panic!("second request expected");
+        };
+        assert_eq!(request.path, "/b");
+        assert_eq!(consumed, b"GET /b HTTP/1.1\r\n\r\n".len());
+    }
+
+    #[test]
+    fn unbounded_heads_are_rejected_while_buffering() {
+        let garbage = vec![b'a'; MAX_HEAD_BYTES + 1];
+        assert!(matches!(parse_buffered(&garbage, 1024), Err(HttpError::TooLarge(_))));
+    }
+
+    /// Keep-alive per the HTTP/1.x defaults: 1.1 persists unless told to
+    /// close, 1.0 closes unless told to persist.
+    #[test]
+    fn keep_alive_follows_version_and_connection_header() {
+        assert!(req(b"GET / HTTP/1.1\r\n\r\n").unwrap().keep_alive);
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").unwrap().keep_alive);
+        assert!(!req(b"GET / HTTP/1.1\r\nConnection: Close\r\n\r\n").unwrap().keep_alive);
+        assert!(!req(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(req(b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n").unwrap().keep_alive);
+    }
+
     #[test]
     fn response_is_framed_with_length_and_close() {
         let mut out = Vec::new();
@@ -369,6 +502,14 @@ mod tests {
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.contains("X-Cache: hit\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn keep_alive_responses_advertise_it() {
+        let bytes = Response::text(200, "ok").to_bytes(true);
+        let text = String::from_utf8(bytes).unwrap();
+        assert!(text.contains("Connection: keep-alive\r\n"));
+        assert!(!text.contains("Connection: close"));
     }
 
     #[test]

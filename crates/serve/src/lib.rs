@@ -30,6 +30,9 @@
 pub mod cache;
 pub mod http;
 pub mod metrics;
+pub mod persist;
+#[cfg(target_os = "linux")]
+mod reactor;
 pub mod registry;
 pub mod scheduler;
 pub mod server;
@@ -37,6 +40,7 @@ mod sync;
 
 pub use cache::{Begin, CacheKey, Flight, ResultCache};
 pub use metrics::ServeMetrics;
+pub use persist::{Persist, Recovered};
 pub use registry::{DatasetInfo, Registry};
 pub use scheduler::{JobRecord, JobSpec, JobStatus, QueueFull, Scheduler};
 pub use server::{ServeConfig, Server, ServerState};

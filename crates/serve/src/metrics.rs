@@ -55,6 +55,15 @@ pub struct ServeMetrics {
     pub job_latency_us: Histogram,
     /// In-flight HTTP connections (for drain on shutdown).
     pub connections_active: AtomicU64,
+    /// Disk persistence (`--data-dir`): successful atomic writes (table
+    /// blobs, result documents, manifests).
+    pub persist_writes: Counter,
+    /// Entries restored intact from disk at startup (tables + results).
+    pub persist_recovered: Counter,
+    /// Files skipped at startup as torn/orphaned (and deleted).
+    pub persist_torn_skipped: Counter,
+    /// Connections currently owned by the epoll reactor.
+    pub reactor_connections: Gauge,
 }
 
 impl Default for ServeMetrics {
@@ -85,6 +94,10 @@ impl Default for ServeMetrics {
             trace_ids_propagated: Counter::detached(),
             job_latency_us: Histogram::detached(),
             connections_active: AtomicU64::new(0),
+            persist_writes: Counter::detached(),
+            persist_recovered: Counter::detached(),
+            persist_torn_skipped: Counter::detached(),
+            reactor_connections: Gauge::detached(),
         }
     }
 }
@@ -139,6 +152,10 @@ impl ServeMetrics {
         field("trace_ids_generated", self.trace_ids_generated.get().to_string());
         field("trace_ids_propagated", self.trace_ids_propagated.get().to_string());
         field("connections_active", self.connections_active.load(Ordering::Relaxed).to_string());
+        field("persist_writes", self.persist_writes.get().to_string());
+        field("persist_recovered", self.persist_recovered.get().to_string());
+        field("persist_torn_skipped", self.persist_torn_skipped.get().to_string());
+        field("reactor_connections", self.reactor_connections.get().to_string());
         field(
             "job_latency_us",
             format!(
@@ -196,6 +213,14 @@ impl ServeMetrics {
             "gauge",
             self.connections_active.load(Ordering::Relaxed).to_string(),
         );
+        family("persist_writes_total", "counter", self.persist_writes.get().to_string());
+        family("persist_recovered_total", "counter", self.persist_recovered.get().to_string());
+        family(
+            "persist_torn_skipped_total",
+            "counter",
+            self.persist_torn_skipped.get().to_string(),
+        );
+        family("reactor_connections", "gauge", self.reactor_connections.get().to_string());
         out.push_str("# TYPE muds_job_latency_us summary\n");
         out.push_str(&format!("muds_job_latency_us{{quantile=\"0.5\"}} {}\n", lat.p50()));
         out.push_str(&format!("muds_job_latency_us{{quantile=\"0.99\"}} {}\n", lat.p99()));
@@ -288,6 +313,6 @@ mod tests {
         assert!(text.contains("muds_trace_ids_generated_total 1\n"));
         // Every family appears exactly once.
         let families = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(families, 25);
+        assert_eq!(families, 29);
     }
 }

@@ -1,0 +1,344 @@
+//! Disk persistence for the daemon (`--data-dir`): content-addressed
+//! write-through of the dataset registry and the Ready result-cache
+//! entries, plus crash-safe recovery on startup.
+//!
+//! # On-disk layout (all under the data dir)
+//!
+//! ```text
+//! manifest.json                      {"version":1,"names":{"<name>":"<fp>"}}
+//! tables/<fingerprint>.csv           canonical CSV of the deduplicated table
+//! results/<fp>-<algorithm>-<cfg>.json
+//!     line 1: {"fingerprint":"…","algorithm":"…","config":"…"}  (the key)
+//!     line 2: the cached ProfilePayload JSON, byte-identical to what
+//!             `POST /profile` served
+//! tmp/                               staging area for atomic writes
+//! ```
+//!
+//! Table blobs and result documents are *content-addressed*: their
+//! identity is in the filename and repeated in the file, so recovery can
+//! validate each file independently of the manifest. The manifest only
+//! restores the name → fingerprint bindings; a binding whose blob is
+//! missing or damaged is dropped, and an orphaned blob (no binding) is
+//! still served by fingerprint.
+//!
+//! # Atomicity and recovery
+//!
+//! Every write goes tmp-file → `fsync` → atomic `rename` → directory
+//! `fsync`, so a `kill -9` at any instant leaves either the old file, the
+//! new file, or a stale tmp file — never a half-written final file. On
+//! startup, stale tmp files are discarded, every blob is re-validated
+//! (tables by re-fingerprinting, results by re-parsing the payload), and
+//! anything torn is counted in `persist.torn_skipped` and deleted; intact
+//! state counts into `persist.recovered`.
+//!
+//! Persistence failures are deliberately non-fatal: memory stays the
+//! source of truth, a failed write is logged to stderr and the daemon
+//! keeps serving (it just won't recover that entry after a restart).
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use muds_core::json::{json_string, parse_json, JsonValue};
+use muds_core::Algorithm;
+use muds_table::{fingerprint, table_from_csv_bytes, table_to_csv, CsvOptions, Fingerprint, Table};
+
+use crate::cache::CacheKey;
+use crate::metrics::ServeMetrics;
+use crate::sync::lock;
+
+/// FNV-1a/64 over `bytes` — compresses the config string into a fixed-width
+/// filename component (the full config is repeated inside the file).
+fn fnv64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Everything recovery found intact in a data dir.
+#[derive(Default)]
+pub struct Recovered {
+    /// Validated table blobs (fingerprint re-checked against content).
+    pub tables: Vec<(Fingerprint, Table)>,
+    /// Name bindings whose table blob survived.
+    pub names: BTreeMap<String, Fingerprint>,
+    /// Validated result documents, sorted by filename for deterministic
+    /// LRU reconciliation.
+    pub results: Vec<(CacheKey, String)>,
+}
+
+/// Handle on one data dir. Shared by the registry (table blobs + manifest)
+/// and the result cache (result documents).
+pub struct Persist {
+    tables_dir: PathBuf,
+    results_dir: PathBuf,
+    tmp_dir: PathBuf,
+    manifest_path: PathBuf,
+    metrics: Arc<ServeMetrics>,
+    /// Unique suffix for staged tmp files.
+    seq: AtomicU64,
+    /// Version of the last manifest actually written; stale snapshots
+    /// (from a registration that lost the race to a later one) are
+    /// skipped, keeping last-writer-wins semantics on disk.
+    manifest_written: Mutex<u64>,
+}
+
+impl Persist {
+    /// Opens (creating if needed) a data dir and sweeps stale tmp files.
+    pub fn open(root: &Path, metrics: Arc<ServeMetrics>) -> io::Result<Arc<Persist>> {
+        let tables_dir = root.join("tables");
+        let results_dir = root.join("results");
+        let tmp_dir = root.join("tmp");
+        fs::create_dir_all(&tables_dir)?;
+        fs::create_dir_all(&results_dir)?;
+        fs::create_dir_all(&tmp_dir)?;
+        // Stale tmp files are the residue of a crash mid-write: the rename
+        // never happened, so they are invisible to recovery and safe to
+        // drop.
+        if let Ok(entries) = fs::read_dir(&tmp_dir) {
+            for entry in entries.flatten() {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+        Ok(Arc::new(Persist {
+            tables_dir,
+            results_dir,
+            tmp_dir,
+            manifest_path: root.join("manifest.json"),
+            metrics,
+            seq: AtomicU64::new(0),
+            manifest_written: Mutex::new(0),
+        }))
+    }
+
+    /// Atomic write: stage in `tmp/`, fsync the file, rename into place,
+    /// fsync the parent dir (so the rename itself is durable).
+    fn write_atomic(&self, final_path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let staged = self.tmp_dir.join(format!("{}.tmp", self.seq.fetch_add(1, Ordering::Relaxed)));
+        let mut file = fs::File::create(&staged)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        drop(file);
+        if let Err(e) = fs::rename(&staged, final_path) {
+            let _ = fs::remove_file(&staged);
+            return Err(e);
+        }
+        if let Some(parent) = final_path.parent() {
+            fs::File::open(parent)?.sync_all()?;
+        }
+        self.metrics.persist_writes.inc();
+        Ok(())
+    }
+
+    fn report(&self, what: &str, path: &Path, err: &io::Error) {
+        eprintln!("muds-serve: persist: {what} {} failed: {err} (continuing)", path.display());
+    }
+
+    fn table_path(&self, fp: Fingerprint) -> PathBuf {
+        self.tables_dir.join(format!("{fp}.csv"))
+    }
+
+    fn result_path(&self, key: &CacheKey) -> PathBuf {
+        self.results_dir.join(format!(
+            "{}-{}-{:016x}.json",
+            key.fingerprint,
+            key.algorithm.name(),
+            fnv64(key.config.as_bytes())
+        ))
+    }
+
+    /// Writes a table blob if it is not already on disk (content-addressed:
+    /// same fingerprint, same bytes).
+    pub fn store_table(&self, fp: Fingerprint, table: &Table) {
+        let path = self.table_path(fp);
+        if path.exists() {
+            return;
+        }
+        let csv = table_to_csv(table, &CsvOptions::default());
+        if let Err(e) = self.write_atomic(&path, csv.as_bytes()) {
+            self.report("table write", &path, &e);
+        }
+    }
+
+    /// Seeds the last-written manifest version (after recovery), so the
+    /// recovered snapshot is not re-written and live mutations — which
+    /// version above it — always supersede it.
+    pub fn note_manifest_version(&self, version: u64) {
+        let mut written = lock(&self.manifest_written);
+        *written = (*written).max(version);
+    }
+
+    /// Writes the name → fingerprint manifest, unless a newer snapshot
+    /// already landed (`version` is the registry's mutation counter).
+    pub fn store_manifest(&self, version: u64, names: &BTreeMap<String, Fingerprint>) {
+        let mut written = lock(&self.manifest_written);
+        if version <= *written {
+            return;
+        }
+        let mut doc = String::with_capacity(64 + names.len() * 64);
+        doc.push_str("{\"version\":1,\"names\":{");
+        for (i, (name, fp)) in names.iter().enumerate() {
+            if i > 0 {
+                doc.push(',');
+            }
+            doc.push_str(&json_string(name));
+            doc.push_str(&format!(":\"{fp}\""));
+        }
+        doc.push_str("}}");
+        let path = self.manifest_path.clone();
+        match self.write_atomic(&path, doc.as_bytes()) {
+            Ok(()) => *written = version,
+            Err(e) => self.report("manifest write", &self.manifest_path, &e),
+        }
+    }
+
+    /// Writes one Ready cache entry: a self-describing header line (the
+    /// full cache key) followed by the cached payload, byte-identical to
+    /// what hits serve.
+    pub fn store_result(&self, key: &CacheKey, json: &str) {
+        let path = self.result_path(key);
+        let mut doc = String::with_capacity(json.len() + 128);
+        doc.push_str(&format!(
+            "{{\"fingerprint\":\"{}\",\"algorithm\":\"{}\",\"config\":{}}}\n",
+            key.fingerprint,
+            key.algorithm.name(),
+            json_string(&key.config)
+        ));
+        doc.push_str(json);
+        if let Err(e) = self.write_atomic(&path, doc.as_bytes()) {
+            self.report("result write", &path, &e);
+        }
+    }
+
+    /// Removes a persisted result (entry evicted or invalidated).
+    pub fn remove_result(&self, key: &CacheKey) {
+        let _ = fs::remove_file(self.result_path(key));
+    }
+
+    /// Files in `dir`, sorted by name for deterministic recovery order.
+    fn sorted_entries(dir: &Path) -> Vec<PathBuf> {
+        let mut entries: Vec<PathBuf> = match fs::read_dir(dir) {
+            Ok(iter) => iter.flatten().map(|e| e.path()).collect(),
+            Err(_) => Vec::new(),
+        };
+        entries.sort();
+        entries
+    }
+
+    fn torn(&self, why: &str, path: &Path) {
+        self.metrics.persist_torn_skipped.inc();
+        eprintln!("muds-serve: persist: skipping {}: {why}", path.display());
+        let _ = fs::remove_file(path);
+    }
+
+    /// Replays the data dir: validates every blob, drops torn or orphaned
+    /// files, and returns what survived. Counters: each intact table and
+    /// result increments `persist.recovered`; each damaged file increments
+    /// `persist.torn_skipped` (and is deleted, so it cannot re-fail on the
+    /// next boot).
+    pub fn recover(&self) -> Recovered {
+        let mut out = Recovered::default();
+
+        for path in Self::sorted_entries(&self.tables_dir) {
+            let Some(expected) = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .and_then(|n| n.strip_suffix(".csv"))
+                .and_then(|n| n.parse::<Fingerprint>().ok())
+            else {
+                self.torn("not a <fingerprint>.csv file", &path);
+                continue;
+            };
+            let Ok(bytes) = fs::read(&path) else {
+                self.torn("unreadable", &path);
+                continue;
+            };
+            let table =
+                match table_from_csv_bytes(&expected.to_string(), &bytes, &CsvOptions::default()) {
+                    Ok(table) => table,
+                    Err(_) => {
+                        self.torn("table blob does not parse as CSV", &path);
+                        continue;
+                    }
+                };
+            if fingerprint(&table) != expected {
+                self.torn("table content does not match its fingerprint", &path);
+                continue;
+            }
+            self.metrics.persist_recovered.inc();
+            out.tables.push((expected, table));
+        }
+
+        if self.manifest_path.exists() {
+            match fs::read_to_string(&self.manifest_path)
+                .map_err(|e| e.to_string())
+                .and_then(|text| parse_json(&text).map_err(|e| e.to_string()))
+            {
+                Ok(doc) => {
+                    if let Some(JsonValue::Object(entries)) = doc.get("names") {
+                        for (name, value) in entries {
+                            let fp = value.as_str().and_then(|s| s.parse::<Fingerprint>().ok());
+                            match fp {
+                                // A binding is only as good as its blob: a
+                                // name pointing at a missing or torn table
+                                // is dropped (orphaned binding).
+                                Some(fp) if out.tables.iter().any(|(t, _)| *t == fp) => {
+                                    out.names.insert(name.clone(), fp);
+                                }
+                                _ => self.metrics.persist_torn_skipped.inc(),
+                            }
+                        }
+                    }
+                }
+                // A torn manifest loses only the name bindings — every
+                // blob is still content-addressed and re-registering the
+                // same data lands on the same fingerprint.
+                Err(_) => {
+                    let path = self.manifest_path.clone();
+                    self.torn("manifest does not parse", &path);
+                }
+            }
+        }
+
+        for path in Self::sorted_entries(&self.results_dir) {
+            let Ok(text) = fs::read_to_string(&path) else {
+                self.torn("unreadable", &path);
+                continue;
+            };
+            let Some((header, payload)) = text.split_once('\n') else {
+                self.torn("missing result header line", &path);
+                continue;
+            };
+            let Some(key) = parse_json(header).ok().and_then(|doc| {
+                Some(CacheKey {
+                    fingerprint: doc.get("fingerprint")?.as_str()?.parse().ok()?,
+                    algorithm: Algorithm::from_name(doc.get("algorithm")?.as_str()?)?,
+                    config: doc.get("config")?.as_str()?.to_string(),
+                })
+            }) else {
+                self.torn("result header does not parse", &path);
+                continue;
+            };
+            // The filename is derived from the key; a mismatch means the
+            // file was renamed or its header was corrupted in place.
+            if self.result_path(&key) != path {
+                self.torn("result header does not match its filename", &path);
+                continue;
+            }
+            if muds_core::profile_from_json(payload).is_err() {
+                self.torn("result payload does not parse", &path);
+                continue;
+            }
+            self.metrics.persist_recovered.inc();
+            out.results.push((key, payload.to_string()));
+        }
+
+        out
+    }
+}

@@ -17,6 +17,7 @@ use muds_table::{
     TableDelta, TableError,
 };
 
+use crate::persist::Persist;
 use crate::sync::lock;
 
 /// What a registration returned — enough for the `POST /datasets` response.
@@ -64,17 +65,47 @@ struct RegistryInner {
     /// Name bindings (sorted for stable listings). Re-registering a name
     /// rebinds it; unreferenced content stays resident until shutdown.
     names: BTreeMap<String, Fingerprint>,
+    /// Mutation counter: versions manifest snapshots so concurrent
+    /// registrations keep last-writer-wins semantics on disk too.
+    version: u64,
 }
 
 /// Thread-safe dataset registry shared by all connection handlers.
 #[derive(Default)]
 pub struct Registry {
     inner: Mutex<RegistryInner>,
+    /// Write-through persistence (`--data-dir`); `None` = memory only.
+    persist: Option<Arc<Persist>>,
 }
 
 impl Registry {
     pub fn new() -> Self {
         Registry::default()
+    }
+
+    /// A registry that writes table blobs and the name manifest through to
+    /// disk on every mutation.
+    pub fn with_persist(persist: Arc<Persist>) -> Self {
+        Registry { inner: Mutex::default(), persist: Some(persist) }
+    }
+
+    /// Seeds the registry from recovered state without re-persisting it
+    /// (the blobs and manifest are already on disk).
+    pub fn restore(&self, tables: Vec<(Fingerprint, Table)>, names: BTreeMap<String, Fingerprint>) {
+        let mut inner = lock(&self.inner);
+        // lint:allow(hash-order): `tables` is a Vec in directory-read order;
+        // every element lands in a fingerprint-keyed map, so iteration order
+        // cannot affect the resulting registry state.
+        for (fp, table) in tables {
+            inner.tables.insert(fp, Arc::new(table));
+        }
+        inner.names = names;
+        inner.version += 1;
+        // Seed the persisted-manifest version so the first live mutation
+        // (version 2+) always supersedes the recovered snapshot.
+        if let Some(persist) = &self.persist {
+            persist.note_manifest_version(inner.version);
+        }
     }
 
     /// Registers an already-built table under `name`.
@@ -84,12 +115,31 @@ impl Registry {
         let fp = fingerprint(&table);
         let rows = table.num_rows();
         let columns: Vec<String> = table.column_names().iter().map(|c| c.to_string()).collect();
-        let mut inner = lock(&self.inner);
-        let already_registered = inner.tables.contains_key(&fp);
-        if !already_registered {
-            inner.tables.insert(fp, Arc::new(table));
+        let table = Arc::new(table);
+        let (already_registered, version, names_snapshot) = {
+            let mut inner = lock(&self.inner);
+            let already_registered = inner.tables.contains_key(&fp);
+            if !already_registered {
+                inner.tables.insert(fp, Arc::clone(&table));
+            }
+            inner.names.insert(name.to_string(), fp);
+            inner.version += 1;
+            // Snapshot under the lock so the manifest written for this
+            // version is exactly the bindings this mutation produced.
+            let snapshot = self.persist.as_ref().map(|_| inner.names.clone());
+            (already_registered, inner.version, snapshot)
+        };
+        // Disk writes happen outside the lock: a multi-MB table blob (and
+        // its fsync) must not stall resolve() for other datasets. The blob
+        // lands before the manifest that references it.
+        if let Some(persist) = &self.persist {
+            if !already_registered {
+                persist.store_table(fp, &table);
+            }
+            if let Some(names) = names_snapshot {
+                persist.store_manifest(version, &names);
+            }
         }
-        inner.names.insert(name.to_string(), fp);
         DatasetInfo {
             name: name.to_string(),
             fingerprint: fp,

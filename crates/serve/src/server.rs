@@ -22,8 +22,8 @@
 //! in-flight connections finish, then drains the job queue and joins the
 //! scheduler workers before `run()` returns.
 
-use std::io::Write;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -35,8 +35,9 @@ use muds_table::CsvOptions;
 use muds_table::TableDelta;
 
 use crate::cache::{Begin, CacheKey, ResultCache};
-use crate::http::{read_request, HttpError, Request, Response};
+use crate::http::{Request, Response};
 use crate::metrics::ServeMetrics;
+use crate::persist::Persist;
 use crate::registry::{DatasetInfo, Registry};
 use crate::scheduler::{retry_after_secs, JobSpec, JobStatus, Scheduler};
 
@@ -58,6 +59,9 @@ pub struct ServeConfig {
     pub max_body: usize,
     /// Concurrent connection cap; overflow answers 503.
     pub max_connections: usize,
+    /// When set, the dataset registry and Ready result-cache entries write
+    /// through to this directory and are replayed on restart (§14).
+    pub data_dir: Option<PathBuf>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +74,7 @@ impl Default for ServeConfig {
             default_timeout: Duration::from_secs(30),
             max_body: 64 << 20,
             max_connections: 256,
+            data_dir: None,
         }
     }
 }
@@ -80,7 +85,7 @@ pub struct ServerState {
     pub cache: Arc<ResultCache>,
     pub scheduler: Scheduler,
     pub metrics: Arc<ServeMetrics>,
-    config: ServeConfig,
+    pub(crate) config: ServeConfig,
     shutdown: AtomicBool,
     /// Sequence for server-minted trace ids.
     trace_seq: AtomicU64,
@@ -110,7 +115,7 @@ impl ServerState {
         self.shutdown.store(true, Ordering::Release);
     }
 
-    fn shutting_down(&self) -> bool {
+    pub(crate) fn shutting_down(&self) -> bool {
         self.shutdown.load(Ordering::Acquire) || sigterm_received()
     }
 }
@@ -164,7 +169,30 @@ impl Server {
     pub fn bind(config: ServeConfig) -> std::io::Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let metrics = Arc::new(ServeMetrics::new());
-        let cache = Arc::new(ResultCache::new(config.cache_capacity, Arc::clone(&metrics)));
+        let persist = match &config.data_dir {
+            Some(dir) => Some(Persist::open(dir, Arc::clone(&metrics))?),
+            None => None,
+        };
+        let cache = Arc::new(ResultCache::with_persist(
+            config.cache_capacity,
+            Arc::clone(&metrics),
+            persist.clone(),
+        ));
+        let registry = match &persist {
+            Some(persist) => Registry::with_persist(Arc::clone(persist)),
+            None => Registry::new(),
+        };
+        if let Some(persist) = &persist {
+            // Replay what survived the last process: intact table blobs,
+            // the manifest's name bindings, and Ready cache entries. Torn
+            // or orphaned files were counted and skipped by `recover`.
+            let recovered = persist.recover();
+            registry.restore(recovered.tables, recovered.names);
+            for (key, json) in recovered.results {
+                cache.restore(&key, json);
+            }
+            metrics.datasets.set(registry.names_len() as i64);
+        }
         let workers = if config.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2).min(4)
         } else {
@@ -177,7 +205,7 @@ impl Server {
             Arc::clone(&metrics),
         )?;
         let state = Arc::new(ServerState {
-            registry: Registry::new(),
+            registry,
             cache,
             scheduler,
             metrics,
@@ -205,6 +233,27 @@ impl Server {
     /// completion, workers are joined.
     pub fn run(self) -> std::io::Result<()> {
         install_signal_handlers();
+        #[cfg(target_os = "linux")]
+        {
+            // Epoll reactor: all sockets on one thread, complete requests
+            // handed to a small fixed handler pool. Joined only after the
+            // scheduler shut down (which resolves every flight a handler
+            // could still be blocked on).
+            let pool = crate::reactor::run(self.listener, Arc::clone(&self.state))?;
+            self.state.scheduler.shutdown();
+            pool.shutdown_join();
+            Ok(())
+        }
+        #[cfg(not(target_os = "linux"))]
+        {
+            self.run_thread_per_connection()
+        }
+    }
+
+    /// Portable fallback: one thread per connection, `Connection: close`
+    /// after every response.
+    #[cfg(not(target_os = "linux"))]
+    fn run_thread_per_connection(self) -> std::io::Result<()> {
         // Non-blocking accept so the loop can poll the shutdown flags; a
         // signal handler cannot wake a blocking accept portably.
         self.listener.set_nonblocking(true)?;
@@ -251,27 +300,33 @@ impl Server {
     }
 }
 
-fn handle_connection(state: &ServerState, mut stream: TcpStream) {
+/// Routes one parsed request and accounts for it: the shared tail of both
+/// front-ends (the epoll reactor's handler pool and the thread-per-
+/// connection fallback).
+pub(crate) fn respond(state: &ServerState, request: &Request) -> Response {
+    state.metrics.requests.inc();
+    let trace = state.trace_for(request);
+    let response = route(state, request, &trace).with_header("X-Muds-Trace", &trace);
+    state.metrics.count_response(response.status);
+    response
+}
+
+#[cfg(not(target_os = "linux"))]
+fn handle_connection(state: &ServerState, mut stream: std::net::TcpStream) {
+    use crate::http::HttpError;
+    use std::io::Write;
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
-    let request = match read_request(&mut stream, state.config.max_body) {
+    let request = match crate::http::read_request(&mut stream, state.config.max_body) {
         Ok(request) => request,
         Err(HttpError::Closed) => return,
         Err(e) => {
-            let status = match e {
-                HttpError::TooLarge(_) => 413,
-                HttpError::Io(_) => 408,
-                _ => 400,
-            };
-            let response = Response::error(status, &e.to_string());
+            let response = Response::error(e.status(), &e.to_string());
             state.metrics.count_response(response.status);
             let _ = response.write_to(&mut stream);
             return;
         }
     };
-    state.metrics.requests.inc();
-    let trace = state.trace_for(&request);
-    let response = route(state, &request, &trace).with_header("X-Muds-Trace", &trace);
-    state.metrics.count_response(response.status);
+    let response = respond(state, &request);
     let _ = response.write_to(&mut stream);
     let _ = stream.flush();
 }
@@ -606,9 +661,12 @@ fn wait_for_flight(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::io::Read;
+    use std::io::{Read, Write};
+    use std::net::TcpStream;
 
     /// Drives one request against a running server over a real socket.
+    /// Sends `Connection: close` so `read_to_end` terminates — the server
+    /// otherwise keeps the connection open for reuse.
     pub(crate) fn http(
         addr: SocketAddr,
         method: &str,
@@ -618,7 +676,7 @@ mod tests {
     ) -> (u16, Vec<(String, String)>, Vec<u8>) {
         let mut stream = TcpStream::connect(addr).expect("connect");
         stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
-        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\n");
+        let mut head = format!("{method} {path} HTTP/1.1\r\nHost: test\r\nConnection: close\r\n");
         for (name, value) in headers {
             head.push_str(&format!("{name}: {value}\r\n"));
         }
@@ -628,6 +686,38 @@ mod tests {
         let mut raw = Vec::new();
         stream.read_to_end(&mut raw).expect("read response");
         parse_response(&raw)
+    }
+
+    /// Reads exactly one response off a keep-alive connection (head plus
+    /// `Content-Length` body bytes), leaving the stream usable. `buf`
+    /// carries over-read bytes (a pipelined successor) to the next call.
+    pub(crate) fn read_one_response(
+        stream: &mut TcpStream,
+        buf: &mut Vec<u8>,
+    ) -> (u16, Vec<(String, String)>, Vec<u8>) {
+        let mut chunk = [0u8; 4096];
+        let head_end = loop {
+            if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break pos;
+            }
+            let n = stream.read(&mut chunk).expect("read response head");
+            assert!(n > 0, "connection closed before a full response head");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head: Vec<u8> = buf[..head_end + 4].to_vec();
+        let (status, headers, _) = parse_response(&head);
+        let content_length: usize = header(&headers, "content-length")
+            .expect("responses carry Content-Length")
+            .parse()
+            .expect("numeric Content-Length");
+        while buf.len() < head_end + 4 + content_length {
+            let n = stream.read(&mut chunk).expect("read response body");
+            assert!(n > 0, "connection closed mid response body");
+            buf.extend_from_slice(&chunk[..n]);
+        }
+        let body = buf[head_end + 4..head_end + 4 + content_length].to_vec();
+        buf.drain(..head_end + 4 + content_length);
+        (status, headers, body)
     }
 
     fn parse_response(raw: &[u8]) -> (u16, Vec<(String, String)>, Vec<u8>) {
@@ -998,6 +1088,82 @@ mod tests {
                 }
             }
         }
+    }
+
+    /// Keep-alive reuse after routed errors: a fully framed request has
+    /// its body consumed even when the answer is a 4xx, so a pipelined
+    /// successor on the same socket must be served — no desync, no close.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn keep_alive_survives_routed_errors_and_serves_pipelined_requests() {
+        let (addr, state, handle) = start_server(test_config());
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        // Three pipelined requests in one write: a rejected POST (404,
+        // with a body that must be drained), a plain GET, and a closing GET.
+        stream
+            .write_all(
+                b"POST /nope HTTP/1.1\r\nHost: t\r\nContent-Length: 5\r\n\r\nhello\
+                  GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+                  GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+            )
+            .unwrap();
+        let mut buf = Vec::new();
+        let (status, headers, _) = read_one_response(&mut stream, &mut buf);
+        assert_eq!(status, 404, "routed error for the bad endpoint");
+        assert_eq!(header(&headers, "connection"), Some("keep-alive"));
+        let (status, _, _) = read_one_response(&mut stream, &mut buf);
+        assert_eq!(status, 200, "pipelined request after a 404 is served");
+        let (status, headers, _) = read_one_response(&mut stream, &mut buf);
+        assert_eq!(status, 200);
+        assert_eq!(header(&headers, "connection"), Some("close"));
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        assert!(rest.is_empty(), "Connection: close honored");
+        state.request_shutdown();
+        handle.join().unwrap();
+    }
+
+    /// Framing-level rejections (oversized or unparseable Content-Length)
+    /// answer and then close: the request's unread body bytes are still in
+    /// flight, so reusing the stream would desync it. A pipelined
+    /// follow-up must get EOF, never an answer.
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn oversized_and_hostile_content_lengths_answer_and_close() {
+        let (addr, state, handle) = start_server(test_config());
+        let attempt = |content_length: &str| {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+            stream
+                .write_all(
+                    format!(
+                        "POST /profile HTTP/1.1\r\nHost: t\r\nContent-Length: {content_length}\r\n\r\n\
+                         GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n"
+                    )
+                    .as_bytes(),
+                )
+                .unwrap();
+            let mut buf = Vec::new();
+            let (status, headers, _) = read_one_response(&mut stream, &mut buf);
+            assert_eq!(header(&headers, "connection"), Some("close"));
+            let mut rest = buf;
+            stream.read_to_end(&mut rest).unwrap();
+            assert!(
+                rest.is_empty(),
+                "pipelined request after a framing rejection must get EOF, got {:?}",
+                String::from_utf8_lossy(&rest)
+            );
+            status
+        };
+        // 64 GiB and u64::MAX: parse fine, exceed the cap → 413.
+        assert_eq!(attempt("68719476736"), 413);
+        assert_eq!(attempt("18446744073709551615"), 413);
+        // u64::MAX + 1 and negative: not a length at all → 400.
+        assert_eq!(attempt("18446744073709551616"), 400);
+        assert_eq!(attempt("-1"), 400);
+        state.request_shutdown();
+        handle.join().unwrap();
     }
 
     pub(crate) fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {

@@ -1,0 +1,285 @@
+//! Restart-durability integration tests for `--data-dir` (DESIGN.md §14):
+//!
+//! * a clean restart replays the dataset registry and the Ready result
+//!   cache — `/profile` after reboot is a cache hit with zero new runs,
+//! * torn-write injection (truncated result, garbaged table blob,
+//!   corrupted manifest) is recovered *surgically*: only the damaged
+//!   entry is skipped (and counted in `persist.torn_skipped`), intact
+//!   neighbours still hit,
+//! * delta appends rebind names on disk with last-writer-wins, so a
+//!   restart serves the post-delta content and never a stale cached
+//!   result for the old fingerprint.
+//!
+//! Everything runs in-process over real sockets, with a fresh
+//! `Server::bind` per "boot" so each boot's metrics start at zero.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+use muds_core::json::{parse_json, JsonValue};
+use muds_serve::{ServeConfig, Server, ServerState};
+
+fn boot(data_dir: &Path) -> (SocketAddr, Arc<ServerState>, std::thread::JoinHandle<()>) {
+    let server = Server::bind(ServeConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        data_dir: Some(data_dir.to_path_buf()),
+        ..ServeConfig::default()
+    })
+    .expect("bind with data dir");
+    let addr = server.local_addr().unwrap();
+    let state = server.state();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, state, handle)
+}
+
+fn http(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    content_type: &str,
+    body: &[u8],
+) -> (u16, Vec<(String, String)>, Vec<u8>) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(60))).unwrap();
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).unwrap();
+    stream.write_all(body).unwrap();
+    let mut raw = Vec::new();
+    stream.read_to_end(&mut raw).expect("read response");
+    let head_end = raw.windows(4).position(|w| w == b"\r\n\r\n").expect("response head");
+    let head = std::str::from_utf8(&raw[..head_end]).expect("utf-8 head");
+    let mut lines = head.split("\r\n");
+    let status: u16 = lines.next().unwrap().split(' ').nth(1).unwrap().parse().unwrap();
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(n, v)| (n.trim().to_ascii_lowercase(), v.trim().to_string()))
+        .collect();
+    (status, headers, raw[head_end + 4..].to_vec())
+}
+
+fn header<'a>(headers: &'a [(String, String)], name: &str) -> Option<&'a str> {
+    headers.iter().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("muds-persist-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn profile(addr: SocketAddr, dataset: &str) -> (u16, Option<String>, Vec<u8>) {
+    let body = format!("{{\"dataset\":\"{dataset}\",\"algorithm\":\"muds\"}}");
+    let (status, headers, body) =
+        http(addr, "POST", "/profile", "application/json", body.as_bytes());
+    (status, header(&headers, "x-cache").map(str::to_string), body)
+}
+
+const CSV_A: &str = "id,grp,val\n1,a,x\n2,a,x\n3,b,y\n4,b,z\n";
+const CSV_B: &str = "k,v\n1,p\n2,q\n3,p\n";
+
+#[test]
+fn restart_replays_registry_and_serves_cache_hits_without_rerunning() {
+    let dir = fresh_dir("clean-restart");
+
+    // Boot 1: register two datasets, profile both, shut down.
+    let (addr, state, handle) = boot(&dir);
+    let (status, _, _) = http(addr, "POST", "/datasets?name=a", "text/csv", CSV_A.as_bytes());
+    assert_eq!(status, 201);
+    let (status, _, _) = http(addr, "POST", "/datasets?name=b", "text/csv", CSV_B.as_bytes());
+    assert_eq!(status, 201);
+    let (status, disposition, first_payload) = profile(addr, "a");
+    assert_eq!(status, 200);
+    assert_eq!(disposition.as_deref(), Some("miss"));
+    let (status, _, _) = profile(addr, "b");
+    assert_eq!(status, 200);
+    assert!(state.metrics.persist_writes.get() >= 4, "tables, manifest, and results hit disk");
+    state.request_shutdown();
+    handle.join().unwrap();
+
+    // Boot 2 on the same dir: everything is back, nothing re-runs.
+    let (addr, state, handle) = boot(&dir);
+    assert!(state.metrics.persist_recovered.get() >= 4, "2 tables + 2 results recovered");
+    assert_eq!(state.metrics.persist_torn_skipped.get(), 0);
+    let (status, _, listing) = http(addr, "GET", "/datasets", "text/plain", b"");
+    assert_eq!(status, 200);
+    let listing = parse_json(std::str::from_utf8(&listing).unwrap()).unwrap();
+    assert_eq!(
+        listing.get("datasets").and_then(JsonValue::as_array).map(|a| a.len()),
+        Some(2),
+        "both name bindings replayed from the manifest"
+    );
+    for dataset in ["a", "b"] {
+        let (status, disposition, payload) = profile(addr, dataset);
+        assert_eq!(status, 200);
+        assert_eq!(
+            disposition.as_deref(),
+            Some("hit"),
+            "dataset {dataset:?} must hit the recovered cache"
+        );
+        if dataset == "a" {
+            assert_eq!(payload, first_payload, "recovered document is byte-identical");
+        }
+    }
+    assert_eq!(state.metrics.jobs_completed.get(), 0, "zero profiling runs after restart");
+    assert_eq!(state.metrics.cache_misses.get(), 0);
+    state.request_shutdown();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn torn_files_are_skipped_surgically_and_intact_entries_still_hit() {
+    let dir = fresh_dir("torn-write");
+
+    let (addr, state, handle) = boot(&dir);
+    let (status, _, _) = http(addr, "POST", "/datasets?name=good", "text/csv", CSV_A.as_bytes());
+    assert_eq!(status, 201);
+    let (status, _, body) =
+        http(addr, "POST", "/datasets?name=victim", "text/csv", CSV_B.as_bytes());
+    assert_eq!(status, 201);
+    let victim_fp = parse_json(std::str::from_utf8(&body).unwrap())
+        .unwrap()
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(profile(addr, "good").0, 200);
+    assert_eq!(profile(addr, "victim").0, 200);
+    state.request_shutdown();
+    handle.join().unwrap();
+
+    // Torn-write injection, one file per failure mode:
+    // 1. victim's table blob: garbage bytes (fingerprint mismatch).
+    let table_path = dir.join("tables").join(format!("{victim_fp}.csv"));
+    assert!(table_path.exists(), "table blob was persisted");
+    std::fs::write(&table_path, b"k,v\ntampered,rows\n").unwrap();
+    // 2. victim's result document: truncated mid-payload (torn write).
+    let victim_result = std::fs::read_dir(dir.join("results"))
+        .unwrap()
+        .flatten()
+        .map(|e| e.path())
+        .find(|p| p.file_name().unwrap().to_str().unwrap().starts_with(&victim_fp))
+        .expect("victim result file");
+    let full = std::fs::read(&victim_result).unwrap();
+    std::fs::write(&victim_result, &full[..full.len() / 2]).unwrap();
+    // 3. a stale tmp file (crash between stage and rename).
+    std::fs::write(dir.join("tmp").join("999.tmp"), b"half a write").unwrap();
+
+    let (addr, state, handle) = boot(&dir);
+    // The damaged table, its now-orphaned name binding, and the truncated
+    // result are each skipped; good's table and result survive.
+    assert!(
+        state.metrics.persist_torn_skipped.get() >= 3,
+        "torn table + orphaned binding + torn result, got {}",
+        state.metrics.persist_torn_skipped.get()
+    );
+    assert!(state.metrics.persist_recovered.get() >= 2, "good's table and result recovered");
+    let (status, disposition, _) = profile(addr, "good");
+    assert_eq!(status, 200);
+    assert_eq!(disposition.as_deref(), Some("hit"), "intact dataset hits after recovery");
+    assert_eq!(state.metrics.jobs_completed.get(), 0);
+    // The victim is gone (its blob was damaged beyond trust)...
+    let (status, _, _) = profile(addr, "victim");
+    assert_eq!(status, 404, "datasets with torn blobs are dropped, not served corrupt");
+    // ...and both damaged files were deleted so the next boot is clean.
+    assert!(!table_path.exists(), "torn table blob deleted");
+    assert!(!victim_result.exists(), "torn result document deleted");
+    // Re-registering the same content heals the dataset (content-addressed:
+    // same bytes, same fingerprint).
+    let (status, _, body) =
+        http(addr, "POST", "/datasets?name=victim", "text/csv", CSV_B.as_bytes());
+    assert_eq!(status, 201, "{}", String::from_utf8_lossy(&body));
+    assert_eq!(profile(addr, "victim").0, 200);
+    state.request_shutdown();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn corrupted_manifest_loses_bindings_but_not_blobs() {
+    let dir = fresh_dir("torn-manifest");
+
+    let (addr, state, handle) = boot(&dir);
+    let (status, _, body) = http(addr, "POST", "/datasets?name=t", "text/csv", CSV_A.as_bytes());
+    assert_eq!(status, 201);
+    let fp = parse_json(std::str::from_utf8(&body).unwrap())
+        .unwrap()
+        .get("fingerprint")
+        .and_then(JsonValue::as_str)
+        .unwrap()
+        .to_string();
+    assert_eq!(profile(addr, "t").0, 200);
+    state.request_shutdown();
+    handle.join().unwrap();
+
+    std::fs::write(dir.join("manifest.json"), b"{\"version\":1,\"names\":{tor").unwrap();
+
+    let (addr, state, handle) = boot(&dir);
+    assert!(state.metrics.persist_torn_skipped.get() >= 1, "manifest counted as torn");
+    // The name is gone, but the blob and its cached result are content-
+    // addressed: profiling by fingerprint still hits with zero runs.
+    let (status, _, _) = profile(addr, "t");
+    assert_eq!(status, 404, "binding lost with the manifest");
+    let (status, disposition, _) = profile(addr, &fp);
+    assert_eq!(status, 200);
+    assert_eq!(disposition.as_deref(), Some("hit"), "fingerprint lookup survives");
+    assert_eq!(state.metrics.jobs_completed.get(), 0);
+    state.request_shutdown();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn delta_appends_rebind_names_on_disk_with_last_writer_wins() {
+    let dir = fresh_dir("delta-rebind");
+
+    let (addr, state, handle) = boot(&dir);
+    let (status, _, _) = http(addr, "POST", "/datasets?name=t", "text/csv", CSV_A.as_bytes());
+    assert_eq!(status, 201);
+    assert_eq!(profile(addr, "t").0, 200);
+    // Append one row: the name rebinds to the new fingerprint and the old
+    // fingerprint's cached result is surgically evicted — in memory and on
+    // disk.
+    let (status, _, body) =
+        http(addr, "POST", "/datasets/t/append", "text/csv", b"id,grp,val\n5,c,w\n");
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&body));
+    let doc = parse_json(std::str::from_utf8(&body).unwrap()).unwrap();
+    let new_fp = doc.get("fingerprint").and_then(JsonValue::as_str).unwrap().to_string();
+    let old_fp = doc.get("previous_fingerprint").and_then(JsonValue::as_str).unwrap().to_string();
+    assert_ne!(new_fp, old_fp);
+    state.request_shutdown();
+    handle.join().unwrap();
+
+    // The old fingerprint's result is gone from disk (surgical eviction
+    // wrote through); the new table blob exists.
+    let stale_results = std::fs::read_dir(dir.join("results"))
+        .unwrap()
+        .flatten()
+        .filter(|e| e.file_name().to_str().unwrap().starts_with(&old_fp))
+        .count();
+    assert_eq!(stale_results, 0, "evicted results are deleted on disk too");
+    assert!(dir.join("tables").join(format!("{new_fp}.csv")).exists());
+
+    let (addr, state, handle) = boot(&dir);
+    let (status, _, listing) = http(addr, "GET", "/datasets", "text/plain", b"");
+    assert_eq!(status, 200);
+    let listing = std::str::from_utf8(&listing).unwrap().to_string();
+    assert!(listing.contains(&new_fp), "manifest rebound to the post-delta fingerprint");
+    assert!(listing.contains("\"rows\":5"), "restart serves the appended table: {listing}");
+    // Profiling after restart must re-run (the old result was evicted, the
+    // new fingerprint was never profiled) — never serve the stale payload.
+    let (status, disposition, _) = profile(addr, "t");
+    assert_eq!(status, 200);
+    assert_eq!(disposition.as_deref(), Some("miss"), "no stale hit for pre-delta content");
+    assert_eq!(state.metrics.jobs_completed.get(), 1);
+    state.request_shutdown();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
