@@ -35,6 +35,9 @@ pub enum ScenarioKind {
     Profile,
     /// HTTP round-trips against an embedded `muds-serve` daemon.
     Serve,
+    /// MUDS with the single-scan stats layer off vs on — the overhead the
+    /// `column_profiles` payload costs on top of dependency discovery.
+    StatsOverhead,
 }
 
 impl ScenarioKind {
@@ -42,6 +45,7 @@ impl ScenarioKind {
         match self {
             ScenarioKind::Profile => "profile",
             ScenarioKind::Serve => "serve",
+            ScenarioKind::StatsOverhead => "stats",
         }
     }
 }
@@ -63,7 +67,7 @@ pub struct ScenarioSpec {
 
 /// The full matrix, cheapest first. `ionosphere_wide` and `uniprot_10k`
 /// are the two CI smoke scenarios (see `.github/workflows/ci.yml`).
-pub const SCENARIOS: [ScenarioSpec; 6] = [
+pub const SCENARIOS: [ScenarioSpec; 7] = [
     ScenarioSpec {
         name: "ionosphere_wide",
         kind: ScenarioKind::Profile,
@@ -90,6 +94,14 @@ pub const SCENARIOS: [ScenarioSpec; 6] = [
         rows: 10_000,
         cols: 8,
         figure: "Figure 6 (row scalability, small point)",
+    },
+    ScenarioSpec {
+        name: "stats_overhead",
+        kind: ScenarioKind::StatsOverhead,
+        shape: "uniprot",
+        rows: 10_000,
+        cols: 8,
+        figure: "§15 stats overhead on a Figure 6 workload (target ≤ 10%)",
     },
     ScenarioSpec {
         name: "serve_roundtrip",
@@ -173,7 +185,66 @@ pub fn run_scenario(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchRepor
     match spec.kind {
         ScenarioKind::Profile => run_profile(spec, opts),
         ScenarioKind::Serve => run_serve(spec, opts),
+        ScenarioKind::StatsOverhead => run_stats_overhead(spec, opts),
     }
+}
+
+/// What the single-scan stats layer costs on top of dependency discovery:
+/// the same generated CSV through MUDS twice, `stats` off then on, both
+/// walls from the profiler's own span tree. The two entries share the
+/// algorithm name and differ in `mode`, so the regression diff tracks the
+/// dependencies-only baseline and the with-stats run independently.
+fn run_stats_overhead(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, String> {
+    let table = generate(spec, opts);
+    let csv = table_to_csv(&table, &CsvOptions::default());
+    let mut entries = Vec::with_capacity(2);
+    let mut report_peak = 0u64;
+    for (mode, stats) in [("deps-only", false), ("with-stats", true)] {
+        let config = ProfilerConfig { stats, ..ProfilerConfig::default() };
+        let sampler = RssSampler::start(opts.rss_interval);
+        let mut best: Option<BenchEntry> = None;
+        for _ in 0..opts.repeat.max(1) {
+            let registry = Metrics::new();
+            let alloc_before = muds_obs::alloc::allocated_bytes();
+            let result = {
+                let _guard = registry.install();
+                profile_csv(table.name(), &csv, &CsvOptions::default(), Algorithm::Muds, &config)
+                    .map_err(|e| format!("{}: generated CSV failed to parse: {e}", spec.name))?
+            };
+            let alloc_bytes = muds_obs::alloc::allocated_bytes().saturating_sub(alloc_before);
+            let wall_ns = u64::try_from(result.total_time().as_nanos()).unwrap_or(u64::MAX);
+            if best.as_ref().is_none_or(|b| wall_ns < b.wall_ns) {
+                let rows = table.num_rows() as f64;
+                best = Some(BenchEntry {
+                    algorithm: Algorithm::Muds.name().to_string(),
+                    mode: mode.to_string(),
+                    wall_ns,
+                    rows_per_sec: rows / (wall_ns.max(1) as f64 / 1e9),
+                    peak_rss_bytes: 0,
+                    alloc_bytes,
+                    counters: result.metrics.counters.clone(),
+                    phases: phase_rows(&result.metrics.spans),
+                });
+            }
+        }
+        let window = sampler.stop();
+        report_peak = report_peak.max(window.peak_bytes);
+        let mut entry = best.ok_or_else(|| format!("{}: no runs executed", spec.name))?;
+        entry.peak_rss_bytes = window.peak_bytes;
+        entries.push(entry);
+    }
+    Ok(BenchReport {
+        scenario: spec.name.to_string(),
+        kind: spec.kind.name().to_string(),
+        shape: spec.shape.to_string(),
+        rows: table.num_rows() as u64,
+        columns: table.num_columns() as u64,
+        threads: opts.threads as u64,
+        repeat: opts.repeat.max(1) as u64,
+        alloc_tracking: muds_obs::alloc::tracking_enabled(),
+        peak_rss_bytes: report_peak,
+        entries,
+    })
 }
 
 fn run_profile(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, String> {
@@ -530,13 +601,34 @@ mod tests {
 
     #[test]
     fn scenario_matrix_is_well_formed() {
-        assert_eq!(SCENARIOS.len(), 6);
+        assert_eq!(SCENARIOS.len(), 7);
         let mut names: Vec<&str> = SCENARIOS.iter().map(|s| s.name).collect();
         names.sort_unstable();
         names.dedup();
-        assert_eq!(names.len(), 6, "scenario names are unique");
+        assert_eq!(names.len(), 7, "scenario names are unique");
         assert!(find("ionosphere_wide").is_some());
         assert!(find("nope").is_none());
         assert_eq!(SCENARIOS.iter().filter(|s| s.kind == ScenarioKind::Serve).count(), 1);
+        assert_eq!(SCENARIOS.iter().filter(|s| s.kind == ScenarioKind::StatsOverhead).count(), 1);
+    }
+
+    #[test]
+    fn stats_overhead_scenario_reports_both_modes() {
+        let spec = find("stats_overhead").unwrap();
+        let report = run_scenario(spec, &fast_opts()).expect("stats scenario runs");
+        assert_eq!(report.kind, "stats");
+        let modes: Vec<&str> = report.entries.iter().map(|e| e.mode.as_str()).collect();
+        assert_eq!(modes, ["deps-only", "with-stats"]);
+        for entry in &report.entries {
+            assert_eq!(entry.algorithm, Algorithm::Muds.name());
+            assert!(entry.wall_ns > 0, "{}: span-derived wall time", entry.mode);
+        }
+        let deps = &report.entries[0];
+        let with = &report.entries[1];
+        assert!(!deps.counters.keys().any(|k| k.starts_with("stats.")));
+        assert!(
+            with.counters.get("stats.columns_profiled").copied().unwrap_or(0) > 0,
+            "with-stats run meters the stats layer"
+        );
     }
 }

@@ -100,7 +100,10 @@ pub struct CheckSuite {
 impl Default for CheckSuite {
     fn default() -> Self {
         CheckSuite {
-            profiler: ProfilerConfig::default(),
+            // Stats ride every pipeline run, so the json-roundtrip and
+            // incremental invariants exercise the column-profile payload
+            // for free; `check_stats` adds the naive second-pass oracle.
+            profiler: ProfilerConfig { stats: true, ..ProfilerConfig::default() },
             naive_max_cols: 8,
             naive_max_rows: 64,
             nary_arity: 3,
@@ -126,6 +129,7 @@ impl CheckSuite {
             .or_else(|| self.check_ind_projection_closure(table))
             .or_else(|| self.check_g3(table))
             .or_else(|| self.check_json_roundtrip(table))
+            .or_else(|| self.check_stats(table))
             .or_else(|| self.check_incremental(table))
     }
 
@@ -414,6 +418,302 @@ impl CheckSuite {
         None
     }
 
+    /// Single-scan stats ≡ a naive second pass over the raw rows: exact
+    /// distinct/null/min/max, exact length stats, entropy and moments
+    /// within a tiny float tolerance, the dominant format an argmax of
+    /// per-occurrence format detection, quality following the documented
+    /// formula, quartiles within the sketch's documented rank-error bound
+    /// (zero — i.e. exact — below 256 rows, which covers every generator),
+    /// and the dependency classifications mirroring the discovered
+    /// UCCs/INDs. Runs on every table: the oracle is `O(rows · cols)`.
+    fn check_stats(&self, table: &Table) -> Option<FailureDetail> {
+        use muds_core::{detect_format, QuantileSketch, ValueFormat};
+        const TOL: f64 = 1e-9;
+        let metrics = Metrics::new();
+        let _guard = metrics.install();
+        let config = ProfilerConfig { stats: true, ..self.profiler.clone() };
+        let result = profile(table, Algorithm::Muds, &config);
+        let Some(stats) = result.stats.as_ref() else {
+            return Some(FailureDetail {
+                invariant: "stats-oracle",
+                detail: "stats requested but missing from the profile result".into(),
+            });
+        };
+        if stats.columns.len() != table.num_columns() {
+            return Some(FailureDetail {
+                invariant: "stats-oracle",
+                detail: format!(
+                    "{} column profiles for {} columns",
+                    stats.columns.len(),
+                    table.num_columns()
+                ),
+            });
+        }
+        let rows = table.num_rows();
+        let all_rows: Vec<Vec<Option<&str>>> = (0..rows).map(|r| table.row(r)).collect();
+        for (c, got) in stats.columns.iter().enumerate() {
+            let fail = |what: &str, detail: String| {
+                Some(FailureDetail {
+                    invariant: "stats-oracle",
+                    detail: format!("column {c} {what}: {detail}"),
+                })
+            };
+            let values: Vec<Option<&str>> = all_rows.iter().map(|r| r[c]).collect();
+            let non_null_vals: Vec<&str> = values.iter().flatten().copied().collect();
+            let nulls = (rows - non_null_vals.len()) as u64;
+            let non_null = non_null_vals.len() as u64;
+            let mut hist: std::collections::BTreeMap<&str, u64> = Default::default();
+            for v in &non_null_vals {
+                *hist.entry(v).or_default() += 1;
+            }
+            let distinct = hist.len() as u64;
+            if got.column != c
+                || got.rows != rows as u64
+                || got.nulls != nulls
+                || got.distinct != distinct
+            {
+                return fail(
+                    "counts",
+                    format!(
+                        "got (rows {}, nulls {}, distinct {}), \
+                         naive (rows {rows}, nulls {nulls}, distinct {distinct})",
+                        got.rows, got.nulls, got.distinct
+                    ),
+                );
+            }
+            let min = hist.keys().next().copied();
+            let max = hist.keys().next_back().copied();
+            if got.min.as_deref() != min || got.max.as_deref() != max {
+                return fail(
+                    "extremes",
+                    format!("got ({:?}, {:?}), naive ({min:?}, {max:?})", got.min, got.max),
+                );
+            }
+            let null_fraction = if rows == 0 { 0.0 } else { nulls as f64 / rows as f64 };
+            let distinct_fraction =
+                if non_null == 0 { 0.0 } else { distinct as f64 / non_null as f64 };
+            if got.null_fraction != null_fraction || got.distinct_fraction != distinct_fraction {
+                return fail(
+                    "fractions",
+                    format!(
+                        "got ({}, {}), naive ({null_fraction}, {distinct_fraction})",
+                        got.null_fraction, got.distinct_fraction
+                    ),
+                );
+            }
+            let mut entropy = 0.0f64;
+            let mut format_counts = [0u64; ValueFormat::ALL.len()];
+            let mut min_length = u64::MAX;
+            let mut max_length = 0u64;
+            let mut length_sum = 0u64;
+            for (v, &w) in &hist {
+                let p = w as f64 / non_null as f64;
+                entropy -= p * p.log2();
+                format_counts[detect_format(v).index()] += w;
+                let chars = v.chars().count() as u64;
+                min_length = min_length.min(chars);
+                max_length = max_length.max(chars);
+                length_sum += w * chars;
+            }
+            if non_null == 0 {
+                (entropy, min_length) = (0.0, 0);
+            }
+            let avg_length = if non_null == 0 { 0.0 } else { length_sum as f64 / non_null as f64 };
+            if (got.entropy - entropy).abs() > TOL {
+                return fail("entropy", format!("got {}, naive {entropy}", got.entropy));
+            }
+            if got.min_length != min_length
+                || got.max_length != max_length
+                || (got.avg_length - avg_length).abs() > TOL
+            {
+                return fail(
+                    "lengths",
+                    format!(
+                        "got ({}, {}, {}), naive ({min_length}, {max_length}, {avg_length})",
+                        got.min_length, got.max_length, got.avg_length
+                    ),
+                );
+            }
+            if non_null == 0 {
+                if got.format != ValueFormat::Empty || got.format_consistency != 1.0 {
+                    return fail(
+                        "empty format",
+                        format!("got ({:?}, {})", got.format, got.format_consistency),
+                    );
+                }
+            } else {
+                let got_count = format_counts[got.format.index()];
+                if format_counts.iter().any(|&w| w > got_count) {
+                    return fail(
+                        "dominant format",
+                        format!("{:?} ({got_count} occurrences) is not an argmax", got.format),
+                    );
+                }
+                let consistency = got_count as f64 / non_null as f64;
+                if (got.format_consistency - consistency).abs() > TOL {
+                    return fail(
+                        "format consistency",
+                        format!("got {}, naive {consistency}", got.format_consistency),
+                    );
+                }
+            }
+            let quality = (2.0 * (1.0 - got.null_fraction) + got.format_consistency) / 3.0;
+            if (got.quality - quality).abs() > TOL {
+                return fail("quality", format!("got {}, formula {quality}", got.quality));
+            }
+            // Numeric moments + quartiles, gated exactly as documented:
+            // present iff every non-NULL occurrence is a finite number.
+            let mut parsed: Vec<f64> = Vec::with_capacity(non_null_vals.len());
+            let mut fully_numeric = non_null > 0;
+            for v in values.iter().flatten() {
+                let x = match detect_format(v) {
+                    ValueFormat::Integer | ValueFormat::Decimal => {
+                        v.parse::<f64>().ok().filter(|x| x.is_finite())
+                    }
+                    _ => None,
+                };
+                match x {
+                    Some(x) => parsed.push(x),
+                    None => {
+                        fully_numeric = false;
+                        break;
+                    }
+                }
+            }
+            match (&got.numeric, fully_numeric) {
+                (Some(_), false) => {
+                    return fail("numeric gate", "present on a non-numeric column".into());
+                }
+                (None, true) => {
+                    return fail("numeric gate", "missing on a fully numeric column".into());
+                }
+                (None, false) => {}
+                (Some(n), true) => {
+                    let count = parsed.len() as f64;
+                    let sum: f64 = parsed.iter().sum();
+                    let sum_sq: f64 = parsed.iter().map(|x| x * x).sum();
+                    let mean = sum / count;
+                    let variance = (sum_sq / count - mean * mean).max(0.0);
+                    let naive_min = parsed.iter().copied().fold(f64::INFINITY, f64::min);
+                    let naive_max = parsed.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+                    if n.min != naive_min
+                        || n.max != naive_max
+                        || (n.mean - mean).abs() > TOL
+                        || (n.variance - variance).abs() > TOL
+                    {
+                        return fail(
+                            "moments",
+                            format!(
+                                "got (min {}, max {}, mean {}, var {}), \
+                                 naive ({naive_min}, {naive_max}, {mean}, {variance})",
+                                n.min, n.max, n.mean, n.variance
+                            ),
+                        );
+                    }
+                    // Rebuild the sketch over the same insertion sequence
+                    // to obtain its documented rank-error bound, then hold
+                    // the *reported* quartiles to it against the exactly
+                    // sorted data.
+                    let mut sketch = QuantileSketch::new();
+                    for &x in &parsed {
+                        sketch.insert(x);
+                    }
+                    let bound = sketch.rank_error_bound();
+                    let mut sorted = parsed.clone();
+                    sorted.sort_unstable_by(f64::total_cmp);
+                    for (phi, q) in [(0.25, n.q25), (0.5, n.median), (0.75, n.q75)] {
+                        let lo = sorted.partition_point(|&v| v < q) as u64;
+                        let hi = sorted.partition_point(|&v| v <= q) as u64;
+                        if lo == hi {
+                            return fail(
+                                "quantile",
+                                format!("phi={phi}: reported {q} is not a data value"),
+                            );
+                        }
+                        let target = ((phi * count).ceil() as u64).clamp(1, parsed.len() as u64);
+                        let err = if target < lo { lo - target } else { target.saturating_sub(hi) };
+                        if err > bound {
+                            return fail(
+                                "quantile",
+                                format!("phi={phi}: rank error {err} exceeds bound {bound}"),
+                            );
+                        }
+                    }
+                }
+            }
+        }
+        // Dependency classification mirrors the discovered UCCs/INDs.
+        let expected_ids: BTreeSet<Vec<usize>> = result
+            .minimal_uccs
+            .iter()
+            .filter(|u| u.cardinality() > 0)
+            .map(|u| u.iter().collect())
+            .collect();
+        let got_ids: BTreeSet<Vec<usize>> =
+            stats.identifiers.iter().map(|i| i.columns.clone()).collect();
+        if got_ids != expected_ids {
+            return Some(FailureDetail {
+                invariant: "stats-classify",
+                detail: format!(
+                    "identifier candidates {got_ids:?} != non-empty minimal UCCs {expected_ids:?}"
+                ),
+            });
+        }
+        for pair in stats.identifiers.windows(2) {
+            // lint:allow(panic): windows(2) always yields two elements.
+            if pair[0].score < pair[1].score {
+                return Some(FailureDetail {
+                    invariant: "stats-classify",
+                    detail: format!("identifier scores not descending: {pair:?}"),
+                });
+            }
+        }
+        for id in &stats.identifiers {
+            let null_free = id.columns.iter().all(|&c| stats.columns[c].nulls == 0);
+            let score = if null_free { 1.0 } else { 0.5 } / id.columns.len() as f64;
+            if id.null_free != null_free || id.score != score {
+                return Some(FailureDetail {
+                    invariant: "stats-classify",
+                    detail: format!(
+                        "identifier {id:?}: expected null_free {null_free} score {score}"
+                    ),
+                });
+            }
+        }
+        // lint:allow(panic): the filter pins u.len() == 1.
+        let unary_keys: BTreeSet<usize> =
+            expected_ids.iter().filter(|u| u.len() == 1).map(|u| u[0]).collect();
+        let expected_fks: BTreeSet<(usize, usize)> = result
+            .inds
+            .iter()
+            .filter(|i| i.dependent != i.referenced && unary_keys.contains(&i.referenced))
+            .map(|i| (i.dependent, i.referenced))
+            .collect();
+        let got_fks: BTreeSet<(usize, usize)> =
+            stats.foreign_keys.iter().map(|f| (f.dependent, f.referenced)).collect();
+        if got_fks != expected_fks {
+            return Some(FailureDetail {
+                invariant: "stats-classify",
+                detail: format!("FK candidates {got_fks:?} != keyed unary INDs {expected_fks:?}"),
+            });
+        }
+        for fk in &stats.foreign_keys {
+            let ref_distinct = stats.columns[fk.referenced].distinct;
+            let coverage = if ref_distinct == 0 {
+                1.0
+            } else {
+                stats.columns[fk.dependent].distinct as f64 / ref_distinct as f64
+            };
+            if fk.coverage != coverage {
+                return Some(FailureDetail {
+                    invariant: "stats-classify",
+                    detail: format!("FK {fk:?}: expected coverage {coverage}"),
+                });
+            }
+        }
+        None
+    }
+
     /// Incremental ≡ from-scratch: for every algorithm and a handful of
     /// deterministically derived deltas, patching a cached profile through
     /// [`apply_incremental`] must reproduce exactly the dependencies of
@@ -473,6 +773,21 @@ impl CheckSuite {
                             algorithm.name(),
                             inc.result.inds,
                             scratch.inds
+                        ),
+                    });
+                }
+                // Carried-or-recomputed column profiles must be
+                // bit-identical to a from-scratch profile of the patched
+                // table (both paths feed the same deterministic
+                // accumulator in the same row order).
+                if inc.result.stats != scratch.stats {
+                    return Some(FailureDetail {
+                        invariant: "incremental-stats",
+                        detail: format!(
+                            "{}: incremental stats {:?} != from-scratch {:?} after {delta:?}",
+                            algorithm.name(),
+                            inc.result.stats,
+                            scratch.stats
                         ),
                     });
                 }
@@ -618,6 +933,28 @@ mod tests {
             );
         }
         assert_eq!(suite.check_incremental(&a), None);
+    }
+
+    #[test]
+    fn stats_oracle_accepts_adversarial_shapes() {
+        let suite = CheckSuite::default();
+        // Mixed formats, NULLs, numerics, duplicates, an FK pair.
+        let t = Table::from_rows(
+            "mixed",
+            &["id", "ref", "num", "mix", "nul"],
+            &[
+                vec!["1", "1", "2.5", "a@b.co", ""],
+                vec!["2", "1", "-3", "plain", ""],
+                vec!["3", "2", "0.25", "2020-01-02", "x"],
+            ],
+        )
+        .unwrap();
+        assert_eq!(suite.check_stats(&t), None);
+        // Degenerate shapes.
+        for rows in [vec![], vec![vec!["", ""]], vec![vec!["k", "k"]]] {
+            let t = Table::from_rows("d", &["a", "b"], &rows).unwrap();
+            assert_eq!(suite.check_stats(&t), None);
+        }
     }
 
     #[test]

@@ -47,6 +47,9 @@ pub enum Command {
         /// the incremental delta path; the report then covers the patched
         /// table plus the `delta.revalidated` / `delta.skipped` work split.
         append: Option<String>,
+        /// Compute single-scan column statistics, semantic types, and
+        /// dependency classifications alongside the dependency sets.
+        stats: bool,
     },
     /// Run all four algorithms on a CSV file and compare runtimes.
     Compare {
@@ -209,6 +212,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
             let mut format = OutputFormat::Human;
             let mut out: Option<String> = None;
             let mut append: Option<String> = None;
+            let mut stats = false;
             let mut i = 1;
             while i < args.len() {
                 match args[i].as_str() {
@@ -221,6 +225,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     "--append" if cmd == "profile" => {
                         append = Some(take_value(args, &mut i, "--append")?.to_string())
                     }
+                    "--stats" if cmd == "profile" => stats = true,
                     "--threads" | "-t" => {
                         let v: usize = take_value(args, &mut i, "--threads")?
                             .parse()
@@ -274,6 +279,7 @@ pub fn parse(args: &[String]) -> Result<Command, ArgError> {
                     format,
                     out,
                     append,
+                    stats,
                 })
             }
         }
@@ -524,7 +530,7 @@ USAGE:
   mudsprof profile <file.csv> [-a muds|hfun|baseline|tane] [-d <delim>]
                    [--no-header] [--paper-faithful] [--threads N]
                    [--format human|json] [--out <file.json>]
-                   [--append <delta.csv>]
+                   [--append <delta.csv>] [--stats]
                    [--metrics pretty|json] [--trace <file.jsonl>]
   mudsprof compare <file.csv> [-d <delim>] [--no-header] [--threads N]
                    [--metrics pretty|json] [--trace <file.jsonl>]
@@ -548,6 +554,18 @@ OUTPUT:
                      document (the same wire format the serve daemon
                      returns) on stdout; diagnostics move to stderr
   --out <file>       write that JSON document to a file instead of stdout
+
+STATISTICS:
+  --stats            piggyback a full column profile on the same scan that
+                     discovers the dependencies: exact distinct/null counts,
+                     min/max, length stats, entropy, numeric moments and
+                     approximate quantiles per column, value-format and
+                     semantic-type detection with a quality score, plus
+                     dependency classification (minimal UCCs ranked as
+                     identifier candidates, unary INDs typed as FK
+                     candidates with inclusion coverage). The JSON document
+                     gains schema-versioned column_profiles and
+                     relationships sections.
 
 INCREMENTAL:
   --append <file>    profile the base table, then append the rows of <file>
@@ -591,7 +609,8 @@ OBSERVABILITY:
 BENCHMARKING:
   bench runs a fixed scenario matrix (uniprot_10k, uniprot_50k, ncvoter_10k,
   ncvoter_50k, ionosphere_wide profile scenarios × four algorithms, plus a
-  serve_roundtrip daemon scenario) and writes one machine-readable
+  serve_roundtrip daemon scenario and a stats_overhead scenario timing MUDS
+  with the column-statistics layer off vs on) and writes one machine-readable
   BENCH_<scenario>.json per scenario into --out: rows/s, span-tree wall and
   per-phase times, work-counter deltas, sampled peak RSS, and (when built
   with --features bench-alloc) allocated bytes. --repeat K reports each
@@ -638,8 +657,19 @@ mod tests {
                 format: OutputFormat::Human,
                 out: None,
                 append: None,
+                stats: false,
             }
         );
+    }
+
+    #[test]
+    fn stats_flag() {
+        let cmd = parse(&argv("profile x.csv --stats")).unwrap();
+        assert!(matches!(cmd, Command::Profile { stats: true, .. }));
+        let cmd = parse(&argv("profile x.csv")).unwrap();
+        assert!(matches!(cmd, Command::Profile { stats: false, .. }));
+        // --stats belongs to profile, not compare.
+        assert!(parse(&argv("compare x.csv --stats")).is_err());
     }
 
     #[test]

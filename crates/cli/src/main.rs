@@ -66,6 +66,53 @@ fn configure_threads(threads: Option<usize>) -> Result<(), String> {
     Ok(())
 }
 
+/// Renders the `--stats` column-profile and relationship sections of the
+/// human report.
+fn write_stats_report(out: &mut String, stats: &muds_core::StatsProfile, names: &[&str]) {
+    use std::fmt::Write;
+    let _ = writeln!(out, "\ncolumn profiles ({}):", stats.columns.len());
+    for c in &stats.columns {
+        let _ = writeln!(
+            out,
+            "  {:<16} {:<10} {:<10} distinct {:>6}  nulls {:>5.1}%  quality {:.2}",
+            names[c.column],
+            c.format.name(),
+            c.semantic_type.name(),
+            c.distinct,
+            c.null_fraction * 100.0,
+            c.quality
+        );
+        if let Some(n) = &c.numeric {
+            let _ = writeln!(
+                out,
+                "  {:<16}   min {} max {} mean {:.3} q25 {} median {} q75 {}",
+                "", n.min, n.max, n.mean, n.q25, n.median, n.q75
+            );
+        }
+    }
+    let _ = writeln!(out, "\nidentifier candidates ({}):", stats.identifiers.len());
+    for ident in &stats.identifiers {
+        let cols: Vec<&str> = ident.columns.iter().map(|&c| names[c]).collect();
+        let _ = writeln!(
+            out,
+            "  {{{}}} score {:.3}{}",
+            cols.join(", "),
+            ident.score,
+            if ident.null_free { "" } else { " (nullable)" }
+        );
+    }
+    let _ = writeln!(out, "\nforeign-key candidates ({}):", stats.foreign_keys.len());
+    for fk in &stats.foreign_keys {
+        let _ = writeln!(
+            out,
+            "  {} → {} (coverage {:.1}%)",
+            names[fk.dependent],
+            names[fk.referenced],
+            fk.coverage * 100.0
+        );
+    }
+}
+
 fn write_phase_tree(out: &mut String, phases: &[Phase], indent: usize) {
     use std::fmt::Write;
     for phase in phases {
@@ -185,6 +232,7 @@ fn run(command: Command) -> Result<(), String> {
             format,
             out,
             append,
+            stats,
         } => {
             use std::fmt::Write;
             configure_threads(threads)?;
@@ -200,6 +248,7 @@ fn run(command: Command) -> Result<(), String> {
             };
             let mut config = ProfilerConfig::default();
             config.muds.completion_sweep = !paper_faithful;
+            config.stats = stats;
             let csv = table_to_csv(&table, &options);
             let (_registry, _guard) = install_metrics(trace.as_deref())?;
             let result = profile_csv(table.name(), &csv, &options, algorithm, &config)
@@ -278,6 +327,9 @@ fn run(command: Command) -> Result<(), String> {
             for fd in result.fds.to_sorted_vec() {
                 let lhs: Vec<&str> = fd.lhs.iter().map(|c| names[c]).collect();
                 let _ = writeln!(report, "  {{{}}} → {}", lhs.join(", "), names[fd.rhs]);
+            }
+            if let Some(stats) = &result.stats {
+                write_stats_report(&mut report, stats, &names);
             }
             match metrics {
                 // render_pretty already includes the span tree, so the

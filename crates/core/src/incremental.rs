@@ -32,7 +32,7 @@ use muds_pli::{Pli, PliCache};
 use muds_table::{DeltaOutcome, Table, TableDelta, TableError};
 use rayon::prelude::*;
 
-use crate::profiler::{ensure_ambient, finish, ProfileResult};
+use crate::profiler::{ensure_ambient, finish, table_stats, ProfileResult};
 
 /// The outcome of [`apply_incremental`]: the post-delta table plus a
 /// [`ProfileResult`] equivalent to profiling it from scratch.
@@ -126,7 +126,24 @@ pub fn apply_incremental(
 
     revalidated_meter.add(revalidated);
     skipped_meter.add(skipped);
-    let result = finish(old.algorithm, inds, minimal_uccs, fds, &metrics);
+    // Column statistics, when the old result carried them: an identity
+    // delta carries the whole profile untouched, but any real delta
+    // recomputes every column — the new row count enters every column's
+    // null/distinct fractions, so no per-column carry can satisfy the
+    // `stats ≡ from-scratch` invariant (DESIGN.md §15). Relationships ride
+    // on the freshly patched dependency sets either way.
+    let stats = old.stats.as_ref().map(|old_stats| {
+        let ncols = table.num_columns() as u64;
+        if unchanged {
+            muds_obs::add("stats.delta_carried", ncols);
+            old_stats.clone()
+        } else {
+            muds_obs::add("stats.delta_recomputed", ncols);
+            table_stats(&table, &inds, &minimal_uccs)
+        }
+    });
+    let mut result = finish(old.algorithm, inds, minimal_uccs, fds, &metrics);
+    result.stats = stats;
     Ok(IncrementalOutcome {
         table,
         result,
@@ -544,6 +561,31 @@ mod tests {
         assert_eq!(inc.result.metrics.counter("delta.revalidated"), inc.revalidated);
         assert_eq!(inc.result.metrics.counter("delta.skipped"), inc.skipped);
         assert!(inc.result.metrics.spans.iter().any(|s| s.name == "delta revalidate"));
+    }
+
+    #[test]
+    fn stats_carry_on_identity_deltas_and_recompute_on_real_ones() {
+        let t = table(&[&["1", "a"], &["2", "a"], &["3", "b"]]);
+        let cfg = ProfilerConfig { stats: true, ..ProfilerConfig::default() };
+        let old = profile(&t, Algorithm::Muds, &cfg);
+        assert!(old.stats.is_some());
+
+        // Identity delta: the whole stats profile carries over untouched.
+        let carried = apply_incremental(&old, &t, &append(&[])).unwrap();
+        assert_eq!(carried.result.stats, old.stats);
+        assert_eq!(carried.result.metrics.counter("stats.delta_carried"), t.num_columns() as u64);
+        assert_eq!(carried.result.metrics.counter("stats.delta_recomputed"), 0);
+
+        // Real delta: stats match a from-scratch profile of the new table.
+        let inc = apply_incremental(&old, &t, &append(&[&["4", "b"]])).unwrap();
+        let scratch = profile(&inc.table, Algorithm::Muds, &cfg);
+        assert_eq!(inc.result.stats, scratch.stats);
+        assert_eq!(inc.result.metrics.counter("stats.delta_recomputed"), t.num_columns() as u64);
+
+        // A stats-less old result stays stats-less.
+        let plain = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        let inc = apply_incremental(&plain, &t, &append(&[&["4", "b"]])).unwrap();
+        assert_eq!(inc.result.stats, None);
     }
 
     #[test]

@@ -52,3 +52,9 @@ pub use incremental::{apply_incremental, IncrementalOutcome};
 pub use muds::{muds, MudsConfig, MudsPhaseTimings, MudsReport, MudsStats, ShadowLookup};
 pub use profiler::{profile, profile_csv, Algorithm, Phase, ProfileResult, ProfilerConfig};
 pub use serialize::{profile_from_json, profile_to_json, ProfilePayload};
+// Re-exported so downstream layers (CLI, serve, check) consume the stats
+// types without a direct muds-stats dependency.
+pub use muds_stats::{
+    detect_format, ColumnStats, FkCandidate, IdentifierCandidate, NumericStats, QuantileSketch,
+    SemanticType, StatsProfile, ValueFormat, STATS_SCHEMA_VERSION,
+};

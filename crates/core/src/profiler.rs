@@ -70,11 +70,15 @@ pub struct ProfilerConfig {
     pub seed: u64,
     /// MUDS-specific knobs.
     pub muds: MudsConfig,
+    /// Compute the single-scan column-statistics profile (§15) and attach
+    /// it as [`ProfileResult::stats`]. Off by default: dependency-only
+    /// callers pay nothing.
+    pub stats: bool,
 }
 
 impl Default for ProfilerConfig {
     fn default() -> Self {
-        ProfilerConfig { seed: 42, muds: MudsConfig::default() }
+        ProfilerConfig { seed: 42, muds: MudsConfig::default(), stats: false }
     }
 }
 
@@ -90,12 +94,13 @@ impl ProfilerConfig {
             crate::muds::ShadowLookup::Generous => "generous",
         };
         format!(
-            "seed={};muds_seed={};pruning={};shadow={};sweep={}",
+            "seed={};muds_seed={};pruning={};shadow={};sweep={};stats={}",
             self.seed,
             self.muds.seed,
             self.muds.use_known_fd_pruning,
             shadow,
-            self.muds.completion_sweep
+            self.muds.completion_sweep,
+            self.stats
         )
     }
 }
@@ -137,6 +142,9 @@ pub struct ProfileResult {
     /// Every counter, gauge, and span the run recorded — PLI cache traffic,
     /// lattice-walk work, SPIDER merge effort, per-phase FD checks.
     pub metrics: MetricsSnapshot,
+    /// Single-scan column statistics plus dependency classification (§15),
+    /// present iff [`ProfilerConfig::stats`] was set.
+    pub stats: Option<muds_stats::StatsProfile>,
 }
 
 impl ProfileResult {
@@ -176,27 +184,44 @@ pub(crate) fn finish(
 ) -> ProfileResult {
     let snapshot = metrics.drain_snapshot();
     let phases = snapshot.spans.iter().map(Phase::from_span).collect();
-    ProfileResult { algorithm, inds, minimal_uccs, fds, phases, metrics: snapshot }
+    ProfileResult { algorithm, inds, minimal_uccs, fds, phases, metrics: snapshot, stats: None }
+}
+
+/// Bridges the dependency sets into `muds-stats` (which speaks plain
+/// index lists, not `ColumnSet`/`Ind`) and times the scan as its own
+/// "stats" phase. Must run *before* [`finish`] drains the registry so the
+/// `stats.*` counters land in the result's snapshot.
+pub(crate) fn table_stats(
+    table: &Table,
+    inds: &[Ind],
+    minimal_uccs: &[ColumnSet],
+) -> muds_stats::StatsProfile {
+    let span = muds_obs::span("stats");
+    let uccs: Vec<Vec<usize>> = minimal_uccs.iter().map(|u| u.iter().collect()).collect();
+    let pairs: Vec<(usize, usize)> = inds.iter().map(|i| (i.dependent, i.referenced)).collect();
+    let profile = muds_stats::compute_stats(table, &uccs, &pairs);
+    span.stop();
+    profile
 }
 
 /// Runs `algorithm` on a parsed table. Input is assumed duplicate-free
 /// (§3); see [`Table::dedup_rows`].
 pub fn profile(table: &Table, algorithm: Algorithm, config: &ProfilerConfig) -> ProfileResult {
     let (metrics, _guard) = ensure_ambient();
-    match algorithm {
+    let (inds, minimal_uccs, fds) = match algorithm {
         Algorithm::Muds => {
             let mut muds_cfg = config.muds.clone();
             muds_cfg.seed = config.seed;
             let r = muds(table, &muds_cfg);
-            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
+            (r.inds, r.minimal_uccs, r.fds)
         }
         Algorithm::HolisticFun => {
             let r = holistic_fun(table);
-            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
+            (r.inds, r.minimal_uccs, r.fds)
         }
         Algorithm::Baseline => {
             let r = baseline(table, config.seed);
-            finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics)
+            (r.inds, r.minimal_uccs, r.fds)
         }
         Algorithm::Tane => {
             // TANE discovers no INDs itself; like the baseline, the IND
@@ -209,9 +234,13 @@ pub fn profile(table: &Table, algorithm: Algorithm, config: &ProfilerConfig) -> 
             let mut cache = muds_pli::PliCache::new(table);
             let r = muds_fd::tane(&mut cache);
             span.stop();
-            finish(algorithm, inds, r.minimal_uccs, r.fds, &metrics)
+            (inds, r.minimal_uccs, r.fds)
         }
-    }
+    };
+    let stats = config.stats.then(|| table_stats(table, &inds, &minimal_uccs));
+    let mut result = finish(algorithm, inds, minimal_uccs, fds, &metrics);
+    result.stats = stats;
+    result
 }
 
 /// Runs `algorithm` on CSV text. Holistic algorithms parse once (shared
@@ -228,7 +257,18 @@ pub fn profile_csv(
         Algorithm::Baseline => {
             let (metrics, _guard) = ensure_ambient();
             let r = baseline_csv(name, csv, options, config.seed);
-            Ok(finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics))
+            // The baseline has no shared scan to piggyback on, so the
+            // stats layer pays an extra parse — faithfully mirroring the
+            // paper's cost model for non-holistic execution.
+            let stats = if config.stats {
+                let table = table_from_csv(name, csv, options)?;
+                Some(table_stats(&table, &r.inds, &r.minimal_uccs))
+            } else {
+                None
+            };
+            let mut result = finish(algorithm, r.inds, r.minimal_uccs, r.fds, &metrics);
+            result.stats = stats;
+            Ok(result)
         }
         _ => {
             // Holistic algorithms and TANE: one parse, timed as a phase.
@@ -360,6 +400,31 @@ mod tests {
         let mut other = ProfilerConfig::default();
         other.muds.completion_sweep = false;
         assert_ne!(base.cache_key(), other.cache_key());
+        // The stats knob changes the result document, so it must enter the
+        // cache key (a stats-on response served from a stats-off entry
+        // would silently drop the column profiles).
+        let other = ProfilerConfig { stats: true, ..ProfilerConfig::default() };
+        assert_ne!(base.cache_key(), other.cache_key());
+    }
+
+    #[test]
+    fn stats_attach_only_when_requested() {
+        let t = sample();
+        let off = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        assert!(off.stats.is_none());
+        let cfg = ProfilerConfig { stats: true, ..ProfilerConfig::default() };
+        for &alg in &Algorithm::ALL {
+            let r = profile(&t, alg, &cfg);
+            let stats = r.stats.expect("stats requested");
+            assert_eq!(stats.columns.len(), 4);
+            // id and cpy are null-free unary keys → identifier candidates.
+            assert!(stats.identifiers.iter().any(|i| i.columns == [0]));
+            // id ↔ cpy INDs over unary keys → FK candidates both ways.
+            assert!(!stats.foreign_keys.is_empty(), "{}", alg.name());
+            // The scan is metered and timed as its own phase.
+            assert!(r.metrics.counter("stats.columns_profiled") >= 4);
+            assert!(r.phases.iter().any(|p| p.name == "stats"), "{}", alg.name());
+        }
     }
 
     #[test]

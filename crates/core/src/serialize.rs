@@ -20,6 +20,14 @@
 //! }
 //! ```
 //!
+//! When the run was configured with `stats = true` the document also
+//! carries a schema-versioned `column_profiles` section (per-column
+//! statistics, value formats, semantic types, quality scores) and a
+//! `relationships` section (identifier candidates from minimal UCCs, FK
+//! candidates from unary INDs). Both round-trip: every `f64` is written
+//! with Rust's shortest-roundtrip formatting, which the parser's
+//! `str::parse::<f64>` recovers bit-exactly.
+//!
 //! [`profile_from_json`] parses the document back into a
 //! [`ProfilePayload`]; `metrics` is emission-only (counters are an
 //! observability sidecar, not part of the dependency payload contract).
@@ -27,6 +35,10 @@
 use muds_fd::FdSet;
 use muds_ind::Ind;
 use muds_lattice::ColumnSet;
+use muds_stats::{
+    ColumnStats, FkCandidate, IdentifierCandidate, NumericStats, SemanticType, StatsProfile,
+    ValueFormat, STATS_SCHEMA_VERSION,
+};
 
 use crate::json::{parse_json, JsonValue};
 use crate::profiler::{Algorithm, ProfileResult};
@@ -34,7 +46,7 @@ use crate::profiler::{Algorithm, ProfileResult};
 /// The dependency payload of one profiling run — everything a downstream
 /// consumer of discovered metadata needs, detached from timings and
 /// counters. This is the unit the round-trip invariant compares.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProfilePayload {
     /// Dataset identifier (registry name or table name).
     pub dataset: String,
@@ -48,6 +60,9 @@ pub struct ProfilePayload {
     pub uccs: Vec<ColumnSet>,
     /// Minimal FDs.
     pub fds: FdSet,
+    /// Single-scan column statistics and dependency classifications, when
+    /// the run was configured with `stats = true`.
+    pub stats: Option<StatsProfile>,
 }
 
 impl ProfilePayload {
@@ -64,6 +79,7 @@ impl ProfilePayload {
             inds,
             uccs,
             fds: result.fds.clone(),
+            stats: result.stats.clone(),
         }
     }
 }
@@ -79,6 +95,116 @@ fn write_column_set(out: &mut String, set: &ColumnSet) {
         out.push_str(&col.to_string());
     }
     out.push(']');
+}
+
+/// Shortest-roundtrip `f64` formatting: `str::parse::<f64>` on the output
+/// recovers the exact bits, which is what the fuzz round-trip invariant
+/// compares. Stats are NaN/∞-free by construction, so the output is
+/// always valid JSON.
+fn write_f64(out: &mut String, v: f64) {
+    debug_assert!(v.is_finite(), "stats payloads are finite by construction");
+    out.push_str(&format!("{v}"));
+}
+
+fn write_numeric_stats(out: &mut String, n: &NumericStats) {
+    for (i, (key, value)) in [
+        ("min", n.min),
+        ("max", n.max),
+        ("mean", n.mean),
+        ("variance", n.variance),
+        ("q25", n.q25),
+        ("median", n.median),
+        ("q75", n.q75),
+    ]
+    .iter()
+    .enumerate()
+    {
+        out.push(if i == 0 { '{' } else { ',' });
+        out.push_str(&format!("\"{key}\":"));
+        write_f64(out, *value);
+    }
+    out.push('}');
+}
+
+fn write_column_stats(out: &mut String, c: &ColumnStats) {
+    out.push_str(&format!(
+        "{{\"column\":{},\"rows\":{},\"nulls\":{},\"distinct\":{}",
+        c.column, c.rows, c.nulls, c.distinct
+    ));
+    out.push_str(",\"null_fraction\":");
+    write_f64(out, c.null_fraction);
+    out.push_str(",\"distinct_fraction\":");
+    write_f64(out, c.distinct_fraction);
+    out.push_str(",\"entropy\":");
+    write_f64(out, c.entropy);
+    out.push_str(",\"min\":");
+    match &c.min {
+        Some(v) => write_string(out, v),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"max\":");
+    match &c.max {
+        Some(v) => write_string(out, v),
+        None => out.push_str("null"),
+    }
+    out.push_str(&format!(",\"min_length\":{},\"max_length\":{}", c.min_length, c.max_length));
+    out.push_str(",\"avg_length\":");
+    write_f64(out, c.avg_length);
+    out.push_str(&format!(",\"format\":\"{}\"", c.format.name()));
+    out.push_str(",\"format_consistency\":");
+    write_f64(out, c.format_consistency);
+    out.push_str(&format!(",\"semantic_type\":\"{}\"", c.semantic_type.name()));
+    out.push_str(",\"quality\":");
+    write_f64(out, c.quality);
+    out.push_str(",\"numeric\":");
+    match &c.numeric {
+        Some(n) => write_numeric_stats(out, n),
+        None => out.push_str("null"),
+    }
+    out.push('}');
+}
+
+/// Appends the `column_profiles` and `relationships` sections (leading
+/// comma included — called between the `fds` array and `metrics`).
+fn write_stats_sections(out: &mut String, stats: &StatsProfile) {
+    out.push_str(&format!(
+        ",\"column_profiles\":{{\"schema\":{STATS_SCHEMA_VERSION},\"columns\":["
+    ));
+    for (i, c) in stats.columns.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_column_stats(out, c);
+    }
+    out.push_str("]},\"relationships\":{\"identifiers\":[");
+    for (i, ident) in stats.identifiers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("{\"columns\":[");
+        for (j, col) in ident.columns.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&col.to_string());
+        }
+        out.push_str(&format!("],\"null_free\":{},\"score\":", ident.null_free));
+        write_f64(out, ident.score);
+        out.push('}');
+    }
+    out.push_str("],\"foreign_keys\":[");
+    for (i, fk) in stats.foreign_keys.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"dependent\":{},\"referenced\":{},\"coverage\":",
+            fk.dependent, fk.referenced
+        ));
+        write_f64(out, fk.coverage);
+        out.push('}');
+    }
+    out.push_str("]}");
 }
 
 /// Serializes the dependency payload (sorted, canonical) plus the result's
@@ -123,7 +249,11 @@ pub fn profile_to_json(result: &ProfileResult, dataset: &str, columns: &[&str]) 
         write_column_set(&mut out, &fd.lhs);
         out.push_str(&format!(",\"rhs\":{}}}", fd.rhs));
     }
-    out.push_str("],\"metrics\":");
+    out.push(']');
+    if let Some(stats) = &payload.stats {
+        write_stats_sections(&mut out, stats);
+    }
+    out.push_str(",\"metrics\":");
     out.push_str(&result.metrics.to_json());
     out.push('}');
     out
@@ -140,6 +270,139 @@ fn column_set_from_json(value: &JsonValue, what: &str) -> Result<ColumnSet, Stri
         set.insert(col);
     }
     Ok(set)
+}
+
+fn stats_f64(entry: &JsonValue, key: &str) -> Result<f64, String> {
+    entry.get(key).and_then(JsonValue::as_f64).ok_or_else(|| format!("stats missing \"{key}\""))
+}
+
+fn stats_u64(entry: &JsonValue, key: &str) -> Result<u64, String> {
+    entry.get(key).and_then(JsonValue::as_u64).ok_or_else(|| format!("stats missing \"{key}\""))
+}
+
+fn stats_usize(entry: &JsonValue, key: &str) -> Result<usize, String> {
+    entry.get(key).and_then(JsonValue::as_usize).ok_or_else(|| format!("stats missing \"{key}\""))
+}
+
+fn optional_string(entry: &JsonValue, key: &str) -> Result<Option<String>, String> {
+    match entry.get(key) {
+        None | Some(JsonValue::Null) => Ok(None),
+        Some(v) => {
+            v.as_str().map(|s| Some(s.to_string())).ok_or(format!("\"{key}\" must be a string"))
+        }
+    }
+}
+
+fn numeric_stats_from_json(entry: &JsonValue) -> Result<NumericStats, String> {
+    Ok(NumericStats {
+        min: stats_f64(entry, "min")?,
+        max: stats_f64(entry, "max")?,
+        mean: stats_f64(entry, "mean")?,
+        variance: stats_f64(entry, "variance")?,
+        q25: stats_f64(entry, "q25")?,
+        median: stats_f64(entry, "median")?,
+        q75: stats_f64(entry, "q75")?,
+    })
+}
+
+fn column_stats_from_json(entry: &JsonValue) -> Result<ColumnStats, String> {
+    let format_name =
+        entry.get("format").and_then(|v| v.as_str()).ok_or("stats missing \"format\"")?;
+    let format = ValueFormat::from_name(format_name)
+        .ok_or_else(|| format!("unknown value format {format_name:?}"))?;
+    let semantic_name = entry
+        .get("semantic_type")
+        .and_then(|v| v.as_str())
+        .ok_or("stats missing \"semantic_type\"")?;
+    let semantic_type = SemanticType::from_name(semantic_name)
+        .ok_or_else(|| format!("unknown semantic type {semantic_name:?}"))?;
+    let numeric = match entry.get("numeric") {
+        None | Some(JsonValue::Null) => None,
+        Some(n) => Some(numeric_stats_from_json(n)?),
+    };
+    Ok(ColumnStats {
+        column: stats_usize(entry, "column")?,
+        rows: stats_u64(entry, "rows")?,
+        nulls: stats_u64(entry, "nulls")?,
+        distinct: stats_u64(entry, "distinct")?,
+        null_fraction: stats_f64(entry, "null_fraction")?,
+        distinct_fraction: stats_f64(entry, "distinct_fraction")?,
+        entropy: stats_f64(entry, "entropy")?,
+        min: optional_string(entry, "min")?,
+        max: optional_string(entry, "max")?,
+        min_length: stats_u64(entry, "min_length")?,
+        max_length: stats_u64(entry, "max_length")?,
+        avg_length: stats_f64(entry, "avg_length")?,
+        format,
+        format_consistency: stats_f64(entry, "format_consistency")?,
+        semantic_type,
+        quality: stats_f64(entry, "quality")?,
+        numeric,
+    })
+}
+
+/// Parses the optional `column_profiles` + `relationships` sections. A
+/// document from a stats-off run simply lacks them (`Ok(None)`); a
+/// document that has one without the other is malformed.
+fn stats_from_json(doc: &JsonValue) -> Result<Option<StatsProfile>, String> {
+    let profiles = match doc.get("column_profiles") {
+        None => {
+            if doc.get("relationships").is_some() {
+                return Err("\"relationships\" without \"column_profiles\"".to_string());
+            }
+            return Ok(None);
+        }
+        Some(p) => p,
+    };
+    let schema = stats_u64(profiles, "schema")?;
+    if schema != STATS_SCHEMA_VERSION {
+        return Err(format!("unsupported column_profiles schema {schema}"));
+    }
+    let mut columns = Vec::new();
+    for entry in profiles
+        .get("columns")
+        .and_then(|v| v.as_array())
+        .ok_or("column_profiles missing \"columns\" array")?
+    {
+        columns.push(column_stats_from_json(entry)?);
+    }
+    let rel = doc.get("relationships").ok_or("\"column_profiles\" without \"relationships\"")?;
+    let mut identifiers = Vec::new();
+    for entry in rel
+        .get("identifiers")
+        .and_then(|v| v.as_array())
+        .ok_or("relationships missing \"identifiers\" array")?
+    {
+        let cols = entry
+            .get("columns")
+            .and_then(|v| v.as_array())
+            .ok_or("identifier missing \"columns\"")?
+            .iter()
+            .map(|c| c.as_usize().ok_or("identifier columns must be indices"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let null_free = entry
+            .get("null_free")
+            .and_then(JsonValue::as_bool)
+            .ok_or("identifier missing \"null_free\"")?;
+        identifiers.push(IdentifierCandidate {
+            columns: cols,
+            null_free,
+            score: stats_f64(entry, "score")?,
+        });
+    }
+    let mut foreign_keys = Vec::new();
+    for entry in rel
+        .get("foreign_keys")
+        .and_then(|v| v.as_array())
+        .ok_or("relationships missing \"foreign_keys\" array")?
+    {
+        foreign_keys.push(FkCandidate {
+            dependent: stats_usize(entry, "dependent")?,
+            referenced: stats_usize(entry, "referenced")?,
+            coverage: stats_f64(entry, "coverage")?,
+        });
+    }
+    Ok(Some(StatsProfile { columns, identifiers, foreign_keys }))
 }
 
 /// Parses a wire document produced by [`profile_to_json`] back into its
@@ -182,7 +445,8 @@ pub fn profile_from_json(json: &str) -> Result<ProfilePayload, String> {
         let rhs = entry.get("rhs").and_then(|v| v.as_usize()).ok_or("FD missing \"rhs\"")?;
         fds.insert(lhs, rhs);
     }
-    Ok(ProfilePayload { dataset, algorithm, columns, inds, uccs, fds })
+    let stats = stats_from_json(&doc)?;
+    Ok(ProfilePayload { dataset, algorithm, columns, inds, uccs, fds, stats })
 }
 
 #[cfg(test)]
@@ -258,6 +522,50 @@ mod tests {
         assert!(profile_from_json(bad_ucc).unwrap_err().contains("out of range"));
         let bad_ind = r#"{"dataset":"x","algorithm":"MUDS","columns":[],"inds":[{"dependent":0}],"uccs":[],"fds":[]}"#;
         assert!(profile_from_json(bad_ind).unwrap_err().contains("referenced"));
+    }
+
+    #[test]
+    fn stats_sections_round_trip_bit_exactly() {
+        let t = sample();
+        let cfg = ProfilerConfig { stats: true, ..ProfilerConfig::default() };
+        for &alg in &Algorithm::ALL {
+            let result = profile(&t, alg, &cfg);
+            assert!(result.stats.is_some(), "{alg:?} must attach stats");
+            let names = t.column_names();
+            let json = profile_to_json(&result, t.name(), &names);
+            assert!(json.contains("\"column_profiles\":{\"schema\":1"));
+            assert!(json.contains("\"relationships\":{\"identifiers\""));
+            let parsed = profile_from_json(&json).expect("stats document parses back");
+            assert_eq!(parsed, ProfilePayload::from_result(&result, t.name(), &names));
+            let stats = parsed.stats.unwrap();
+            assert_eq!(stats.columns.len(), 4);
+            assert!(!stats.identifiers.is_empty(), "id and cpy are unary keys");
+            assert!(!stats.foreign_keys.is_empty(), "id ⊆ cpy gives an FK candidate");
+        }
+    }
+
+    #[test]
+    fn stats_off_documents_omit_the_sections_and_still_parse() {
+        let t = sample();
+        let result = profile(&t, Algorithm::Muds, &ProfilerConfig::default());
+        let names = t.column_names();
+        let json = profile_to_json(&result, t.name(), &names);
+        assert!(!json.contains("column_profiles"));
+        assert_eq!(profile_from_json(&json).unwrap().stats, None);
+    }
+
+    #[test]
+    fn malformed_stats_sections_are_rejected() {
+        let base = r#""dataset":"x","algorithm":"MUDS","columns":[],"inds":[],"uccs":[],"fds":[]"#;
+        let orphan = format!("{{{base},\"relationships\":{{}}}}");
+        assert!(profile_from_json(&orphan).unwrap_err().contains("without"));
+        let bad_schema =
+            format!("{{{base},\"column_profiles\":{{\"schema\":999,\"columns\":[]}}}}");
+        assert!(profile_from_json(&bad_schema).unwrap_err().contains("schema"));
+        let bad_format = format!(
+            "{{{base},\"column_profiles\":{{\"schema\":1,\"columns\":[{{\"format\":\"nope\"}}]}},\"relationships\":{{\"identifiers\":[],\"foreign_keys\":[]}}}}"
+        );
+        assert!(profile_from_json(&bad_format).unwrap_err().contains("unknown value format"));
     }
 
     #[test]

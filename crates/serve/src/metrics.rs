@@ -311,8 +311,29 @@ mod tests {
         assert!(text.contains("muds_job_latency_us_sum 1000\n"));
         assert!(text.contains("muds_job_latency_us_count 1\n"));
         assert!(text.contains("muds_trace_ids_generated_total 1\n"));
-        // Every family appears exactly once.
-        let families = text.lines().filter(|l| l.starts_with("# TYPE")).count();
-        assert_eq!(families, 29);
+        // The two exporters must expose the same instrument set: every
+        // JSON key maps to exactly one Prometheus family (counters gain a
+        // `_total` suffix). Deriving the expected set from `to_json()`
+        // instead of hardcoding a count means adding an instrument to only
+        // one exporter fails here, while adding it to both passes without
+        // touching this test.
+        let doc = parse_json(&m.to_json()).expect("metrics document parses");
+        let json_keys = doc.as_object().expect("metrics document is an object");
+        let families: Vec<&str> = text
+            .lines()
+            .filter(|l| l.starts_with("# TYPE"))
+            .map(|l| l.split_whitespace().nth(2).unwrap())
+            .collect();
+        assert_eq!(families.len(), json_keys.len(), "exporters expose different instrument sets");
+        let mut seen = std::collections::BTreeSet::new();
+        for family in &families {
+            assert!(seen.insert(*family), "family {family:?} appears more than once");
+            let base = family.strip_prefix("muds_").expect("families are muds_-prefixed");
+            let key = base.strip_suffix("_total").unwrap_or(base);
+            assert!(
+                json_keys.contains_key(key),
+                "Prometheus family {family:?} has no JSON counterpart {key:?}"
+            );
+        }
     }
 }

@@ -600,6 +600,11 @@ fn profile_endpoint(state: &ServerState, request: &Request, trace: &str) -> Resp
     if let Some(seed) = doc.get("seed").and_then(JsonValue::as_u64) {
         config.seed = seed;
     }
+    // Daemon responses carry the single-scan column profiles by default
+    // (`"stats": false` opts out); the library/CLI default stays off. The
+    // flag is part of the cache key, so both variants cache independently
+    // and replay byte-identically across restarts.
+    config.stats = doc.get("stats").and_then(JsonValue::as_bool).unwrap_or(true);
     let key = CacheKey { fingerprint, algorithm, config: config.cache_key() };
 
     match state.cache.begin(&key) {

@@ -1,0 +1,303 @@
+//! Deterministic value-format detection and semantic typing.
+//!
+//! A small hand-rolled matcher — no regex crate — classifies each distinct
+//! value into one [`ValueFormat`]. Matching is byte-structural and total:
+//! every string lands in exactly one format, hostile unicode included
+//! (multi-byte sequences simply fail the ASCII-structural matchers and
+//! classify as [`ValueFormat::Text`]). Match order is fixed (UUID, date,
+//! email, bool, integer, decimal, text) so classification is independent
+//! of insertion order and identical across runs.
+
+/// Syntactic shape of a value. Detected per distinct dictionary entry and
+/// aggregated count-weighted per column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ValueFormat {
+    /// Canonical hyphenated UUID (8-4-4-4-12 hex digits).
+    Uuid,
+    /// ISO calendar date `YYYY-MM-DD` with month/day range checks.
+    Date,
+    /// `local@domain.tld` with a dotted domain and no whitespace.
+    Email,
+    /// `true` / `false`, case-insensitive.
+    Bool,
+    /// Optional sign followed by ASCII digits.
+    Integer,
+    /// Optional sign, digits, one `.`, digits.
+    Decimal,
+    /// Everything else.
+    Text,
+    /// The column has no non-NULL values at all.
+    Empty,
+}
+
+impl ValueFormat {
+    /// Detection order and the index into per-column format tallies.
+    pub const ALL: [ValueFormat; 8] = [
+        ValueFormat::Uuid,
+        ValueFormat::Date,
+        ValueFormat::Email,
+        ValueFormat::Bool,
+        ValueFormat::Integer,
+        ValueFormat::Decimal,
+        ValueFormat::Text,
+        ValueFormat::Empty,
+    ];
+
+    /// Wire name (lowercase, stable).
+    pub fn name(&self) -> &'static str {
+        match self {
+            ValueFormat::Uuid => "uuid",
+            ValueFormat::Date => "date",
+            ValueFormat::Email => "email",
+            ValueFormat::Bool => "bool",
+            ValueFormat::Integer => "integer",
+            ValueFormat::Decimal => "decimal",
+            ValueFormat::Text => "text",
+            ValueFormat::Empty => "empty",
+        }
+    }
+
+    /// Inverse of [`ValueFormat::name`] for payload parsing.
+    pub fn from_name(name: &str) -> Option<ValueFormat> {
+        ValueFormat::ALL.into_iter().find(|f| f.name() == name)
+    }
+
+    /// Index into fixed-size tally arrays (`ValueFormat::ALL[f.index()]
+    /// == f`); also used by oracle re-implementations in `muds-check`.
+    pub fn index(&self) -> usize {
+        match self {
+            ValueFormat::Uuid => 0,
+            ValueFormat::Date => 1,
+            ValueFormat::Email => 2,
+            ValueFormat::Bool => 3,
+            ValueFormat::Integer => 4,
+            ValueFormat::Decimal => 5,
+            ValueFormat::Text => 6,
+            ValueFormat::Empty => 7,
+        }
+    }
+}
+
+/// What a column *means*, derived from its dominant format, its value
+/// distribution, and (for identifiers) the discovered minimal UCCs. The
+/// precedence table lives in DESIGN.md §15.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SemanticType {
+    /// Null-free single-column key, or UUID-shaped values.
+    Identifier,
+    /// Boolean-shaped values.
+    Flag,
+    /// Calendar dates.
+    Timestamp,
+    /// Email addresses.
+    Contact,
+    /// Numeric measurements (integer or decimal).
+    Quantity,
+    /// Low-cardinality labels (distinct fraction ≤ ½ and ≤ 64 distinct).
+    Category,
+    /// Free text.
+    Text,
+    /// No non-NULL values to type.
+    Unknown,
+}
+
+impl SemanticType {
+    /// Wire name (lowercase, stable).
+    pub fn name(&self) -> &'static str {
+        match self {
+            SemanticType::Identifier => "identifier",
+            SemanticType::Flag => "flag",
+            SemanticType::Timestamp => "timestamp",
+            SemanticType::Contact => "contact",
+            SemanticType::Quantity => "quantity",
+            SemanticType::Category => "category",
+            SemanticType::Text => "text",
+            SemanticType::Unknown => "unknown",
+        }
+    }
+
+    /// Inverse of [`SemanticType::name`] for payload parsing.
+    pub fn from_name(name: &str) -> Option<SemanticType> {
+        [
+            SemanticType::Identifier,
+            SemanticType::Flag,
+            SemanticType::Timestamp,
+            SemanticType::Contact,
+            SemanticType::Quantity,
+            SemanticType::Category,
+            SemanticType::Text,
+            SemanticType::Unknown,
+        ]
+        .into_iter()
+        .find(|s| s.name() == name)
+    }
+}
+
+/// Classifies one non-NULL value. Total and deterministic.
+pub fn detect_format(value: &str) -> ValueFormat {
+    if is_uuid(value) {
+        ValueFormat::Uuid
+    } else if is_date(value) {
+        ValueFormat::Date
+    } else if is_email(value) {
+        ValueFormat::Email
+    } else if value.eq_ignore_ascii_case("true") || value.eq_ignore_ascii_case("false") {
+        ValueFormat::Bool
+    } else if is_integer(value) {
+        ValueFormat::Integer
+    } else if is_decimal(value) {
+        ValueFormat::Decimal
+    } else {
+        ValueFormat::Text
+    }
+}
+
+fn is_uuid(v: &str) -> bool {
+    let b = v.as_bytes();
+    if b.len() != 36 {
+        return false;
+    }
+    for (i, &c) in b.iter().enumerate() {
+        match i {
+            8 | 13 | 18 | 23 => {
+                if c != b'-' {
+                    return false;
+                }
+            }
+            _ => {
+                if !c.is_ascii_hexdigit() {
+                    return false;
+                }
+            }
+        }
+    }
+    true
+}
+
+fn is_date(v: &str) -> bool {
+    let b = v.as_bytes();
+    // lint:allow(panic): every index below is guarded by the len() == 10 check.
+    if b.len() != 10 || b[4] != b'-' || b[7] != b'-' {
+        return false;
+    }
+    if !b[..4].iter().chain(&b[5..7]).chain(&b[8..10]).all(u8::is_ascii_digit) {
+        return false;
+    }
+    // lint:allow(panic): len() == 10 was established above.
+    let month = (b[5] - b'0') * 10 + (b[6] - b'0');
+    // lint:allow(panic): len() == 10 was established above.
+    let day = (b[8] - b'0') * 10 + (b[9] - b'0');
+    (1..=12).contains(&month) && (1..=31).contains(&day)
+}
+
+fn is_email(v: &str) -> bool {
+    if v.chars().any(char::is_whitespace) {
+        return false;
+    }
+    let Some((local, domain)) = v.split_once('@') else {
+        return false;
+    };
+    if local.is_empty() || domain.contains('@') {
+        return false;
+    }
+    // Domain needs an interior dot: `a.b`, not `.b`, `a.`, or `a`.
+    match domain.split_once('.') {
+        Some((head, tail)) => !head.is_empty() && !tail.is_empty() && !tail.ends_with('.'),
+        None => false,
+    }
+}
+
+fn is_integer(v: &str) -> bool {
+    let digits = v.strip_prefix(['+', '-']).unwrap_or(v);
+    !digits.is_empty() && digits.bytes().all(|c| c.is_ascii_digit())
+}
+
+fn is_decimal(v: &str) -> bool {
+    let body = v.strip_prefix(['+', '-']).unwrap_or(v);
+    match body.split_once('.') {
+        Some((int, frac)) => {
+            !int.is_empty()
+                && !frac.is_empty()
+                && int.bytes().all(|c| c.is_ascii_digit())
+                && frac.bytes().all(|c| c.is_ascii_digit())
+        }
+        None => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats_match_their_shapes() {
+        assert_eq!(detect_format("550e8400-e29b-41d4-a716-446655440000"), ValueFormat::Uuid);
+        assert_eq!(detect_format("2016-03-15"), ValueFormat::Date);
+        assert_eq!(detect_format("ada@example.org"), ValueFormat::Email);
+        assert_eq!(detect_format("true"), ValueFormat::Bool);
+        assert_eq!(detect_format("FALSE"), ValueFormat::Bool);
+        assert_eq!(detect_format("-42"), ValueFormat::Integer);
+        assert_eq!(detect_format("+7"), ValueFormat::Integer);
+        assert_eq!(detect_format("3.14"), ValueFormat::Decimal);
+        assert_eq!(detect_format("-0.5"), ValueFormat::Decimal);
+        assert_eq!(detect_format("hello world"), ValueFormat::Text);
+    }
+
+    #[test]
+    fn near_misses_fall_through_to_text() {
+        // One byte short of a UUID; bad month; bare `@`; trailing dot
+        // domain; double dot local is still an email (liberal matcher).
+        assert_eq!(detect_format("550e8400-e29b-41d4-a716-44665544000"), ValueFormat::Text);
+        assert_eq!(detect_format("2016-13-01"), ValueFormat::Text);
+        assert_eq!(detect_format("2016-03-15T10:00:00"), ValueFormat::Text);
+        assert_eq!(detect_format("@example.org"), ValueFormat::Text);
+        assert_eq!(detect_format("a@b"), ValueFormat::Text);
+        assert_eq!(detect_format("a@b."), ValueFormat::Text);
+        assert_eq!(detect_format("a b@c.d"), ValueFormat::Text);
+        assert_eq!(detect_format("1."), ValueFormat::Text);
+        assert_eq!(detect_format(".5"), ValueFormat::Text);
+        assert_eq!(detect_format("1e99"), ValueFormat::Text, "no exponent form");
+        assert_eq!(detect_format("NaN"), ValueFormat::Text);
+        assert_eq!(detect_format("-"), ValueFormat::Text);
+    }
+
+    #[test]
+    fn hostile_unicode_classifies_without_panicking() {
+        for v in [
+            "🦀🦀🦀",
+            "é",
+            "\u{202e}123",           // RTL override then digits
+            "１２３",                // fullwidth digits are not ASCII digits
+            "a\u{0301}@b\u{0301}.c", // combining marks inside an email shape
+            "\u{0000}",
+            "𝟙𝟚.𝟛𝟜",
+        ] {
+            let f = detect_format(v);
+            assert!(
+                f == ValueFormat::Text || f == ValueFormat::Email,
+                "unexpected {f:?} for {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn names_round_trip() {
+        for f in ValueFormat::ALL {
+            assert_eq!(ValueFormat::from_name(f.name()), Some(f));
+        }
+        for s in [
+            SemanticType::Identifier,
+            SemanticType::Flag,
+            SemanticType::Timestamp,
+            SemanticType::Contact,
+            SemanticType::Quantity,
+            SemanticType::Category,
+            SemanticType::Text,
+            SemanticType::Unknown,
+        ] {
+            assert_eq!(SemanticType::from_name(s.name()), Some(s));
+        }
+        assert_eq!(ValueFormat::from_name("nope"), None);
+        assert_eq!(SemanticType::from_name("nope"), None);
+    }
+}

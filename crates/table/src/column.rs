@@ -146,6 +146,18 @@ impl Column {
         let code = self.codes[row];
         self.dictionary.get(code as usize).map(|s| s.as_str())
     }
+
+    /// Occurrences per code over the whole code domain: `counts[c]` is the
+    /// number of rows carrying code `c`, with `counts[null_code]` the NULL
+    /// count. One pass over the codes — the histogram the column-statistics
+    /// layer derives entropy, duplication, and count-weighted moments from.
+    pub fn value_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.code_domain()];
+        for &code in &self.codes {
+            counts[code as usize] += 1;
+        }
+        counts
+    }
 }
 
 #[cfg(test)]
@@ -200,5 +212,14 @@ mod tests {
         assert_eq!(c.value(0), Some("m"));
         assert_eq!(c.value(1), None);
         assert_eq!(c.value(2), Some("k"));
+    }
+
+    #[test]
+    fn value_counts_histogram_covers_the_code_domain() {
+        let c = Column::from_values("c", &["b", "a", "b", "", "b"]);
+        // a=0 (1 row), b=1 (3 rows), NULL=2 (1 row).
+        assert_eq!(c.value_counts(), vec![1, 3, 1]);
+        let empty = Column::from_values("c", &[]);
+        assert_eq!(empty.value_counts(), vec![0], "empty column still has the NULL slot");
     }
 }

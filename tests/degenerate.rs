@@ -124,6 +124,131 @@ fn constant_and_key_mix_is_exact() {
     assert!(!fds.iter().any(|fd| fd.rhs == 0), "nothing determines the key");
 }
 
+// --- degenerate column statistics ----------------------------------------
+//
+// The single-scan stats layer (DESIGN.md §15) must produce finite, sane
+// numbers on exactly the shapes that break naive aggregation: nothing to
+// average, nothing to type, nothing distinct. No NaN may ever reach the
+// payload — `write_f64` debug-asserts finiteness on the wire.
+
+/// Profiles with stats enabled and returns the stats section.
+fn stats_of(table: &Table) -> muds_core::StatsProfile {
+    let cfg = ProfilerConfig { stats: true, ..ProfilerConfig::default() };
+    let r = profile(table, Algorithm::Muds, &cfg);
+    r.stats.expect("stats requested")
+}
+
+fn assert_finite(stats: &muds_core::StatsProfile) {
+    for c in &stats.columns {
+        for (what, v) in [
+            ("null_fraction", c.null_fraction),
+            ("distinct_fraction", c.distinct_fraction),
+            ("entropy", c.entropy),
+            ("avg_length", c.avg_length),
+            ("format_consistency", c.format_consistency),
+            ("quality", c.quality),
+        ] {
+            assert!(v.is_finite(), "column {}: {what} = {v}", c.column);
+        }
+        if let Some(n) = &c.numeric {
+            for (what, v) in [
+                ("min", n.min),
+                ("max", n.max),
+                ("mean", n.mean),
+                ("variance", n.variance),
+                ("q25", n.q25),
+                ("median", n.median),
+                ("q75", n.q75),
+            ] {
+                assert!(v.is_finite(), "column {}: numeric {what} = {v}", c.column);
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_row_stats_are_finite_and_empty_typed() {
+    let rows: &[Vec<&str>] = &[];
+    let table = Table::from_rows("empty", &["a", "b"], rows).unwrap();
+    let stats = stats_of(&table);
+    assert_finite(&stats);
+    assert_eq!(stats.columns.len(), 2);
+    for c in &stats.columns {
+        assert_eq!((c.rows, c.nulls, c.distinct), (0, 0, 0));
+        assert_eq!(c.null_fraction, 0.0, "no rows means nothing is null");
+        assert_eq!(c.entropy, 0.0);
+        assert_eq!(c.format.name(), "empty");
+        assert_eq!(c.semantic_type.name(), "unknown");
+        assert_eq!((c.min.as_deref(), c.max.as_deref()), (None, None));
+        assert!(c.numeric.is_none());
+    }
+    assert!(stats.foreign_keys.is_empty(), "no values, no inclusion evidence");
+}
+
+#[test]
+fn zero_column_stats_are_empty() {
+    let table = Table::from_rows("twocol", &["a", "b"], &[vec!["1", "2"], vec!["3", "4"]])
+        .unwrap()
+        .take_columns(0);
+    let stats = stats_of(&table);
+    assert!(stats.columns.is_empty());
+    assert!(stats.identifiers.is_empty());
+    assert!(stats.foreign_keys.is_empty());
+}
+
+#[test]
+fn all_null_stats_have_no_values_but_full_null_fraction() {
+    let table = Table::from_rows("nulls", &["a", "b"], &[vec!["", ""], vec!["", ""]]).unwrap();
+    let stats = stats_of(&table);
+    assert_finite(&stats);
+    for c in &stats.columns {
+        assert_eq!(c.rows, 2);
+        assert_eq!(c.nulls, 2);
+        assert_eq!(c.distinct, 0, "NULL is absence, not a distinct value");
+        assert_eq!(c.null_fraction, 1.0);
+        assert_eq!(c.distinct_fraction, 0.0);
+        assert_eq!(c.format.name(), "empty");
+        assert_eq!(c.semantic_type.name(), "unknown");
+        assert!(c.numeric.is_none(), "no non-NULL values to aggregate");
+        assert!(c.quality < 0.5, "an all-NULL column scores poorly: {}", c.quality);
+    }
+}
+
+#[test]
+fn single_cell_stats_have_zero_variance_and_no_nan() {
+    let table = Table::from_rows("cell", &["a"], &[vec!["7"]]).unwrap();
+    let stats = stats_of(&table);
+    assert_finite(&stats);
+    let c = &stats.columns[0];
+    assert_eq!((c.rows, c.nulls, c.distinct), (1, 0, 1));
+    assert_eq!(c.entropy, 0.0, "a constant column carries no information");
+    assert_eq!(c.format.name(), "integer");
+    let n = c.numeric.as_ref().expect("a numeric single cell aggregates");
+    assert_eq!((n.min, n.max, n.mean, n.variance), (7.0, 7.0, 7.0, 0.0));
+    assert_eq!((n.q25, n.median, n.q75), (7.0, 7.0, 7.0));
+}
+
+#[test]
+fn hostile_unicode_survives_format_detection() {
+    // Multi-byte, bidi-override, zero-width, and combining-mark values must
+    // classify deterministically (as text) without panicking anywhere in
+    // the scan, and length stats count bytes consistently.
+    let table = Table::from_rows(
+        "hostile",
+        &["u"],
+        &[vec!["🦀🦀🦀"], vec!["\u{202e}123"], vec!["１２３"], vec!["a\u{0301}"], vec!["\u{200b}"]],
+    )
+    .unwrap();
+    let stats = stats_of(&table);
+    assert_finite(&stats);
+    let c = &stats.columns[0];
+    assert_eq!(c.distinct, 5);
+    assert_eq!(c.format.name(), "text");
+    assert_eq!(c.format_consistency, 1.0, "every value classifies as text");
+    assert!(c.numeric.is_none());
+    assert!(c.min_length >= 1 && c.max_length >= c.min_length);
+}
+
 // --- degenerate deltas ---------------------------------------------------
 //
 // The incremental path must handle the delta shapes that do the least (and
