@@ -334,6 +334,8 @@ fn run_serve(spec: &ScenarioSpec, opts: &RunOptions) -> Result<BenchReport, Stri
     // Everything below talks to the daemon; on any error, still shut the
     // server down before returning.
     let outcome = drive_roundtrips(spec, opts, addr, rows, columns, &csv);
+    // lint:allow(swallowed-result): the shutdown POST is a nudge; the
+    // request_shutdown() below is the authoritative stop signal.
     let _ = http_call(addr, "POST", "/shutdown", &[], b"");
     state.request_shutdown();
     let join = server_thread.join();

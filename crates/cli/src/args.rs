@@ -120,8 +120,9 @@ pub enum Command {
         rss_tolerance: Option<f64>,
     },
     /// Workspace static analysis (muds-lint); arguments pass through
-    /// to the lint runner (`--root`, `--format`, `--baseline`,
-    /// `--write-baseline`).
+    /// to the lint runner (`--root`, `--format human|json|sarif`,
+    /// `--baseline`, `--write-baseline`, `--update-baseline`,
+    /// `--lock-graph dot`).
     Lint { args: Vec<String> },
     /// Print usage.
     Help,
@@ -545,8 +546,8 @@ USAGE:
                  [--threads N] [--out DIR] [--repeat K]
                  [--check BASELINE_DIR] [--wall-tolerance F]
                  [--rss-tolerance F]
-  mudsprof lint [--root DIR] [--format human|json] [--baseline FILE]
-                [--write-baseline]
+  mudsprof lint [--root DIR] [--format human|json|sarif] [--baseline FILE]
+                [--write-baseline] [--update-baseline] [--lock-graph dot]
   mudsprof help
 
 OUTPUT:

@@ -63,6 +63,24 @@ pub fn compare(diagnostics: &[Diagnostic], baseline: &Baseline) -> Comparison {
     comparison
 }
 
+/// Tightens a baseline against current findings without ever widening it:
+/// each key keeps `min(baselined, current)` and keys with no findings left
+/// are dropped. Used by `--update-baseline`, which must never grandfather
+/// a new finding — growth still fails the run.
+pub fn shrink(baseline: &Baseline, diagnostics: &[Diagnostic]) -> Baseline {
+    let current = from_diagnostics(diagnostics);
+    let counts = baseline
+        .counts
+        .iter()
+        .filter_map(|(key, &allowed)| {
+            let now = current.counts.get(key).copied().unwrap_or(0);
+            let kept = allowed.min(now);
+            (kept > 0).then(|| (key.clone(), kept))
+        })
+        .collect();
+    Baseline { counts }
+}
+
 /// Builds a fresh baseline from the current findings.
 pub fn from_diagnostics(diagnostics: &[Diagnostic]) -> Baseline {
     let mut counts: BTreeMap<String, usize> = BTreeMap::new();
@@ -209,6 +227,28 @@ mod tests {
         // A rule/file pair absent from the baseline always fails.
         let fresh = [diag(Rule::L006, "c.rs", 3)];
         assert_eq!(compare(&fresh, &baseline).new_findings.len(), 1);
+    }
+
+    #[test]
+    fn shrink_tightens_but_never_widens() {
+        let baseline =
+            parse_json("{\"L002:a.rs\": 3, \"L004:b.rs\": 1, \"L006:c.rs\": 2}").expect("parse");
+        // a.rs is down to one finding, b.rs unchanged, c.rs fully fixed,
+        // and d.rs has a brand-new finding that must NOT be absorbed.
+        let now =
+            [diag(Rule::L002, "a.rs", 1), diag(Rule::L004, "b.rs", 9), diag(Rule::L010, "d.rs", 4)];
+        let shrunk = shrink(&baseline, &now);
+        assert_eq!(shrunk.counts.get("L002:a.rs"), Some(&1));
+        assert_eq!(shrunk.counts.get("L004:b.rs"), Some(&1));
+        assert!(!shrunk.counts.contains_key("L006:c.rs"));
+        assert!(!shrunk.counts.contains_key("L010:d.rs"));
+        // Deterministic output: same inputs, same bytes.
+        assert_eq!(to_json(&shrunk), to_json(&shrink(&baseline, &now)));
+        // After shrinking, the stale list is empty and the new finding fails.
+        let cmp = compare(&now, &shrunk);
+        assert!(cmp.stale.is_empty());
+        assert_eq!(cmp.new_findings.len(), 1);
+        assert_eq!(cmp.new_findings[0].file, "d.rs");
     }
 
     #[test]

@@ -1,0 +1,1102 @@
+//! Workspace call graph and the flow-aware rules built on it:
+//! L008 (lock-order cycles) and L009 (blocking in the reactor).
+//!
+//! Call resolution is conservative by name + arity: a call site targets
+//! every workspace function with the same name and parameter count,
+//! narrowed by receiver/qualifier type only when the type resolves — a
+//! `self.epoll.wait(…)` whose receiver is a known `Epoll` field never
+//! aliases a condvar, but an unresolved receiver keeps every candidate.
+//! Missing an edge hides a deadlock; a spurious edge costs one review,
+//! so ties break toward more edges.
+//!
+//! Lock identity is `Owner.field`: `lock(&self.shared.queue)` inside
+//! `impl Reactor` resolves through the struct-field type map
+//! (`Reactor.shared: Arc<HandlerShared>`) to `HandlerShared.queue`.
+//! Acquisitions whose identity cannot be resolved to a struct field (a
+//! local `Mutex`, a generic helper parameter) are skipped: an unnamed
+//! lock cannot participate in a reportable order.
+
+use crate::parser::{Event, Function, ParsedFile};
+use crate::rules::{Diagnostic, Rule};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// Knobs for the semantic pass.
+#[derive(Debug, Clone)]
+pub struct SemanticOptions {
+    /// Files (path suffixes) holding reactor event-loop code.
+    pub reactor_files: Vec<String>,
+    /// Function names in those files that are event-loop roots.
+    pub reactor_roots: Vec<String>,
+}
+
+impl Default for SemanticOptions {
+    fn default() -> Self {
+        SemanticOptions {
+            reactor_files: vec!["reactor.rs".to_string()],
+            reactor_roots: vec!["run".to_string(), "serve".to_string()],
+        }
+    }
+}
+
+/// Output of the semantic pass.
+#[derive(Debug, Default)]
+pub struct SemanticReport {
+    /// L008/L009 findings, sorted by (file, line, col).
+    pub diagnostics: Vec<Diagnostic>,
+    /// The full lock-acquisition graph in Graphviz DOT form.
+    pub lock_graph_dot: String,
+}
+
+/// Method names that block the calling thread outright.
+const BLOCKING_METHODS: [&str; 8] = [
+    "write_all",
+    "flush",
+    "read_to_end",
+    "read_to_string",
+    "read_exact",
+    "sync_all",
+    "sync_data",
+    "copy_to",
+];
+
+/// Free functions (typically `use std::fs::…`) that hit the filesystem.
+const BLOCKING_FREE: [&str; 7] = [
+    "create_dir_all",
+    "remove_file",
+    "remove_dir_all",
+    "read_dir",
+    "rename",
+    "canonicalize",
+    "sleep",
+];
+
+/// `File::…` / `OpenOptions::…` constructors that open file descriptors.
+const BLOCKING_FILE_FNS: [&str; 4] = ["open", "create", "create_new", "options"];
+
+struct FnNode<'a> {
+    file: &'a str,
+    func: &'a Function,
+    /// `Type::name` or `name` — for witness paths.
+    display: String,
+}
+
+/// One lock-acquisition site.
+#[derive(Debug, Clone)]
+struct LockSite {
+    lock: String,
+    line: usize,
+    col: usize,
+}
+
+/// One direct blocking operation and the locks held across it.
+#[derive(Debug, Clone)]
+struct BlockingSite {
+    what: String,
+    held: Vec<String>,
+    line: usize,
+    col: usize,
+}
+
+/// One call site with the locks held when it happens.
+#[derive(Debug, Clone)]
+struct CallSite {
+    targets: Vec<usize>,
+    held: Vec<String>,
+    in_spawn: bool,
+    line: usize,
+}
+
+/// Per-function facts from the local guard-scope simulation.
+#[derive(Debug, Default)]
+struct LocalInfo {
+    acquires: BTreeSet<String>,
+    lock_sites: Vec<LockSite>,
+    /// `(held, acquired, line)` — `acquired` taken while `held` was held.
+    edges: Vec<(String, String, usize)>,
+    blocking: Vec<BlockingSite>,
+    calls: Vec<CallSite>,
+}
+
+/// Runs the semantic rules over every parsed file.
+pub fn analyze(files: &[ParsedFile], opts: &SemanticOptions) -> SemanticReport {
+    // Merged struct-field type map (struct names are workspace-unique for
+    // every lock-owning type; a collision merges fields, which can only
+    // widen the graph).
+    let mut structs: BTreeMap<&str, &BTreeMap<String, String>> = BTreeMap::new();
+    let mut merged: BTreeMap<String, BTreeMap<String, String>> = BTreeMap::new();
+    for file in files {
+        for (name, fields) in &file.structs {
+            merged.entry(name.clone()).or_default().extend(fields.clone());
+        }
+    }
+    for (name, fields) in &merged {
+        structs.insert(name.as_str(), fields);
+    }
+
+    let mut fns: Vec<FnNode<'_>> = Vec::new();
+    for file in files {
+        for func in &file.functions {
+            let display = match &func.impl_type {
+                Some(t) => format!("{t}::{}", func.name),
+                None => func.name.clone(),
+            };
+            fns.push(FnNode { file: &file.path, func, display });
+        }
+    }
+    let mut by_name: BTreeMap<&str, Vec<usize>> = BTreeMap::new();
+    for (i, node) in fns.iter().enumerate() {
+        by_name.entry(node.func.name.as_str()).or_default().push(i);
+    }
+
+    let locals: Vec<LocalInfo> =
+        fns.iter().map(|node| simulate(node, &fns, &by_name, &structs)).collect();
+
+    let mut report = SemanticReport::default();
+    let lock_graph = build_lock_graph(&fns, &locals);
+    report.lock_graph_dot = render_dot(&lock_graph);
+    rule_l008_cycles(&lock_graph, &mut report.diagnostics);
+    rule_l009_reactor(&fns, &locals, opts, &mut report.diagnostics);
+    report
+        .diagnostics
+        .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
+    report.diagnostics.dedup();
+    report
+}
+
+// ---------------------------------------------------------------------------
+// Type and lock resolution
+// ---------------------------------------------------------------------------
+
+/// The base type named by a declared-type string (`"Arc < HandlerShared >"`
+/// ⇒ `HandlerShared`): strips references, lifetimes, and the transparent
+/// wrappers `Arc`/`Rc`/`Box`, then takes the last path segment.
+fn base_type(ty: &str) -> Option<String> {
+    let toks: Vec<&str> = ty.split_whitespace().collect();
+    base_type_toks(&toks)
+}
+
+fn base_type_toks(toks: &[&str]) -> Option<String> {
+    let mut j = 0usize;
+    while j < toks.len()
+        && (matches!(toks[j], "&" | "mut" | "dyn" | "impl") || toks[j].starts_with('\''))
+    {
+        j += 1;
+    }
+    let mut name: Option<&str> = None;
+    while j < toks.len() {
+        match toks[j] {
+            ":" => j += 1,
+            "<" => break,
+            t if t.chars().next().is_some_and(|c| c.is_alphabetic() || c == '_') => {
+                name = Some(t);
+                j += 1;
+            }
+            _ => break,
+        }
+    }
+    let name = name?;
+    if matches!(name, "Arc" | "Rc" | "Box") && toks.get(j) == Some(&"<") {
+        let start = j + 1;
+        let mut depth = 0i32;
+        let mut k = j;
+        while k < toks.len() {
+            match toks[k] {
+                "<" => depth += 1,
+                ">" => {
+                    depth -= 1;
+                    if depth == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            k += 1;
+        }
+        return base_type_toks(&toks[start..k.min(toks.len())]);
+    }
+    Some(name.to_string())
+}
+
+/// Walks a dotted path (`self.shared.queue`) through the struct-field map.
+/// Returns `(owner_of_last_field, field, base_type_of_field)`.
+fn resolve_path(
+    expr: &str,
+    func: &Function,
+    structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+) -> Option<(String, String, String)> {
+    let segments: Vec<&str> = expr.split('.').filter(|s| !s.is_empty()).collect();
+    let (&head, rest) = segments.split_first()?;
+    if rest.is_empty() {
+        return None;
+    }
+    let mut current =
+        if head == "self" { func.impl_type.clone()? } else { base_type(func.params.get(head)?)? };
+    let mut result = None;
+    for seg in rest {
+        let fields = structs.get(current.as_str())?;
+        let ty = fields.get(*seg)?;
+        let base = base_type(ty)?;
+        result = Some((current.clone(), seg.to_string(), base.clone()));
+        current = base;
+    }
+    result
+}
+
+/// The lock identity (`Owner.field`) of an acquisition expression, or
+/// `None` when it does not resolve to a known struct field.
+fn resolve_lock(
+    expr: &str,
+    func: &Function,
+    structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+) -> Option<String> {
+    let (owner, field, _) = resolve_path(expr, func, structs)?;
+    Some(format!("{owner}.{field}"))
+}
+
+/// The base type a dotted receiver resolves to (`self.epoll` ⇒ `Epoll`),
+/// or the impl type for a bare `self`.
+fn resolve_recv_type(
+    expr: &str,
+    func: &Function,
+    structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+) -> Option<String> {
+    if expr == "self" {
+        return func.impl_type.clone();
+    }
+    if !expr.contains('.') {
+        return base_type(func.params.get(expr)?);
+    }
+    resolve_path(expr, func, structs).map(|(_, _, base)| base)
+}
+
+// ---------------------------------------------------------------------------
+// Local simulation
+// ---------------------------------------------------------------------------
+
+struct Guard {
+    lock: String,
+    binding: Option<String>,
+    depth: usize,
+}
+
+fn held_locks(guards: &[Guard]) -> Vec<String> {
+    guards.iter().map(|g| g.lock.clone()).collect()
+}
+
+/// Simulates one function body: guard scopes, lock-order edges, direct
+/// blocking operations, and resolved call targets.
+fn simulate(
+    node: &FnNode<'_>,
+    fns: &[FnNode<'_>],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+    structs: &BTreeMap<&str, &BTreeMap<String, String>>,
+) -> LocalInfo {
+    let func = node.func;
+    let mut info = LocalInfo::default();
+    let mut guards: Vec<Guard> = Vec::new();
+    let mut depth = 0usize;
+
+    for event in &func.body {
+        match event {
+            Event::Open => depth += 1,
+            Event::Close => {
+                depth = depth.saturating_sub(1);
+                guards.retain(|g| g.depth <= depth);
+            }
+            Event::Acquire { expr, binding, line, col } => {
+                let Some(lock) = resolve_lock(expr, func, structs) else { continue };
+                for g in &guards {
+                    info.edges.push((g.lock.clone(), lock.clone(), *line));
+                }
+                info.acquires.insert(lock.clone());
+                info.lock_sites.push(LockSite { lock: lock.clone(), line: *line, col: *col });
+                if binding.is_some() {
+                    guards.push(Guard { lock, binding: binding.clone(), depth });
+                }
+            }
+            Event::Wait { guard, line, col } => {
+                // A wait that takes an active guard releases that lock for
+                // its duration; every *other* held lock stays held across a
+                // blocking wait.
+                let released: Option<String> = guards
+                    .iter()
+                    .find(|g| g.binding.as_deref() == Some(guard.as_str()))
+                    .map(|g| g.lock.clone());
+                let held: Vec<String> = guards
+                    .iter()
+                    .filter(|g| Some(&g.lock) != released.as_ref())
+                    .map(|g| g.lock.clone())
+                    .collect();
+                info.blocking.push(BlockingSite {
+                    what: "a condvar wait".to_string(),
+                    held,
+                    line: *line,
+                    col: *col,
+                });
+            }
+            Event::DropGuard { binding } => {
+                if let Some(pos) =
+                    guards.iter().rposition(|g| g.binding.as_deref() == Some(binding.as_str()))
+                {
+                    guards.remove(pos);
+                }
+            }
+            Event::Call { name, qualifier, recv, method, arity, in_spawn, line, col } => {
+                let recv_type = recv.as_deref().and_then(|r| resolve_recv_type(r, func, structs));
+                // A blocking call inside a `spawn` closure runs on the
+                // spawned thread, not this function's — it is never a
+                // blocking site of the enclosing function.
+                if !*in_spawn {
+                    if let Some(what) = blocking_leaf(
+                        name,
+                        qualifier.as_deref(),
+                        recv_type.as_deref(),
+                        *method,
+                        *arity,
+                    ) {
+                        info.blocking.push(BlockingSite {
+                            what,
+                            held: held_locks(&guards),
+                            line: *line,
+                            col: *col,
+                        });
+                        continue;
+                    }
+                }
+                let targets = resolve_call(
+                    name,
+                    qualifier.as_deref(),
+                    recv_type.as_deref(),
+                    *method,
+                    *arity,
+                    node,
+                    fns,
+                    by_name,
+                );
+                if !targets.is_empty() {
+                    info.calls.push(CallSite {
+                        targets,
+                        held: held_locks(&guards),
+                        in_spawn: *in_spawn,
+                        line: *line,
+                    });
+                }
+            }
+        }
+    }
+    info
+}
+
+/// Classifies a call as a direct blocking leaf, returning a description.
+fn blocking_leaf(
+    name: &str,
+    qualifier: Option<&str>,
+    recv_type: Option<&str>,
+    method: bool,
+    arity: usize,
+) -> Option<String> {
+    if method && BLOCKING_METHODS.contains(&name) {
+        return Some(format!("`.{name}()`"));
+    }
+    if method && name == "join" && arity == 0 {
+        return Some("`.join()` on a thread handle".to_string());
+    }
+    if method && (name == "wait" || name == "wait_timeout") {
+        // `Epoll::wait` IS the reactor's event wait; anything else that
+        // blocks by this name (condvar with a non-guard first argument,
+        // a barrier) counts.
+        if recv_type == Some("Epoll") {
+            return None;
+        }
+        return Some(format!("`.{name}()`"));
+    }
+    if !method && qualifier == Some("fs") {
+        return Some(format!("`fs::{name}`"));
+    }
+    if !method
+        && matches!(qualifier, Some("File") | Some("OpenOptions"))
+        && BLOCKING_FILE_FNS.contains(&name)
+    {
+        return Some(format!("`{}::{name}`", qualifier.unwrap_or_default()));
+    }
+    if !method && BLOCKING_FREE.contains(&name) {
+        return Some(format!("`{name}(…)`"));
+    }
+    None
+}
+
+/// Conservative name+arity call resolution, narrowed by type only when
+/// the receiver or qualifier type is known.
+#[allow(clippy::too_many_arguments)]
+fn resolve_call(
+    name: &str,
+    qualifier: Option<&str>,
+    recv_type: Option<&str>,
+    method: bool,
+    arity: usize,
+    caller: &FnNode<'_>,
+    fns: &[FnNode<'_>],
+    by_name: &BTreeMap<&str, Vec<usize>>,
+) -> Vec<usize> {
+    let Some(candidates) = by_name.get(name) else { return Vec::new() };
+    let matching: Vec<usize> = candidates
+        .iter()
+        .copied()
+        .filter(|&i| fns[i].func.arity == arity && fns[i].func.has_self == method)
+        .collect();
+    if matching.is_empty() {
+        return matching;
+    }
+    if let Some(q) = qualifier {
+        if q.chars().next().is_some_and(char::is_uppercase) {
+            // `Type::fn(…)`: a known type qualifier must match the impl
+            // type — `Response::error` never targets another impl.
+            return matching
+                .into_iter()
+                .filter(|&i| fns[i].func.impl_type.as_deref() == Some(q))
+                .collect();
+        }
+        // Module-qualified free call: candidates are already free fns.
+        return matching;
+    }
+    if method {
+        if let Some(ty) = recv_type {
+            // The receiver type is known: only its own impl qualifies. A
+            // known foreign/std type (no workspace impl) resolves to no
+            // one — the call is a leaf.
+            return matching
+                .into_iter()
+                .filter(|&i| fns[i].func.impl_type.as_deref() == Some(ty))
+                .collect();
+        }
+        // Unresolved receiver on a method the caller's own impl defines:
+        // overwhelmingly a `self.helper(…)` pattern.
+        let own: Vec<usize> = matching
+            .iter()
+            .copied()
+            .filter(|&i| {
+                caller.func.impl_type.is_some()
+                    && fns[i].func.impl_type == caller.func.impl_type
+                    && fns[i].file == caller.file
+            })
+            .collect();
+        if !own.is_empty() {
+            return own;
+        }
+    }
+    matching
+}
+
+// ---------------------------------------------------------------------------
+// Closures over the call graph
+// ---------------------------------------------------------------------------
+
+/// Transitive lock acquisitions per function (spawn boundaries excluded —
+/// a child thread's locks are not held on this thread).
+fn locks_closure(fns: &[FnNode<'_>], locals: &[LocalInfo]) -> Vec<BTreeSet<String>> {
+    let mut result: Vec<BTreeSet<String>> = locals.iter().map(|l| l.acquires.clone()).collect();
+    // Fixpoint: the graph is small (hundreds of nodes) and lock sets are
+    // tiny, so a few sweeps settle it — no SCC machinery needed.
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            let mut additions: Vec<String> = Vec::new();
+            for call in &locals[i].calls {
+                if call.in_spawn {
+                    continue;
+                }
+                for &t in &call.targets {
+                    for lock in &result[t] {
+                        if !result[i].contains(lock) {
+                            additions.push(lock.clone());
+                        }
+                    }
+                }
+            }
+            for lock in additions {
+                changed |= result[i].insert(lock);
+            }
+        }
+        if !changed {
+            return result;
+        }
+    }
+}
+
+/// Does this function transitively perform a direct blocking op (spawn
+/// boundaries excluded)? Returns a description for witness messages.
+fn blocking_closure(fns: &[FnNode<'_>], locals: &[LocalInfo]) -> Vec<Option<String>> {
+    let mut result: Vec<Option<String>> =
+        locals.iter().map(|l| l.blocking.first().map(|b| b.what.clone())).collect();
+    loop {
+        let mut changed = false;
+        for i in 0..fns.len() {
+            if result[i].is_some() {
+                continue;
+            }
+            for call in &locals[i].calls {
+                if call.in_spawn {
+                    continue;
+                }
+                if let Some(&t) = call.targets.iter().find(|&&t| result[t].is_some()) {
+                    let inner = result[t].clone().unwrap_or_default();
+                    result[i] = Some(format!("{inner} (via `{}`)", fns[t].display));
+                    changed = true;
+                    break;
+                }
+            }
+        }
+        if !changed {
+            return result;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// L008 — lock-order cycles
+// ---------------------------------------------------------------------------
+
+fn build_lock_graph(
+    fns: &[FnNode<'_>],
+    locals: &[LocalInfo],
+) -> BTreeMap<(String, String), String> {
+    let closure = locks_closure(fns, locals);
+    let mut edges: BTreeMap<(String, String), String> = BTreeMap::new();
+    for (i, local) in locals.iter().enumerate() {
+        for (from, to, line) in &local.edges {
+            edges.entry((from.clone(), to.clone())).or_insert_with(|| {
+                format!(
+                    "`{}` acquires {to} while holding {from} ({}:{line})",
+                    fns[i].display, fns[i].file
+                )
+            });
+        }
+        for call in &local.calls {
+            if call.in_spawn || call.held.is_empty() {
+                continue;
+            }
+            for &t in &call.targets {
+                for to in &closure[t] {
+                    for from in &call.held {
+                        edges.entry((from.clone(), to.clone())).or_insert_with(|| {
+                            format!(
+                                "`{}` calls `{}` ({}:{}) which acquires {to} while {from} is held",
+                                fns[i].display, fns[t].display, fns[i].file, call.line
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+    edges
+}
+
+fn render_dot(edges: &BTreeMap<(String, String), String>) -> String {
+    let mut nodes: BTreeSet<&str> = BTreeSet::new();
+    for (from, to) in edges.keys() {
+        nodes.insert(from);
+        nodes.insert(to);
+    }
+    let mut out = String::from("digraph lock_order {\n");
+    for node in nodes {
+        out.push_str(&format!("    \"{node}\";\n"));
+    }
+    for ((from, to), witness) in edges {
+        let label = witness.split(" (").next().unwrap_or(witness).replace('`', "");
+        out.push_str(&format!("    \"{from}\" -> \"{to}\" [label=\"{label}\"];\n"));
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn rule_l008_cycles(edges: &BTreeMap<(String, String), String>, out: &mut Vec<Diagnostic>) {
+    // Adjacency over lock ids; DFS with an explicit path for cycle
+    // extraction. Each distinct cycle (canonicalized by rotation to its
+    // smallest node) is reported once.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    for (from, to) in edges.keys() {
+        adj.entry(from).or_default().push(to);
+    }
+    let mut seen_cycles: BTreeSet<Vec<String>> = BTreeSet::new();
+    let nodes: Vec<&str> = adj.keys().copied().collect();
+    for &start in &nodes {
+        let mut path: Vec<&str> = vec![start];
+        let mut stack: Vec<std::vec::IntoIter<&str>> =
+            vec![adj.get(start).cloned().unwrap_or_default().into_iter()];
+        while let Some(iter) = stack.last_mut() {
+            match iter.next() {
+                Some(next) => {
+                    if let Some(pos) = path.iter().position(|&n| n == next) {
+                        let cycle: Vec<String> =
+                            path[pos..].iter().map(|s| s.to_string()).collect();
+                        let canonical = canonicalize_cycle(&cycle);
+                        if seen_cycles.insert(canonical) {
+                            report_cycle(&cycle, edges, out);
+                        }
+                        continue;
+                    }
+                    if path.len() > 32 {
+                        continue; // runaway guard; workspace graphs are tiny
+                    }
+                    path.push(next);
+                    stack.push(adj.get(next).cloned().unwrap_or_default().into_iter());
+                }
+                None => {
+                    stack.pop();
+                    path.pop();
+                }
+            }
+        }
+    }
+}
+
+fn canonicalize_cycle(cycle: &[String]) -> Vec<String> {
+    let min_pos =
+        cycle.iter().enumerate().min_by_key(|(_, s)| s.as_str()).map(|(i, _)| i).unwrap_or(0);
+    cycle[min_pos..].iter().chain(cycle[..min_pos].iter()).cloned().collect()
+}
+
+fn report_cycle(
+    cycle: &[String],
+    edges: &BTreeMap<(String, String), String>,
+    out: &mut Vec<Diagnostic>,
+) {
+    let canonical = canonicalize_cycle(cycle);
+    let mut steps: Vec<String> = Vec::new();
+    let mut first_site: Option<(String, usize)> = None;
+    for i in 0..canonical.len() {
+        let from = &canonical[i];
+        let to = &canonical[(i + 1) % canonical.len()];
+        if let Some(witness) = edges.get(&(from.clone(), to.clone())) {
+            steps.push(witness.clone());
+            if first_site.is_none() {
+                first_site = parse_witness_site(witness);
+            }
+        }
+    }
+    let ring: Vec<&str> = canonical.iter().map(String::as_str).collect();
+    let Some(&ring_head) = ring.first() else { return };
+    let (file, line) = first_site.unwrap_or_else(|| ("<workspace>".to_string(), 1));
+    out.push(Diagnostic {
+        rule: Rule::L008,
+        file,
+        line,
+        col: 1,
+        message: format!(
+            "lock-order cycle {} -> {}: two paths acquire these locks in opposite orders and \
+             can deadlock. Witness: {}. Fix the acquisition order or narrow a guard scope; \
+             justify a benign cycle with `// lint:allow(lock-order): …`",
+            ring.join(" -> "),
+            ring_head,
+            steps.join("; ")
+        ),
+    });
+}
+
+/// Extracts `(file, line)` from a witness string's trailing `(file:line)`.
+fn parse_witness_site(witness: &str) -> Option<(String, usize)> {
+    let open = witness.rfind('(')?;
+    let inner = witness[open + 1..].trim_end_matches(')');
+    let colon = inner.rfind(':')?;
+    let line = inner[colon + 1..].parse().ok()?;
+    Some((inner[..colon].to_string(), line))
+}
+
+// ---------------------------------------------------------------------------
+// L009 — blocking in the reactor
+// ---------------------------------------------------------------------------
+
+fn rule_l009_reactor(
+    fns: &[FnNode<'_>],
+    locals: &[LocalInfo],
+    opts: &SemanticOptions,
+    out: &mut Vec<Diagnostic>,
+) {
+    let roots: Vec<usize> = fns
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| {
+            opts.reactor_files.iter().any(|suffix| n.file.ends_with(suffix.as_str()))
+                && opts.reactor_roots.contains(&n.func.name)
+        })
+        .map(|(i, _)| i)
+        .collect();
+    if roots.is_empty() {
+        return;
+    }
+
+    // Hot locks: held across a blocking op somewhere in the workspace
+    // (same-guard condvar waits excluded by the simulation). Acquiring one
+    // on the reactor thread can stall behind that blocking holder.
+    let block_cl = blocking_closure(fns, locals);
+    let mut hot: BTreeMap<String, String> = BTreeMap::new();
+    for (i, local) in locals.iter().enumerate() {
+        for site in &local.blocking {
+            for lock in &site.held {
+                hot.entry(lock.clone()).or_insert_with(|| {
+                    format!(
+                        "`{}` holds it across {} ({}:{})",
+                        fns[i].display, site.what, fns[i].file, site.line
+                    )
+                });
+            }
+        }
+        for call in &local.calls {
+            if call.in_spawn || call.held.is_empty() {
+                continue;
+            }
+            for &t in &call.targets {
+                if let Some(what) = &block_cl[t] {
+                    for lock in &call.held {
+                        hot.entry(lock.clone()).or_insert_with(|| {
+                            format!(
+                                "`{}` holds it while calling `{}`, which performs {what} \
+                                 ({}:{})",
+                                fns[i].display, fns[t].display, fns[i].file, call.line
+                            )
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    // BFS from the roots over same-thread call edges, with parents for
+    // witness paths.
+    let mut parent: Vec<Option<usize>> = vec![None; fns.len()];
+    let mut visited: Vec<bool> = vec![false; fns.len()];
+    let mut queue: VecDeque<usize> = VecDeque::new();
+    for &r in &roots {
+        visited[r] = true;
+        queue.push_back(r);
+    }
+    let mut order: Vec<usize> = Vec::new();
+    while let Some(i) = queue.pop_front() {
+        order.push(i);
+        for call in &locals[i].calls {
+            if call.in_spawn {
+                continue;
+            }
+            for &t in &call.targets {
+                if !visited[t] {
+                    visited[t] = true;
+                    parent[t] = Some(i);
+                    queue.push_back(t);
+                }
+            }
+        }
+    }
+
+    let path_to = |i: usize| -> String {
+        let mut chain: Vec<&str> = Vec::new();
+        let mut cur = Some(i);
+        while let Some(c) = cur {
+            chain.push(&fns[c].display);
+            cur = parent[c];
+        }
+        chain.reverse();
+        chain.join("` -> `")
+    };
+
+    for &i in &order {
+        for site in &locals[i].blocking {
+            out.push(Diagnostic {
+                rule: Rule::L009,
+                file: fns[i].file.to_string(),
+                line: site.line,
+                col: site.col,
+                message: format!(
+                    "{} is reachable from the reactor event loop (`{}`): one blocking call \
+                     stalls every connection; move it behind the handler pool or justify with \
+                     `// lint:allow(blocking-reactor): …`",
+                    site.what,
+                    path_to(i)
+                ),
+            });
+        }
+        for site in &locals[i].lock_sites {
+            if let Some(why) = hot.get(&site.lock) {
+                out.push(Diagnostic {
+                    rule: Rule::L009,
+                    file: fns[i].file.to_string(),
+                    line: site.line,
+                    col: site.col,
+                    message: format!(
+                        "the reactor event loop (`{}`) acquires {}, which is hot: {}; a blocked \
+                         holder stalls every connection. Shorten the holder's critical section \
+                         or justify with `// lint:allow(blocking-reactor): …`",
+                        path_to(i),
+                        site.lock,
+                        why
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_file;
+
+    fn analyze_sources(sources: &[(&str, &str)]) -> SemanticReport {
+        let files: Vec<ParsedFile> =
+            sources.iter().map(|(path, src)| parse_file(path, src)).collect();
+        analyze(&files, &SemanticOptions::default())
+    }
+
+    #[test]
+    fn base_types_unwrap_smart_pointers() {
+        assert_eq!(base_type("Arc < HandlerShared >").as_deref(), Some("HandlerShared"));
+        assert_eq!(base_type("& mut Vec < u8 >").as_deref(), Some("Vec"));
+        assert_eq!(base_type("Mutex < VecDeque < Job > >").as_deref(), Some("Mutex"));
+        assert_eq!(base_type("std : : sync : : Arc < Shared >").as_deref(), Some("Shared"));
+    }
+
+    #[test]
+    fn two_lock_inversion_is_a_cycle_with_witness() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn forward(&self) {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b);
+        drop(gb);
+        drop(ga);
+    }
+    fn backward(&self) {
+        let gb = lock(&self.b);
+        let ga = lock(&self.a);
+        drop(ga);
+        drop(gb);
+    }
+}
+";
+        let report = analyze_sources(&[("src/locks.rs", src)]);
+        let cycles: Vec<&Diagnostic> =
+            report.diagnostics.iter().filter(|d| d.rule == Rule::L008).collect();
+        assert_eq!(cycles.len(), 1, "{:?}", report.diagnostics);
+        assert!(cycles[0].message.contains("S.a -> S.b -> S.a"), "{}", cycles[0].message);
+        assert!(cycles[0].message.contains("S::forward"), "{}", cycles[0].message);
+        assert!(cycles[0].message.contains("S::backward"), "{}", cycles[0].message);
+    }
+
+    #[test]
+    fn consistent_order_is_clean_and_graphed() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn one(&self) { let ga = lock(&self.a); let gb = lock(&self.b); drop(gb); drop(ga); }
+    fn two(&self) { let ga = lock(&self.a); let gb = lock(&self.b); drop(gb); drop(ga); }
+}
+";
+        let report = analyze_sources(&[("src/locks.rs", src)]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+        assert!(report.lock_graph_dot.contains("\"S.a\" -> \"S.b\""));
+    }
+
+    #[test]
+    fn interprocedural_inversion_crosses_files() {
+        let a = "\
+struct Registry { inner: Mutex<u32> }
+impl Registry {
+    fn update(&self, cache: &Cache) {
+        let g = lock(&self.inner);
+        cache.store(1);
+        drop(g);
+    }
+}
+";
+        let b = "\
+struct Cache { map: Mutex<u32> }
+impl Cache {
+    fn store(&self, v: u32) { let g = lock(&self.map); drop(g); }
+    fn evict(&self, reg: &Registry) {
+        let g = lock(&self.map);
+        reg.bump(v);
+        drop(g);
+    }
+}
+impl Registry {
+    fn bump(&self, v: u32) { let g = lock(&self.inner); drop(g); }
+}
+";
+        let report = analyze_sources(&[("src/registry.rs", a), ("src/cache.rs", b)]);
+        let cycles: Vec<&Diagnostic> =
+            report.diagnostics.iter().filter(|d| d.rule == Rule::L008).collect();
+        assert_eq!(cycles.len(), 1, "{:?}", report.diagnostics);
+        assert!(
+            cycles[0].message.contains("Cache.map") && cycles[0].message.contains("Registry.inner"),
+            "{}",
+            cycles[0].message
+        );
+    }
+
+    #[test]
+    fn guard_scope_end_prevents_false_edges() {
+        // The first guard dies with its block before the second lock.
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn sequential(&self) {
+        let v = { let ga = lock(&self.a); 1 };
+        let gb = lock(&self.b);
+        drop(gb);
+    }
+    fn reverse(&self) { let gb = lock(&self.b); let ga = lock(&self.a); drop(ga); drop(gb); }
+}
+";
+        let report = analyze_sources(&[("src/locks.rs", src)]);
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != Rule::L008),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn reactor_reaching_file_io_is_flagged_with_path() {
+        let reactor = "\
+struct Reactor { state: u32 }
+impl Reactor {
+    fn serve(&mut self) {
+        self.step();
+    }
+    fn step(&mut self) {
+        persist_now(self.state);
+    }
+}
+";
+        let persist = "\
+fn persist_now(v: u32) {
+    fs::remove_file(path(v));
+}
+fn path(v: u32) -> u32 { v }
+";
+        let files: Vec<ParsedFile> = vec![
+            parse_file("crates/serve/src/reactor.rs", reactor),
+            parse_file("crates/serve/src/persist.rs", persist),
+        ];
+        let report = analyze(&files, &SemanticOptions::default());
+        let l9: Vec<&Diagnostic> =
+            report.diagnostics.iter().filter(|d| d.rule == Rule::L009).collect();
+        assert_eq!(l9.len(), 1, "{:?}", report.diagnostics);
+        assert_eq!(l9[0].file, "crates/serve/src/persist.rs");
+        assert!(l9[0].message.contains("`fs::remove_file`"), "{}", l9[0].message);
+        assert!(
+            l9[0].message.contains("Reactor::serve` -> `Reactor::step` -> `persist_now"),
+            "{}",
+            l9[0].message
+        );
+    }
+
+    #[test]
+    fn spawned_closures_do_not_leak_into_the_reactor() {
+        let reactor = "\
+struct Reactor { state: u32 }
+impl Reactor {
+    fn serve(&mut self) {
+        std::thread::Builder::new().spawn(move || worker(1)).unwrap();
+    }
+}
+fn worker(v: u32) {
+    fs::remove_file(v);
+}
+";
+        let report = analyze_sources(&[("crates/serve/src/reactor.rs", reactor)]);
+        // `worker` blocks, but only on its own thread.
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != Rule::L009),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn hot_lock_acquisition_in_reactor_is_flagged() {
+        let src = "\
+struct Shared { queue: Mutex<u32> }
+struct Reactor { shared: Arc<Shared> }
+impl Reactor {
+    fn serve(&mut self) {
+        let q = lock(&self.shared.queue);
+        drop(q);
+    }
+}
+struct Writer { shared: Arc<Shared> }
+impl Writer {
+    fn persist(&self, w: File) {
+        let q = lock(&self.shared.queue);
+        w.sync_all();
+        drop(q);
+    }
+}
+";
+        let report = analyze_sources(&[("crates/serve/src/reactor.rs", src)]);
+        let l9: Vec<&Diagnostic> =
+            report.diagnostics.iter().filter(|d| d.rule == Rule::L009).collect();
+        assert_eq!(l9.len(), 1, "{:?}", report.diagnostics);
+        assert!(l9[0].message.contains("Shared.queue"), "{}", l9[0].message);
+        assert!(l9[0].message.contains("Writer::persist"), "{}", l9[0].message);
+    }
+
+    #[test]
+    fn short_critical_sections_keep_queue_lock_cold() {
+        // The workspace idiom: reactor and handlers share a queue, but the
+        // only waits are same-guard condvar waits — not hot.
+        let src = "\
+struct Shared { queue: Mutex<u32>, wake: Condvar }
+struct Reactor { shared: Arc<Shared> }
+impl Reactor {
+    fn serve(&mut self) {
+        let mut q = lock(&self.shared.queue);
+        drop(q);
+    }
+}
+fn handler_loop(shared: Arc<Shared>) {
+    loop {
+        let mut q = lock(&shared.queue);
+        q = cond_wait(&shared.wake, q);
+        drop(q);
+    }
+}
+";
+        let report = analyze_sources(&[("crates/serve/src/reactor.rs", src)]);
+        assert!(
+            report.diagnostics.iter().all(|d| d.rule != Rule::L009),
+            "{:?}",
+            report.diagnostics
+        );
+    }
+
+    #[test]
+    fn epoll_wait_is_not_blocking() {
+        let src = "\
+struct Epoll { fd: i32 }
+struct Reactor { epoll: Epoll }
+impl Reactor {
+    fn serve(&mut self) {
+        self.epoll.wait(&mut events, 30);
+    }
+}
+";
+        let report = analyze_sources(&[("crates/serve/src/reactor.rs", src)]);
+        assert!(report.diagnostics.is_empty(), "{:?}", report.diagnostics);
+    }
+
+    #[test]
+    fn dot_output_lists_nodes_and_edges() {
+        let src = "\
+struct S { a: Mutex<u32>, b: Mutex<u32> }
+impl S {
+    fn f(&self) { let ga = lock(&self.a); let gb = lock(&self.b); drop(gb); drop(ga); }
+}
+";
+        let report = analyze_sources(&[("src/l.rs", src)]);
+        assert!(report.lock_graph_dot.starts_with("digraph lock_order {"));
+        assert!(report.lock_graph_dot.contains("\"S.a\";"));
+        assert!(report.lock_graph_dot.contains("\"S.a\" -> \"S.b\""));
+    }
+}

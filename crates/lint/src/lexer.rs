@@ -154,32 +154,8 @@ pub fn lex(source: &str) -> Lexed {
             }
             b'r' | b'b' if raw_string_hashes(&cur).is_some() => {
                 let hashes = raw_string_hashes(&cur).unwrap_or(0);
-                let start = cur.pos;
-                // Consume the prefix (`r`, `br`, `b`), hashes, and quote.
-                while cur.peek() != Some(b'"') {
-                    cur.bump();
-                }
-                cur.bump(); // opening quote
-                let closer: Vec<u8> =
-                    std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
-                loop {
-                    if cur.peek().is_none() {
-                        break;
-                    }
-                    if cur.bytes[cur.pos..].starts_with(&closer) {
-                        for _ in 0..closer.len() {
-                            cur.bump();
-                        }
-                        break;
-                    }
-                    cur.bump();
-                }
-                out.tokens.push(Token {
-                    kind: TokenKind::Str,
-                    text: String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned(),
-                    line,
-                    col,
-                });
+                let text = lex_raw_string(&mut cur, hashes);
+                out.tokens.push(Token { kind: TokenKind::Str, text, line, col });
             }
             b'b' if cur.peek_at(1) == Some(b'"') => {
                 cur.bump();
@@ -290,6 +266,35 @@ fn raw_string_hashes(cur: &Cursor<'_>) -> Option<usize> {
     (cur.peek_at(offset + hashes) == Some(b'"')).then_some(hashes)
 }
 
+/// Consumes a raw (byte) string literal — `r"…"`, `r##"…"##`, `br#"…"#` —
+/// whose opener the cursor sits on with `hashes` hash marks (as reported by
+/// [`raw_string_hashes`]). Raw strings have no escapes: the literal ends at
+/// the first `"` followed by exactly `hashes` `#` bytes, so a `"#` inside an
+/// `r##"…"##` body stays part of the string. Returns the raw source text
+/// including prefix, hashes, and quotes.
+fn lex_raw_string(cur: &mut Cursor<'_>, hashes: usize) -> String {
+    let start = cur.pos;
+    // Prefix (`r` or `br`) and opening hashes, up to the quote.
+    while cur.peek() != Some(b'"') {
+        cur.bump();
+    }
+    cur.bump(); // opening quote
+    let closer: Vec<u8> = std::iter::once(b'"').chain(std::iter::repeat_n(b'#', hashes)).collect();
+    loop {
+        if cur.peek().is_none() {
+            break;
+        }
+        if cur.bytes[cur.pos..].starts_with(&closer) {
+            for _ in 0..closer.len() {
+                cur.bump();
+            }
+            break;
+        }
+        cur.bump();
+    }
+    String::from_utf8_lossy(&cur.bytes[start..cur.pos]).into_owned()
+}
+
 /// Consumes a `quote`-delimited literal with `\` escapes, returning its raw
 /// text including the quotes.
 fn lex_quoted(cur: &mut Cursor<'_>, quote: u8) -> String {
@@ -353,6 +358,53 @@ mod tests {
         assert_eq!(toks[3].0, TokenKind::Str);
         assert_eq!(toks[3].1, r###"r#"quote " inside"#"###);
         assert_eq!(toks.last().unwrap().1, "x");
+    }
+
+    #[test]
+    fn raw_strings_with_two_or_more_hashes() {
+        // An embedded `"#` must not close an `r##"…"##` literal.
+        let toks = kinds(r####"let s = r##"has "# inside"##; x"####);
+        assert_eq!(toks[3].0, TokenKind::Str);
+        assert_eq!(toks[3].1, r####"r##"has "# inside"##"####);
+        assert_eq!(toks.last().unwrap().1, "x");
+        let three = kinds(r#####"r###"deep "## nest"###"#####);
+        assert_eq!(three, vec![(TokenKind::Str, r#####"r###"deep "## nest"###"#####.into())]);
+    }
+
+    #[test]
+    fn raw_byte_strings() {
+        let toks = kinds(r####"f(br"plain", br#"quote " inside"#, br##"hash "# inside"##)"####);
+        let strs: Vec<&str> =
+            toks.iter().filter(|(k, _)| *k == TokenKind::Str).map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            strs,
+            vec![r#"br"plain""#, r##"br#"quote " inside"#"##, r###"br##"hash "# inside"##"###]
+        );
+    }
+
+    #[test]
+    fn raw_strings_hide_their_content_from_the_stream() {
+        let toks = kinds(r###"emit(r#"fake .unwrap() and fn lie() {}"#)"###);
+        assert_eq!(toks.len(), 4, "{toks:?}"); // emit ( r#"…"# )
+        assert!(toks.iter().all(|(_, t)| t != "unwrap" && t != "lie"));
+    }
+
+    #[test]
+    fn spans_stay_accurate_after_multiline_raw_strings() {
+        let lexed =
+            lex("let s = r##\"line one\nline two \"# not closed\nstill\"##;\n    after.lock();\n");
+        let raw = lexed.tokens.iter().find(|t| t.kind == TokenKind::Str).unwrap();
+        assert_eq!((raw.line, raw.col), (1, 9));
+        assert!(raw.text.contains("line two"));
+        let lock = lexed.tokens.iter().find(|t| t.text == "lock").unwrap();
+        assert_eq!((lock.line, lock.col), (4, 11));
+    }
+
+    #[test]
+    fn unterminated_raw_string_consumes_to_eof() {
+        let lexed = lex("x; r##\"never closed \"# trailing");
+        assert_eq!(lexed.tokens.last().unwrap().kind, TokenKind::Str);
+        assert_eq!(lexed.tokens.len(), 3); // x ; r##"…
     }
 
     #[test]

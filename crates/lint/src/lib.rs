@@ -13,7 +13,9 @@
 
 pub mod allows;
 pub mod baseline;
+pub mod callgraph;
 pub mod lexer;
+pub mod parser;
 pub mod rules;
 
 pub use allows::AllowSite;
@@ -54,10 +56,16 @@ pub struct LintReport {
     pub diagnostics: Vec<Diagnostic>,
     /// Number of `.rs` files scanned.
     pub files_scanned: usize,
+    /// The workspace lock-acquisition graph in Graphviz DOT form
+    /// (`--lock-graph dot`).
+    pub lock_graph_dot: String,
 }
 
-/// Lints every `.rs` file under the configured root. Returns an error
-/// only for I/O or catalogue problems; findings live in the report.
+/// Lints every `.rs` file under the configured root: the token rules
+/// (L001–L007, L010) per file, then the workspace-wide semantic pass
+/// (L008 lock-order, L009 blocking-in-reactor) over the call graph.
+/// Returns an error only for I/O or catalogue problems; findings live in
+/// the report.
 pub fn lint_workspace(config: &LintConfig) -> Result<LintReport, String> {
     let catalogue = match &config.catalogue {
         Some(c) => c.clone(),
@@ -75,16 +83,51 @@ pub fn lint_workspace(config: &LintConfig) -> Result<LintReport, String> {
     files.sort();
     let mut diagnostics = Vec::new();
     let files_scanned = files.len();
+    let mut sources: Vec<(String, String)> = Vec::new();
     for path in &files {
         let rel = relative_path(&config.root, path);
         let source = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
         let options = file_options(&rel, &catalogue);
         diagnostics.extend(lint_source(&rel, &source, &options));
+        // Semantic analysis covers first-party production code: test
+        // files lock in arbitrary orders and vendored code follows
+        // upstream's own discipline.
+        if !options.is_test_file && !rel.starts_with("vendor/") {
+            sources.push((rel, source));
+        }
     }
+    let (semantic, lock_graph_dot) = semantic_pass(&sources);
+    diagnostics.extend(semantic);
     diagnostics
         .sort_by(|a, b| (&a.file, a.line, a.col, a.rule).cmp(&(&b.file, b.line, b.col, b.rule)));
-    Ok(LintReport { diagnostics, files_scanned })
+    Ok(LintReport { diagnostics, files_scanned, lock_graph_dot })
+}
+
+/// Runs the workspace-wide semantic rules (L008/L009) over already-read
+/// sources, honouring each file's inline allow comments. Public so the
+/// fixture harness and the sabotage self-test can drive it on synthetic
+/// workspaces.
+pub fn semantic_pass(sources: &[(String, String)]) -> (Vec<Diagnostic>, String) {
+    let parsed: Vec<parser::ParsedFile> =
+        sources.iter().map(|(rel, src)| parser::parse_file(rel, src)).collect();
+    let report = callgraph::analyze(&parsed, &callgraph::SemanticOptions::default());
+    let mut analyses: std::collections::BTreeMap<&str, rules::FileAnalysis> =
+        std::collections::BTreeMap::new();
+    let diagnostics = report
+        .diagnostics
+        .into_iter()
+        .filter(|diag| {
+            let Some(key) = diag.rule.allow_key() else { return true };
+            let Some((_, source)) = sources.iter().find(|(rel, _)| *rel == diag.file) else {
+                return true;
+            };
+            let analysis =
+                analyses.entry(source.as_str()).or_insert_with(|| rules::FileAnalysis::new(source));
+            !analysis.allowed(diag.line, key)
+        })
+        .collect();
+    (diagnostics, report.lock_graph_dot)
 }
 
 /// Every valid allow site in the workspace, as `(file, site)` pairs —
@@ -231,8 +274,8 @@ pub fn render_human(report: &LintReport, comparison: &baseline::Comparison) -> S
     }
     for (key, was, now) in &comparison.stale {
         out.push_str(&format!(
-            "note: baseline entry `{key}` is stale ({was} grandfathered, {now} found) — run \
-             `muds-lint --write-baseline` to tighten\n"
+            "error: baseline entry `{key}` is stale ({was} grandfathered, {now} found) — run \
+             `muds-lint --update-baseline` to tighten\n"
         ));
     }
     out.push_str(&format!(
@@ -277,6 +320,49 @@ pub fn render_json(report: &LintReport, comparison: &baseline::Comparison) -> St
     out
 }
 
+/// Renders new findings as a SARIF 2.1.0 log (`--format sarif`), the
+/// interchange format GitHub code scanning ingests for PR annotations.
+/// Only the baseline-failing findings become results; grandfathered ones
+/// are already visible via the JSON/human formats.
+pub fn render_sarif(comparison: &baseline::Comparison) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n");
+    out.push_str("  \"version\": \"2.1.0\",\n");
+    out.push_str("  \"runs\": [\n    {\n");
+    out.push_str("      \"tool\": {\n        \"driver\": {\n");
+    out.push_str("          \"name\": \"muds-lint\",\n");
+    out.push_str("          \"informationUri\": \"DESIGN.md\",\n");
+    out.push_str("          \"rules\": [\n");
+    for (i, rule) in Rule::ALL.iter().enumerate() {
+        let comma = if i + 1 == Rule::ALL.len() { "" } else { "," };
+        out.push_str(&format!(
+            "            {{\"id\": \"{}\", \"name\": \"{}\", \
+             \"shortDescription\": {{\"text\": \"{}\"}}}}{comma}\n",
+            rule.id(),
+            rule.name(),
+            rule.name()
+        ));
+    }
+    out.push_str("          ]\n        }\n      },\n");
+    out.push_str("      \"results\": [\n");
+    for (i, diag) in comparison.new_findings.iter().enumerate() {
+        let comma = if i + 1 == comparison.new_findings.len() { "" } else { "," };
+        out.push_str(&format!(
+            "        {{\n          \"ruleId\": \"{}\",\n          \"level\": \"error\",\n          \
+             \"message\": {{\"text\": \"{}\"}},\n          \"locations\": [{{\"physicalLocation\": \
+             {{\"artifactLocation\": {{\"uri\": \"{}\"}}, \"region\": {{\"startLine\": {}, \
+             \"startColumn\": {}}}}}}}]\n        }}{comma}\n",
+            diag.rule.id(),
+            json_escape(&diag.message),
+            json_escape(&diag.file),
+            diag.line,
+            diag.col
+        ));
+    }
+    out.push_str("      ]\n    }\n  ]\n}\n");
+    out
+}
+
 fn json_escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -296,24 +382,36 @@ fn json_escape(s: &str) -> String {
 // Shared CLI runner (used by the muds-lint binary and `mudsprof lint`)
 // ---------------------------------------------------------------------------
 
+/// Output rendering selected by `--format`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutputFormat {
+    Human,
+    Json,
+    Sarif,
+}
+
 /// Parsed command-line options for the lint runner.
 pub struct CliOptions {
     pub root: PathBuf,
-    pub format_json: bool,
+    pub format: OutputFormat,
     pub baseline_path: Option<PathBuf>,
     pub write_baseline: bool,
+    pub update_baseline: bool,
+    pub lock_graph_dot: bool,
 }
 
 impl CliOptions {
-    /// Parses `--root <dir> --format json|human --baseline <file>
-    /// --write-baseline` style arguments. Returns `Err(usage)` on
-    /// anything unrecognised.
+    /// Parses `--root <dir> --format json|human|sarif --baseline <file>
+    /// --write-baseline --update-baseline --lock-graph dot` style
+    /// arguments. Returns `Err(usage)` on anything unrecognised.
     pub fn parse(args: &[String]) -> Result<CliOptions, String> {
         let mut options = CliOptions {
             root: PathBuf::from("."),
-            format_json: false,
+            format: OutputFormat::Human,
             baseline_path: None,
             write_baseline: false,
+            update_baseline: false,
+            lock_graph_dot: false,
         };
         let mut i = 0;
         while i < args.len() {
@@ -326,9 +424,12 @@ impl CliOptions {
                 "--format" => {
                     i += 1;
                     match args.get(i).map(|s| s.as_str()) {
-                        Some("json") => options.format_json = true,
-                        Some("human") => options.format_json = false,
-                        other => return Err(format!("--format expects json|human, got {other:?}")),
+                        Some("json") => options.format = OutputFormat::Json,
+                        Some("human") => options.format = OutputFormat::Human,
+                        Some("sarif") => options.format = OutputFormat::Sarif,
+                        other => {
+                            return Err(format!("--format expects json|human|sarif, got {other:?}"))
+                        }
                     }
                 }
                 "--baseline" => {
@@ -337,75 +438,114 @@ impl CliOptions {
                     options.baseline_path = Some(PathBuf::from(value));
                 }
                 "--write-baseline" => options.write_baseline = true,
+                "--update-baseline" => options.update_baseline = true,
+                "--lock-graph" => {
+                    i += 1;
+                    match args.get(i).map(|s| s.as_str()) {
+                        Some("dot") => options.lock_graph_dot = true,
+                        other => return Err(format!("--lock-graph expects dot, got {other:?}")),
+                    }
+                }
                 "--help" | "-h" => return Err(USAGE.to_string()),
                 other => return Err(format!("unknown argument {other:?}\n{USAGE}")),
             }
             i += 1;
         }
+        if options.write_baseline && options.update_baseline {
+            return Err("--write-baseline and --update-baseline are mutually exclusive".to_string());
+        }
         Ok(options)
     }
 }
 
-pub const USAGE: &str = "usage: muds-lint [--root <dir>] [--format json|human] \
-                         [--baseline <file>] [--write-baseline]\n\
-                         exit codes: 0 clean/baseline-stable, 1 new findings, 2 error";
+pub const USAGE: &str = "usage: muds-lint [--root <dir>] [--format json|human|sarif] \
+                         [--baseline <file>] [--write-baseline] [--update-baseline] \
+                         [--lock-graph dot]\n\
+                         --write-baseline   grandfather all current findings\n\
+                         --update-baseline  shrink the baseline (never grows it)\n\
+                         --lock-graph dot   print the lock-order graph and exit\n\
+                         exit codes: 0 clean/baseline-stable, 1 new findings or stale \
+                         baseline, 2 error";
 
 /// Runs the lint pass end to end, printing to `out`. Returns the process
-/// exit code: 0 clean, 1 new findings, 2 error.
+/// exit code: 0 clean, 1 new findings or stale baseline, 2 error.
 pub fn run_cli(args: &[String], out: &mut dyn std::io::Write) -> i32 {
+    run_cli_io(args, out).unwrap_or(2)
+}
+
+fn run_cli_io(args: &[String], out: &mut dyn std::io::Write) -> std::io::Result<i32> {
     let options = match CliOptions::parse(args) {
         Ok(options) => options,
         Err(message) => {
-            let _ = writeln!(out, "{message}");
-            return 2;
+            writeln!(out, "{message}")?;
+            return Ok(2);
         }
     };
     let config = LintConfig::new(&options.root);
     let report = match lint_workspace(&config) {
         Ok(report) => report,
         Err(message) => {
-            let _ = writeln!(out, "muds-lint: {message}");
-            return 2;
+            writeln!(out, "muds-lint: {message}")?;
+            return Ok(2);
         }
     };
+    if options.lock_graph_dot {
+        write!(out, "{}", report.lock_graph_dot)?;
+        return Ok(0);
+    }
     let baseline_path =
         options.baseline_path.clone().unwrap_or_else(|| options.root.join(BASELINE_FILE));
     if options.write_baseline {
         let baseline = baseline::from_diagnostics(&report.diagnostics);
         if let Err(e) = std::fs::write(&baseline_path, baseline::to_json(&baseline)) {
-            let _ = writeln!(out, "muds-lint: cannot write {}: {e}", baseline_path.display());
-            return 2;
+            writeln!(out, "muds-lint: cannot write {}: {e}", baseline_path.display())?;
+            return Ok(2);
         }
-        let _ = writeln!(
+        writeln!(
             out,
             "wrote baseline with {} grandfathered finding(s) to {}",
             report.diagnostics.len(),
             baseline_path.display()
-        );
-        return 0;
+        )?;
+        return Ok(0);
     }
-    let baseline = match std::fs::read_to_string(&baseline_path) {
+    let mut baseline = match std::fs::read_to_string(&baseline_path) {
         Ok(text) => match baseline::parse_json(&text) {
             Ok(baseline) => baseline,
             Err(message) => {
-                let _ = writeln!(out, "muds-lint: {}: {message}", baseline_path.display());
-                return 2;
+                writeln!(out, "muds-lint: {}: {message}", baseline_path.display())?;
+                return Ok(2);
             }
         },
         Err(_) => Baseline::default(), // no baseline file: everything is new
     };
-    let comparison = baseline::compare(&report.diagnostics, &baseline);
-    let rendered = if options.format_json {
-        render_json(&report, &comparison)
-    } else {
-        render_human(&report, &comparison)
-    };
-    let _ = write!(out, "{rendered}");
-    if comparison.new_findings.is_empty() {
-        0
-    } else {
-        1
+    if options.update_baseline {
+        let shrunk = baseline::shrink(&baseline, &report.diagnostics);
+        if shrunk != baseline {
+            if let Err(e) = std::fs::write(&baseline_path, baseline::to_json(&shrunk)) {
+                writeln!(out, "muds-lint: cannot write {}: {e}", baseline_path.display())?;
+                return Ok(2);
+            }
+            writeln!(
+                out,
+                "tightened baseline {} -> {} grandfathered finding(s) in {}",
+                baseline.counts.values().sum::<usize>(),
+                shrunk.counts.values().sum::<usize>(),
+                baseline_path.display()
+            )?;
+        } else {
+            writeln!(out, "baseline already tight: {}", baseline_path.display())?;
+        }
+        baseline = shrunk;
     }
+    let comparison = baseline::compare(&report.diagnostics, &baseline);
+    let rendered = match options.format {
+        OutputFormat::Json => render_json(&report, &comparison),
+        OutputFormat::Human => render_human(&report, &comparison),
+        OutputFormat::Sarif => render_sarif(&comparison),
+    };
+    write!(out, "{rendered}")?;
+    Ok(if comparison.new_findings.is_empty() && comparison.stale.is_empty() { 0 } else { 1 })
 }
 
 #[cfg(test)]
@@ -464,14 +604,20 @@ mod tests {
             CliOptions::parse(&args(&["--root", "/x", "--format", "json", "--write-baseline"]))
                 .expect("parse");
         assert_eq!(parsed.root, PathBuf::from("/x"));
-        assert!(parsed.format_json && parsed.write_baseline);
+        assert!(parsed.format == OutputFormat::Json && parsed.write_baseline);
+        let sarif = CliOptions::parse(&args(&["--format", "sarif", "--update-baseline"]))
+            .expect("parse sarif");
+        assert!(sarif.format == OutputFormat::Sarif && sarif.update_baseline);
+        let dot = CliOptions::parse(&args(&["--lock-graph", "dot"])).expect("parse dot");
+        assert!(dot.lock_graph_dot);
         assert!(CliOptions::parse(&args(&["--format", "yaml"])).is_err());
+        assert!(CliOptions::parse(&args(&["--lock-graph", "png"])).is_err());
+        assert!(CliOptions::parse(&args(&["--write-baseline", "--update-baseline"])).is_err());
         assert!(CliOptions::parse(&args(&["--mystery"])).is_err());
     }
 
-    #[test]
-    fn json_output_is_escaped() {
-        let report = LintReport {
+    fn sample_report() -> LintReport {
+        LintReport {
             diagnostics: vec![Diagnostic {
                 rule: Rule::L002,
                 file: "a.rs".to_string(),
@@ -480,10 +626,60 @@ mod tests {
                 message: "has \"quotes\"".to_string(),
             }],
             files_scanned: 1,
-        };
+            lock_graph_dot: String::new(),
+        }
+    }
+
+    #[test]
+    fn json_output_is_escaped() {
+        let report = sample_report();
         let comparison = baseline::compare(&report.diagnostics, &Baseline::default());
         let json = render_json(&report, &comparison);
         assert!(json.contains("has \\\"quotes\\\""), "{json}");
         assert!(json.contains("\"rule\": \"L002\""));
+    }
+
+    #[test]
+    fn sarif_output_carries_rule_and_location() {
+        let report = sample_report();
+        let comparison = baseline::compare(&report.diagnostics, &Baseline::default());
+        let sarif = render_sarif(&comparison);
+        assert!(sarif.contains("\"version\": \"2.1.0\""), "{sarif}");
+        assert!(sarif.contains("\"ruleId\": \"L002\""));
+        assert!(sarif.contains("\"startLine\": 1"));
+        assert!(sarif.contains("has \\\"quotes\\\""));
+    }
+
+    #[test]
+    fn stale_baseline_fails_and_update_tightens() {
+        let dir = std::env::temp_dir().join(format!("muds-lint-stale-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        let baseline_path = dir.join("baseline.json");
+        // Grandfather a finding that no longer exists anywhere.
+        std::fs::write(&baseline_path, "{\"L002:ghost.rs\": 3}\n").expect("write baseline");
+        let workspace = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let run = |extra: &[&str]| {
+            let mut argv = vec![
+                "--root".to_string(),
+                workspace.display().to_string(),
+                "--baseline".to_string(),
+                baseline_path.display().to_string(),
+            ];
+            argv.extend(extra.iter().map(|s| s.to_string()));
+            let mut out = Vec::new();
+            let code = run_cli(&argv, &mut out);
+            (code, String::from_utf8_lossy(&out).into_owned())
+        };
+        let (code, text) = run(&[]);
+        assert_eq!(code, 1, "stale baseline must fail: {text}");
+        assert!(text.contains("stale"), "{text}");
+        let (code, text) = run(&["--update-baseline"]);
+        assert_eq!(code, 0, "after tightening the run is clean: {text}");
+        assert!(text.contains("tightened baseline"), "{text}");
+        let rewritten = std::fs::read_to_string(&baseline_path).expect("read");
+        assert_eq!(rewritten, "{}\n", "ghost entries are dropped deterministically");
+        let (code, _) = run(&[]);
+        assert_eq!(code, 0);
+        std::fs::remove_dir_all(&dir).expect("cleanup");
     }
 }

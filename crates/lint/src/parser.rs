@@ -1,0 +1,870 @@
+//! A lightweight item/signature/block parser on top of the span-accurate
+//! lexer — just enough structure for flow-aware rules.
+//!
+//! This is not a Rust parser. It recognizes the subset the semantic rules
+//! need: struct definitions (field → declared type, for lock identity),
+//! impl/trait blocks (so `self` resolves to a type), function signatures
+//! (name, arity, parameter types), and an ordered event stream per function
+//! body: block open/close (guard scopes), lock acquisitions
+//! (`lock(&expr)` / `expr.lock()`), condvar waits (`cond_wait(&cv, guard)`,
+//! `guard`-first `.wait(...)`), explicit `drop(binding)`, and every call
+//! with its name, qualifier, receiver, and arity. Calls inside a `spawn(…)`
+//! argument list are marked `in_spawn` so thread bodies never count as
+//! same-thread control flow.
+//!
+//! `#[cfg(test)]` modules and `#[test]` functions are skipped entirely:
+//! test code locks in arbitrary orders and blocks freely, and must not
+//! contribute edges to the workspace graphs.
+
+use crate::lexer::{lex, Token, TokenKind};
+use std::collections::BTreeMap;
+
+/// One parsed source file.
+#[derive(Debug, Default)]
+pub struct ParsedFile {
+    /// Workspace-relative path (as handed to [`parse_file`]).
+    pub path: String,
+    /// struct name → field name → declared type (token texts joined with
+    /// single spaces, e.g. `"Arc < HandlerShared >"`).
+    pub structs: BTreeMap<String, BTreeMap<String, String>>,
+    pub functions: Vec<Function>,
+}
+
+/// One function (free or method) with its body event stream.
+#[derive(Debug)]
+pub struct Function {
+    pub name: String,
+    /// `Some(type)` when defined inside `impl Type` / `impl Trait for Type`
+    /// / `trait Type` — what `self` resolves to.
+    pub impl_type: Option<String>,
+    pub has_self: bool,
+    /// Parameter count excluding `self` — the call-site matching key.
+    pub arity: usize,
+    /// Parameter name → declared type text (single-ident patterns only).
+    pub params: BTreeMap<String, String>,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    pub body: Vec<Event>,
+}
+
+/// One body event, in source order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Event {
+    /// `{` — a nested block opens (guard scope boundary).
+    Open,
+    /// `}` — the innermost block closes; guards bound inside it die.
+    Close,
+    /// A lock acquisition: `lock(&EXPR)` or `EXPR.lock()`. `expr` is the
+    /// dotted receiver path (`self.shared.queue`); `binding` is the guard
+    /// variable when the result is `let`-bound (`None` ⇒ a temporary that
+    /// dies at the end of the statement).
+    Acquire { expr: String, binding: Option<String>, line: usize, col: usize },
+    /// A condvar wait that takes a guard by value: `cond_wait(&cv, guard)`,
+    /// `cond_wait_timeout(&cv, guard, dur)`, or `recv.wait(guard)`.
+    Wait { guard: String, line: usize, col: usize },
+    /// `drop(binding)` — an explicit early guard release.
+    DropGuard { binding: String },
+    /// Any other call. `qualifier` is the last path segment before a `::`
+    /// call (`fs::remove_file` ⇒ `Some("fs")`); `recv` is the dotted
+    /// receiver of a method call when it is a plain path (`self.epoll`).
+    Call {
+        name: String,
+        qualifier: Option<String>,
+        recv: Option<String>,
+        /// `true` for `x.name(…)` even when the receiver is not a plain
+        /// path (`recv: None`) — e.g. a call-result receiver.
+        method: bool,
+        arity: usize,
+        in_spawn: bool,
+        line: usize,
+        col: usize,
+    },
+}
+
+/// Parses one file. `path` is carried through for diagnostics.
+pub fn parse_file(path: &str, source: &str) -> ParsedFile {
+    let tokens = lex(source).tokens;
+    let mut out = ParsedFile { path: path.to_string(), ..ParsedFile::default() };
+    let mut p = Parser { toks: &tokens, i: 0 };
+    p.items(&mut out, None, usize::MAX);
+    out
+}
+
+struct Parser<'a> {
+    toks: &'a [Token],
+    i: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self, off: usize) -> Option<&'a Token> {
+        self.toks.get(self.i + off)
+    }
+
+    fn at_punct(&self, off: usize, p: &str) -> bool {
+        self.peek(off).is_some_and(|t| t.kind == TokenKind::Punct && t.text == p)
+    }
+
+    fn at_ident(&self, off: usize, name: &str) -> bool {
+        self.peek(off).is_some_and(|t| t.kind == TokenKind::Ident && t.text == name)
+    }
+
+    /// Advances past a balanced `open`…`close` region whose `open` the
+    /// cursor sits on. Tolerates EOF (consumes the rest).
+    fn skip_balanced(&mut self, open: &str, close: &str) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokenKind::Punct && t.text == open {
+                depth += 1;
+            } else if t.kind == TokenKind::Punct && t.text == close {
+                depth -= 1;
+                if depth == 0 {
+                    self.i += 1;
+                    return;
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Skips a generic parameter list the cursor's `<` opens. `->` never
+    /// counts as closing a bracket.
+    fn skip_generics(&mut self) {
+        let mut depth = 0usize;
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokenKind::Punct && t.text == "<" {
+                depth += 1;
+            } else if t.kind == TokenKind::Punct && t.text == ">" {
+                let arrow = self.i > 0 && self.toks[self.i - 1].text == "-";
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        self.i += 1;
+                        return;
+                    }
+                }
+            }
+            self.i += 1;
+        }
+    }
+
+    /// Item-level scan until the brace depth drops below `stop_depth` (or
+    /// EOF). `impl_type` is the enclosing impl/trait type, if any.
+    fn items(&mut self, out: &mut ParsedFile, impl_type: Option<&str>, stop_depth: usize) {
+        let mut depth = 0usize;
+        let mut attrs: Vec<String> = Vec::new();
+        while let Some(t) = self.peek(0) {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "#") if self.at_punct(1, "[") => {
+                    let start = self.i;
+                    self.i += 1; // `#`
+                    self.skip_balanced("[", "]");
+                    let text: Vec<&str> =
+                        self.toks[start..self.i].iter().map(|t| t.text.as_str()).collect();
+                    attrs.push(text.concat());
+                }
+                (TokenKind::Punct, "{") => {
+                    depth += 1;
+                    self.i += 1;
+                    attrs.clear();
+                }
+                (TokenKind::Punct, "}") => {
+                    self.i += 1;
+                    if depth == 0 {
+                        if stop_depth != usize::MAX {
+                            // Closes the region our caller opened.
+                            return;
+                        }
+                    } else {
+                        depth -= 1;
+                    }
+                    attrs.clear();
+                }
+                (TokenKind::Ident, "struct") => {
+                    self.parse_struct(out);
+                    attrs.clear();
+                }
+                (TokenKind::Ident, "impl") | (TokenKind::Ident, "trait") => {
+                    self.parse_impl(out);
+                    attrs.clear();
+                }
+                (TokenKind::Ident, "mod") => {
+                    let test_mod = attrs.iter().any(|a| a.contains("cfg(test)"));
+                    attrs.clear();
+                    self.i += 1; // `mod`
+                    if self.peek(0).is_some_and(|t| t.kind == TokenKind::Ident) {
+                        self.i += 1; // name
+                    }
+                    if self.at_punct(0, "{") && test_mod {
+                        self.skip_balanced("{", "}");
+                    }
+                    // Non-test inline mods fall through: their `{`/`}` are
+                    // tracked by the depth counter and items parse normally.
+                }
+                (TokenKind::Ident, "fn") => {
+                    let skip = attrs.iter().any(|a| a.contains("test"));
+                    attrs.clear();
+                    self.parse_fn(out, impl_type, skip);
+                }
+                (TokenKind::Ident, "use")
+                | (TokenKind::Ident, "static")
+                | (TokenKind::Ident, "const")
+                | (TokenKind::Ident, "type") => {
+                    // Skip to `;` (or `{` for a const fn — handled above
+                    // since `fn` follows `const` and wins the match first
+                    // only if we don't swallow it here).
+                    if self.at_ident(1, "fn") {
+                        self.i += 1; // just drop the `const`
+                    } else {
+                        while let Some(t) = self.peek(0) {
+                            if t.kind == TokenKind::Punct && t.text == ";" {
+                                self.i += 1;
+                                break;
+                            }
+                            if t.kind == TokenKind::Punct && t.text == "{" {
+                                self.skip_balanced("{", "}");
+                                // A `;` may still follow (const X: T = {..};)
+                            }
+                            self.i += 1;
+                        }
+                    }
+                    attrs.clear();
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+    }
+
+    /// `struct Name { field: Type, … }` — unit and tuple structs are
+    /// skipped (they hold no named locks).
+    fn parse_struct(&mut self, out: &mut ParsedFile) {
+        self.i += 1; // `struct`
+        let Some(name_tok) = self.peek(0) else { return };
+        if name_tok.kind != TokenKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.i += 1;
+        if self.at_punct(0, "<") {
+            self.skip_generics();
+        }
+        // `where` clause, if any, runs to the `{`.
+        while let Some(t) = self.peek(0) {
+            if t.kind == TokenKind::Punct && (t.text == "{" || t.text == ";" || t.text == "(") {
+                break;
+            }
+            self.i += 1;
+        }
+        if !self.at_punct(0, "{") {
+            // Unit (`;`) or tuple (`(`) struct: consume its terminator.
+            if self.at_punct(0, "(") {
+                self.skip_balanced("(", ")");
+            }
+            return;
+        }
+        let body_start = self.i;
+        self.skip_balanced("{", "}");
+        let body = &self.toks[body_start + 1..self.i - 1];
+        let mut fields = BTreeMap::new();
+        let mut j = 0usize;
+        while j < body.len() {
+            // Skip field attributes and visibility.
+            if body[j].text == "#" {
+                j = skip_balanced_in(body, j + 1, "[", "]");
+                continue;
+            }
+            if body[j].text == "pub" {
+                j += 1;
+                if j < body.len() && body[j].text == "(" {
+                    j = skip_balanced_in(body, j, "(", ")");
+                }
+                continue;
+            }
+            if body[j].kind == TokenKind::Ident
+                && j + 1 < body.len()
+                && body[j + 1].text == ":"
+                && (j + 2 >= body.len() || body[j + 2].text != ":")
+            {
+                let fname = body[j].text.clone();
+                let ty_start = j + 2;
+                let mut k = ty_start;
+                let mut angle = 0i32;
+                while k < body.len() {
+                    match body[k].text.as_str() {
+                        "<" => angle += 1,
+                        ">" if body[k - 1].text != "-" => angle -= 1,
+                        "," if angle == 0 => break,
+                        _ => {}
+                    }
+                    k += 1;
+                }
+                let ty: Vec<&str> = body[ty_start..k].iter().map(|t| t.text.as_str()).collect();
+                fields.insert(fname, ty.join(" "));
+                j = k + 1;
+            } else {
+                j += 1;
+            }
+        }
+        out.structs.entry(name).or_default().extend(fields);
+    }
+
+    /// `impl [<…>] Type [for Trait] { … }` / `trait Name { … }` — recurses
+    /// into the block with the impl type bound.
+    fn parse_impl(&mut self, out: &mut ParsedFile) {
+        let is_trait = self.at_ident(0, "trait");
+        self.i += 1; // `impl` / `trait`
+        if self.at_punct(0, "<") {
+            self.skip_generics();
+        }
+        // Collect the type path up to `{`, `for`, or `where`; remember the
+        // last plain ident before generics as the type name.
+        let mut name: Option<String> = None;
+        while let Some(t) = self.peek(0) {
+            match (t.kind, t.text.as_str()) {
+                (TokenKind::Punct, "{") => break,
+                (TokenKind::Punct, ";") => {
+                    // `impl Trait for Type;` style marker impls.
+                    self.i += 1;
+                    return;
+                }
+                (TokenKind::Ident, "for") if !is_trait => {
+                    // Everything before `for` was the trait; the type follows.
+                    name = None;
+                    self.i += 1;
+                }
+                (TokenKind::Ident, "where") => {
+                    self.i += 1;
+                }
+                (TokenKind::Punct, "<") => self.skip_generics(),
+                (TokenKind::Ident, _) => {
+                    name = Some(t.text.clone());
+                    self.i += 1;
+                }
+                _ => {
+                    self.i += 1;
+                }
+            }
+        }
+        if !self.at_punct(0, "{") {
+            return;
+        }
+        self.i += 1; // `{`
+        let ty = name.unwrap_or_default();
+        self.items(out, if ty.is_empty() { None } else { Some(&ty) }, 0);
+    }
+
+    /// `fn name[<…>](params) [-> ret] [where …] { body }` — `skip` still
+    /// consumes the function but records nothing (`#[test]` fns).
+    fn parse_fn(&mut self, out: &mut ParsedFile, impl_type: Option<&str>, skip: bool) {
+        let fn_line = self.toks[self.i].line;
+        self.i += 1; // `fn`
+        let Some(name_tok) = self.peek(0) else { return };
+        if name_tok.kind != TokenKind::Ident {
+            return;
+        }
+        let name = name_tok.text.clone();
+        self.i += 1;
+        if self.at_punct(0, "<") {
+            self.skip_generics();
+        }
+        if !self.at_punct(0, "(") {
+            return;
+        }
+        let params_start = self.i;
+        self.skip_balanced("(", ")");
+        let param_toks = &self.toks[params_start + 1..self.i - 1];
+        let (has_self, arity, params) = parse_params(param_toks);
+
+        // Return type / where clause: scan to the body `{` or a `;`
+        // (trait method declaration — no body).
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some(t) if t.text == ";" => {
+                    self.i += 1;
+                    return;
+                }
+                Some(t) if t.text == "{" => break,
+                Some(t) if t.text == "<" => self.skip_generics(),
+                Some(_) => self.i += 1,
+            }
+        }
+        let body_start = self.i;
+        self.skip_balanced("{", "}");
+        if skip {
+            return;
+        }
+        let body_toks = &self.toks[body_start + 1..self.i - 1];
+        out.functions.push(Function {
+            name,
+            impl_type: impl_type.map(str::to_string),
+            has_self,
+            arity,
+            params,
+            line: fn_line,
+            body: scan_body(body_toks),
+        });
+    }
+}
+
+/// Advances past a balanced region inside a token slice; `start` indexes
+/// the opening token. Returns the index after the closer.
+fn skip_balanced_in(toks: &[Token], start: usize, open: &str, close: &str) -> usize {
+    let mut depth = 0usize;
+    let mut j = start;
+    while j < toks.len() {
+        if toks[j].text == open {
+            depth += 1;
+        } else if toks[j].text == close {
+            depth -= 1;
+            if depth == 0 {
+                return j + 1;
+            }
+        }
+        j += 1;
+    }
+    toks.len()
+}
+
+/// Splits a parameter list into (has_self, arity-excluding-self,
+/// name → type for single-ident patterns).
+fn parse_params(toks: &[Token]) -> (bool, usize, BTreeMap<String, String>) {
+    let mut has_self = false;
+    let mut arity = 0usize;
+    let mut params = BTreeMap::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        // One parameter: tokens up to the next top-level comma.
+        let start = j;
+        let mut angle = 0i32;
+        let mut paren = 0i32;
+        while j < toks.len() {
+            match toks[j].text.as_str() {
+                "<" => angle += 1,
+                ">" if j > start && toks[j - 1].text != "-" => angle -= 1,
+                "(" | "[" => paren += 1,
+                ")" | "]" => paren -= 1,
+                "," if angle == 0 && paren == 0 => break,
+                _ => {}
+            }
+            j += 1;
+        }
+        let param = &toks[start..j];
+        j += 1; // past the comma
+                // Strip leading `&`, lifetimes, and `mut`.
+        let mut k = 0usize;
+        while k < param.len()
+            && (param[k].text == "&"
+                || param[k].kind == TokenKind::Lifetime
+                || param[k].text == "mut")
+        {
+            k += 1;
+        }
+        if k < param.len() && param[k].text == "self" {
+            has_self = true;
+            continue;
+        }
+        if param.is_empty() {
+            continue;
+        }
+        arity += 1;
+        if k + 1 < param.len() && param[k].kind == TokenKind::Ident && param[k + 1].text == ":" {
+            let ty: Vec<&str> = param[k + 2..].iter().map(|t| t.text.as_str()).collect();
+            params.insert(param[k].text.clone(), ty.join(" "));
+        }
+    }
+    (has_self, arity, params)
+}
+
+/// Statement keywords that look like `ident (` but are not calls.
+const NON_CALLS: [&str; 10] =
+    ["if", "while", "for", "match", "loop", "return", "Some", "Ok", "Err", "None"];
+
+/// Produces the ordered event stream for one function body.
+fn scan_body(toks: &[Token]) -> Vec<Event> {
+    let mut events = Vec::new();
+    let mut paren_depth = 0usize;
+    // Paren depths at which a `spawn(`'s argument list opened; calls are
+    // `in_spawn` while any is active (the closure body runs on another
+    // thread).
+    let mut spawn_depths: Vec<usize> = Vec::new();
+    let mut j = 0usize;
+    while j < toks.len() {
+        let t = &toks[j];
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "{") => {
+                events.push(Event::Open);
+                j += 1;
+            }
+            (TokenKind::Punct, "}") => {
+                events.push(Event::Close);
+                j += 1;
+            }
+            (TokenKind::Punct, "(") => {
+                paren_depth += 1;
+                j += 1;
+            }
+            (TokenKind::Punct, ")") => {
+                paren_depth = paren_depth.saturating_sub(1);
+                while spawn_depths.last().is_some_and(|d| *d > paren_depth) {
+                    spawn_depths.pop();
+                }
+                j += 1;
+            }
+            (TokenKind::Ident, name)
+                if j + 1 < toks.len()
+                    && toks[j + 1].text == "("
+                    && !NON_CALLS.contains(&name)
+                    && !(j > 0 && toks[j - 1].text == "fn") =>
+            {
+                let is_method = j > 0 && toks[j - 1].text == ".";
+                let is_path = j > 1 && toks[j - 1].text == ":" && toks[j - 2].text == ":";
+                let qualifier = if is_path {
+                    // Last path segment before `::name(`.
+                    (j >= 3 && toks[j - 3].kind == TokenKind::Ident)
+                        .then(|| toks[j - 3].text.clone())
+                } else {
+                    None
+                };
+                let recv = if is_method { receiver_path(toks, j - 1) } else { None };
+                let args_end = skip_balanced_in(toks, j + 1, "(", ")");
+                let args = split_args(&toks[j + 2..args_end - 1]);
+                let arity = args.len();
+                let in_spawn = !spawn_depths.is_empty();
+                let (line, col) = (t.line, t.col);
+
+                // A first argument that is a single bare identifier (the
+                // guard passed to `.wait(guard)` / `drop(guard)`).
+                let lone_first: Option<String> = match args.first() {
+                    Some([t]) if t.kind == TokenKind::Ident => Some(t.text.clone()),
+                    _ => None,
+                };
+                match (name, is_method, arity) {
+                    ("lock", false, 1) => {
+                        if let Some(&arg) = args.first() {
+                            events.push(Event::Acquire {
+                                expr: arg_path(arg),
+                                binding: binding_before(toks, j),
+                                line,
+                                col,
+                            });
+                        }
+                    }
+                    ("lock", true, 0) => {
+                        if let Some(expr) = recv {
+                            events.push(Event::Acquire {
+                                expr,
+                                binding: binding_before_recv(toks, j),
+                                line,
+                                col,
+                            });
+                        }
+                    }
+                    ("cond_wait", false, 2) | ("cond_wait_timeout", false, 3) => {
+                        if let Some(&guard) = args.get(1) {
+                            events.push(Event::Wait { guard: arg_path(guard), line, col });
+                        }
+                    }
+                    ("wait", true, 1) | ("wait_timeout", true, 2) if lone_first.is_some() => {
+                        if let Some(guard) = lone_first {
+                            events.push(Event::Wait { guard, line, col });
+                        }
+                    }
+                    ("drop", false, 1) if lone_first.is_some() => {
+                        if let Some(binding) = lone_first {
+                            events.push(Event::DropGuard { binding });
+                        }
+                    }
+                    _ => {
+                        if name == "spawn" {
+                            spawn_depths.push(paren_depth + 1);
+                        }
+                        events.push(Event::Call {
+                            name: name.to_string(),
+                            qualifier,
+                            recv,
+                            method: is_method,
+                            arity,
+                            in_spawn,
+                            line,
+                            col,
+                        });
+                    }
+                }
+                // Continue INSIDE the argument list so nested calls are
+                // seen; only the call head is consumed.
+                j += 1;
+            }
+            _ => {
+                j += 1;
+            }
+        }
+    }
+    events
+}
+
+/// The dotted receiver path of a method call, scanning left from the `.`
+/// at `dot`: `self.shared.queue.lock()` ⇒ `"self.shared.queue"`. Returns
+/// `None` when the receiver is not a plain path (e.g. a call result).
+fn receiver_path(toks: &[Token], dot: usize) -> Option<String> {
+    let mut parts: Vec<String> = Vec::new();
+    let mut j = dot; // toks[j] == "."
+    loop {
+        if j == 0 {
+            break;
+        }
+        let prev = &toks[j - 1];
+        if prev.kind == TokenKind::Ident {
+            parts.push(prev.text.clone());
+            if j >= 3 && toks[j - 2].text == "." {
+                j -= 2;
+                continue;
+            }
+        }
+        break;
+    }
+    if parts.is_empty() {
+        return None;
+    }
+    parts.reverse();
+    Some(parts.join("."))
+}
+
+/// Splits an argument token list on top-level commas. Closure literals
+/// (`|a, b| …`) count as part of one argument: commas between a pair of
+/// top-level `|`s are skipped.
+fn split_args(toks: &[Token]) -> Vec<&[Token]> {
+    if toks.is_empty() {
+        return Vec::new();
+    }
+    let mut args = Vec::new();
+    let mut start = 0usize;
+    let mut paren = 0i32;
+    let mut angle = 0i32;
+    let mut in_closure = false;
+    let mut j = 0usize;
+    while j < toks.len() {
+        match toks[j].text.as_str() {
+            "(" | "[" | "{" => paren += 1,
+            ")" | "]" | "}" => paren -= 1,
+            "<" if toks[j].kind == TokenKind::Punct => angle += 1,
+            ">" if j > 0 && toks[j - 1].text != "-" => angle = (angle - 1).max(0),
+            "|" if paren == 0 => in_closure = !in_closure,
+            "," if paren == 0 && angle == 0 && !in_closure => {
+                args.push(&toks[start..j]);
+                start = j + 1;
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    args.push(&toks[start..]);
+    args
+}
+
+/// The dotted path of an argument expression, with leading `&`/`mut`/`*`
+/// stripped: `&self.shared.queue` ⇒ `"self.shared.queue"`.
+fn arg_path(arg: &[Token]) -> String {
+    let mut parts: Vec<&str> = Vec::new();
+    for t in arg {
+        match (t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "&") | (TokenKind::Punct, "*") => continue,
+            (TokenKind::Ident, "mut") => continue,
+            (TokenKind::Ident, s) => parts.push(s),
+            (TokenKind::Punct, ".") => continue,
+            _ => break,
+        }
+    }
+    parts.join(".")
+}
+
+/// The `let`-binding a call's result lands in, if the statement is
+/// `let [mut] NAME = name(…)` or `NAME = name(…)`. `head` indexes the
+/// call's name token.
+fn binding_before(toks: &[Token], head: usize) -> Option<String> {
+    if head < 2 || toks[head - 1].text != "=" {
+        return None;
+    }
+    let name = &toks[head - 2];
+    if name.kind != TokenKind::Ident || name.text == "mut" {
+        return None;
+    }
+    // Reassignment (`queue = lock(…)`) or fresh binding: both name a guard.
+    Some(name.text.clone())
+}
+
+/// Like [`binding_before`], but for a method call `EXPR.lock()`: walks left
+/// past the receiver path to find `let [mut] NAME = EXPR.lock()`.
+fn binding_before_recv(toks: &[Token], head: usize) -> Option<String> {
+    // head indexes `lock`; step left over `.` then the receiver path.
+    let mut j = head;
+    while j >= 2 && toks[j - 1].text == "." && toks[j - 2].kind == TokenKind::Ident {
+        j -= 2;
+    }
+    binding_before(toks, j)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parsed(src: &str) -> ParsedFile {
+        parse_file("test.rs", src)
+    }
+
+    #[test]
+    fn structs_record_field_types() {
+        let p = parsed(
+            "struct Shared { queue: Mutex<VecDeque<Job>>, wake: Condvar }\n\
+             pub struct Owner { pub shared: Arc<Shared> }",
+        );
+        assert_eq!(p.structs["Shared"]["queue"], "Mutex < VecDeque < Job > >");
+        assert_eq!(p.structs["Owner"]["shared"], "Arc < Shared >");
+    }
+
+    #[test]
+    fn impl_methods_carry_type_and_arity() {
+        let p = parsed(
+            "impl Owner {\n    fn take(&mut self, n: usize) -> u32 { helper(n) }\n}\n\
+             fn helper(n: usize) -> u32 { n as u32 }",
+        );
+        let take = p.functions.iter().find(|f| f.name == "take").unwrap();
+        assert_eq!(take.impl_type.as_deref(), Some("Owner"));
+        assert!(take.has_self);
+        assert_eq!(take.arity, 1);
+        assert_eq!(take.params["n"], "usize");
+        let helper = p.functions.iter().find(|f| f.name == "helper").unwrap();
+        assert_eq!(helper.impl_type, None);
+        assert!(!helper.has_self);
+    }
+
+    #[test]
+    fn lock_sites_resolve_binding_and_expr() {
+        let p = parsed(
+            "impl S { fn f(&self) {\n\
+                 let mut inner = lock(&self.inner);\n\
+                 lock(&self.other).push(1);\n\
+                 drop(inner);\n\
+             } }",
+        );
+        let f = &p.functions[0];
+        let acquires: Vec<&Event> =
+            f.body.iter().filter(|e| matches!(e, Event::Acquire { .. })).collect();
+        assert_eq!(acquires.len(), 2);
+        assert_eq!(
+            acquires[0],
+            &Event::Acquire {
+                expr: "self.inner".into(),
+                binding: Some("inner".into()),
+                line: 2,
+                col: 17
+            }
+        );
+        assert!(matches!(
+            acquires[1],
+            Event::Acquire { expr, binding: None, .. } if expr == "self.other"
+        ));
+        assert!(f
+            .body
+            .iter()
+            .any(|e| matches!(e, Event::DropGuard { binding } if binding == "inner")));
+    }
+
+    #[test]
+    fn cond_wait_names_the_guard() {
+        let p = parsed(
+            "fn w(shared: &Shared) {\n\
+                 let mut queue = lock(&shared.queue);\n\
+                 queue = cond_wait(&shared.wake, queue);\n\
+             }",
+        );
+        assert!(p.functions[0]
+            .body
+            .iter()
+            .any(|e| matches!(e, Event::Wait { guard, .. } if guard == "queue")));
+    }
+
+    #[test]
+    fn spawn_closure_calls_are_marked() {
+        let p = parsed(
+            "fn boot() {\n\
+                 std::thread::Builder::new().spawn(move || worker(1, 2)).unwrap();\n\
+                 direct(3);\n\
+             }",
+        );
+        let f = &p.functions[0];
+        let worker = f
+            .body
+            .iter()
+            .find_map(|e| match e {
+                Event::Call { name, in_spawn, arity, .. } if name == "worker" => {
+                    Some((*in_spawn, *arity))
+                }
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(worker, (true, 2));
+        let direct = f
+            .body
+            .iter()
+            .find_map(|e| match e {
+                Event::Call { name, in_spawn, .. } if name == "direct" => Some(*in_spawn),
+                _ => None,
+            })
+            .unwrap();
+        assert!(!direct);
+    }
+
+    #[test]
+    fn cfg_test_mods_and_test_fns_are_skipped() {
+        let p = parsed(
+            "fn real() {}\n\
+             #[cfg(test)]\nmod tests {\n    fn helper() {}\n    #[test]\n    fn t() {}\n}\n\
+             #[test]\nfn stray() {}\n",
+        );
+        let names: Vec<&str> = p.functions.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["real"]);
+    }
+
+    #[test]
+    fn method_calls_record_receiver_and_qualifier() {
+        let p = parsed(
+            "impl R { fn go(&mut self) {\n\
+                 self.epoll.wait(&mut events, 30);\n\
+                 fs::remove_file(path);\n\
+                 Response::error(503, msg).write_to(w);\n\
+             } }",
+        );
+        let f = &p.functions[0];
+        let calls: Vec<(&str, Option<&str>, Option<&str>, usize)> = f
+            .body
+            .iter()
+            .filter_map(|e| match e {
+                Event::Call { name, qualifier, recv, arity, .. } => {
+                    Some((name.as_str(), qualifier.as_deref(), recv.as_deref(), *arity))
+                }
+                _ => None,
+            })
+            .collect();
+        assert!(calls.contains(&("wait", None, Some("self.epoll"), 2)));
+        assert!(calls.contains(&("remove_file", Some("fs"), None, 1)));
+        assert!(calls.contains(&("error", Some("Response"), None, 2)));
+        // Receiver of write_to is a call result — recv is None.
+        assert!(calls.contains(&("write_to", None, None, 1)));
+    }
+
+    #[test]
+    fn closure_commas_do_not_inflate_arity() {
+        let p = parsed("fn f() { items.retain(|(k, v)| keep(k, v)); }");
+        let retain = p.functions[0]
+            .body
+            .iter()
+            .find_map(|e| match e {
+                Event::Call { name, arity, .. } if name == "retain" => Some(*arity),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(retain, 1);
+    }
+}

@@ -39,9 +39,34 @@ pub enum Rule {
     /// Raw wall-clock read in bench scenario code: scenario timing must
     /// come from `muds_obs` spans so reported numbers match the span tree.
     L007,
+    /// Lock-order cycle in the interprocedural lock-acquisition graph:
+    /// two call paths acquire the same locks in opposite orders.
+    L008,
+    /// Blocking call (file I/O, `write_all`, condvar wait, hot mutex)
+    /// reachable from the reactor event loop on its own thread.
+    L009,
+    /// `let _ = call(…);` / statement-position `.ok();` discarding a
+    /// result in library code.
+    L010,
 }
 
 impl Rule {
+    /// Every rule, in id order — drives the SARIF `tool.driver.rules`
+    /// array so viewers can resolve `ruleId` references.
+    pub const ALL: [Rule; 11] = [
+        Rule::L000,
+        Rule::L001,
+        Rule::L002,
+        Rule::L003,
+        Rule::L004,
+        Rule::L005,
+        Rule::L006,
+        Rule::L007,
+        Rule::L008,
+        Rule::L009,
+        Rule::L010,
+    ];
+
     pub fn id(self) -> &'static str {
         match self {
             Rule::L000 => "L000",
@@ -52,6 +77,9 @@ impl Rule {
             Rule::L005 => "L005",
             Rule::L006 => "L006",
             Rule::L007 => "L007",
+            Rule::L008 => "L008",
+            Rule::L009 => "L009",
+            Rule::L010 => "L010",
         }
     }
 
@@ -65,6 +93,9 @@ impl Rule {
             Rule::L005 => "counter-catalogue",
             Rule::L006 => "condvar-wait-without-loop",
             Rule::L007 => "bench-clock-discipline",
+            Rule::L008 => "lock-order-cycle",
+            Rule::L009 => "blocking-in-reactor",
+            Rule::L010 => "swallowed-result",
         }
     }
 
@@ -79,13 +110,25 @@ impl Rule {
             Rule::L005 => Some("counter-name"),
             Rule::L006 => Some("condvar-loop"),
             Rule::L007 => Some("bench-clock"),
+            Rule::L008 => Some("lock-order"),
+            Rule::L009 => Some("blocking-reactor"),
+            Rule::L010 => Some("swallowed-result"),
         }
     }
 }
 
 /// All rules with an allow key, for validating allow comments.
-pub const ALLOW_KEYS: [&str; 6] =
-    ["hash-order", "panic", "wall-clock", "counter-name", "condvar-loop", "bench-clock"];
+pub const ALLOW_KEYS: [&str; 9] = [
+    "hash-order",
+    "panic",
+    "wall-clock",
+    "counter-name",
+    "condvar-loop",
+    "bench-clock",
+    "lock-order",
+    "blocking-reactor",
+    "swallowed-result",
+];
 
 /// One finding.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -235,8 +278,10 @@ impl FileAnalysis {
     }
 
     /// Is the finding at `line` suppressed by an allow comment for `key`
-    /// on the same line or covering the statement below it?
-    fn allowed(&self, line: usize, key: &str) -> bool {
+    /// on the same line or covering the statement below it? Public so the
+    /// workspace-level semantic pass (L008/L009) can honour file-local
+    /// allows on the diagnostics it attributes to this file.
+    pub fn allowed(&self, line: usize, key: &str) -> bool {
         self.allows.iter().any(|(allow_line, allow_key, cover_end)| {
             allow_key == key && *allow_line <= line && line <= *cover_end
         })
@@ -296,6 +341,7 @@ pub fn lint_source(file: &str, source: &str, options: &FileOptions) -> Vec<Diagn
         rule_l001_hash_order(file, &analysis, &mut out);
         if !options.panic_allowed {
             rule_l002_panic(file, &analysis, &mut out);
+            rule_l010_swallowed_result(file, &analysis, &mut out);
         }
         if !options.clock_allowed {
             rule_l004_wall_clock(file, &analysis, &mut out);
@@ -736,9 +782,10 @@ fn rule_l005_counter_catalogue(
         if !METRIC_FNS.contains(&tokens[i].text.as_str()) {
             continue;
         }
-        let Some(open) = tokens.get(i + 1).filter(|t| t.text == "(") else { continue };
+        if tokens.get(i + 1).is_none_or(|t| t.text != "(") {
+            continue;
+        }
         let Some(arg) = tokens.get(i + 2).filter(|t| t.kind == TokenKind::Str) else { continue };
-        let _ = open;
         let name = arg.text.trim_matches('"');
         // Metric names are `prefix.suffix`; other string-first calls that
         // happen to share a function name (e.g. a local `add("x", …)`)
@@ -794,6 +841,93 @@ fn rule_l006_condvar(file: &str, analysis: &FileAnalysis, out: &mut Vec<Diagnost
                     token.text
                 ),
             });
+        }
+    }
+}
+
+/// L010 — a discarded result in library code: `let _ = call(…);` or a
+/// statement-position `.ok();`. The persist write-through path must never
+/// drop an I/O error silently; genuinely best-effort discards carry a
+/// `// lint:allow(swallowed-result): …` justification instead.
+///
+/// Two shapes keep the rule high-signal:
+/// * `let _ = RHS;` only fires when the RHS contains a call (`(` present) —
+///   `let _ = case;` silences an unused binding, not a Result.
+/// * `.ok();` only fires in statement position — `let hex = ….ok();` binds
+///   the Option and `….ok()?;`/match arms never end in `();`.
+fn rule_l010_swallowed_result(file: &str, analysis: &FileAnalysis, out: &mut Vec<Diagnostic>) {
+    let tokens = &analysis.lexed.tokens;
+    for i in 0..tokens.len() {
+        if analysis.in_test[i] {
+            continue;
+        }
+        // `let` `_` `=` … `;` with a call somewhere in the RHS.
+        if tokens[i].text == "let"
+            && tokens[i].kind == TokenKind::Ident
+            && tokens.get(i + 1).is_some_and(|t| t.text == "_")
+            && tokens.get(i + 2).is_some_and(|t| t.text == "=")
+        {
+            let mut depth = 0i32;
+            let mut has_call = false;
+            for t in &tokens[i + 3..] {
+                match t.text.as_str() {
+                    "(" => {
+                        depth += 1;
+                        has_call = true;
+                    }
+                    "[" | "{" => depth += 1,
+                    ")" | "]" | "}" => depth -= 1,
+                    ";" if depth <= 0 => break,
+                    _ => {}
+                }
+            }
+            if has_call && !analysis.allowed(tokens[i].line, "swallowed-result") {
+                out.push(Diagnostic {
+                    rule: Rule::L010,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    col: tokens[i].col,
+                    message: "`let _ = …` discards a call result in library code: handle or \
+                              report the error, or justify with \
+                              `// lint:allow(swallowed-result): …`"
+                        .to_string(),
+                });
+            }
+        }
+        // Statement-position `.ok();`.
+        if tokens[i].text == "ok"
+            && tokens[i].kind == TokenKind::Ident
+            && i > 0
+            && tokens[i - 1].text == "."
+            && tokens.get(i + 1).is_some_and(|t| t.text == "(")
+            && tokens.get(i + 2).is_some_and(|t| t.text == ")")
+            && tokens.get(i + 3).is_some_and(|t| t.text == ";")
+        {
+            // Walk back to the statement start; a `let`, `=`, or `return`
+            // on the way means the Option is consumed, not discarded.
+            let mut consumed = false;
+            for t in tokens[..i].iter().rev() {
+                match t.text.as_str() {
+                    ";" | "{" | "}" => break,
+                    "let" | "=" | "return" => {
+                        consumed = true;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            if !consumed && !analysis.allowed(tokens[i].line, "swallowed-result") {
+                out.push(Diagnostic {
+                    rule: Rule::L010,
+                    file: file.to_string(),
+                    line: tokens[i].line,
+                    col: tokens[i].col,
+                    message: "statement-position `.ok();` swallows a Result in library code: \
+                              handle or report the error, or justify with \
+                              `// lint:allow(swallowed-result): …`"
+                        .to_string(),
+                });
+            }
         }
     }
 }
@@ -930,6 +1064,51 @@ mod tests {
         let unknown = "// lint:allow(whatever): because\nfn f() {}";
         assert_eq!(rules_of(&run(missing)), vec![Rule::L000]);
         assert_eq!(rules_of(&run(unknown)), vec![Rule::L000]);
+    }
+
+    #[test]
+    fn l010_flags_discarded_results() {
+        let bad = "
+            fn f(w: &mut W) {
+                let _ = w.write(b\"x\");
+                w.send().ok();
+            }
+        ";
+        let diags = run(bad);
+        assert_eq!(rules_of(&diags), vec![Rule::L010, Rule::L010], "{diags:?}");
+        assert_eq!((diags[0].line, diags[1].line), (3, 4));
+    }
+
+    #[test]
+    fn l010_skips_bindings_returns_and_non_calls() {
+        let good = "
+            fn f(w: &mut W) -> Option<u32> {
+                let _ = unused_variable;
+                let value = w.parse().ok();
+                if let Some(v) = w.peek().ok() { use_it(v); }
+                return w.count().ok();
+            }
+        ";
+        assert!(run(good).is_empty(), "{:?}", run(good));
+    }
+
+    #[test]
+    fn l010_respects_allow_and_test_and_binary_context() {
+        let allowed = "
+            fn f(w: &mut W) {
+                // lint:allow(swallowed-result): best-effort trace write
+                let _ = w.write(b\"x\");
+            }
+        ";
+        assert!(run(allowed).is_empty(), "{:?}", run(allowed));
+        let in_test = "#[cfg(test)] mod tests { fn t(w: &mut W) { let _ = w.write(b\"x\"); } }";
+        assert!(run(in_test).is_empty(), "{:?}", run(in_test));
+        // Binaries (panic_allowed contexts) report errors by exiting; the
+        // discard rule is library-code hygiene like L002.
+        let options = FileOptions { panic_allowed: true, ..FileOptions::default() };
+        let diags =
+            lint_source("src/main.rs", "fn f(w: &mut W) { let _ = w.write(b\"x\"); }", &options);
+        assert!(diags.is_empty(), "{diags:?}");
     }
 
     #[test]

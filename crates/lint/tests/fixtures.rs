@@ -57,11 +57,21 @@ fn every_fixture_matches_its_expected_diagnostics() {
         assert!(expected_path.exists(), "{} has no paired .expected file", fixture.display());
         let source = read(&fixture);
         let stem = fixture.file_stem().unwrap().to_string_lossy().into_owned();
-        let diags = lint_source(
+        let mut diags = lint_source(
             &fixture.file_name().unwrap().to_string_lossy(),
             &source,
             &fixture_options(&stem),
         );
+        // L008/L009 are workspace-level semantic rules: run the call-graph
+        // pass over the fixture as a one-file workspace. L009 fixtures are
+        // analysed under the reactor file name so the event-loop roots
+        // apply.
+        if stem.starts_with("l008") || stem.starts_with("l009") {
+            let name = if stem.starts_with("l009") { "reactor.rs" } else { "fixture.rs" };
+            let (semantic, _dot) = muds_lint::semantic_pass(&[(name.to_string(), source.clone())]);
+            diags.extend(semantic);
+            diags.sort_by_key(|d| (d.line, d.col, d.rule.id()));
+        }
         let actual: Vec<String> =
             diags.iter().map(|d| format!("{}:{} {}", d.line, d.col, d.rule.id())).collect();
         let expected = expected_entries(&expected_path);
@@ -75,8 +85,9 @@ fn every_fixture_matches_its_expected_diagnostics() {
         );
         checked += 1;
     }
-    // One good + one bad fixture per rule L000–L007.
-    assert!(checked >= 16, "expected at least 16 fixtures, saw {checked}");
+    // One good + one bad fixture per rule L000–L010 (L001–L007 token
+    // rules, L008/L009 semantic rules, L010 discard rule).
+    assert!(checked >= 22, "expected at least 22 fixtures, saw {checked}");
 }
 
 #[test]

@@ -1,0 +1,22 @@
+use std::sync::Mutex;
+
+use crate::sync::lock;
+
+struct App {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl App {
+    fn forward(&self) {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b);
+        consume(*ga, *gb);
+    }
+
+    fn backward(&self) {
+        let gb = lock(&self.b);
+        let ga = lock(&self.a);
+        consume(*ga, *gb);
+    }
+}

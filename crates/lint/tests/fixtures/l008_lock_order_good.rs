@@ -1,0 +1,31 @@
+use std::sync::Mutex;
+
+use crate::sync::lock;
+
+struct App {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl App {
+    fn forward(&self) {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b);
+        consume(*ga, *gb);
+    }
+
+    fn also_forward(&self) {
+        let ga = lock(&self.a);
+        let gb = lock(&self.b);
+        consume(*gb, *ga);
+    }
+
+    fn scoped(&self) {
+        {
+            let gb = lock(&self.b);
+            consume(0, *gb);
+        }
+        let ga = lock(&self.a);
+        consume(*ga, 0);
+    }
+}

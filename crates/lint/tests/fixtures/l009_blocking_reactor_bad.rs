@@ -1,0 +1,19 @@
+pub struct Reactor {
+    log_path: std::path::PathBuf,
+}
+
+impl Reactor {
+    pub fn run(&self) {
+        loop {
+            self.poll_once();
+        }
+    }
+
+    fn poll_once(&self) {
+        self.rotate_log();
+    }
+
+    fn rotate_log(&self) {
+        std::fs::remove_file(&self.log_path);
+    }
+}

@@ -1,0 +1,18 @@
+pub struct Reactor {
+    log_path: std::path::PathBuf,
+}
+
+impl Reactor {
+    pub fn run(&self) {
+        loop {
+            self.poll_once();
+        }
+    }
+
+    fn poll_once(&self) {
+        let path = self.log_path.clone();
+        std::thread::spawn(move || {
+            std::fs::remove_file(&path);
+        });
+    }
+}

@@ -1,0 +1,4 @@
+fn persist(file: &mut File, line: &str) {
+    let _ = file.write(line.as_bytes());
+    file.sync_all().ok();
+}

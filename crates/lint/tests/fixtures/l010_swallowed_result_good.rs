@@ -1,0 +1,12 @@
+fn persist(file: &mut File, line: &str) -> io::Result<()> {
+    file.write_all(line.as_bytes())?;
+    file.sync_all()?;
+    Ok(())
+}
+
+fn sweep(dir: &Path) {
+    // lint:allow(swallowed-result): crash residue; already-gone is fine
+    let _ = remove_file(dir.join("stale.tmp"));
+    let parsed = read_header(dir).ok();
+    let _ = unused_binding;
+}

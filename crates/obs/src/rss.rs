@@ -119,6 +119,8 @@ impl RssSampler {
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             handle.thread().unpark();
+            // lint:allow(swallowed-result): the sampler loop has no panic
+            // paths of its own; a poisoned join must not lose the report.
             let _ = handle.join();
         }
         probe(&self.peak, &self.samples);
@@ -134,6 +136,7 @@ impl Drop for RssSampler {
         self.stop.store(true, Ordering::Release);
         if let Some(handle) = self.handle.take() {
             handle.thread().unpark();
+            // lint:allow(swallowed-result): panicking in Drop would abort.
             let _ = handle.join();
         }
     }

@@ -103,10 +103,12 @@ impl<W: Write + Send> EventSink for JsonlSink<W> {
     fn emit(&mut self, event: &Event<'_>) {
         // A failed trace write must not abort a profiling run; drop the
         // event instead.
+        // lint:allow(swallowed-result): tracing is best-effort by design.
         let _ = writeln!(self.writer, "{}", event.to_json());
     }
 
     fn flush(&mut self) {
+        // lint:allow(swallowed-result): tracing is best-effort by design.
         let _ = self.writer.flush();
     }
 }

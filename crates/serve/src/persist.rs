@@ -103,7 +103,14 @@ impl Persist {
         // drop.
         if let Ok(entries) = fs::read_dir(&tmp_dir) {
             for entry in entries.flatten() {
-                let _ = fs::remove_file(entry.path());
+                if let Err(e) = fs::remove_file(entry.path()) {
+                    if e.kind() != io::ErrorKind::NotFound {
+                        eprintln!(
+                            "muds-serve: persist: tmp sweep of {} failed: {e} (continuing)",
+                            entry.path().display()
+                        );
+                    }
+                }
             }
         }
         Ok(Arc::new(Persist {
@@ -126,7 +133,7 @@ impl Persist {
         file.sync_all()?;
         drop(file);
         if let Err(e) = fs::rename(&staged, final_path) {
-            let _ = fs::remove_file(&staged);
+            self.remove_quiet("staged-file cleanup", &staged);
             return Err(e);
         }
         if let Some(parent) = final_path.parent() {
@@ -138,6 +145,16 @@ impl Persist {
 
     fn report(&self, what: &str, path: &Path, err: &io::Error) {
         eprintln!("muds-serve: persist: {what} {} failed: {err} (continuing)", path.display());
+    }
+
+    /// Removes a file, reporting any failure except "already gone" —
+    /// deletes race with crash-recovery sweeps, so `NotFound` is success.
+    fn remove_quiet(&self, what: &str, path: &Path) {
+        if let Err(e) = fs::remove_file(path) {
+            if e.kind() != io::ErrorKind::NotFound {
+                self.report(what, path, &e);
+            }
+        }
     }
 
     fn table_path(&self, fp: Fingerprint) -> PathBuf {
@@ -218,7 +235,7 @@ impl Persist {
 
     /// Removes a persisted result (entry evicted or invalidated).
     pub fn remove_result(&self, key: &CacheKey) {
-        let _ = fs::remove_file(self.result_path(key));
+        self.remove_quiet("result remove", &self.result_path(key));
     }
 
     /// Files in `dir`, sorted by name for deterministic recovery order.
@@ -234,7 +251,7 @@ impl Persist {
     fn torn(&self, why: &str, path: &Path) {
         self.metrics.persist_torn_skipped.inc();
         eprintln!("muds-serve: persist: skipping {}: {why}", path.display());
-        let _ = fs::remove_file(path);
+        self.remove_quiet("torn-file remove", path);
     }
 
     /// Replays the data dir: validates every blob, drops torn or orphaned

@@ -129,6 +129,8 @@ impl Epoll {
     fn del(&self, fd: i32) {
         // A pre-2.6.9 kernel quirk requires a non-null event even for DEL;
         // passing one is always valid.
+        // lint:allow(swallowed-result): DEL on a closing fd can only fail
+        // with ENOENT/EBADF, both of which mean "already deregistered".
         let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
     }
 
@@ -189,6 +191,8 @@ impl HandlerShared {
         lock(&self.completions).push(completion);
         // A full pipe means a wakeup is already pending; dropping the
         // byte is correct.
+        // lint:allow(swallowed-result): WouldBlock = wakeup already queued;
+        // any other failure still resolves via the reactor's idle tick.
         let _ = (&self.waker_tx).write(&[1u8]);
     }
 }
@@ -206,6 +210,8 @@ impl HandlerPool {
         self.shared.shutdown.store(true, Ordering::Release);
         self.shared.wake.notify_all();
         for thread in self.threads {
+            // lint:allow(swallowed-result): a handler that panicked has
+            // already printed its panic; teardown must still join the rest.
             let _ = thread.join();
         }
     }
@@ -405,13 +411,19 @@ impl Reactor {
     }
 
     fn admit(&mut self, stream: TcpStream) {
-        if self.conns.len() >= self.state.config.max_connections {
-            // Best-effort 503 on the still-blocking fresh socket.
-            let _ = Response::error(503, "connection limit reached").write_to(&mut &stream);
-            self.state.metrics.count_response(503);
+        if stream.set_nonblocking(true).is_err() {
             return;
         }
-        if stream.set_nonblocking(true).is_err() {
+        if self.conns.len() >= self.state.config.max_connections {
+            // Single non-blocking write attempt of the 503: the socket
+            // buffer of a fresh connection almost always has room, and a
+            // client whose buffer is already full doesn't get to stall
+            // the event loop for its error message.
+            let bytes = Response::error(503, "connection limit reached").to_bytes(false);
+            // lint:allow(swallowed-result): best-effort courtesy reply on
+            // a connection being dropped anyway; the close conveys it.
+            let _ = (&stream).write(&bytes);
+            self.state.metrics.count_response(503);
             return;
         }
         let token = self.next_token;
@@ -593,7 +605,12 @@ impl Reactor {
             return;
         }
         conn.interest = events;
-        let _ = self.epoll.modify(conn.stream.as_raw_fd(), events, token);
+        if let Err(e) = self.epoll.modify(conn.stream.as_raw_fd(), events, token) {
+            // A connection we can no longer watch is a connection we can
+            // no longer serve: drop it rather than let it hang silently.
+            eprintln!("muds-serve: epoll modify failed for token {token}: {e}; closing");
+            self.close_conn(token);
+        }
     }
 
     fn close_conn(&mut self, token: u64) {

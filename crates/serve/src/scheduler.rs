@@ -149,6 +149,9 @@ impl Scheduler {
                     shared.shutdown.store(true, Ordering::Release);
                     shared.wake.notify_all();
                     for handle in handles {
+                        // lint:allow(swallowed-result): already unwinding
+                        // from the spawn error; a worker panic here must
+                        // not mask it.
                         let _ = handle.join();
                     }
                     return Err(e);
@@ -220,6 +223,8 @@ impl Scheduler {
         self.shared.wake.notify_all();
         let handles: Vec<_> = lock(&self.workers).drain(..).collect();
         for handle in handles {
+            // lint:allow(swallowed-result): a worker that panicked already
+            // printed its panic; shutdown must still join the rest.
             let _ = handle.join();
         }
     }

@@ -264,6 +264,8 @@ impl Server {
                         self.state.metrics.connections_active.fetch_add(1, Ordering::AcqRel) + 1;
                     if active as usize > self.state.config.max_connections {
                         self.state.metrics.connections_active.fetch_sub(1, Ordering::AcqRel);
+                        // lint:allow(swallowed-result): best-effort courtesy
+                        // reply on a connection being dropped anyway.
                         let _ =
                             Response::error(503, "connection limit reached").write_to(&mut &stream);
                         self.state.metrics.count_response(503);
@@ -315,6 +317,9 @@ pub(crate) fn respond(state: &ServerState, request: &Request) -> Response {
 fn handle_connection(state: &ServerState, mut stream: std::net::TcpStream) {
     use crate::http::HttpError;
     use std::io::Write;
+    // lint:allow(swallowed-result): a socket that rejects timeouts still
+    // serves; the slowloris sweep is the reactor path's job, not this
+    // fallback's.
     let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
     let request = match crate::http::read_request(&mut stream, state.config.max_body) {
         Ok(request) => request,
@@ -322,12 +327,17 @@ fn handle_connection(state: &ServerState, mut stream: std::net::TcpStream) {
         Err(e) => {
             let response = Response::error(e.status(), &e.to_string());
             state.metrics.count_response(response.status);
+            // lint:allow(swallowed-result): the client that sent a broken
+            // request may already be gone; nothing to do about it here.
             let _ = response.write_to(&mut stream);
             return;
         }
     };
     let response = respond(state, &request);
+    // lint:allow(swallowed-result): a write/flush failure means the client
+    // hung up mid-response — this per-connection thread just ends.
     let _ = response.write_to(&mut stream);
+    // lint:allow(swallowed-result): same as the write above.
     let _ = stream.flush();
 }
 
